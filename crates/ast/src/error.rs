@@ -1,0 +1,48 @@
+//! AST-level validation errors.
+
+use std::fmt;
+
+/// Errors raised by static validation of programs and rules.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AstError {
+    /// A variable is not range-restricted (see [`crate::rule::Rule::check_safety`]).
+    UnsafeVariable { rule: String, var: String },
+    /// A predicate is used with two different arities.
+    ArityMismatch {
+        pred: String,
+        expected: usize,
+        found: usize,
+    },
+    /// A fact (body-less rule) has a non-ground head.
+    NonGroundFact { rule: String },
+    /// A `next` goal's stage variable also appears elsewhere in an
+    /// unsupported position (must appear exactly once in the head).
+    MalformedNext { rule: String, detail: String },
+    /// More than one `next` goal in a rule body.
+    MultipleNext { rule: String },
+}
+
+impl fmt::Display for AstError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AstError::UnsafeVariable { rule, var } => {
+                write!(f, "unsafe variable `{var}` in rule `{rule}`")
+            }
+            AstError::ArityMismatch { pred, expected, found } => write!(
+                f,
+                "predicate `{pred}` used with arity {found}, previously {expected}"
+            ),
+            AstError::NonGroundFact { rule } => {
+                write!(f, "fact with non-ground head: `{rule}`")
+            }
+            AstError::MalformedNext { rule, detail } => {
+                write!(f, "malformed next goal in `{rule}`: {detail}")
+            }
+            AstError::MultipleNext { rule } => {
+                write!(f, "more than one next goal in rule `{rule}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AstError {}

@@ -1,0 +1,251 @@
+//! Body literals: atoms, negated atoms, comparisons, and the paper's
+//! meta-level goals (`choice`, `least`, `most`, `next`).
+
+use crate::symbol::Symbol;
+use crate::term::{Expr, Term, VarId};
+
+/// A (possibly non-ground) atom `p(t1, …, tk)`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Atom {
+    /// Predicate name. Arity is `args.len()`; `gbc-ast` validation
+    /// checks each predicate is used with a single arity program-wide.
+    pub pred: Symbol,
+    /// Argument terms.
+    pub args: Vec<Term>,
+}
+
+impl Atom {
+    /// Build an atom.
+    pub fn new(pred: impl Into<Symbol>, args: Vec<Term>) -> Atom {
+        Atom { pred: pred.into(), args }
+    }
+
+    /// Predicate arity.
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// All variables in the atom, first-occurrence order, deduplicated.
+    pub fn vars(&self) -> Vec<VarId> {
+        let mut out = Vec::new();
+        for t in &self.args {
+            t.collect_vars(&mut out);
+        }
+        let mut seen: Vec<VarId> = Vec::with_capacity(out.len());
+        out.retain(|v| {
+            if seen.contains(v) {
+                false
+            } else {
+                seen.push(*v);
+                true
+            }
+        });
+        out
+    }
+
+    /// True when every argument is ground.
+    pub fn is_ground(&self) -> bool {
+        self.args.iter().all(Term::is_ground)
+    }
+}
+
+/// Comparison operators. `Eq` doubles as assignment when one side is a
+/// single unbound variable at evaluation time (LDL convention: the goal
+/// `I = I1 + 1` binds `I`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    /// The operator with its arguments swapped (`a op b` ⇔ `b op.flip() a`).
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// Evaluate the operator on a concrete ordering.
+    pub fn eval(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        matches!(
+            (self, ord),
+            (CmpOp::Eq, Equal)
+                | (CmpOp::Ne, Less)
+                | (CmpOp::Ne, Greater)
+                | (CmpOp::Lt, Less)
+                | (CmpOp::Le, Less)
+                | (CmpOp::Le, Equal)
+                | (CmpOp::Gt, Greater)
+                | (CmpOp::Ge, Greater)
+                | (CmpOp::Ge, Equal)
+        )
+    }
+}
+
+/// A body literal.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Literal {
+    /// Positive atom `p(…)`.
+    Pos(Atom),
+    /// Negated atom `¬p(…)` (stratified negation).
+    Neg(Atom),
+    /// Comparison / assignment `lhs op rhs` over arithmetic expressions.
+    Compare {
+        op: CmpOp,
+        lhs: Expr,
+        rhs: Expr,
+    },
+    /// `choice(L, R)` — the FD `L → R` must hold in the model. Both
+    /// sides are term tuples; either may be empty (`choice((), (X, Y))`
+    /// as in the TSP exit rule, meaning "exactly one `(X, Y)` overall").
+    Choice {
+        left: Vec<Term>,
+        right: Vec<Term>,
+    },
+    /// `least(C, G)` — among bindings satisfying the rest of the body,
+    /// keep those minimal in `cost` for each value of the `group` tuple.
+    /// `least(C)` is the empty-group form.
+    Least {
+        cost: Term,
+        group: Vec<Term>,
+    },
+    /// `most(C, G)` — dual of `least`.
+    Most {
+        cost: Term,
+        group: Vec<Term>,
+    },
+    /// `next(I)` — stage goal; macro-expands per Section 3 of the paper.
+    Next {
+        var: VarId,
+    },
+}
+
+impl Literal {
+    /// Positive-atom constructor.
+    pub fn pos(pred: impl Into<Symbol>, args: Vec<Term>) -> Literal {
+        Literal::Pos(Atom::new(pred, args))
+    }
+
+    /// Negated-atom constructor.
+    pub fn neg(pred: impl Into<Symbol>, args: Vec<Term>) -> Literal {
+        Literal::Neg(Atom::new(pred, args))
+    }
+
+    /// Comparison constructor.
+    pub fn cmp(op: CmpOp, lhs: Expr, rhs: Expr) -> Literal {
+        Literal::Compare { op, lhs, rhs }
+    }
+
+    /// Is this one of the meta-level goals (`choice`, `least`, `most`,
+    /// `next`) rather than a first-order literal?
+    pub fn is_meta(&self) -> bool {
+        matches!(
+            self,
+            Literal::Choice { .. } | Literal::Least { .. } | Literal::Most { .. } | Literal::Next { .. }
+        )
+    }
+
+    /// All variables mentioned by the literal (first-occurrence order,
+    /// deduplicated).
+    pub fn vars(&self) -> Vec<VarId> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        let mut seen: Vec<VarId> = Vec::with_capacity(out.len());
+        out.retain(|v| {
+            if seen.contains(v) {
+                false
+            } else {
+                seen.push(*v);
+                true
+            }
+        });
+        out
+    }
+
+    /// Append all variable occurrences to `out`.
+    pub fn collect_vars(&self, out: &mut Vec<VarId>) {
+        match self {
+            Literal::Pos(a) | Literal::Neg(a) => {
+                for t in &a.args {
+                    t.collect_vars(out);
+                }
+            }
+            Literal::Compare { lhs, rhs, .. } => {
+                lhs.collect_vars(out);
+                rhs.collect_vars(out);
+            }
+            Literal::Choice { left, right } => {
+                for t in left.iter().chain(right) {
+                    t.collect_vars(out);
+                }
+            }
+            Literal::Least { cost, group } | Literal::Most { cost, group } => {
+                cost.collect_vars(out);
+                for t in group {
+                    t.collect_vars(out);
+                }
+            }
+            Literal::Next { var } => out.push(*var),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn cmp_op_eval_table() {
+        assert!(CmpOp::Eq.eval(Ordering::Equal));
+        assert!(!CmpOp::Eq.eval(Ordering::Less));
+        assert!(CmpOp::Ne.eval(Ordering::Greater));
+        assert!(CmpOp::Lt.eval(Ordering::Less));
+        assert!(!CmpOp::Lt.eval(Ordering::Equal));
+        assert!(CmpOp::Le.eval(Ordering::Equal));
+        assert!(CmpOp::Ge.eval(Ordering::Greater));
+        assert!(!CmpOp::Gt.eval(Ordering::Equal));
+    }
+
+    #[test]
+    fn cmp_op_flip_is_involutive_and_correct() {
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            assert_eq!(op.flip().flip(), op);
+        }
+        assert_eq!(CmpOp::Lt.flip(), CmpOp::Gt);
+        assert_eq!(CmpOp::Le.flip(), CmpOp::Ge);
+    }
+
+    #[test]
+    fn literal_vars_cover_choice_tuples() {
+        let l = Literal::Choice {
+            left: vec![Term::var(3)],
+            right: vec![Term::var(1), Term::var(3)],
+        };
+        assert_eq!(l.vars(), vec![VarId(3), VarId(1)]);
+    }
+
+    #[test]
+    fn atom_vars_dedup() {
+        let a = Atom::new("g", vec![Term::var(0), Term::var(1), Term::var(0)]);
+        assert_eq!(a.vars(), vec![VarId(0), VarId(1)]);
+        assert!(!a.is_ground());
+    }
+
+    #[test]
+    fn meta_classification() {
+        assert!(Literal::Next { var: VarId(0) }.is_meta());
+        assert!(!Literal::pos("g", vec![]).is_meta());
+    }
+}

@@ -1,0 +1,238 @@
+//! Programs: rule collections plus program-level validation.
+
+use std::collections::BTreeMap;
+
+use crate::error::AstError;
+use crate::literal::{Atom, Literal};
+use crate::rule::Rule;
+use crate::symbol::Symbol;
+use crate::value::Value;
+
+/// A program: an ordered list of rules (facts included as body-less
+/// rules). EDB facts may also be supplied separately at evaluation time;
+/// `gbc-engine` merges both.
+#[derive(Clone, Default, PartialEq)]
+pub struct Program {
+    /// Rules in source order.
+    pub rules: Vec<Rule>,
+}
+
+impl Program {
+    /// Empty program.
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// Build from rules.
+    pub fn from_rules(rules: Vec<Rule>) -> Program {
+        Program { rules }
+    }
+
+    /// Append a rule.
+    pub fn push(&mut self, rule: Rule) {
+        self.rules.push(rule);
+    }
+
+    /// Append a ground fact `pred(args)`.
+    pub fn push_fact(&mut self, pred: impl Into<Symbol>, args: Vec<Value>) {
+        let atom = Atom::new(
+            pred,
+            args.into_iter().map(crate::term::Term::Const).collect(),
+        );
+        self.rules.push(Rule::fact(atom));
+    }
+
+    /// Rules that are not facts.
+    pub fn proper_rules(&self) -> impl Iterator<Item = &Rule> {
+        self.rules.iter().filter(|r| !r.is_fact())
+    }
+
+    /// Facts only.
+    pub fn facts(&self) -> impl Iterator<Item = &Rule> {
+        self.rules.iter().filter(|r| r.is_fact())
+    }
+
+    /// Every predicate with its arity, in name order.
+    ///
+    /// Returns an error on inconsistent arity.
+    pub fn signature(&self) -> Result<BTreeMap<Symbol, usize>, AstError> {
+        let mut sig: BTreeMap<Symbol, usize> = BTreeMap::new();
+        let mut check = |pred: Symbol, arity: usize| -> Result<(), AstError> {
+            match sig.get(&pred) {
+                Some(&a) if a != arity => Err(AstError::ArityMismatch {
+                    pred: pred.as_str().to_owned(),
+                    expected: a,
+                    found: arity,
+                }),
+                _ => {
+                    sig.insert(pred, arity);
+                    Ok(())
+                }
+            }
+        };
+        for r in &self.rules {
+            check(r.head.pred, r.head.arity())?;
+            for l in &r.body {
+                if let Literal::Pos(a) | Literal::Neg(a) = l {
+                    check(a.pred, a.arity())?;
+                }
+            }
+        }
+        Ok(sig)
+    }
+
+    /// Predicates that appear in some rule head (intensional + facts).
+    pub fn head_predicates(&self) -> Vec<Symbol> {
+        let mut preds: Vec<Symbol> = self.rules.iter().map(|r| r.head.pred).collect();
+        preds.sort();
+        preds.dedup();
+        preds
+    }
+
+    /// Predicates defined only by facts or never defined (extensional).
+    pub fn edb_predicates(&self) -> Vec<Symbol> {
+        let idb: Vec<Symbol> = self
+            .rules
+            .iter()
+            .filter(|r| !r.is_fact())
+            .map(|r| r.head.pred)
+            .collect();
+        let mut edb: Vec<Symbol> = Vec::new();
+        for r in &self.rules {
+            for l in &r.body {
+                if let Literal::Pos(a) | Literal::Neg(a) = l {
+                    if !idb.contains(&a.pred) && !edb.contains(&a.pred) {
+                        edb.push(a.pred);
+                    }
+                }
+            }
+            if r.is_fact() && !idb.contains(&r.head.pred) && !edb.contains(&r.head.pred) {
+                edb.push(r.head.pred);
+            }
+        }
+        edb.sort();
+        edb
+    }
+
+    /// Full static validation: arity consistency, fact groundness, rule
+    /// safety, and `next`-goal well-formedness (at most one per rule;
+    /// the stage variable must appear in the head).
+    pub fn validate(&self) -> Result<(), AstError> {
+        self.signature()?;
+        for r in &self.rules {
+            if r.is_fact() && !r.head.is_ground() {
+                return Err(AstError::NonGroundFact { rule: r.to_string() });
+            }
+            r.check_safety()?;
+            let next_vars: Vec<_> = r
+                .body
+                .iter()
+                .filter_map(|l| match l {
+                    Literal::Next { var } => Some(*var),
+                    _ => None,
+                })
+                .collect();
+            if next_vars.len() > 1 {
+                return Err(AstError::MultipleNext { rule: r.to_string() });
+            }
+            if let Some(v) = next_vars.first() {
+                let head_has = {
+                    let mut hv = Vec::new();
+                    for t in &r.head.args {
+                        t.collect_vars(&mut hv);
+                    }
+                    hv.contains(v)
+                };
+                if !head_has {
+                    return Err(AstError::MalformedNext {
+                        rule: r.to_string(),
+                        detail: "stage variable must appear in the rule head".into(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Concatenate two programs (used by the rewriting passes).
+    pub fn extend(&mut self, other: Program) {
+        self.rules.extend(other.rules);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{Term, VarId};
+
+    #[test]
+    fn signature_collects_arities() {
+        let mut p = Program::new();
+        p.push_fact("g", vec![Value::sym("a"), Value::sym("b"), Value::int(1)]);
+        p.push(Rule::new(
+            Atom::new("reach", vec![Term::var(0)]),
+            vec![Literal::pos("g", vec![Term::var(0), Term::var(1), Term::var(2)])],
+            vec!["X".into(), "Y".into(), "C".into()],
+        ));
+        let sig = p.signature().unwrap();
+        assert_eq!(sig[&Symbol::intern("g")], 3);
+        assert_eq!(sig[&Symbol::intern("reach")], 1);
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected() {
+        let mut p = Program::new();
+        p.push_fact("g", vec![Value::sym("a")]);
+        p.push_fact("g", vec![Value::sym("a"), Value::sym("b")]);
+        assert!(matches!(p.signature(), Err(AstError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn edb_is_what_never_appears_as_rule_head() {
+        let mut p = Program::new();
+        p.push(Rule::new(
+            Atom::new("tc", vec![Term::var(0), Term::var(1)]),
+            vec![Literal::pos("e", vec![Term::var(0), Term::var(1)])],
+            vec!["X".into(), "Y".into()],
+        ));
+        assert_eq!(p.edb_predicates(), vec![Symbol::intern("e")]);
+        assert_eq!(p.head_predicates(), vec![Symbol::intern("tc")]);
+    }
+
+    #[test]
+    fn validate_rejects_nonground_fact() {
+        let p = Program::from_rules(vec![Rule {
+            head: Atom::new("g", vec![Term::var(0)]),
+            body: vec![],
+            var_names: vec!["X".into()],
+        }]);
+        assert!(matches!(p.validate(), Err(AstError::NonGroundFact { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_next_var_missing_from_head() {
+        // p(X) <- next(I), q(X).
+        let p = Program::from_rules(vec![Rule::new(
+            Atom::new("p", vec![Term::var(0)]),
+            vec![
+                Literal::Next { var: VarId(1) },
+                Literal::pos("q", vec![Term::var(0)]),
+            ],
+            vec!["X".into(), "I".into()],
+        )]);
+        assert!(matches!(p.validate(), Err(AstError::MalformedNext { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_two_next_goals() {
+        let p = Program::from_rules(vec![Rule::new(
+            Atom::new("p", vec![Term::var(0), Term::var(1)]),
+            vec![
+                Literal::Next { var: VarId(0) },
+                Literal::Next { var: VarId(1) },
+            ],
+            vec!["I".into(), "J".into()],
+        )]);
+        assert!(matches!(p.validate(), Err(AstError::MultipleNext { .. })));
+    }
+}

@@ -1,0 +1,256 @@
+//! Rules and their static well-formedness (safety / range restriction).
+
+use crate::error::AstError;
+use crate::literal::{Atom, CmpOp, Literal};
+use crate::term::{Expr, Term, VarId};
+
+/// A rule `head ← body`. Facts are rules with an empty body and a
+/// ground head.
+///
+/// Variables are rule-local dense indices ([`VarId`]); their surface
+/// names live in [`Rule::var_names`] so that diagnostics and the
+/// pretty-printer can show `X`, `Crs`, `I1` instead of `_v0`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// Head atom.
+    pub head: Atom,
+    /// Body literals, in source order (order matters for evaluation of
+    /// assignment goals, not for semantics).
+    pub body: Vec<Literal>,
+    /// Surface names for `VarId(0) .. VarId(var_names.len())`.
+    pub var_names: Vec<String>,
+}
+
+impl Rule {
+    /// Build a rule, taking ownership of its parts.
+    pub fn new(head: Atom, body: Vec<Literal>, var_names: Vec<String>) -> Rule {
+        Rule { head, body, var_names }
+    }
+
+    /// Build a fact (ground head, empty body).
+    pub fn fact(head: Atom) -> Rule {
+        Rule { head, body: Vec::new(), var_names: Vec::new() }
+    }
+
+    /// True when the rule is a fact.
+    pub fn is_fact(&self) -> bool {
+        self.body.is_empty()
+    }
+
+    /// Number of distinct variables.
+    pub fn num_vars(&self) -> usize {
+        self.var_names.len()
+    }
+
+    /// The surface name of a variable.
+    pub fn var_name(&self, v: VarId) -> &str {
+        self.var_names
+            .get(v.index())
+            .map(String::as_str)
+            .unwrap_or("_?")
+    }
+
+    /// True if any body literal is a `choice` goal.
+    pub fn has_choice(&self) -> bool {
+        self.body.iter().any(|l| matches!(l, Literal::Choice { .. }))
+    }
+
+    /// True if any body literal is a `next` goal.
+    pub fn has_next(&self) -> bool {
+        self.body.iter().any(|l| matches!(l, Literal::Next { .. }))
+    }
+
+    /// True if any body literal is `least` or `most`.
+    pub fn has_extrema(&self) -> bool {
+        self.body
+            .iter()
+            .any(|l| matches!(l, Literal::Least { .. } | Literal::Most { .. }))
+    }
+
+    /// True if any body literal is a negated atom.
+    pub fn has_negation(&self) -> bool {
+        self.body.iter().any(|l| matches!(l, Literal::Neg(_)))
+    }
+
+    /// The positive body atoms, in order.
+    pub fn positive_atoms(&self) -> impl Iterator<Item = &Atom> {
+        self.body.iter().filter_map(|l| match l {
+            Literal::Pos(a) => Some(a),
+            _ => None,
+        })
+    }
+
+    /// The negated body atoms, in order.
+    pub fn negated_atoms(&self) -> impl Iterator<Item = &Atom> {
+        self.body.iter().filter_map(|l| match l {
+            Literal::Neg(a) => Some(a),
+            _ => None,
+        })
+    }
+
+    /// Safety (range restriction) in the LDL sense.
+    ///
+    /// Every variable must be *limited*: bound by a positive body atom,
+    /// or by an `=` goal whose other side is an expression over limited
+    /// variables (evaluated left-to-right fixpoint, so `I = I1 + 1, J = I`
+    /// is fine in any order), or be the `next` stage variable (which the
+    /// expansion grounds via `p(_, I1), I = I1 + 1`).
+    ///
+    /// Variables appearing *only* in negated atoms, comparisons, `choice`
+    /// or extrema goals are unsafe.
+    pub fn check_safety(&self) -> Result<(), AstError> {
+        let mut limited = vec![false; self.num_vars()];
+
+        // Positive atoms and `next` limit their variables.
+        for lit in &self.body {
+            match lit {
+                Literal::Pos(a) => {
+                    for v in a.vars() {
+                        limited[v.index()] = true;
+                    }
+                }
+                Literal::Next { var } => limited[var.index()] = true,
+                _ => {}
+            }
+        }
+
+        // Equality goals propagate limitedness: iterate to fixpoint.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for lit in &self.body {
+                let Literal::Compare { op: CmpOp::Eq, lhs, rhs } = lit else {
+                    continue;
+                };
+                changed |= propagate_eq(lhs, rhs, &mut limited);
+                changed |= propagate_eq(rhs, lhs, &mut limited);
+            }
+        }
+
+        // Every variable anywhere in the rule must now be limited.
+        let mut all_vars = Vec::new();
+        for t in &self.head.args {
+            t.collect_vars(&mut all_vars);
+        }
+        for l in &self.body {
+            l.collect_vars(&mut all_vars);
+        }
+        for v in all_vars {
+            if !limited[v.index()] {
+                return Err(AstError::UnsafeVariable {
+                    rule: self.to_string(),
+                    var: self.var_name(v).to_owned(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// If `target` is a bare variable and every variable of `source` is
+/// limited, mark `target`'s variable limited. Returns true on change.
+fn propagate_eq(target: &Expr, source: &Expr, limited: &mut [bool]) -> bool {
+    let Some(Term::Var(v)) = target.as_bare_term() else {
+        return false;
+    };
+    if limited[v.index()] {
+        return false;
+    }
+    if source.vars().iter().all(|u| limited[u.index()]) {
+        limited[v.index()] = true;
+        true
+    } else {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::ArithOp;
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("V{i}")).collect()
+    }
+
+    #[test]
+    fn fact_is_safe() {
+        let r = Rule::fact(Atom::new("g", vec![Term::sym("a"), Term::int(1)]));
+        assert!(r.is_fact());
+        assert!(r.check_safety().is_ok());
+    }
+
+    #[test]
+    fn positive_atom_limits_head_vars() {
+        // p(X) <- q(X).
+        let r = Rule::new(
+            Atom::new("p", vec![Term::var(0)]),
+            vec![Literal::pos("q", vec![Term::var(0)])],
+            names(1),
+        );
+        assert!(r.check_safety().is_ok());
+    }
+
+    #[test]
+    fn head_var_without_binding_is_unsafe() {
+        // p(X, Y) <- q(X).
+        let r = Rule::new(
+            Atom::new("p", vec![Term::var(0), Term::var(1)]),
+            vec![Literal::pos("q", vec![Term::var(0)])],
+            names(2),
+        );
+        assert!(matches!(
+            r.check_safety(),
+            Err(AstError::UnsafeVariable { .. })
+        ));
+    }
+
+    #[test]
+    fn assignment_chain_limits_variables_in_any_order() {
+        // p(J) <- J = I + 1, I = K, q(K).
+        let r = Rule::new(
+            Atom::new("p", vec![Term::var(0)]),
+            vec![
+                Literal::cmp(
+                    CmpOp::Eq,
+                    Expr::var(0),
+                    Expr::binary(ArithOp::Add, Expr::var(1), Expr::int(1)),
+                ),
+                Literal::cmp(CmpOp::Eq, Expr::var(1), Expr::var(2)),
+                Literal::pos("q", vec![Term::var(2)]),
+            ],
+            names(3),
+        );
+        assert!(r.check_safety().is_ok());
+    }
+
+    #[test]
+    fn negated_only_variable_is_unsafe() {
+        // p(X) <- q(X), not r(Y).
+        let r = Rule::new(
+            Atom::new("p", vec![Term::var(0)]),
+            vec![
+                Literal::pos("q", vec![Term::var(0)]),
+                Literal::neg("r", vec![Term::var(1)]),
+            ],
+            names(2),
+        );
+        assert!(r.check_safety().is_err());
+    }
+
+    #[test]
+    fn next_limits_the_stage_variable() {
+        // st(X, I) <- next(I), g(X).
+        let r = Rule::new(
+            Atom::new("st", vec![Term::var(0), Term::var(1)]),
+            vec![
+                Literal::Next { var: VarId(1) },
+                Literal::pos("g", vec![Term::var(0)]),
+            ],
+            names(2),
+        );
+        assert!(r.check_safety().is_ok());
+        assert!(r.has_next());
+        assert!(!r.has_choice());
+    }
+}

@@ -1,0 +1,218 @@
+//! Ground values of the (reduced) Herbrand universe.
+//!
+//! The paper's programs range over integers (costs, grades, stage
+//! numbers), symbolic constants (`a`, `engl`, `nil`) and — in the
+//! Huffman program of Example 6 — terms built from the tree functor
+//! `t(X, Y)`. [`Value`] covers all of these.
+//!
+//! The total order on values serves two purposes: it is the order used
+//! by `least`/`most` cost arguments (integers compare numerically), and
+//! it provides deterministic tie-breaking everywhere a "pick any one"
+//! step occurs in a deterministic chooser.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::symbol::Symbol;
+
+/// A ground value.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// The distinguished constant `nil` used by the paper's exit rules
+    /// (e.g. `st(nil, a, 0, 0)`).
+    Nil,
+    /// 64-bit integer: costs, grades, stage numbers.
+    Int(i64),
+    /// Interned symbolic constant (`a`, `engl`, `mark`, …).
+    Sym(Symbol),
+    /// String literal. Rarely used by the paper's programs but part of
+    /// any practical EDB loading path.
+    Str(Arc<str>),
+    /// Compound term `f(v1, …, vk)` — e.g. the Huffman tree constructor
+    /// `t(left, right)`.
+    Func(Symbol, Arc<[Value]>),
+}
+
+impl Value {
+    /// Shorthand for an interned symbolic constant.
+    pub fn sym(s: &str) -> Value {
+        Value::Sym(Symbol::intern(s))
+    }
+
+    /// Shorthand for an integer.
+    pub fn int(i: i64) -> Value {
+        Value::Int(i)
+    }
+
+    /// Shorthand for a string.
+    pub fn str(s: &str) -> Value {
+        Value::Str(Arc::from(s))
+    }
+
+    /// Shorthand for a compound term.
+    pub fn func(name: &str, args: Vec<Value>) -> Value {
+        Value::Func(Symbol::intern(name), Arc::from(args))
+    }
+
+    /// The integer payload, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// True for `Int`.
+    pub fn is_int(&self) -> bool {
+        matches!(self, Value::Int(_))
+    }
+
+    /// Rank used to order values of different shapes. Within a shape the
+    /// natural order applies.
+    fn shape_rank(&self) -> u8 {
+        match self {
+            Value::Nil => 0,
+            Value::Int(_) => 1,
+            Value::Sym(_) => 2,
+            Value::Str(_) => 3,
+            Value::Func(..) => 4,
+        }
+    }
+
+    /// Structural size of the term (1 for atoms, 1 + sum for functors).
+    /// Useful for tests and for bounding recursion in property tests.
+    pub fn size(&self) -> usize {
+        match self {
+            Value::Func(_, args) => 1 + args.iter().map(Value::size).sum::<usize>(),
+            _ => 1,
+        }
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Nil, Nil) => Ordering::Equal,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Sym(a), Sym(b)) => a.cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Func(f, fa), Func(g, ga)) => f
+                .cmp(g)
+                .then_with(|| fa.len().cmp(&ga.len()))
+                .then_with(|| fa.iter().cmp(ga.iter())),
+            _ => self.shape_rank().cmp(&other.shape_rank()),
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Nil => f.write_str("nil"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Sym(s) => write!(f, "{s}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Func(name, args) => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::sym(s)
+    }
+}
+
+impl From<Symbol> for Value {
+    fn from(s: Symbol) -> Self {
+        Value::Sym(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_order_numerically() {
+        assert!(Value::int(-3) < Value::int(0));
+        assert!(Value::int(2) < Value::int(10));
+    }
+
+    #[test]
+    fn nil_sorts_before_everything() {
+        assert!(Value::Nil < Value::int(i64::MIN));
+        assert!(Value::Nil < Value::sym("a"));
+        assert!(Value::Nil < Value::func("t", vec![]));
+    }
+
+    #[test]
+    fn functor_terms_order_structurally() {
+        let ab = Value::func("t", vec![Value::sym("a"), Value::sym("b")]);
+        let ac = Value::func("t", vec![Value::sym("a"), Value::sym("c")]);
+        assert!(ab < ac);
+        // Shorter argument list first when functor names match.
+        let a = Value::func("t", vec![Value::sym("z")]);
+        assert!(a < ab);
+    }
+
+    #[test]
+    fn display_round_trips_the_paper_shapes() {
+        let tree = Value::func(
+            "t",
+            vec![Value::sym("a"), Value::func("t", vec![Value::sym("b"), Value::sym("c")])],
+        );
+        assert_eq!(tree.to_string(), "t(a,t(b,c))");
+        assert_eq!(Value::Nil.to_string(), "nil");
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let tree = Value::func("t", vec![Value::sym("a"), Value::sym("b")]);
+        assert_eq!(tree.size(), 3);
+        assert_eq!(Value::int(7).size(), 1);
+    }
+
+    #[test]
+    fn equal_values_compare_equal_and_hash_equal() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let a = Value::func("t", vec![Value::int(1)]);
+        let b = Value::func("t", vec![Value::int(1)]);
+        assert_eq!(a, b);
+        let mut ha = DefaultHasher::new();
+        let mut hb = DefaultHasher::new();
+        a.hash(&mut ha);
+        b.hash(&mut hb);
+        assert_eq!(ha.finish(), hb.finish());
+    }
+}

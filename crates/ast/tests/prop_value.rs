@@ -1,0 +1,82 @@
+//! Property tests for the value order and the term model — the total
+//! order on [`Value`] underpins every priority queue in the system, so
+//! its lawfulness is load-bearing.
+
+use gbc_ast::{Symbol, Term, Value};
+use proptest::prelude::*;
+
+/// A strategy over values, including nested functor terms.
+fn value_strategy() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Nil),
+        any::<i64>().prop_map(Value::Int),
+        "[a-z][a-z0-9_]{0,6}".prop_map(|s| Value::sym(&s)),
+        "[ -~]{0,8}".prop_map(|s| Value::str(&s)),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        (prop_oneof![Just("t"), Just("f"), Just("pair")], prop::collection::vec(inner, 0..3))
+            .prop_map(|(name, args)| Value::func(name, args))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Total order laws: antisymmetry and transitivity via sort
+    /// stability, reflexivity of equality.
+    #[test]
+    fn ordering_is_total_and_consistent(a in value_strategy(), b in value_strategy(), c in value_strategy()) {
+        use std::cmp::Ordering;
+        // Antisymmetry.
+        match a.cmp(&b) {
+            Ordering::Less => prop_assert_eq!(b.cmp(&a), Ordering::Greater),
+            Ordering::Greater => prop_assert_eq!(b.cmp(&a), Ordering::Less),
+            Ordering::Equal => {
+                prop_assert_eq!(&a, &b);
+                prop_assert_eq!(b.cmp(&a), Ordering::Equal);
+            }
+        }
+        // Transitivity.
+        if a <= b && b <= c {
+            prop_assert!(a <= c);
+        }
+        // Reflexivity.
+        prop_assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+
+    /// Equal values hash equally.
+    #[test]
+    fn eq_implies_hash_eq(a in value_strategy()) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let b = a.clone();
+        let mut ha = DefaultHasher::new();
+        let mut hb = DefaultHasher::new();
+        a.hash(&mut ha);
+        b.hash(&mut hb);
+        prop_assert_eq!(ha.finish(), hb.finish());
+    }
+
+    /// Ground terms convert to values and back structurally: a ground
+    /// `Term` built from a `Value` evaluates to that value.
+    #[test]
+    fn ground_term_value_round_trip(v in value_strategy()) {
+        fn to_term(v: &Value) -> Term {
+            match v {
+                Value::Func(f, args) => Term::Func(*f, args.iter().map(to_term).collect()),
+                other => Term::Const(other.clone()),
+            }
+        }
+        let t = to_term(&v);
+        prop_assert!(t.is_ground());
+        prop_assert_eq!(t.as_value(), Some(v));
+    }
+
+    /// Symbol interning round-trips arbitrary identifiers.
+    #[test]
+    fn symbol_round_trip(s in "[a-z][a-z0-9_]{0,16}") {
+        let sym = Symbol::intern(&s);
+        prop_assert_eq!(sym.as_str(), s.as_str());
+        prop_assert_eq!(Symbol::intern(&s), sym);
+    }
+}

@@ -1,0 +1,131 @@
+//! Classical Huffman coding (Example 6's comparator): repeatedly merge
+//! the two cheapest trees with a binary heap. `O(k log k)` for `k`
+//! symbols.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A Huffman tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tree {
+    /// A symbol with its weight.
+    Leaf { symbol: u32, weight: i64 },
+    /// An internal node; `weight` = sum of the children's weights.
+    Node { weight: i64, left: Box<Tree>, right: Box<Tree> },
+}
+
+impl Tree {
+    /// The tree's total weight.
+    pub fn weight(&self) -> i64 {
+        match self {
+            Tree::Leaf { weight, .. } | Tree::Node { weight, .. } => *weight,
+        }
+    }
+
+    /// Code lengths per symbol: `(symbol, depth)`.
+    pub fn code_lengths(&self) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        self.walk(0, &mut out);
+        out.sort_unstable();
+        out
+    }
+
+    fn walk(&self, depth: u32, out: &mut Vec<(u32, u32)>) {
+        match self {
+            Tree::Leaf { symbol, .. } => out.push((*symbol, depth)),
+            Tree::Node { left, right, .. } => {
+                left.walk(depth + 1, out);
+                right.walk(depth + 1, out);
+            }
+        }
+    }
+}
+
+/// Build the Huffman tree for `weights[i]` = weight of symbol `i`.
+/// Returns `None` for an empty alphabet. Ties break deterministically
+/// on (weight, insertion order), so repeated runs agree.
+pub fn huffman_tree(weights: &[i64]) -> Option<Tree> {
+    // Heap entries: Reverse((weight, tiebreak)); payloads in a slab.
+    let mut slab: Vec<Option<Tree>> = Vec::with_capacity(weights.len() * 2);
+    let mut heap: BinaryHeap<Reverse<(i64, usize)>> = BinaryHeap::new();
+    for (i, &w) in weights.iter().enumerate() {
+        slab.push(Some(Tree::Leaf { symbol: i as u32, weight: w }));
+        heap.push(Reverse((w, i)));
+    }
+    if slab.is_empty() {
+        return None;
+    }
+    while heap.len() > 1 {
+        let Reverse((wa, ia)) = heap.pop().expect("len > 1");
+        let Reverse((wb, ib)) = heap.pop().expect("len > 1");
+        let left = slab[ia].take().expect("live entry");
+        let right = slab[ib].take().expect("live entry");
+        let node = Tree::Node { weight: wa + wb, left: Box::new(left), right: Box::new(right) };
+        let id = slab.len();
+        heap.push(Reverse((wa + wb, id)));
+        slab.push(Some(node));
+    }
+    let Reverse((_, root)) = heap.pop().expect("nonempty");
+    slab[root].take()
+}
+
+/// Weighted path length Σ weight(s)·depth(s) — the cost Huffman
+/// minimises; equal-WPL trees are equally optimal.
+pub fn weighted_path_length(tree: &Tree, weights: &[i64]) -> i64 {
+    tree.code_lengths()
+        .iter()
+        .map(|&(sym, depth)| weights[sym as usize] * i64::from(depth))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_example() {
+        // Weights 5,9,12,13,16,45 → WPL 224 (classic CLRS example).
+        let w = [5, 9, 12, 13, 16, 45];
+        let t = huffman_tree(&w).unwrap();
+        assert_eq!(t.weight(), 100);
+        assert_eq!(weighted_path_length(&t, &w), 224);
+    }
+
+    #[test]
+    fn two_symbols_get_one_bit_each() {
+        let t = huffman_tree(&[1, 1]).unwrap();
+        assert_eq!(t.code_lengths(), vec![(0, 1), (1, 1)]);
+    }
+
+    #[test]
+    fn single_symbol_is_depth_zero() {
+        let t = huffman_tree(&[7]).unwrap();
+        assert_eq!(t.code_lengths(), vec![(0, 0)]);
+        assert_eq!(weighted_path_length(&t, &[7]), 0);
+    }
+
+    #[test]
+    fn empty_alphabet_is_none() {
+        assert!(huffman_tree(&[]).is_none());
+    }
+
+    #[test]
+    fn kraft_equality_holds() {
+        // Huffman codes are complete: Σ 2^-len = 1.
+        let w = [3, 1, 4, 1, 5, 9, 2, 6];
+        let t = huffman_tree(&w).unwrap();
+        let sum: f64 = t
+            .code_lengths()
+            .iter()
+            .map(|&(_, d)| 0.5f64.powi(d as i32))
+            .sum();
+        assert!((sum - 1.0).abs() < 1e-9, "kraft sum {sum}");
+    }
+
+    #[test]
+    fn uniform_weights_give_balanced_depths() {
+        let w = [1; 8];
+        let t = huffman_tree(&w).unwrap();
+        assert!(t.code_lengths().iter().all(|&(_, d)| d == 3));
+    }
+}

@@ -1,0 +1,69 @@
+//! # gbc-baselines
+//!
+//! Textbook procedural implementations of the algorithms whose
+//! declarative formulations *Greedy by Choice* (PODS 1992) presents.
+//! Section 6 compares its fixpoint implementations against "the
+//! classical complexity"; these are the comparators:
+//!
+//! * [`prim`] — Prim's MST with a binary heap, `O(e log n)` (Example 4's
+//!   comparator);
+//! * [`kruskal`] — Kruskal's MST with union-find (`O(e log e)`), plus
+//!   the *relabel* variant that mirrors the paper's `O(e·n)` declarative
+//!   cost analysis of Example 8;
+//! * [`sorts`] — heap-sort (what the fixpoint "actually runs",
+//!   Section 6) and insertion sort (what Example 5 "looks like");
+//! * [`matching`] — greedy min-cost maximal matching by sorted edges
+//!   (Example 7's comparator);
+//! * [`tsp`] — greedy-edge chain and nearest-neighbour Hamiltonian-path
+//!   heuristics (the "computation of sub-optimals");
+//! * [`huffman`] — classical heap-based Huffman tree construction
+//!   (Example 6's comparator);
+//! * [`unionfind`] — disjoint sets with union by rank and path
+//!   compression.
+//!
+//! All functions are deterministic: ties break on the full edge/item
+//! tuple, matching the deterministic tie-breaking of the `gbc-core`
+//! executor so that cross-validation tests can compare outputs exactly
+//! where the algorithms are deterministic, and compare *costs* where
+//! only the optimum is unique.
+
+pub mod huffman;
+pub mod kruskal;
+pub mod matching;
+pub mod prim;
+pub mod scheduling;
+pub mod sorts;
+pub mod tsp;
+pub mod unionfind;
+
+/// A weighted directed edge `(from, to, cost)` over dense node ids.
+/// Undirected graphs are represented by listing both orientations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Edge {
+    pub from: u32,
+    pub to: u32,
+    pub cost: i64,
+}
+
+impl Edge {
+    /// Construct an edge.
+    pub fn new(from: u32, to: u32, cost: i64) -> Edge {
+        Edge { from, to, cost }
+    }
+}
+
+/// Sum of edge costs.
+pub fn total_cost(edges: &[Edge]) -> i64 {
+    edges.iter().map(|e| e.cost).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_cost_sums() {
+        let es = [Edge::new(0, 1, 3), Edge::new(1, 2, 4)];
+        assert_eq!(total_cost(&es), 7);
+    }
+}

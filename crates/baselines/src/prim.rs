@@ -1,0 +1,105 @@
+//! Classical Prim with a binary heap — `O(e log n)` (the comparator in
+//! the paper's "Prim's Algorithm: Complexity of Example 4").
+
+use std::collections::BinaryHeap;
+use std::cmp::Reverse;
+
+use crate::Edge;
+
+/// Minimum spanning tree of the connected component of `source`,
+/// returned as tree edges `(parent, child, cost)` in insertion order.
+///
+/// `n` is the node count; `edges` lists *both* orientations of each
+/// undirected edge. Ties break on `(cost, to, from)`, matching the
+/// row-order tie-breaking of the declarative executor.
+pub fn prim_mst(n: usize, edges: &[Edge], source: u32) -> Vec<Edge> {
+    // Adjacency lists.
+    let mut adj: Vec<Vec<(u32, i64)>> = vec![Vec::new(); n];
+    for e in edges {
+        adj[e.from as usize].push((e.to, e.cost));
+    }
+
+    let mut in_tree = vec![false; n];
+    let mut tree = Vec::new();
+    // Heap of Reverse((cost, to, from)).
+    let mut heap: BinaryHeap<Reverse<(i64, u32, u32)>> = BinaryHeap::new();
+
+    in_tree[source as usize] = true;
+    for &(to, c) in &adj[source as usize] {
+        heap.push(Reverse((c, to, source)));
+    }
+    while let Some(Reverse((c, to, from))) = heap.pop() {
+        if in_tree[to as usize] {
+            continue;
+        }
+        in_tree[to as usize] = true;
+        tree.push(Edge::new(from, to, c));
+        for &(next, nc) in &adj[to as usize] {
+            if !in_tree[next as usize] {
+                heap.push(Reverse((nc, next, to)));
+            }
+        }
+    }
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::total_cost;
+
+    /// Both orientations of an undirected edge list.
+    pub(crate) fn undirected(pairs: &[(u32, u32, i64)]) -> Vec<Edge> {
+        pairs
+            .iter()
+            .flat_map(|&(a, b, c)| [Edge::new(a, b, c), Edge::new(b, a, c)])
+            .collect()
+    }
+
+    #[test]
+    fn square_graph_mst() {
+        // a-b:1, b-c:2, c-d:3, a-d:4 → MST cost 6.
+        let edges = undirected(&[(0, 1, 1), (1, 2, 2), (2, 3, 3), (0, 3, 4)]);
+        let t = prim_mst(4, &edges, 0);
+        assert_eq!(t.len(), 3);
+        assert_eq!(total_cost(&t), 6);
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let t = prim_mst(1, &[], 0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn disconnected_component_is_ignored() {
+        let edges = undirected(&[(0, 1, 1), (2, 3, 1)]);
+        let t = prim_mst(4, &edges, 0);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0], Edge::new(0, 1, 1));
+    }
+
+    #[test]
+    fn dense_graph_matches_known_mst() {
+        // Classic CLRS-style example.
+        let edges = undirected(&[
+            (0, 1, 4),
+            (0, 7, 8),
+            (1, 2, 8),
+            (1, 7, 11),
+            (2, 3, 7),
+            (2, 8, 2),
+            (2, 5, 4),
+            (3, 4, 9),
+            (3, 5, 14),
+            (4, 5, 10),
+            (5, 6, 2),
+            (6, 7, 1),
+            (6, 8, 6),
+            (7, 8, 7),
+        ]);
+        let t = prim_mst(9, &edges, 0);
+        assert_eq!(t.len(), 8);
+        assert_eq!(total_cost(&t), 37);
+    }
+}

@@ -1,0 +1,155 @@
+//! Job sequencing with deadlines — one of the "several scheduling
+//! algorithms" the paper cites among its greedy examples (Section 5,
+//! last paragraph). A unit-time job `(id, profit, deadline)` may run in
+//! any slot `1..=deadline`; at most one job per slot; maximise total
+//! profit. The greedy solution — jobs by descending profit, each into
+//! its **latest** free slot — is optimal (the feasible sets form a
+//! matroid, which ties into the paper's Section 7 discussion).
+
+/// A unit-time job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Job {
+    pub id: u32,
+    pub profit: i64,
+    /// Latest slot (1-based) the job may occupy.
+    pub deadline: u32,
+}
+
+impl Job {
+    /// Build a job.
+    pub fn new(id: u32, profit: i64, deadline: u32) -> Job {
+        Job { id, profit, deadline }
+    }
+}
+
+/// Greedy job sequencing: returns `(assignments, total_profit)` with
+/// assignments as `(job id, slot)` pairs in assignment order. Ties on
+/// profit break by ascending id.
+pub fn job_sequencing(jobs: &[Job]) -> (Vec<(u32, u32)>, i64) {
+    let max_slot = jobs.iter().map(|j| j.deadline).max().unwrap_or(0) as usize;
+    let mut order: Vec<&Job> = jobs.iter().collect();
+    order.sort_by_key(|j| (std::cmp::Reverse(j.profit), j.id));
+    let mut slot_taken = vec![false; max_slot + 1]; // 1-based
+    let mut out = Vec::new();
+    let mut profit = 0;
+    for job in order {
+        // Latest free slot ≤ deadline.
+        let mut s = job.deadline as usize;
+        while s >= 1 && slot_taken[s] {
+            s -= 1;
+        }
+        if s >= 1 {
+            slot_taken[s] = true;
+            out.push((job.id, s as u32));
+            profit += job.profit;
+        }
+    }
+    (out, profit)
+}
+
+/// Exhaustive optimum for small instances (≤ ~16 jobs): the best total
+/// profit over all feasible subsets. A subset is feasible iff, after
+/// sorting by deadline, the i-th job's deadline is ≥ i+1.
+pub fn optimal_profit_bruteforce(jobs: &[Job]) -> i64 {
+    assert!(jobs.len() <= 20, "exponential checker");
+    let mut best = 0;
+    for mask in 0u32..(1 << jobs.len()) {
+        let mut chosen: Vec<&Job> = jobs
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| mask & (1 << i) != 0)
+            .map(|(_, j)| j)
+            .collect();
+        chosen.sort_by_key(|j| j.deadline);
+        let feasible = chosen
+            .iter()
+            .enumerate()
+            .all(|(i, j)| j.deadline as usize >= i + 1);
+        if feasible {
+            best = best.max(chosen.iter().map(|j| j.profit).sum());
+        }
+    }
+    best
+}
+
+/// Is an assignment valid (slots distinct, within deadlines, jobs
+/// distinct and real)?
+pub fn is_valid_schedule(jobs: &[Job], schedule: &[(u32, u32)]) -> bool {
+    let mut slots: Vec<u32> = schedule.iter().map(|&(_, s)| s).collect();
+    slots.sort_unstable();
+    if slots.windows(2).any(|w| w[0] == w[1]) || slots.iter().any(|&s| s == 0) {
+        return false;
+    }
+    let mut ids: Vec<u32> = schedule.iter().map(|&(j, _)| j).collect();
+    ids.sort_unstable();
+    if ids.windows(2).any(|w| w[0] == w[1]) {
+        return false;
+    }
+    schedule.iter().all(|&(id, slot)| {
+        jobs.iter()
+            .any(|j| j.id == id && slot >= 1 && slot <= j.deadline)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn classic_jobs() -> Vec<Job> {
+        // Classic example: optimal profit 60+40+20 = 127? Use the
+        // standard (a..e) instance with profits 100,19,27,25,15.
+        vec![
+            Job::new(0, 100, 2),
+            Job::new(1, 19, 1),
+            Job::new(2, 27, 2),
+            Job::new(3, 25, 1),
+            Job::new(4, 15, 3),
+        ]
+    }
+
+    #[test]
+    fn textbook_instance() {
+        let (sched, profit) = job_sequencing(&classic_jobs());
+        assert!(is_valid_schedule(&classic_jobs(), &sched));
+        // Optimal: jobs 0 (slot 2), 2 (slot 1), 4 (slot 3) = 142.
+        assert_eq!(profit, 142);
+        assert_eq!(profit, optimal_profit_bruteforce(&classic_jobs()));
+    }
+
+    #[test]
+    fn greedy_is_optimal_on_many_small_instances() {
+        // Deterministic LCG sweep.
+        let mut x: u64 = 12345;
+        let mut rand = move |m: u64| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (x >> 33) % m
+        };
+        for _ in 0..50 {
+            let n = 1 + rand(9) as usize;
+            let jobs: Vec<Job> = (0..n)
+                .map(|i| Job::new(i as u32, 1 + rand(50) as i64, 1 + rand(5) as u32))
+                .collect();
+            let (sched, profit) = job_sequencing(&jobs);
+            assert!(is_valid_schedule(&jobs, &sched));
+            assert_eq!(profit, optimal_profit_bruteforce(&jobs), "jobs: {jobs:?}");
+        }
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        assert_eq!(job_sequencing(&[]), (vec![], 0));
+        let one = [Job::new(7, 5, 1)];
+        let (sched, profit) = job_sequencing(&one);
+        assert_eq!(sched, vec![(7, 1)]);
+        assert_eq!(profit, 5);
+    }
+
+    #[test]
+    fn validity_checker_rejects_bad_schedules() {
+        let jobs = classic_jobs();
+        assert!(!is_valid_schedule(&jobs, &[(0, 1), (2, 1)]), "slot reuse");
+        assert!(!is_valid_schedule(&jobs, &[(1, 2)]), "deadline exceeded");
+        assert!(!is_valid_schedule(&jobs, &[(9, 1)]), "unknown job");
+        assert!(!is_valid_schedule(&jobs, &[(0, 1), (0, 2)]), "job reuse");
+    }
+}

@@ -1,0 +1,109 @@
+//! Sorting comparators for Example 5.
+//!
+//! The paper's observation: "although the program expresses an
+//! 'insertion sort' like algorithm, the fixpoint algorithm implements a
+//! 'heap-sort'." Both are provided so the E2 experiment can show the
+//! declarative runtime tracks [`heapsort`] (`O(n log n)`), not
+//! [`insertion_sort`] (`O(n²)`).
+
+/// In-place binary-heap sort, ascending. `O(n log n)`.
+pub fn heapsort<T: Ord>(data: &mut [T]) {
+    let n = data.len();
+    // Build a max-heap.
+    for i in (0..n / 2).rev() {
+        sift_down(data, i, n);
+    }
+    // Repeatedly move the max to the back.
+    for end in (1..n).rev() {
+        data.swap(0, end);
+        sift_down(data, 0, end);
+    }
+}
+
+fn sift_down<T: Ord>(data: &mut [T], mut root: usize, end: usize) {
+    loop {
+        let left = 2 * root + 1;
+        if left >= end {
+            return;
+        }
+        let mut biggest = left;
+        let right = left + 1;
+        if right < end && data[right] > data[left] {
+            biggest = right;
+        }
+        if data[biggest] <= data[root] {
+            return;
+        }
+        data.swap(root, biggest);
+        root = biggest;
+    }
+}
+
+/// Classic insertion sort, ascending. `O(n²)` — the shape Example 5's
+/// program *suggests*.
+pub fn insertion_sort<T: Ord>(data: &mut [T]) {
+    for i in 1..data.len() {
+        let mut j = i;
+        while j > 0 && data[j - 1] > data[j] {
+            data.swap(j - 1, j);
+            j -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heapsort_sorts() {
+        let mut v = vec![5, 3, 8, 1, 9, 2, 7, 2];
+        heapsort(&mut v);
+        assert_eq!(v, vec![1, 2, 2, 3, 5, 7, 8, 9]);
+    }
+
+    #[test]
+    fn insertion_sorts() {
+        let mut v = vec![4, 4, 1, 0, -3];
+        insertion_sort(&mut v);
+        assert_eq!(v, vec![-3, 0, 1, 4, 4]);
+    }
+
+    #[test]
+    fn edge_cases() {
+        let mut empty: Vec<i32> = vec![];
+        heapsort(&mut empty);
+        insertion_sort(&mut empty);
+        assert!(empty.is_empty());
+
+        let mut one = vec![42];
+        heapsort(&mut one);
+        assert_eq!(one, vec![42]);
+
+        let mut sorted = vec![1, 2, 3];
+        heapsort(&mut sorted);
+        assert_eq!(sorted, vec![1, 2, 3]);
+
+        let mut rev = vec![3, 2, 1];
+        heapsort(&mut rev);
+        assert_eq!(rev, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn both_agree_on_random_data() {
+        // Deterministic pseudo-random data (LCG) — no rand dependency
+        // needed at this layer.
+        let mut x: u64 = 0x2545F4914F6CDD1D;
+        let data: Vec<i64> = (0..500)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (x >> 33) as i64
+            })
+            .collect();
+        let mut a = data.clone();
+        let mut b = data;
+        heapsort(&mut a);
+        insertion_sort(&mut b);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,166 @@
+//! Greedy Hamiltonian-path heuristics — the paper's "Computation of
+//! Sub-Optimals".
+//!
+//! The declarative `tsp_chain` program starts from the globally cheapest
+//! arc, then repeatedly extends the chain's end with the cheapest arc to
+//! a node that has not yet been a source ([`greedy_chain`]).
+//! [`nearest_neighbour`] is the standard comparator heuristic starting
+//! from a fixed node.
+
+use crate::Edge;
+
+/// The paper's greedy chain on a complete directed graph: seed with the
+/// globally cheapest arc, then always extend from the chain's current
+/// end with the cheapest arc whose target is unvisited. Returns the
+/// chain's arcs; a Hamiltonian path when the graph is complete.
+pub fn greedy_chain(n: usize, edges: &[Edge]) -> Vec<Edge> {
+    if n == 0 || edges.is_empty() {
+        return Vec::new();
+    }
+    let mut adj: Vec<Vec<(i64, u32)>> = vec![Vec::new(); n];
+    for e in edges {
+        adj[e.from as usize].push((e.cost, e.to));
+    }
+    for a in &mut adj {
+        a.sort_unstable();
+    }
+
+    let seed = *edges
+        .iter()
+        .min_by_key(|e| (e.cost, e.from, e.to))
+        .expect("nonempty");
+    let mut visited = vec![false; n];
+    visited[seed.from as usize] = true;
+    visited[seed.to as usize] = true;
+    let mut chain = vec![seed];
+    let mut end = seed.to;
+    loop {
+        let next = adj[end as usize]
+            .iter()
+            .find(|&&(_, to)| !visited[to as usize])
+            .copied();
+        let Some((c, to)) = next else { break };
+        visited[to as usize] = true;
+        chain.push(Edge::new(end, to, c));
+        end = to;
+    }
+    chain
+}
+
+/// Nearest-neighbour Hamiltonian path from `start`.
+pub fn nearest_neighbour(n: usize, edges: &[Edge], start: u32) -> Vec<Edge> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut adj: Vec<Vec<(i64, u32)>> = vec![Vec::new(); n];
+    for e in edges {
+        adj[e.from as usize].push((e.cost, e.to));
+    }
+    for a in &mut adj {
+        a.sort_unstable();
+    }
+    let mut visited = vec![false; n];
+    visited[start as usize] = true;
+    let mut path = Vec::new();
+    let mut cur = start;
+    loop {
+        let next = adj[cur as usize]
+            .iter()
+            .find(|&&(_, to)| !visited[to as usize])
+            .copied();
+        let Some((c, to)) = next else { break };
+        visited[to as usize] = true;
+        path.push(Edge::new(cur, to, c));
+        cur = to;
+    }
+    path
+}
+
+/// Does `path` visit every node exactly once (a Hamiltonian path)?
+pub fn is_hamiltonian_path(n: usize, path: &[Edge]) -> bool {
+    if n == 0 {
+        return path.is_empty();
+    }
+    if path.len() + 1 != n {
+        return false;
+    }
+    if path.is_empty() {
+        return true; // single node, trivially Hamiltonian
+    }
+    let mut seen = vec![false; n];
+    seen[path[0].from as usize] = true;
+    for w in path.windows(2) {
+        if w[0].to != w[1].from {
+            return false;
+        }
+    }
+    for e in path {
+        if seen[e.to as usize] {
+            return false;
+        }
+        seen[e.to as usize] = true;
+    }
+    seen.iter().all(|&s| s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::total_cost;
+
+    /// Complete directed graph from a symmetric cost matrix.
+    fn complete(costs: &[&[i64]]) -> Vec<Edge> {
+        let n = costs.len();
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    edges.push(Edge::new(i as u32, j as u32, costs[i][j]));
+                }
+            }
+        }
+        edges
+    }
+
+    #[test]
+    fn greedy_chain_is_hamiltonian_on_complete_graphs() {
+        let edges = complete(&[
+            &[0, 2, 9, 10],
+            &[2, 0, 6, 4],
+            &[9, 6, 0, 8],
+            &[10, 4, 8, 0],
+        ]);
+        let chain = greedy_chain(4, &edges);
+        assert!(is_hamiltonian_path(4, &chain), "{chain:?}");
+        // Seed (0,1,2), then cheapest from 1 unvisited: (1,3,4), then (3,2,8).
+        assert_eq!(total_cost(&chain), 14);
+    }
+
+    #[test]
+    fn nearest_neighbour_is_hamiltonian() {
+        let edges = complete(&[
+            &[0, 2, 9, 10],
+            &[2, 0, 6, 4],
+            &[9, 6, 0, 8],
+            &[10, 4, 8, 0],
+        ]);
+        let p = nearest_neighbour(4, &edges, 0);
+        assert!(is_hamiltonian_path(4, &p));
+    }
+
+    #[test]
+    fn hamiltonicity_checker_rejects_broken_chains() {
+        assert!(!is_hamiltonian_path(
+            3,
+            &[Edge::new(0, 1, 1), Edge::new(2, 0, 1)] // discontinuous
+        ));
+        assert!(!is_hamiltonian_path(3, &[Edge::new(0, 1, 1)])); // too short
+        assert!(is_hamiltonian_path(1, &[]));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(greedy_chain(0, &[]).is_empty());
+        assert!(nearest_neighbour(0, &[], 0).is_empty());
+    }
+}

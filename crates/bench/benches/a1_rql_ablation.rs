@@ -1,0 +1,35 @@
+//! A1 — ablation: the (R,Q,L) structure is what buys the asymptotics.
+//!
+//! The same stage-stratified programs run (a) on the greedy executor
+//! with `D_r = (R, Q, L)` and (b) on the generic Choice Fixpoint, which
+//! recomputes the full γ candidate set (a re-scan `least`) every step.
+//! The paper's Section 6 claim is precisely that (a) reaches the
+//! procedural bound while a naive fixpoint does not: (b) is quadratic
+//! or worse.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gbc_greedy::{sorting, workload};
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a1_rql_ablation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &n in &[32usize, 64, 128, 256] {
+        let items = workload::random_items(n, 42);
+        let compiled = sorting::compiled();
+        let edb = sorting::edb(&items);
+
+        group.bench_with_input(BenchmarkId::new("rql_executor", n), &(), |b, ()| {
+            b.iter(|| compiled.run_greedy(&edb).unwrap().stats.gamma_steps);
+        });
+
+        group.bench_with_input(BenchmarkId::new("generic_rescan", n), &(), |b, ()| {
+            b.iter(|| compiled.run_generic(&edb).unwrap().stats.gamma_steps);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! A2 — ablation: seminaive versus naive flat-rule saturation.
+//!
+//! The paper's fixpoint machinery assumes "seminaive refinements"
+//! (Section 1). We measure transitive closure over chains — the
+//! canonical case where naive evaluation re-derives the whole relation
+//! every round (`O(n³)`-ish work) while seminaive touches only deltas.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gbc_ast::Value;
+use gbc_engine::seminaive::Seminaive;
+use gbc_engine::eval::eval_rule_plain;
+use gbc_storage::Database;
+
+fn tc_rules() -> Vec<gbc_ast::Rule> {
+    gbc_parser::parse_program(
+        "tc(X, Y) <- e(X, Y).
+         tc(X, Z) <- tc(X, Y), e(Y, Z).",
+    )
+    .unwrap()
+    .rules
+}
+
+fn chain_db(n: i64) -> Database {
+    let mut db = Database::new();
+    for i in 0..n {
+        db.insert_values("e", vec![Value::int(i), Value::int(i + 1)]);
+    }
+    db
+}
+
+/// Naive evaluation: every rule fully re-evaluated each round.
+fn naive_saturate(db: &mut Database, rules: &[gbc_ast::Rule]) {
+    loop {
+        let mut new_facts = 0u64;
+        for rule in rules {
+            for row in eval_rule_plain(db, rule, None).unwrap() {
+                if db.insert(rule.head.pred, row) {
+                    new_facts += 1;
+                }
+            }
+        }
+        if new_facts == 0 {
+            break;
+        }
+    }
+}
+
+fn bench_seminaive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a2_seminaive");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &n in &[32i64, 64, 128] {
+        group.bench_with_input(BenchmarkId::new("seminaive", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut db = chain_db(n);
+                Seminaive::new(tc_rules()).saturate(&mut db).unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut db = chain_db(n);
+                naive_saturate(&mut db, &tc_rules());
+                db.total_facts()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_seminaive);
+criterion_main!(benches);

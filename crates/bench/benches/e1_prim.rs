@@ -1,0 +1,43 @@
+//! E1 — Section 6, "Prim's Algorithm: Complexity of Example 4".
+//!
+//! Declarative Prim (alternating stage-choice fixpoint over the (R,Q,L)
+//! structure) versus classical binary-heap Prim, on connected random
+//! graphs across sizes. The paper's claim: `O(e log e)` declarative vs
+//! `O(e log n)` classical — same shape, constant-factor gap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gbc_baselines::prim::prim_mst;
+use gbc_greedy::{prim, workload};
+
+fn bench_prim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_prim");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &n in &[128usize, 256, 512, 1024] {
+        let g = workload::connected_graph(n, 3 * n, 1_000_000, 42);
+        let e = g.num_edges() as u64;
+        group.throughput(Throughput::Elements(e));
+
+        group.bench_with_input(BenchmarkId::new("declarative_rql", n), &g, |b, g| {
+            let (compiled, edb) = prim::prepared(g, 0);
+            b.iter(|| {
+                let run = compiled.run_greedy(&edb).unwrap();
+                assert_eq!(run.stats.gamma_steps as usize, g.n - 1);
+                run.stats.gamma_steps
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("classical_heap", n), &g, |b, g| {
+            b.iter(|| {
+                let tree = prim_mst(g.n, &g.edges, 0);
+                assert_eq!(tree.len(), g.n - 1);
+                tree.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prim);
+criterion_main!(benches);

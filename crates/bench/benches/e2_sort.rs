@@ -1,0 +1,52 @@
+//! E2 — Section 6, "Sorting: Complexity of Example 5".
+//!
+//! The declarative sort program "expresses an insertion sort but the
+//! fixpoint algorithm implements a heap-sort": its runtime must track
+//! heap-sort's `O(n log n)`, not insertion sort's `O(n²)`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gbc_baselines::sorts::{heapsort, insertion_sort};
+use gbc_greedy::{sorting, workload};
+
+fn bench_sort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_sort");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &n in &[512usize, 1024, 2048, 4096] {
+        let items = workload::random_items(n, 42);
+        group.throughput(Throughput::Elements(n as u64));
+
+        group.bench_with_input(BenchmarkId::new("declarative_rql", n), &items, |b, items| {
+            let compiled = sorting::compiled();
+            let edb = sorting::edb(items);
+            b.iter(|| {
+                let run = compiled.run_greedy(&edb).unwrap();
+                assert_eq!(run.stats.gamma_steps as usize, items.len());
+                run.stats.gamma_steps
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("heapsort", n), &items, |b, items| {
+            b.iter(|| {
+                let mut v: Vec<(i64, i64)> =
+                    items.iter().map(|&(x, c)| (c, x)).collect();
+                heapsort(&mut v);
+                v.len()
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("insertion_sort", n), &items, |b, items| {
+            b.iter(|| {
+                let mut v: Vec<(i64, i64)> =
+                    items.iter().map(|&(x, c)| (c, x)).collect();
+                insertion_sort(&mut v);
+                v.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sort);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E3 — Section 6, "Matching: Complexity of Example 7".
+//!
+//! Declarative greedy min-cost maximal matching (`O(e log e)` with the
+//! (R,Q,L) structure) versus the sorted-edges procedural baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gbc_baselines::matching::greedy_matching;
+use gbc_greedy::{matching, workload};
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_matching");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &e in &[1024usize, 2048, 4096, 8192] {
+        let n = e / 4;
+        let g = workload::random_arcs(n, e, 42);
+        group.throughput(Throughput::Elements(e as u64));
+
+        group.bench_with_input(BenchmarkId::new("declarative_rql", e), &g, |b, g| {
+            let compiled = matching::compiled();
+            let edb = g.to_edb();
+            b.iter(|| {
+                let run = compiled.run_greedy(&edb).unwrap();
+                run.stats.gamma_steps
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("classical_sorted", e), &g, |b, g| {
+            b.iter(|| greedy_matching(g.n, &g.edges).len());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

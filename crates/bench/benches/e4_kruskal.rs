@@ -1,0 +1,38 @@
+//! E4 — Section 6, "Kruskal: Complexity of Example 8".
+//!
+//! The declarative evaluation relabels a component table per accepted
+//! edge — `O(e·n)` — while the classical union-find method runs in
+//! `O(e log e)`. The paper: "The difference is due to the fact that the
+//! classical algorithm 'merges' the smallest component into the
+//! 'largest'." The gap must therefore *grow with n*.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gbc_baselines::kruskal::{kruskal_mst, kruskal_relabel};
+use gbc_greedy::{kruskal, workload};
+
+fn bench_kruskal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_kruskal");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &n in &[256usize, 512, 1024, 2048] {
+        let g = workload::connected_graph(n, 3 * n, 1_000_000, 42);
+        group.throughput(Throughput::Elements(g.num_edges() as u64));
+
+        group.bench_with_input(BenchmarkId::new("declarative_stage_views", n), &g, |b, g| {
+            b.iter(|| kruskal::run_stage_views(g).tree.len());
+        });
+
+        group.bench_with_input(BenchmarkId::new("relabel_model", n), &g, |b, g| {
+            b.iter(|| kruskal_relabel(g.n, &g.edges).len());
+        });
+
+        group.bench_with_input(BenchmarkId::new("classical_union_find", n), &g, |b, g| {
+            b.iter(|| kruskal_mst(g.n, &g.edges).len());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kruskal);
+criterion_main!(benches);

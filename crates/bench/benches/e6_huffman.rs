@@ -1,0 +1,38 @@
+//! E6 — Example 6: Huffman trees.
+//!
+//! The declarative pick-pair program runs in `O(k log k)` on the
+//! (R,Q,L) executor — the same asymptotics as the classical heap
+//! construction. Optimality (equal weighted path length) is asserted in
+//! tests; here we measure the constant-factor cost of declarativity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gbc_baselines::huffman::huffman_tree;
+use gbc_greedy::{huffman, workload};
+
+fn bench_huffman(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_huffman");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &k in &[8usize, 16, 32, 64] {
+        let w = workload::letter_freqs(k, 42);
+        group.throughput(Throughput::Elements(k as u64));
+
+        group.bench_with_input(BenchmarkId::new("declarative_rql", k), &w, |b, w| {
+            let compiled = huffman::compiled();
+            let edb = huffman::edb(w);
+            b.iter(|| {
+                let run = compiled.run_greedy(&edb).unwrap();
+                run.stats.gamma_steps
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("classical_heap", k), &w, |b, w| {
+            b.iter(|| huffman_tree(w).map(|t| t.weight()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_huffman);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E7 — Section 5, "Computation of Sub-Optimals": greedy TSP chains on
+//! complete geometric graphs, declarative versus the procedural greedy
+//! chain and nearest-neighbour.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gbc_baselines::tsp::{greedy_chain, nearest_neighbour};
+use gbc_greedy::{tsp, workload};
+
+fn bench_tsp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_tsp");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &n in &[16usize, 32, 64, 128] {
+        let g = workload::complete_geometric(n, 42);
+        group.throughput(Throughput::Elements(g.num_edges() as u64));
+
+        group.bench_with_input(BenchmarkId::new("declarative_chain", n), &g, |b, g| {
+            let compiled = tsp::compiled();
+            let edb = g.to_edb();
+            b.iter(|| {
+                let run = compiled.run_greedy(&edb).unwrap();
+                run.stats.gamma_steps
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("procedural_chain", n), &g, |b, g| {
+            b.iter(|| greedy_chain(g.n, &g.edges).len());
+        });
+
+        group.bench_with_input(BenchmarkId::new("nearest_neighbour", n), &g, |b, g| {
+            b.iter(|| nearest_neighbour(g.n, &g.edges, 0).len());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tsp);
+criterion_main!(benches);

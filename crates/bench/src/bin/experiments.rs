@@ -1,0 +1,361 @@
+//! `experiments` — regenerate every Section 6 analysis as a table.
+//!
+//! ```text
+//! experiments [prim|sort|matching|kruskal|models|huffman|tsp|spanning|ablation|all] [--quick]
+//! ```
+//!
+//! Each experiment prints problem sizes, wall-clock times for the
+//! declarative executor and its procedural comparator, the fitted
+//! scaling exponent of each, and the correctness cross-checks. Output
+//! is recorded in `EXPERIMENTS.md`.
+
+use gbc_baselines::huffman::{huffman_tree, weighted_path_length as wpl_base};
+use gbc_baselines::kruskal::{kruskal_mst, kruskal_relabel};
+use gbc_baselines::matching::greedy_matching;
+use gbc_baselines::prim::prim_mst;
+use gbc_baselines::sorts::{heapsort, insertion_sort};
+use gbc_baselines::total_cost;
+use gbc_baselines::tsp::{greedy_chain, is_hamiltonian_path, nearest_neighbour};
+use gbc_bench::{fit_exponent, render_table, time_once, Sample};
+use gbc_greedy::{huffman, kruskal, matching, prim, sorting, spanning, student, tsp, workload};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_owned());
+
+    let run = |name: &str| which == "all" || which == name;
+    if run("prim") {
+        e1_prim(quick);
+    }
+    if run("sort") {
+        e2_sort(quick);
+    }
+    if run("matching") {
+        e3_matching(quick);
+    }
+    if run("kruskal") {
+        e4_kruskal(quick);
+    }
+    if run("models") {
+        e5_models();
+    }
+    if run("huffman") {
+        e6_huffman(quick);
+    }
+    if run("tsp") {
+        e7_tsp(quick);
+    }
+    if run("spanning") {
+        e8_spanning(quick);
+    }
+    if run("scheduling") {
+        e9_scheduling();
+    }
+    if run("ablation") {
+        a1_ablation(quick);
+    }
+}
+
+fn e9_scheduling() {
+    println!("\n== E9  Job sequencing with deadlines (Section 5 'scheduling algorithms', most) ==");
+    use gbc_baselines::scheduling::{job_sequencing, optimal_profit_bruteforce, Job};
+    let mut rows = Vec::new();
+    for seed in [1u64, 2, 3, 4] {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = 8;
+        let jobs: Vec<Job> = (0..n)
+            .map(|i| Job::new(i, rng.gen_range(1..100), rng.gen_range(1..6)))
+            .collect();
+        let sched = gbc_greedy::scheduling::run_greedy(&jobs).unwrap();
+        let decl = gbc_greedy::scheduling::total_profit(&jobs, &sched);
+        let (_, base) = job_sequencing(&jobs);
+        let opt = optimal_profit_bruteforce(&jobs);
+        assert_eq!(decl, base);
+        assert_eq!(decl, opt, "greedy is optimal (matroid)");
+        rows.push(vec![
+            seed.to_string(),
+            n.to_string(),
+            decl.to_string(),
+            base.to_string(),
+            opt.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["seed", "jobs", "decl_profit", "greedy_profit", "optimum"], &rows)
+    );
+    println!("declarative = procedural greedy = brute-force optimum on every row");
+}
+
+fn secs(s: f64) -> String {
+    format!("{:.4}", s)
+}
+
+fn e1_prim(quick: bool) {
+    println!("\n== E1  Prim (Example 4): declarative O(e log e) vs classical O(e log n) ==");
+    let sizes: &[usize] = if quick { &[128, 256, 512] } else { &[128, 256, 512, 1024, 2048] };
+    let mut rows = Vec::new();
+    let mut decl_samples = Vec::new();
+    let mut base_samples = Vec::new();
+    for &n in sizes {
+        let g = workload::connected_graph(n, 3 * n, 1_000_000, 42);
+        let e = g.num_edges();
+        let (compiled, edb) = prim::prepared(&g, 0);
+        let (run, t_decl) = time_once(|| compiled.run_greedy(&edb).unwrap());
+        let (base, t_base) = time_once(|| prim_mst(g.n, &g.edges, 0));
+        let decl_edges = prim::decode(&run);
+        assert_eq!(total_cost(&decl_edges), total_cost(&base), "MST costs must agree");
+        decl_samples.push(Sample { size: e as u64, secs: t_decl });
+        base_samples.push(Sample { size: e as u64, secs: t_base });
+        rows.push(vec![
+            n.to_string(),
+            e.to_string(),
+            secs(t_decl),
+            secs(t_base),
+            format!("{:.1}", t_decl / t_base.max(1e-9)),
+            total_cost(&decl_edges).to_string(),
+            run.stats.discarded.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["n", "e", "decl_s", "classical_s", "ratio", "mst_cost", "R_r"],
+            &rows
+        )
+    );
+    println!(
+        "scaling exponent vs e: declarative {:.2}, classical {:.2} (both ≈ 1 = e·log e)",
+        fit_exponent(&decl_samples),
+        fit_exponent(&base_samples)
+    );
+}
+
+fn e2_sort(quick: bool) {
+    println!("\n== E2  Sorting (Example 5): the fixpoint runs heap-sort, O(n log n) ==");
+    let sizes: &[usize] = if quick { &[512, 1024, 2048] } else { &[512, 1024, 2048, 4096, 8192] };
+    let mut rows = Vec::new();
+    let (mut decl_s, mut heap_s, mut ins_s) = (Vec::new(), Vec::new(), Vec::new());
+    for &n in sizes {
+        let items = workload::random_items(n, 42);
+        let compiled = sorting::compiled();
+        let edb = sorting::edb(&items);
+        let (run, t_decl) = time_once(|| compiled.run_greedy(&edb).unwrap());
+        assert_eq!(run.stats.gamma_steps as usize, n);
+        let (_, t_heap) = time_once(|| {
+            let mut v: Vec<(i64, i64)> = items.iter().map(|&(x, c)| (c, x)).collect();
+            heapsort(&mut v);
+            v
+        });
+        let (_, t_ins) = time_once(|| {
+            let mut v: Vec<(i64, i64)> = items.iter().map(|&(x, c)| (c, x)).collect();
+            insertion_sort(&mut v);
+            v
+        });
+        decl_s.push(Sample { size: n as u64, secs: t_decl });
+        heap_s.push(Sample { size: n as u64, secs: t_heap });
+        ins_s.push(Sample { size: n as u64, secs: t_ins });
+        rows.push(vec![n.to_string(), secs(t_decl), secs(t_heap), secs(t_ins)]);
+    }
+    println!("{}", render_table(&["n", "decl_s", "heapsort_s", "insertion_s"], &rows));
+    println!(
+        "scaling exponents: declarative {:.2} (≈1, heap-sort-like), heapsort {:.2}, insertion {:.2} (≈2)",
+        fit_exponent(&decl_s),
+        fit_exponent(&heap_s),
+        fit_exponent(&ins_s)
+    );
+}
+
+fn e3_matching(quick: bool) {
+    println!("\n== E3  Matching (Example 7): greedy maximal matching, O(e log e) ==");
+    let sizes: &[usize] = if quick { &[1024, 2048, 4096] } else { &[1024, 2048, 4096, 8192, 16384] };
+    let mut rows = Vec::new();
+    let (mut decl_s, mut base_s) = (Vec::new(), Vec::new());
+    for &e in sizes {
+        let g = workload::random_arcs(e / 4, e, 42);
+        let compiled = matching::compiled();
+        let edb = g.to_edb();
+        let (run, t_decl) = time_once(|| compiled.run_greedy(&edb).unwrap());
+        let (base, t_base) = time_once(|| greedy_matching(g.n, &g.edges));
+        let decl = matching::decode(&run);
+        assert_eq!(total_cost(&decl), total_cost(&base), "same greedy matching");
+        decl_s.push(Sample { size: e as u64, secs: t_decl });
+        base_s.push(Sample { size: e as u64, secs: t_base });
+        rows.push(vec![
+            e.to_string(),
+            decl.len().to_string(),
+            secs(t_decl),
+            secs(t_base),
+            format!("{:.1}", t_decl / t_base.max(1e-9)),
+        ]);
+    }
+    println!("{}", render_table(&["e", "|matching|", "decl_s", "classical_s", "ratio"], &rows));
+    println!(
+        "scaling exponents vs e: declarative {:.2}, classical {:.2}",
+        fit_exponent(&decl_s),
+        fit_exponent(&base_s)
+    );
+}
+
+fn e4_kruskal(quick: bool) {
+    println!("\n== E4  Kruskal (Example 8): declarative O(e·n) vs classical O(e log e) ==");
+    let sizes: &[usize] = if quick { &[256, 512, 1024] } else { &[256, 512, 1024, 2048, 4096] };
+    let mut rows = Vec::new();
+    let (mut decl_s, mut uf_s) = (Vec::new(), Vec::new());
+    for &n in sizes {
+        let g = workload::connected_graph(n, 3 * n, 1_000_000, 42);
+        let (run, t_decl) = time_once(|| kruskal::run_stage_views(&g));
+        let (relab, t_relab) = time_once(|| kruskal_relabel(g.n, &g.edges));
+        let (uf, t_uf) = time_once(|| kruskal_mst(g.n, &g.edges));
+        assert_eq!(total_cost(&run.tree), total_cost(&uf));
+        assert_eq!(total_cost(&relab), total_cost(&uf));
+        decl_s.push(Sample { size: n as u64, secs: t_decl });
+        uf_s.push(Sample { size: n as u64, secs: t_uf });
+        rows.push(vec![
+            n.to_string(),
+            g.num_edges().to_string(),
+            secs(t_decl),
+            secs(t_relab),
+            secs(t_uf),
+            format!("{:.1}", t_decl / t_uf.max(1e-9)),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["n", "e", "decl_views_s", "relabel_s", "union_find_s", "gap"],
+            &rows
+        )
+    );
+    println!(
+        "scaling exponents vs n (e ∝ n): declarative {:.2} (≈2 = e·n), union-find {:.2} (≈1); \
+         the gap grows with n, as the paper's analysis predicts",
+        fit_exponent(&decl_s),
+        fit_exponent(&uf_s)
+    );
+}
+
+fn e5_models() {
+    println!("\n== E5  Choice models (Examples 1-2, Section 2) ==");
+    let models = student::enumerate_models().unwrap();
+    println!(
+        "Example 1 one-student-per-course: {} choice models (paper lists M1, M2, M3)",
+        models.len()
+    );
+    let bi = student::enumerate_bi_models().unwrap();
+    println!(
+        "bi_st_c (choice + least combination): {} stable models (paper lists 2)",
+        bi.len()
+    );
+    assert_eq!(models.len(), 3);
+    assert_eq!(bi.len(), 2);
+}
+
+fn e6_huffman(quick: bool) {
+    println!("\n== E6  Huffman (Example 6): optimal prefix trees ==");
+    let sizes: &[usize] = if quick { &[8, 16, 32] } else { &[8, 16, 32, 64, 96] };
+    let mut rows = Vec::new();
+    for &k in sizes {
+        let w = workload::letter_freqs(k, 42);
+        let (run, t_decl) = time_once(|| huffman::run_greedy(&w).unwrap());
+        let decl_wpl = huffman::weighted_path_length(&run, &w).unwrap();
+        let (base, t_base) = time_once(|| huffman_tree(&w).unwrap());
+        let base_wpl = wpl_base(&base, &w);
+        assert_eq!(decl_wpl, base_wpl, "equal weighted path length");
+        rows.push(vec![
+            k.to_string(),
+            decl_wpl.to_string(),
+            base_wpl.to_string(),
+            secs(t_decl),
+            secs(t_base),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["k", "decl_wpl", "classical_wpl", "decl_s", "classical_s"], &rows)
+    );
+    println!("equal WPL on every row ⇒ the declarative tree is optimal");
+}
+
+fn e7_tsp(quick: bool) {
+    println!("\n== E7  Greedy TSP chains (Section 5, sub-optimals) ==");
+    let sizes: &[usize] = if quick { &[16, 32, 64] } else { &[16, 32, 64, 128] };
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let g = workload::complete_geometric(n, 42);
+        let (decl, t_decl) = time_once(|| tsp::run_greedy(&g).unwrap());
+        assert!(is_hamiltonian_path(g.n, &decl));
+        let (chain, _) = time_once(|| greedy_chain(g.n, &g.edges));
+        let (nn, _) = time_once(|| nearest_neighbour(g.n, &g.edges, 0));
+        rows.push(vec![
+            n.to_string(),
+            total_cost(&decl).to_string(),
+            total_cost(&chain).to_string(),
+            total_cost(&nn).to_string(),
+            secs(t_decl),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["n", "decl_cost", "greedy_chain", "nearest_nb", "decl_s"], &rows)
+    );
+    println!("decl_cost equals greedy_chain on every row; both are heuristics near nearest_nb");
+}
+
+fn e8_spanning(quick: bool) {
+    println!("\n== E8  Spanning trees (Example 3): every run yields a spanning tree ==");
+    let sizes: &[usize] = if quick { &[64, 128] } else { &[64, 128, 256, 512] };
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let g = workload::connected_graph(n, 2 * n, 100, 42);
+        let (stage_tree, t_stage) = time_once(|| spanning::run_stage(&g, 0).unwrap());
+        assert!(spanning::is_spanning_tree(&g, 0, &stage_tree));
+        let (choice_tree, t_choice) = time_once(|| spanning::run_choice(&g, 0).unwrap());
+        assert!(spanning::is_spanning_tree(&g, 0, &choice_tree));
+        rows.push(vec![
+            n.to_string(),
+            stage_tree.len().to_string(),
+            secs(t_stage),
+            secs(t_choice),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["n", "tree_edges", "stage_exec_s", "generic_fixpoint_s"], &rows)
+    );
+}
+
+fn a1_ablation(quick: bool) {
+    println!("\n== A1  Ablation: (R,Q,L) executor vs generic re-scan fixpoint (sorting) ==");
+    let sizes: &[usize] = if quick { &[64, 128, 256] } else { &[64, 128, 256, 512, 1024] };
+    let mut rows = Vec::new();
+    let (mut rql_s, mut gen_s) = (Vec::new(), Vec::new());
+    for &n in sizes {
+        let items = workload::random_items(n, 42);
+        let compiled = sorting::compiled();
+        let edb = sorting::edb(&items);
+        let (_, t_rql) = time_once(|| compiled.run_greedy(&edb).unwrap());
+        let (_, t_gen) = time_once(|| compiled.run_generic(&edb).unwrap());
+        rql_s.push(Sample { size: n as u64, secs: t_rql });
+        gen_s.push(Sample { size: n as u64, secs: t_gen });
+        rows.push(vec![
+            n.to_string(),
+            secs(t_rql),
+            secs(t_gen),
+            format!("{:.0}", t_gen / t_rql.max(1e-9)),
+        ]);
+    }
+    println!("{}", render_table(&["n", "rql_s", "generic_s", "speedup"], &rows));
+    println!(
+        "scaling exponents: rql {:.2} (≈1), generic {:.2} (≈2+) — the storage structure \
+         delivers the paper's bounds",
+        fit_exponent(&rql_s),
+        fit_exponent(&gen_s)
+    );
+}

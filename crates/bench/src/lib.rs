@@ -1,0 +1,16 @@
+//! # gbc-bench
+//!
+//! Benchmark harness for *Greedy by Choice* (PODS 1992). The paper's
+//! evaluation is its Section 6 complexity analysis; every claimed bound
+//! is regenerated here, either as a Criterion bench (`benches/`) or by
+//! the `experiments` binary, which prints the scaling tables recorded
+//! in `EXPERIMENTS.md`.
+//!
+//! This library holds the shared measurement utilities: timed sweeps,
+//! scaling-exponent fits, and table rendering.
+
+pub mod measure;
+pub mod table;
+
+pub use measure::{fit_exponent, time_once, Sample};
+pub use table::render_table;

@@ -1,0 +1,82 @@
+//! Timing and scaling-fit utilities.
+
+use std::time::Instant;
+
+/// One measurement: problem size and elapsed seconds.
+#[derive(Clone, Copy, Debug)]
+pub struct Sample {
+    /// Problem size (n, e, …).
+    pub size: u64,
+    /// Elapsed wall-clock seconds.
+    pub secs: f64,
+}
+
+/// Time one execution of `f`, returning `(result, seconds)`.
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Least-squares slope of `log(time)` against `log(size)` — the
+/// empirical scaling exponent. `O(n)` ⇒ ≈1, `O(n log n)` ⇒ slightly
+/// above 1, `O(n²)` ⇒ ≈2.
+pub fn fit_exponent(samples: &[Sample]) -> f64 {
+    let pts: Vec<(f64, f64)> = samples
+        .iter()
+        .filter(|s| s.secs > 0.0 && s.size > 0)
+        .map(|s| ((s.size as f64).ln(), s.secs.ln()))
+        .collect();
+    let n = pts.len() as f64;
+    if pts.len() < 2 {
+        return f64::NAN;
+    }
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples(f: impl Fn(f64) -> f64) -> Vec<Sample> {
+        [1024u64, 4096, 16384, 65536]
+            .iter()
+            .map(|&size| Sample { size, secs: f(size as f64) })
+            .collect()
+    }
+
+    #[test]
+    fn linear_fits_to_one() {
+        let e = fit_exponent(&samples(|n| 3e-6 * n));
+        assert!((e - 1.0).abs() < 0.01, "{e}");
+    }
+
+    #[test]
+    fn quadratic_fits_to_two() {
+        let e = fit_exponent(&samples(|n| 1e-9 * n * n));
+        assert!((e - 2.0).abs() < 0.01, "{e}");
+    }
+
+    #[test]
+    fn nlogn_fits_between() {
+        let e = fit_exponent(&samples(|n| 1e-7 * n * n.ln()));
+        assert!(e > 1.05 && e < 1.25, "{e}");
+    }
+
+    #[test]
+    fn degenerate_inputs_are_nan() {
+        assert!(fit_exponent(&[]).is_nan());
+        assert!(fit_exponent(&[Sample { size: 8, secs: 1.0 }]).is_nan());
+    }
+
+    #[test]
+    fn time_once_returns_the_value() {
+        let (v, secs) = time_once(|| 6 * 7);
+        assert_eq!(v, 42);
+        assert!(secs >= 0.0);
+    }
+}

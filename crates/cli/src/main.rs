@@ -1,0 +1,228 @@
+//! `gbc` — command-line front end for the Greedy-by-Choice system.
+//!
+//! ```text
+//! gbc check   FILE...            parse, validate, classify
+//! gbc run     FILE... [--generic] [--seed N] [--stats]
+//! gbc models  FILE... [--max N]  enumerate all choice models
+//! gbc rewrite FILE...            print the negative (rewritten) program
+//! gbc verify  FILE...            run, then check stability (Theorem 1)
+//! ```
+//!
+//! Multiple files are concatenated (programs + facts mix freely), so
+//! rules and EDB data can live in separate `.dl` files:
+//!
+//! ```text
+//! gbc run programs/prim.dl programs/graph_small.dl --stats
+//! ```
+
+use std::process::ExitCode;
+
+use gbc_core::{classify, compile, verify_stable_model};
+use gbc_engine::enumerate::{all_choice_models_with, EnumerateConfig};
+use gbc_engine::{ChoiceFixpoint, DeterministicFirst, SeededRandom};
+use gbc_storage::Database;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Options {
+    files: Vec<String>,
+    generic: bool,
+    stats: bool,
+    seed: Option<u64>,
+    max_models: usize,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        files: Vec::new(),
+        generic: false,
+        stats: false,
+        seed: None,
+        max_models: 1000,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--generic" => opts.generic = true,
+            "--stats" => opts.stats = true,
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                opts.seed = Some(v.parse().map_err(|_| format!("bad seed `{v}`"))?);
+            }
+            "--max" => {
+                let v = it.next().ok_or("--max needs a value")?;
+                opts.max_models = v.parse().map_err(|_| format!("bad max `{v}`"))?;
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag `{other}`"));
+            }
+            file => opts.files.push(file.to_owned()),
+        }
+    }
+    if opts.files.is_empty() {
+        return Err("no input files".into());
+    }
+    Ok(opts)
+}
+
+fn load(files: &[String]) -> Result<gbc_ast::Program, String> {
+    let mut source = String::new();
+    for f in files {
+        let text = std::fs::read_to_string(f).map_err(|e| format!("{f}: {e}"))?;
+        source.push_str(&text);
+        source.push('\n');
+    }
+    let program = gbc_parser::parse_program(&source).map_err(|e| e.to_string())?;
+    program.validate().map_err(|e| e.to_string())?;
+    Ok(program)
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err(usage());
+    };
+    let opts = parse_options(rest)?;
+    match cmd.as_str() {
+        "check" => cmd_check(&opts),
+        "run" => cmd_run(&opts),
+        "models" => cmd_models(&opts),
+        "rewrite" => cmd_rewrite(&opts),
+        "verify" => cmd_verify(&opts),
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage: gbc <check|run|models|rewrite|verify> FILE... \
+     [--generic] [--seed N] [--stats] [--max N]"
+        .to_owned()
+}
+
+fn cmd_check(opts: &Options) -> Result<(), String> {
+    let program = load(&opts.files)?;
+    let analysis = classify(&program);
+    println!("rules: {}", program.rules.len());
+    println!(
+        "facts: {}, proper rules: {}",
+        program.facts().count(),
+        program.proper_rules().count()
+    );
+    println!("class: {:?}", analysis.class);
+    for (i, c) in analysis.cliques.iter().enumerate() {
+        let preds: Vec<String> = c.preds.iter().map(|p| p.to_string()).collect();
+        println!(
+            "clique {i}: {{{}}} next:{} flat:{} exit:{}{}",
+            preds.join(", "),
+            c.next_rules.len(),
+            c.flat_rules.len(),
+            c.exit_rules.len(),
+            if c.is_stage_clique {
+                if c.stage_stratified {
+                    if c.alternating {
+                        " [stage-stratified, alternating]"
+                    } else {
+                        " [stage-stratified]"
+                    }
+                } else {
+                    " [NOT stage-stratified]"
+                }
+            } else {
+                ""
+            }
+        );
+        for n in &c.notes {
+            println!("  note: {n}");
+        }
+    }
+    let compiled = compile(program).map_err(|e| e.to_string())?;
+    match compiled.plan_error() {
+        None => println!("greedy plan: available (Section 6 executor)"),
+        Some(e) => println!("greedy plan: unavailable — {e}"),
+    }
+    Ok(())
+}
+
+fn cmd_run(opts: &Options) -> Result<(), String> {
+    let program = load(&opts.files)?;
+    let compiled = compile(program).map_err(|e| e.to_string())?;
+    let edb = Database::new();
+
+    let run = if opts.generic || !compiled.has_greedy_plan() || opts.seed.is_some() {
+        // Seeded or generic: the engine fixpoint with the chosen policy.
+        let mut fixpoint =
+            ChoiceFixpoint::new(compiled.expanded(), &edb).map_err(|e| e.to_string())?;
+        match opts.seed {
+            Some(seed) => fixpoint.run(&mut SeededRandom::new(seed)),
+            None => fixpoint.run(&mut DeterministicFirst),
+        }
+        .map_err(|e| e.to_string())?;
+        let chosen = gbc_core::verify::records_from_engine(&fixpoint, compiled.expanded());
+        gbc_core::GreedyRun {
+            db: fixpoint.into_database(),
+            chosen,
+            stats: gbc_core::GreedyStats::default(),
+        }
+    } else {
+        compiled.run_greedy(&edb).map_err(|e| e.to_string())?
+    };
+
+    println!("{}", run.db.canonical_form());
+    if opts.stats {
+        eprintln!(
+            "γ steps: {}, discarded: {}, flat facts: {}, queue peak: {}",
+            run.stats.gamma_steps,
+            run.stats.discarded,
+            run.stats.flat_new_facts,
+            run.stats.queue_peak
+        );
+    }
+    Ok(())
+}
+
+fn cmd_models(opts: &Options) -> Result<(), String> {
+    let program = load(&opts.files)?;
+    // The enumerator needs a next-free program.
+    let expanded = gbc_core::rewrite::next::expand_next(&program).map_err(|e| e.to_string())?;
+    let config = EnumerateConfig { max_nodes: 1_000_000, max_models: opts.max_models };
+    let models =
+        all_choice_models_with(&expanded, &Database::new(), config).map_err(|e| e.to_string())?;
+    println!("{} model(s)", models.len());
+    for (i, m) in models.iter().enumerate() {
+        println!("--- model {}", i + 1);
+        println!("{}", m.canonical_form());
+    }
+    Ok(())
+}
+
+fn cmd_rewrite(opts: &Options) -> Result<(), String> {
+    let program = load(&opts.files)?;
+    let fr = gbc_core::rewrite_full(&program).map_err(|e| e.to_string())?;
+    print!("{}", fr.program);
+    Ok(())
+}
+
+fn cmd_verify(opts: &Options) -> Result<(), String> {
+    let program = load(&opts.files)?;
+    let compiled = compile(program.clone()).map_err(|e| e.to_string())?;
+    let edb = Database::new();
+    let run = compiled.run(&edb).map_err(|e| e.to_string())?;
+    let ok = verify_stable_model(&program, &edb, &run).map_err(|e| e.to_string())?;
+    println!(
+        "stable model check: {}",
+        if ok { "PASS (Theorem 1 holds for this run)" } else { "FAIL" }
+    );
+    if ok {
+        Ok(())
+    } else {
+        Err("run is not a stable model".into())
+    }
+}

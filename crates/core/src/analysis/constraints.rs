@@ -1,0 +1,266 @@
+//! Difference-constraint reasoning over a rule's variables.
+//!
+//! Stage stratification (Section 4) asks, per rule: is every body stage
+//! variable provably `<` (or `≤`) the head stage variable *in every
+//! interpreted instance*? The comparisons and arithmetic assignments in
+//! the body are exactly the available evidence: `J < I`, `I = I1 + 1`,
+//! `I = max(J, K)`, `I1 ≤ I`, …
+//!
+//! We collect them as integer difference constraints `a − b ≤ w` and
+//! close them with Floyd–Warshall; `a < b` is derivable iff the closure
+//! yields `a − b ≤ −1`. Stage variables are integer-valued by
+//! construction (`next` mints integers), which licenses the
+//! strict-to-weak conversion `a < b ⟺ a ≤ b − 1`.
+
+use gbc_ast::term::{ArithOp, Expr};
+use gbc_ast::{CmpOp, Literal, Rule, Term, VarId};
+
+/// A closed system of difference constraints over a rule's variables.
+#[derive(Clone, Debug)]
+pub struct Constraints {
+    n: usize,
+    /// `dist[a][b]` = the smallest known `w` with `a − b ≤ w`
+    /// (`i64::MAX` = unconstrained).
+    dist: Vec<Vec<i64>>,
+}
+
+/// `expr` as `var + k`, if it has that shape.
+fn var_offset(e: &Expr) -> Option<(VarId, i64)> {
+    match e {
+        Expr::Term(Term::Var(v)) => Some((*v, 0)),
+        Expr::Binary(ArithOp::Add, l, r) => match (&**l, &**r) {
+            (Expr::Term(Term::Var(v)), Expr::Term(Term::Const(gbc_ast::Value::Int(k)))) => {
+                Some((*v, *k))
+            }
+            (Expr::Term(Term::Const(gbc_ast::Value::Int(k))), Expr::Term(Term::Var(v))) => {
+                Some((*v, *k))
+            }
+            _ => None,
+        },
+        Expr::Binary(ArithOp::Sub, l, r) => match (&**l, &**r) {
+            (Expr::Term(Term::Var(v)), Expr::Term(Term::Const(gbc_ast::Value::Int(k)))) => {
+                Some((*v, -*k))
+            }
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+impl Constraints {
+    /// Harvest and close the constraints of `rule`'s comparison goals.
+    pub fn from_rule(rule: &Rule) -> Constraints {
+        let mut c = Constraints {
+            n: rule.num_vars(),
+            dist: vec![vec![i64::MAX; rule.num_vars()]; rule.num_vars()],
+        };
+        for i in 0..c.n {
+            c.dist[i][i] = 0;
+        }
+        for lit in &rule.body {
+            let Literal::Compare { op, lhs, rhs } = lit else { continue };
+            c.harvest(*op, lhs, rhs);
+        }
+        c.close();
+        c
+    }
+
+    /// Record `a − b ≤ w`.
+    fn add(&mut self, a: VarId, b: VarId, w: i64) {
+        let (a, b) = (a.index(), b.index());
+        if w < self.dist[a][b] {
+            self.dist[a][b] = w;
+        }
+    }
+
+    fn harvest(&mut self, op: CmpOp, lhs: &Expr, rhs: &Expr) {
+        // var+k vs var+k forms.
+        if let (Some((v1, k1)), Some((v2, k2))) = (var_offset(lhs), var_offset(rhs)) {
+            match op {
+                // v1 + k1 < v2 + k2  ⇒  v1 − v2 ≤ k2 − k1 − 1
+                CmpOp::Lt => self.add(v1, v2, k2 - k1 - 1),
+                CmpOp::Le => self.add(v1, v2, k2 - k1),
+                CmpOp::Gt => self.add(v2, v1, k1 - k2 - 1),
+                CmpOp::Ge => self.add(v2, v1, k1 - k2),
+                CmpOp::Eq => {
+                    self.add(v1, v2, k2 - k1);
+                    self.add(v2, v1, k1 - k2);
+                }
+                CmpOp::Ne => {}
+            }
+            return;
+        }
+        // v = max(a, b) / v = min(a, b) (either orientation of Eq).
+        if op == CmpOp::Eq {
+            for (bare, expr) in [(lhs, rhs), (rhs, lhs)] {
+                let Some((v, 0)) = var_offset(bare) else { continue };
+                let Expr::Binary(mm @ (ArithOp::Max | ArithOp::Min), a, b) = expr else {
+                    continue;
+                };
+                for side in [a, b] {
+                    if let Some((u, k)) = var_offset(side) {
+                        match mm {
+                            // v = max(…, u+k, …) ⇒ u + k ≤ v
+                            ArithOp::Max => self.add(u, v, -k),
+                            // v = min(…, u+k, …) ⇒ v ≤ u + k
+                            _ => self.add(v, u, k),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        for k in 0..self.n {
+            for i in 0..self.n {
+                let dik = self.dist[i][k];
+                if dik == i64::MAX {
+                    continue;
+                }
+                for j in 0..self.n {
+                    let dkj = self.dist[k][j];
+                    if dkj == i64::MAX {
+                        continue;
+                    }
+                    let via = dik.saturating_add(dkj);
+                    if via < self.dist[i][j] {
+                        self.dist[i][j] = via;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Is `a < b` derivable?
+    pub fn lt(&self, a: VarId, b: VarId) -> bool {
+        self.dist[a.index()][b.index()] <= -1
+    }
+
+    /// Is `a ≤ b` derivable?
+    pub fn le(&self, a: VarId, b: VarId) -> bool {
+        self.dist[a.index()][b.index()] <= 0
+    }
+
+    /// Is `a ≤ b + k` derivable? (`le_offset(a, b, 1)` with
+    /// [`Constraints::lt`]`(b, a)` pins `a = b + 1` — chain stages.)
+    pub fn le_offset(&self, a: VarId, b: VarId, k: i64) -> bool {
+        self.dist[a.index()][b.index()] <= k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbc_ast::Atom;
+
+    fn rule_with(body: Vec<Literal>, nvars: usize) -> Rule {
+        Rule::new(
+            Atom::new("h", vec![]),
+            body,
+            (0..nvars).map(|i| format!("V{i}")).collect(),
+        )
+    }
+
+    #[test]
+    fn successor_implies_strict() {
+        // I = I1 + 1  ⇒  I1 < I.
+        let r = rule_with(
+            vec![Literal::cmp(
+                CmpOp::Eq,
+                Expr::var(0),
+                Expr::binary(ArithOp::Add, Expr::var(1), Expr::int(1)),
+            )],
+            2,
+        );
+        let c = Constraints::from_rule(&r);
+        assert!(c.lt(VarId(1), VarId(0)));
+        assert!(!c.lt(VarId(0), VarId(1)));
+    }
+
+    #[test]
+    fn transitivity_chains() {
+        // J < I, I = K  ⇒  J < K.
+        let r = rule_with(
+            vec![
+                Literal::cmp(CmpOp::Lt, Expr::var(0), Expr::var(1)),
+                Literal::cmp(CmpOp::Eq, Expr::var(1), Expr::var(2)),
+            ],
+            3,
+        );
+        let c = Constraints::from_rule(&r);
+        assert!(c.lt(VarId(0), VarId(2)));
+        assert!(c.le(VarId(0), VarId(2)));
+    }
+
+    #[test]
+    fn max_gives_weak_bounds() {
+        // I = max(J, K)  ⇒  J ≤ I, K ≤ I, but not J < I.
+        let r = rule_with(
+            vec![Literal::cmp(
+                CmpOp::Eq,
+                Expr::var(0),
+                Expr::binary(ArithOp::Max, Expr::var(1), Expr::var(2)),
+            )],
+            3,
+        );
+        let c = Constraints::from_rule(&r);
+        assert!(c.le(VarId(1), VarId(0)));
+        assert!(c.le(VarId(2), VarId(0)));
+        assert!(!c.lt(VarId(1), VarId(0)));
+    }
+
+    #[test]
+    fn min_is_dual() {
+        let r = rule_with(
+            vec![Literal::cmp(
+                CmpOp::Eq,
+                Expr::var(0),
+                Expr::binary(ArithOp::Min, Expr::var(1), Expr::var(2)),
+            )],
+            3,
+        );
+        let c = Constraints::from_rule(&r);
+        assert!(c.le(VarId(0), VarId(1)));
+        assert!(c.le(VarId(0), VarId(2)));
+    }
+
+    #[test]
+    fn unrelated_variables_are_unconstrained() {
+        let r = rule_with(vec![], 2);
+        let c = Constraints::from_rule(&r);
+        assert!(!c.le(VarId(0), VarId(1)));
+        assert!(!c.lt(VarId(0), VarId(1)));
+        assert!(c.le(VarId(0), VarId(0)));
+    }
+
+    #[test]
+    fn strict_plus_weak_stays_strict() {
+        // J < I, I ≤ K ⇒ J < K.
+        let r = rule_with(
+            vec![
+                Literal::cmp(CmpOp::Lt, Expr::var(0), Expr::var(1)),
+                Literal::cmp(CmpOp::Le, Expr::var(1), Expr::var(2)),
+            ],
+            3,
+        );
+        let c = Constraints::from_rule(&r);
+        assert!(c.lt(VarId(0), VarId(2)));
+    }
+
+    #[test]
+    fn integer_strictness_from_offsets() {
+        // J < I + 1 ⇒ J ≤ I (integers).
+        let r = rule_with(
+            vec![Literal::cmp(
+                CmpOp::Lt,
+                Expr::var(0),
+                Expr::binary(ArithOp::Add, Expr::var(1), Expr::int(1)),
+            )],
+            2,
+        );
+        let c = Constraints::from_rule(&r);
+        assert!(c.le(VarId(0), VarId(1)));
+        assert!(!c.lt(VarId(0), VarId(1)));
+    }
+}

@@ -1,0 +1,12 @@
+//! Compile-time analysis: stage-variable inference and the
+//! stage-stratification checker of Section 4 — the paper's claim that
+//! greedy programs form "a syntactic class … easily recognized at
+//! compile time".
+
+pub mod classify;
+pub mod constraints;
+pub mod stage;
+
+pub use classify::{classify, Analysis, CliqueInfo, ProgramClass};
+pub use constraints::Constraints;
+pub use stage::{infer_stages, StageInfo};

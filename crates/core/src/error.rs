@@ -1,0 +1,71 @@
+//! Errors of the compilation and execution pipeline.
+
+use std::fmt;
+
+use gbc_ast::AstError;
+use gbc_engine::EngineError;
+
+/// Errors from `gbc-core`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoreError {
+    /// Static validation failed.
+    Ast(AstError),
+    /// Evaluation failed.
+    Engine(EngineError),
+    /// A `next` rule is malformed for expansion (stage variable issues).
+    BadNextRule { rule: String, detail: String },
+    /// The program is not a stage program (conflicting stage arguments,
+    /// mixed rule kinds in a clique, …).
+    NotStageProgram { detail: String },
+    /// The program has stage cliques but fails (strict) stage
+    /// stratification — e.g. the paper's Kruskal program (Example 8).
+    NotStageStratified { detail: String },
+    /// No greedy plan exists (a next rule falls outside the Section 6
+    /// template); callers should use the generic choice fixpoint.
+    NoGreedyPlan { detail: String },
+    /// The greedy executor hit its step budget.
+    StepLimit { steps: u64 },
+    /// A stage argument held a non-integer value at run time.
+    NonIntegerStage { found: String },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Ast(e) => write!(f, "{e}"),
+            CoreError::Engine(e) => write!(f, "{e}"),
+            CoreError::BadNextRule { rule, detail } => {
+                write!(f, "bad next rule `{rule}`: {detail}")
+            }
+            CoreError::NotStageProgram { detail } => {
+                write!(f, "not a stage program: {detail}")
+            }
+            CoreError::NotStageStratified { detail } => {
+                write!(f, "not stage-stratified: {detail}")
+            }
+            CoreError::NoGreedyPlan { detail } => {
+                write!(f, "no greedy plan: {detail}")
+            }
+            CoreError::StepLimit { steps } => {
+                write!(f, "greedy executor exceeded its step budget ({steps})")
+            }
+            CoreError::NonIntegerStage { found } => {
+                write!(f, "stage argument must be an integer, found `{found}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<AstError> for CoreError {
+    fn from(e: AstError) -> Self {
+        CoreError::Ast(e)
+    }
+}
+
+impl From<EngineError> for CoreError {
+    fn from(e: EngineError) -> Self {
+        CoreError::Engine(e)
+    }
+}

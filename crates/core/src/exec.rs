@@ -1,0 +1,789 @@
+//! The **Alternating Stage-Choice Fixpoint** executor (Sections 4 & 6).
+//!
+//! For a stage-stratified program whose next rules fit the Section 6
+//! template
+//!
+//! ```text
+//! next(I), p(X̄, J), [J < I | I = J + 1], [least(C, I)], [choice …]
+//! ```
+//!
+//! the executor alternates:
+//!
+//! * `Q` — seminaive saturation of the flat rules;
+//! * γ — *retrieve-least* from the rule's **D_r = (R, Q, L)** structure:
+//!   pop the cheapest candidate, re-check the stage comparisons and the
+//!   choice FDs (the on-the-fly `diffChoice` test), discard failures to
+//!   `R_r`, and commit the first survivor as the next stage.
+//!
+//! New source facts flow into `Q_r` as they are derived, keyed by their
+//! *r-congruence class* (one queued representative per class — see
+//! [`gbc_storage::rql`]). Insert and retrieve-least are `O(log |Q|)`,
+//! which is what delivers the paper's complexity results: Prim in
+//! `O(e log e)`, sorting in `O(n log n)` (the "insertion sort that runs
+//! as heap-sort"), matching in `O(e log e)`.
+//!
+//! Congruence keys are derived from the rule's choice FDs per the
+//! paper's definition, with a soundness guard: an argument column is
+//! dropped as "functionally determined" only while the determining
+//! columns remain in the key, and the cost column is dropped only when
+//! the rule has choice goals at all (for plain `next`+`least` rules like
+//! sorting, every source fact is its own class — the behaviour the
+//! paper's sorting analysis describes).
+
+use std::collections::HashMap;
+
+use gbc_ast::{CmpOp, Literal, Program, Rule, Symbol, Term, Value, VarId};
+use gbc_engine::bindings::Bindings;
+use gbc_engine::eval::{eval_expr, eval_term, instantiate_head, match_term};
+use gbc_engine::extrema::{collect_matches, filter_extrema};
+use gbc_engine::seminaive::Seminaive;
+use gbc_storage::{Database, Row, Rql};
+
+use crate::analysis::stage::StageInfo;
+use crate::error::CoreError;
+use crate::rewrite::choice::choice_vars;
+
+/// Execution limits and switches.
+#[derive(Clone, Copy, Debug)]
+pub struct GreedyConfig {
+    /// γ-step budget.
+    pub max_steps: u64,
+}
+
+impl Default for GreedyConfig {
+    fn default() -> Self {
+        GreedyConfig { max_steps: 100_000_000 }
+    }
+}
+
+/// One committed choice, with the bookkeeping needed to reconstruct the
+/// `chosen_i` facts of the rewritten program (Theorem 1 validation).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChosenRecord {
+    /// Index of the firing rule in the original (and expanded) program.
+    pub rule_idx: usize,
+    /// Per choice goal of the *expanded* rule: the committed (L, R)
+    /// value pair.
+    pub pairs: Vec<(Vec<Value>, Vec<Value>)>,
+    /// The expanded rule's choice variables, evaluated.
+    pub chosen_args: Vec<Value>,
+}
+
+/// Executor statistics (exposed for the benchmark harness and tests).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GreedyStats {
+    /// Committed γ steps.
+    pub gamma_steps: u64,
+    /// Candidates popped from some `Q_r` and discarded to `R_r`.
+    pub discarded: u64,
+    /// Facts derived by flat-rule saturation.
+    pub flat_new_facts: u64,
+    /// Largest `Q_r` size observed.
+    pub queue_peak: usize,
+}
+
+/// The result of a run.
+#[derive(Clone, Debug)]
+pub struct GreedyRun {
+    /// The computed choice model (EDB + all derived facts).
+    pub db: Database,
+    /// The committed choices, in firing order.
+    pub chosen: Vec<ChosenRecord>,
+    /// Counters.
+    pub stats: GreedyStats,
+}
+
+/// The compiled plan for one next rule.
+#[derive(Clone, Debug)]
+pub struct NextPlan {
+    /// Rule index in the original program.
+    pub rule_idx: usize,
+    rule: Rule,
+    expanded: Rule,
+    head_pred: Symbol,
+    stage_pos: usize,
+    stage_var: VarId,
+    source_lit: usize,
+    source_pred: Symbol,
+    /// Cost variable (from `least`/`most`), if any, with its source
+    /// column.
+    cost: Option<(VarId, usize)>,
+    /// True for `most` (retrieve the maximum — the dual structure).
+    descending: bool,
+    /// Chain mode: the rule pins `I = J + 1` (TSP-style), so stale
+    /// stages must stay distinct congruence classes.
+    pub chain: bool,
+    /// Source columns forming the congruence key.
+    pub cong_cols: Vec<usize>,
+    /// Comparison literals evaluable from source variables alone.
+    pre_checks: Vec<Literal>,
+    /// Comparison literals needing the stage variable.
+    post_checks: Vec<Literal>,
+    /// The original rule's choice goals.
+    choice_goals: Vec<(Vec<Term>, Vec<Term>)>,
+}
+
+/// Build plans for every next rule of a validated, stage-stratified
+/// program. Errors with [`CoreError::NoGreedyPlan`] when a next rule
+/// falls outside the Section 6 template.
+pub fn build_plans(
+    program: &Program,
+    expanded: &Program,
+    stages: &StageInfo,
+) -> Result<Vec<NextPlan>, CoreError> {
+    let mut plans = Vec::new();
+    let mut seen_heads: Vec<Symbol> = Vec::new();
+    for (ri, rule) in program.rules.iter().enumerate() {
+        if !rule.has_next() {
+            continue;
+        }
+        if seen_heads.contains(&rule.head.pred) {
+            return Err(CoreError::NoGreedyPlan {
+                detail: format!(
+                    "two next rules define `{}`; the executor supports one per predicate",
+                    rule.head.pred
+                ),
+            });
+        }
+        seen_heads.push(rule.head.pred);
+        plans.push(build_plan(ri, rule, &expanded.rules[ri], stages)?);
+    }
+    Ok(plans)
+}
+
+fn template_err(rule: &Rule, detail: impl Into<String>) -> CoreError {
+    CoreError::NoGreedyPlan {
+        detail: format!("rule `{rule}` is outside the Section 6 template: {}", detail.into()),
+    }
+}
+
+fn build_plan(
+    rule_idx: usize,
+    rule: &Rule,
+    expanded: &Rule,
+    stages: &StageInfo,
+) -> Result<NextPlan, CoreError> {
+    let stage_var = rule
+        .body
+        .iter()
+        .find_map(|l| match l {
+            Literal::Next { var } => Some(*var),
+            _ => None,
+        })
+        .expect("next rule");
+    let stage_pos = rule
+        .head
+        .args
+        .iter()
+        .position(|t| matches!(t, Term::Var(v) if *v == stage_var))
+        .ok_or_else(|| template_err(rule, "stage variable missing from head"))?;
+
+    // Exactly one positive atom (the source); no negation.
+    let sources: Vec<usize> = rule
+        .body
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| matches!(l, Literal::Pos(_)))
+        .map(|(i, _)| i)
+        .collect();
+    if sources.len() != 1 {
+        return Err(template_err(rule, format!("{} positive atoms, need 1", sources.len())));
+    }
+    if rule.has_negation() {
+        return Err(template_err(rule, "negated atoms in a next rule"));
+    }
+    let source_lit = sources[0];
+    let Literal::Pos(source) = &rule.body[source_lit] else { unreachable!() };
+
+    // Variables bound by the source atom.
+    let source_vars = source.vars();
+
+    // Extremum: at most one `least`/`most`, group ⊆ {stage var}.
+    let mut cost = None;
+    let mut descending = false;
+    for lit in &rule.body {
+        let (c, group, desc) = match lit {
+            Literal::Least { cost, group } => (cost, group, false),
+            Literal::Most { cost, group } => (cost, group, true),
+            _ => continue,
+        };
+        if cost.is_some() {
+            return Err(template_err(rule, "multiple extrema"));
+        }
+        let group_ok = group.is_empty()
+            || (group.len() == 1 && matches!(&group[0], Term::Var(v) if *v == stage_var));
+        if !group_ok {
+            return Err(template_err(rule, "extremum group must be the stage variable"));
+        }
+        let Term::Var(cv) = c else {
+            return Err(template_err(rule, "extremum cost must be a variable"));
+        };
+        let col = source
+            .args
+            .iter()
+            .position(|t| matches!(t, Term::Var(v) if v == cv))
+            .ok_or_else(|| template_err(rule, "cost variable must be a source column"))?;
+        cost = Some((*cv, col));
+        descending = desc;
+    }
+
+    // Comparisons: split by whether they mention the stage variable;
+    // everything they mention must come from the source (or the stage).
+    let mut pre_checks = Vec::new();
+    let mut post_checks = Vec::new();
+    for lit in &rule.body {
+        let Literal::Compare { .. } = lit else { continue };
+        let vars = lit.vars();
+        if vars.iter().any(|v| !source_vars.contains(v) && *v != stage_var) {
+            return Err(template_err(rule, "comparison over non-source variables"));
+        }
+        if vars.contains(&stage_var) {
+            post_checks.push(lit.clone());
+        } else {
+            pre_checks.push(lit.clone());
+        }
+    }
+
+    // Head must be instantiable from source vars + stage var.
+    let mut head_vars = Vec::new();
+    for t in &rule.head.args {
+        t.collect_vars(&mut head_vars);
+    }
+    if head_vars.iter().any(|v| !source_vars.contains(v) && *v != stage_var) {
+        return Err(template_err(rule, "head variable not bound by the source atom"));
+    }
+
+    // Chain mode: I = J + 1 for the source's stage column J.
+    let cons = crate::analysis::constraints::Constraints::from_rule(rule);
+    let source_stage_col = stages
+        .stage_arg
+        .get(&source.pred)
+        .copied()
+        .filter(|&pos| pos < source.args.len());
+    let chain = source_stage_col.is_some_and(|pos| {
+        matches!(&source.args[pos], Term::Var(j)
+            if cons.lt(*j, stage_var) && cons.le_offset(stage_var, *j, 1))
+    });
+
+    // Choice goals of the original rule; their variables must be bound.
+    let mut choice_goals = Vec::new();
+    for lit in &rule.body {
+        let Literal::Choice { left, right } = lit else { continue };
+        let vars = lit.vars();
+        if vars.iter().any(|v| !source_vars.contains(v) && *v != stage_var) {
+            return Err(template_err(rule, "choice variable not bound by the source atom"));
+        }
+        choice_goals.push((left.clone(), right.clone()));
+    }
+
+    // Congruence key (see module docs).
+    let mut key: Vec<usize> = (0..source.args.len()).collect();
+    if let Some(pos) = source_stage_col {
+        if !chain {
+            key.retain(|&c| c != pos);
+        }
+    }
+    // Columns whose variables are functionally determined by a choice
+    // goal. Sound ONLY with a single choice goal: a popped candidate
+    // can then fail solely through that goal's FD on the key itself, so
+    // a discarded pop proves the whole congruence class dead. With two
+    // or more FDs (the matching program) a pop may fail through an FD
+    // over a dropped column while congruent siblings remain viable —
+    // and indeed the paper's own matching analysis keeps all `e` arcs
+    // in `Q_r`.
+    let col_vars: Vec<Vec<VarId>> = source.args.iter().map(Term::vars).collect();
+    let cost_col = cost.map(|(_, col)| col);
+    if let [(left, right)] = choice_goals.as_slice() {
+        let l_vars: Vec<VarId> = left.iter().flat_map(Term::vars).collect();
+        let r_vars: Vec<VarId> = right.iter().flat_map(Term::vars).collect();
+        let key_vars: Vec<VarId> = key
+            .iter()
+            .filter(|&&c| Some(c) != cost_col)
+            .flat_map(|&c| col_vars[c].iter().copied())
+            .collect();
+        if l_vars.iter().all(|v| key_vars.contains(v) || *v == stage_var) {
+            key.retain(|&c| {
+                Some(c) == cost_col
+                    || col_vars[c].is_empty()
+                    || !col_vars[c].iter().all(|v| r_vars.contains(v))
+            });
+        }
+    }
+    if let Some(col) = cost_col {
+        if !choice_goals.is_empty() {
+            key.retain(|&c| c != col);
+        }
+    }
+
+    Ok(NextPlan {
+        rule_idx,
+        rule: rule.clone(),
+        expanded: expanded.clone(),
+        head_pred: rule.head.pred,
+        stage_pos,
+        stage_var,
+        source_lit,
+        source_pred: source.pred,
+        cost,
+        descending,
+        chain,
+        cong_cols: key,
+        pre_checks,
+        post_checks,
+        choice_goals,
+    })
+}
+
+type FdMap = HashMap<Vec<Value>, Vec<Value>>;
+
+struct NextState {
+    plan: NextPlan,
+    rql: Rql,
+    /// Fed rows of the source relation.
+    src_mark: usize,
+    /// Scanned rows of the head relation (stage tracking).
+    head_mark: usize,
+    /// Current maximum stage.
+    stage: i64,
+    /// FD memo per original choice goal.
+    memos: Vec<FdMap>,
+    /// The `choice(W, I)` FD of the next-expansion: each non-stage head
+    /// tuple `W` is committed at exactly one stage. Without this check
+    /// a chain-mode program can re-commit the same tuple at every new
+    /// stage (the head differs only in `I`) and never terminate.
+    w_used: std::collections::HashSet<Vec<Value>>,
+}
+
+/// The executor. Create with [`GreedyExecutor::new`], then [`GreedyExecutor::run`].
+pub struct GreedyExecutor {
+    flat: Seminaive,
+    nexts: Vec<NextState>,
+    /// Exit choice rules (choice, no next), with their memos.
+    exits: Vec<(usize, Rule)>,
+    exit_memos: Vec<Vec<FdMap>>,
+    /// Per exit rule: the body-relation size total at the last fruitless
+    /// attempt — unchanged inputs ⇒ still fruitless, skip the re-scan.
+    exit_stale: Vec<Option<usize>>,
+    db: Database,
+    config: GreedyConfig,
+    chosen: Vec<ChosenRecord>,
+    stats: GreedyStats,
+}
+
+impl GreedyExecutor {
+    /// Set up the executor: facts are loaded, rules partitioned, one
+    /// [`Rql`] allocated per next-rule plan.
+    pub fn new(
+        program: &Program,
+        _expanded: &Program,
+        plans: Vec<NextPlan>,
+        edb: &Database,
+        config: GreedyConfig,
+    ) -> GreedyExecutor {
+        let mut db = edb.clone();
+        let mut flat_rules = Vec::new();
+        let mut exits = Vec::new();
+        let mut exit_memos = Vec::new();
+        for (ri, r) in program.rules.iter().enumerate() {
+            if r.is_fact() {
+                let row = r
+                    .head
+                    .args
+                    .iter()
+                    .map(|t| t.as_value().expect("validated ground fact"))
+                    .collect();
+                db.insert(r.head.pred, row);
+            } else if r.has_next() {
+                // handled by plans
+            } else if r.has_choice() {
+                let goals = r
+                    .body
+                    .iter()
+                    .filter(|l| matches!(l, Literal::Choice { .. }))
+                    .count();
+                exit_memos.push(vec![FdMap::new(); goals]);
+                exits.push((ri, r.clone()));
+            } else {
+                flat_rules.push(r.clone());
+            }
+        }
+        let nexts = plans
+            .into_iter()
+            .map(|plan| {
+                let goals = plan.choice_goals.len();
+                let rql = if plan.descending { Rql::new_descending() } else { Rql::new() };
+                NextState {
+                    plan,
+                    rql,
+                    src_mark: 0,
+                    head_mark: 0,
+                    stage: i64::MIN,
+                    memos: vec![FdMap::new(); goals],
+                    w_used: std::collections::HashSet::new(),
+                }
+            })
+            .collect();
+        let exit_stale = vec![None; exits.len()];
+        GreedyExecutor {
+            flat: Seminaive::new(flat_rules),
+            nexts,
+            exits,
+            exit_memos,
+            exit_stale,
+            db,
+            config,
+            chosen: Vec::new(),
+            stats: GreedyStats::default(),
+        }
+    }
+
+    /// Run to fixpoint.
+    pub fn run(mut self) -> Result<GreedyRun, CoreError> {
+        loop {
+            self.stats.flat_new_facts += self.flat.saturate(&mut self.db)?;
+            if self.fire_exit_rule()? {
+                continue;
+            }
+            for i in 0..self.nexts.len() {
+                self.feed(i)?;
+            }
+            let mut fired = false;
+            for i in 0..self.nexts.len() {
+                if self.fire_next_rule(i)? {
+                    fired = true;
+                    break;
+                }
+            }
+            if !fired {
+                break;
+            }
+            if self.stats.gamma_steps >= self.config.max_steps {
+                return Err(CoreError::StepLimit { steps: self.stats.gamma_steps });
+            }
+        }
+        Ok(GreedyRun { db: self.db, chosen: self.chosen, stats: self.stats })
+    }
+
+    /// Fire one exit choice rule instance, generic-candidate style.
+    fn fire_exit_rule(&mut self) -> Result<bool, CoreError> {
+        for (ei, (ri, rule)) in self.exits.iter().enumerate() {
+            let body_size: usize = rule.positive_atoms().map(|a| self.db.count(a.pred)).sum();
+            if self.exit_stale[ei] == Some(body_size) {
+                continue;
+            }
+            let frames = collect_matches(&self.db, rule, None)?;
+            let mut consistent = Vec::new();
+            for b in frames {
+                if fd_consistent(rule, &self.exit_memos[ei], &b)? {
+                    consistent.push(b);
+                }
+            }
+            let minimal = filter_extrema(rule, consistent)?;
+            // Deterministic pick: smallest (head, chosen-args).
+            let mut best: Option<(Row, Vec<Value>, Bindings)> = None;
+            for b in minimal {
+                let head = instantiate_head(rule, &b)?;
+                let args = eval_choice_vars(rule, &b)?;
+                if self.db.contains(rule.head.pred, &head)
+                    && all_pairs_present(rule, &self.exit_memos[ei], &b)?
+                {
+                    continue; // not new
+                }
+                if best.as_ref().is_none_or(|(h, a, _)| (&head, &args) < (h, a)) {
+                    best = Some((head, args, b));
+                }
+            }
+            let Some((head, args, b)) = best else {
+                self.exit_stale[ei] = Some(body_size);
+                continue;
+            };
+            let pairs = eval_goal_pairs(rule, &b)?;
+            self.db.insert(rule.head.pred, head);
+            for (gi, (l, r)) in pairs.iter().enumerate() {
+                self.exit_memos[ei][gi].insert(l.clone(), r.clone());
+            }
+            self.chosen.push(ChosenRecord { rule_idx: *ri, pairs, chosen_args: args });
+            self.stats.gamma_steps += 1;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Push newly derived source facts of next rule `i` into its `Q_r`,
+    /// and refresh the rule's stage high-water mark.
+    fn feed(&mut self, i: usize) -> Result<(), CoreError> {
+        let ns = &mut self.nexts[i];
+        let plan = &ns.plan;
+
+        // Track the head relation's max stage (exit rules seed it), and
+        // register every head tuple's W projection: the stage variable
+        // "associates each tuple with a unique value of the index I,
+        // and vice versa" (Section 3) — the W → I direction must also
+        // cover facts produced by exit rules, or a chain program can
+        // re-commit an exit tuple at a fresh stage forever.
+        let head_rel = self.db.relation(plan.head_pred);
+        let mut new_w: Vec<Vec<Value>> = Vec::new();
+        for row in head_rel.since(ns.head_mark) {
+            match row.get(plan.stage_pos) {
+                Some(Value::Int(s)) => ns.stage = ns.stage.max(*s),
+                Some(other) => {
+                    return Err(CoreError::NonIntegerStage { found: other.to_string() })
+                }
+                None => {}
+            }
+            new_w.push(
+                row.iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != plan.stage_pos)
+                    .map(|(_, v)| v.clone())
+                    .collect(),
+            );
+        }
+        ns.head_mark = head_rel.len();
+        ns.w_used.extend(new_w);
+
+        let src_rel = self.db.relation(plan.source_pred);
+        let rows: Vec<Row> = src_rel.since(ns.src_mark).to_vec();
+        ns.src_mark = src_rel.len();
+
+        let Literal::Pos(source) = &plan.rule.body[plan.source_lit] else {
+            unreachable!()
+        };
+        for row in rows {
+            let mut b = Bindings::new(plan.rule.num_vars());
+            let mut trail = Vec::new();
+            let matched = row.arity() == source.args.len()
+                && source
+                    .args
+                    .iter()
+                    .zip(row.iter())
+                    .all(|(t, v)| match_term(t, v, &mut b, &mut trail));
+            if !matched {
+                continue;
+            }
+            if !apply_comparisons(&plan.pre_checks, &mut b)? {
+                continue;
+            }
+            let cost = match plan.cost {
+                Some((cv, _)) => b
+                    .get(cv)
+                    .cloned()
+                    .expect("cost variable bound by source match"),
+                None => Value::Nil,
+            };
+            let key = row.project(&plan.cong_cols);
+            ns.rql.insert(key, cost, row);
+            self.stats.queue_peak = self.stats.queue_peak.max(ns.rql.queue_len());
+        }
+        Ok(())
+    }
+
+    /// γ for next rule `i`: pop candidates until one passes every check.
+    fn fire_next_rule(&mut self, i: usize) -> Result<bool, CoreError> {
+        // Split the borrow: take what we need out of `self.nexts[i]`.
+        let ns = &mut self.nexts[i];
+        if ns.stage == i64::MIN {
+            // No committed stage yet (exit facts absent): nothing to do.
+            if ns.rql.is_queue_empty() {
+                return Ok(false);
+            }
+            return Err(CoreError::NoGreedyPlan {
+                detail: format!(
+                    "next rule for `{}` has candidates but no initial stage fact",
+                    ns.plan.head_pred
+                ),
+            });
+        }
+        let next_stage = ns
+            .stage
+            .checked_add(1)
+            .ok_or(CoreError::StepLimit { steps: u64::MAX })?;
+
+        while let Some(popped) = ns.rql.pop_least() {
+            let plan = &ns.plan;
+            let Literal::Pos(source) = &plan.rule.body[plan.source_lit] else {
+                unreachable!()
+            };
+            let mut b = Bindings::new(plan.rule.num_vars());
+            let mut trail = Vec::new();
+            let ok = source
+                .args
+                .iter()
+                .zip(popped.row.iter())
+                .all(|(t, v)| match_term(t, v, &mut b, &mut trail));
+            debug_assert!(ok, "queued row must re-match its source atom");
+            b.bind(plan.stage_var, Value::Int(next_stage));
+
+            let passes = apply_comparisons(&plan.pre_checks, &mut b)?
+                && apply_comparisons(&plan.post_checks, &mut b)?
+                && fd_consistent_goals(&plan.choice_goals, &ns.memos, &plan.rule, &b)?;
+            if !passes {
+                ns.rql.discard(popped);
+                self.stats.discarded += 1;
+                continue;
+            }
+            let head = instantiate_head(&plan.rule, &b)?;
+            // The next-expansion's choice(W, I): one stage per W.
+            let w: Vec<Value> = head
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != plan.stage_pos)
+                .map(|(_, v)| v.clone())
+                .collect();
+            if ns.w_used.contains(&w) {
+                ns.rql.discard(popped);
+                self.stats.discarded += 1;
+                continue;
+            }
+
+            // Commit.
+            ns.w_used.insert(w);
+            let pairs = eval_goal_pairs(&plan.expanded, &b)?;
+            let chosen_args = eval_choice_vars(&plan.expanded, &b)?;
+            for (gi, (l, r)) in pairs.iter().take(plan.choice_goals.len()).enumerate() {
+                ns.memos[gi].insert(l.clone(), r.clone());
+            }
+            ns.rql.commit(popped);
+            ns.stage = next_stage;
+            let rule_idx = plan.rule_idx;
+            self.db.insert(ns.plan.head_pred, head);
+            self.chosen.push(ChosenRecord { rule_idx, pairs, chosen_args });
+            self.stats.gamma_steps += 1;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+}
+
+/// Evaluate the comparison literals in order, with `=`-assignment
+/// (engine semantics). Returns false when a comparison fails.
+fn apply_comparisons(lits: &[Literal], b: &mut Bindings) -> Result<bool, CoreError> {
+    // Small fixpoint: some comparisons may bind variables used by later
+    // ones regardless of their syntactic order.
+    let mut pending: Vec<&Literal> = lits.iter().collect();
+    while !pending.is_empty() {
+        let mut progressed = false;
+        let mut remaining = Vec::new();
+        for lit in pending {
+            let Literal::Compare { op, lhs, rhs } = lit else { continue };
+            let lv = eval_expr(lhs, b).map_err(CoreError::Engine)?;
+            let rv = eval_expr(rhs, b).map_err(CoreError::Engine)?;
+            match (lv, rv) {
+                (Some(a), Some(c)) => {
+                    if !op.eval(a.cmp(&c)) {
+                        return Ok(false);
+                    }
+                    progressed = true;
+                }
+                (Some(val), None) | (None, Some(val)) if *op == CmpOp::Eq => {
+                    let unbound = if eval_expr(lhs, b).map_err(CoreError::Engine)?.is_none() {
+                        lhs
+                    } else {
+                        rhs
+                    };
+                    match unbound.as_bare_term() {
+                        Some(t) => {
+                            let mut trail = Vec::new();
+                            if !match_term(t, &val, b, &mut trail) {
+                                return Ok(false);
+                            }
+                            progressed = true;
+                        }
+                        None => remaining.push(lit),
+                    }
+                }
+                _ => remaining.push(lit),
+            }
+        }
+        if !progressed && !remaining.is_empty() {
+            return Err(CoreError::NoGreedyPlan {
+                detail: "unresolvable comparison chain in next rule".into(),
+            });
+        }
+        pending = remaining;
+    }
+    Ok(true)
+}
+
+fn eval_tuple(rule: &Rule, terms: &[Term], b: &Bindings) -> Result<Vec<Value>, CoreError> {
+    terms
+        .iter()
+        .map(|t| {
+            eval_term(t, b).ok_or_else(|| {
+                CoreError::Engine(gbc_engine::EngineError::NonGroundHead {
+                    rule: rule.to_string(),
+                })
+            })
+        })
+        .collect()
+}
+
+/// diffChoice on the fly, over explicit goal lists.
+fn fd_consistent_goals(
+    goals: &[(Vec<Term>, Vec<Term>)],
+    memos: &[FdMap],
+    rule: &Rule,
+    b: &Bindings,
+) -> Result<bool, CoreError> {
+    for (gi, (l, r)) in goals.iter().enumerate() {
+        let lv = eval_tuple(rule, l, b)?;
+        let rv = eval_tuple(rule, r, b)?;
+        if let Some(prev) = memos[gi].get(&lv) {
+            if *prev != rv {
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
+}
+
+/// diffChoice over a rule's own choice literals.
+fn fd_consistent(rule: &Rule, memos: &[FdMap], b: &Bindings) -> Result<bool, CoreError> {
+    let goals: Vec<(Vec<Term>, Vec<Term>)> = rule
+        .body
+        .iter()
+        .filter_map(|l| match l {
+            Literal::Choice { left, right } => Some((left.clone(), right.clone())),
+            _ => None,
+        })
+        .collect();
+    fd_consistent_goals(&goals, memos, rule, b)
+}
+
+fn all_pairs_present(rule: &Rule, memos: &[FdMap], b: &Bindings) -> Result<bool, CoreError> {
+    let mut gi = 0;
+    for lit in &rule.body {
+        let Literal::Choice { left, right } = lit else { continue };
+        let lv = eval_tuple(rule, left, b)?;
+        let rv = eval_tuple(rule, right, b)?;
+        if memos[gi].get(&lv) != Some(&rv) {
+            return Ok(false);
+        }
+        gi += 1;
+    }
+    Ok(true)
+}
+
+/// Evaluate every choice goal of `rule` to its (L, R) value pair.
+fn eval_goal_pairs(rule: &Rule, b: &Bindings) -> Result<Vec<(Vec<Value>, Vec<Value>)>, CoreError> {
+    let mut out = Vec::new();
+    for lit in &rule.body {
+        let Literal::Choice { left, right } = lit else { continue };
+        out.push((eval_tuple(rule, left, b)?, eval_tuple(rule, right, b)?));
+    }
+    Ok(out)
+}
+
+/// Evaluate the rule's choice variables (the `chosen_i` argument tuple).
+fn eval_choice_vars(rule: &Rule, b: &Bindings) -> Result<Vec<Value>, CoreError> {
+    choice_vars(rule)
+        .into_iter()
+        .map(|v| {
+            b.get(v).cloned().ok_or_else(|| {
+                CoreError::Engine(gbc_engine::EngineError::NonGroundHead {
+                    rule: rule.to_string(),
+                })
+            })
+        })
+        .collect()
+}

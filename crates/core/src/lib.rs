@@ -1,0 +1,168 @@
+//! # gbc-core — *Greedy by Choice*
+//!
+//! The primary contribution of Greco, Zaniolo & Ganguly's PODS 1992
+//! paper, as a Rust library:
+//!
+//! * [`rewrite`] — the meta-level rewritings that give `next`, `choice`
+//!   and `least`/`most` a first-order, stable-model semantics;
+//! * [`analysis`] — compile-time recognition of **stage-stratified**
+//!   programs (Section 4): stage-predicate inference, difference-
+//!   constraint checking of the strict/weak stage inequalities, clique
+//!   classification;
+//! * [`exec`] — the **Alternating Stage-Choice Fixpoint** executor over
+//!   the (R, Q, L) priority structures of Section 6, delivering
+//!   procedural-grade asymptotics for declarative greedy programs;
+//! * [`verify`] — Theorem 1 validation: runs are checked to be stable
+//!   models of the rewritten negative program (Gelfond–Lifschitz).
+//!
+//! The one-stop entry point is [`compile`]:
+//!
+//! ```
+//! use gbc_core::{compile, ProgramClass};
+//! use gbc_storage::Database;
+//! use gbc_ast::Value;
+//!
+//! let program = gbc_parser::parse_program(
+//!     "sp(nil, 0, 0).
+//!      sp(X, C, I) <- next(I), p(X, C), least(C, I).",
+//! ).unwrap();
+//! let compiled = compile(program).unwrap();
+//! assert_eq!(*compiled.class(), ProgramClass::StageStratified { alternating: true });
+//!
+//! let mut edb = Database::new();
+//! for (x, c) in [("b", 30), ("a", 10), ("c", 20)] {
+//!     edb.insert_values("p", vec![Value::sym(x), Value::int(c)]);
+//! }
+//! let run = compiled.run(&edb).unwrap();
+//! // sp ranks tuples by cost: stage 1 = a(10), 2 = c(20), 3 = b(30).
+//! let sp = run.db.facts_of(gbc_ast::Symbol::intern("sp"));
+//! assert_eq!(sp.len(), 4); // exit fact + 3 ranked tuples
+//! ```
+
+pub mod analysis;
+pub mod error;
+pub mod exec;
+pub mod rewrite;
+pub mod verify;
+
+pub use analysis::{classify, Analysis, ProgramClass};
+pub use error::CoreError;
+pub use exec::{ChosenRecord, GreedyConfig, GreedyRun, GreedyStats};
+pub use rewrite::{rewrite_full, FullRewrite};
+pub use verify::verify_stable_model;
+
+use gbc_ast::Program;
+use gbc_engine::{ChoiceFixpoint, ChoiceFixpointConfig, DeterministicFirst};
+use gbc_storage::Database;
+
+/// A compiled program: validated, analysed, `next`-expanded, and — when
+/// it is stage-stratified and its next rules fit the Section 6 template
+/// — equipped with a greedy execution plan.
+#[derive(Clone, Debug)]
+pub struct Compiled {
+    program: Program,
+    expanded: Program,
+    analysis: Analysis,
+    plans: Vec<exec::NextPlan>,
+    plan_error: Option<String>,
+}
+
+/// Validate, classify and plan `program`.
+pub fn compile(program: Program) -> Result<Compiled, CoreError> {
+    program.validate()?;
+    let analysis = classify(&program);
+    let expanded = rewrite::next::expand_next(&program)?;
+    let (plans, plan_error) = match &analysis.class {
+        ProgramClass::StageStratified { .. } => {
+            match exec::build_plans(&program, &expanded, &analysis.stages) {
+                Ok(p) => (p, None),
+                Err(e) => (Vec::new(), Some(e.to_string())),
+            }
+        }
+        other => (
+            Vec::new(),
+            Some(format!("not stage-stratified (class {other:?})")),
+        ),
+    };
+    Ok(Compiled { program, expanded, analysis, plans, plan_error })
+}
+
+impl Compiled {
+    /// The original program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The `next`-expanded program (choice/extrema intact).
+    pub fn expanded(&self) -> &Program {
+        &self.expanded
+    }
+
+    /// The analysis result.
+    pub fn analysis(&self) -> &Analysis {
+        &self.analysis
+    }
+
+    /// The program class.
+    pub fn class(&self) -> &ProgramClass {
+        &self.analysis.class
+    }
+
+    /// Does a greedy (Section 6) plan exist?
+    pub fn has_greedy_plan(&self) -> bool {
+        self.plan_error.is_none()
+    }
+
+    /// Why no greedy plan exists, when it doesn't.
+    pub fn plan_error(&self) -> Option<&str> {
+        self.plan_error.as_deref()
+    }
+
+    /// Run with the greedy executor (errors when no plan exists).
+    pub fn run_greedy(&self, edb: &Database) -> Result<GreedyRun, CoreError> {
+        self.run_greedy_with(edb, GreedyConfig::default())
+    }
+
+    /// [`Compiled::run_greedy`] with explicit limits.
+    pub fn run_greedy_with(
+        &self,
+        edb: &Database,
+        config: GreedyConfig,
+    ) -> Result<GreedyRun, CoreError> {
+        if let Some(e) = &self.plan_error {
+            return Err(CoreError::NoGreedyPlan { detail: e.clone() });
+        }
+        exec::GreedyExecutor::new(&self.program, &self.expanded, self.plans.clone(), edb, config)
+            .run()
+    }
+
+    /// Run with the generic Choice Fixpoint (`gbc-engine`) on the
+    /// expanded program — the reference (and ablation-baseline)
+    /// evaluator: correct for every program that is locally stratified
+    /// modulo choice, but without the (R,Q,L) asymptotics.
+    pub fn run_generic(&self, edb: &Database) -> Result<GreedyRun, CoreError> {
+        let mut fixpoint = ChoiceFixpoint::with_config(
+            &self.expanded,
+            edb,
+            ChoiceFixpointConfig::default(),
+        )?;
+        fixpoint.run(&mut DeterministicFirst)?;
+        let chosen = verify::records_from_engine(&fixpoint, &self.expanded);
+        let steps = fixpoint.gamma_steps();
+        Ok(GreedyRun {
+            db: fixpoint.into_database(),
+            chosen,
+            stats: GreedyStats { gamma_steps: steps, ..GreedyStats::default() },
+        })
+    }
+
+    /// Run with the best available strategy: greedy when planned,
+    /// generic otherwise.
+    pub fn run(&self, edb: &Database) -> Result<GreedyRun, CoreError> {
+        if self.has_greedy_plan() {
+            self.run_greedy(edb)
+        } else {
+            self.run_generic(edb)
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Theorem 1 validation: "every set of facts produced by the Choice
+//! Fixpoint is a stable model".
+//!
+//! Given a run of either executor, reconstruct the model of the fully
+//! rewritten (negative) program — the run's database plus the
+//! `chosen_i` facts it committed, completed with the derived
+//! `diffchoice_*` and `better_*` relations — and hand it to the
+//! Gelfond–Lifschitz checker of `gbc-engine`.
+
+use gbc_ast::{Program, Rule};
+use gbc_storage::{Database, Row};
+
+use crate::error::CoreError;
+use crate::exec::{ChosenRecord, GreedyRun};
+use crate::rewrite::rewrite_full;
+
+/// Check that `run` is a stable model of `program ∪ edb`.
+///
+/// `program` is the *original* program (with `choice`/`least`/`next`);
+/// the rewriting to negation happens here. `run.chosen` must carry the
+/// committed choices (both executors record them).
+pub fn verify_stable_model(
+    program: &Program,
+    edb: &Database,
+    run: &GreedyRun,
+) -> Result<bool, CoreError> {
+    let fr = rewrite_full(program)?;
+
+    // Choice-rule ordinals: order of appearance among choice rules of
+    // the expanded program — which is the original rule order filtered,
+    // since expansion rewrites rules in place.
+    let expanded = crate::rewrite::next::expand_next(program)?;
+    let choice_rule_indices: Vec<usize> = expanded
+        .rules
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.has_choice())
+        .map(|(i, _)| i)
+        .collect();
+
+    // M₀ = run database + chosen facts.
+    let mut m0 = run.db.clone();
+    for rec in &run.chosen {
+        let ordinal = choice_rule_indices
+            .iter()
+            .position(|&i| i == rec.rule_idx)
+            .ok_or_else(|| CoreError::NotStageProgram {
+                detail: format!("chosen record for non-choice rule {}", rec.rule_idx),
+            })?;
+        m0.insert(fr.chosen_preds[ordinal], Row::new(rec.chosen_args.clone()));
+    }
+
+    // Complete M with the auxiliary relations (diffchoice, better).
+    let aux_rules: Vec<Rule> = fr
+        .program
+        .rules
+        .iter()
+        .filter(|r| fr.aux_preds.contains(&r.head.pred))
+        .cloned()
+        .collect();
+    let m = gbc_engine::evaluate_stratified(&Program::from_rules(aux_rules), &m0)?;
+
+    Ok(gbc_engine::is_stable_model(&fr.program, edb, &m)?)
+}
+
+/// Convenience: verify a run of the generic engine fixpoint by adapting
+/// its committed-candidate log.
+pub fn records_from_engine(
+    fixpoint: &gbc_engine::ChoiceFixpoint,
+    expanded: &Program,
+) -> Vec<ChosenRecord> {
+    let choice_rule_indices: Vec<usize> = expanded
+        .rules
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.has_choice() && !r.is_fact())
+        .map(|(i, _)| i)
+        .collect();
+    fixpoint
+        .committed()
+        .iter()
+        .map(|c| ChosenRecord {
+            rule_idx: choice_rule_indices[c.rule],
+            pairs: c.choices.clone(),
+            chosen_args: c.chosen_args.clone(),
+        })
+        .collect()
+}

@@ -1,0 +1,114 @@
+//! Property tests for the core pipeline: the rewritings preserve
+//! answers, and the stage-stratification checker accepts/rejects the
+//! right perturbations of the paper's programs.
+
+use gbc_ast::Value;
+use gbc_core::{classify, rewrite_full, ProgramClass};
+use gbc_storage::Database;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For extrema-only programs (no choice), the full rewriting to
+    /// negation computes the same answers under stratified evaluation
+    /// as the engine's direct extrema implementation.
+    #[test]
+    fn least_rewrite_preserves_answers(
+        rows in prop::collection::vec((0u8..5, 0u8..5, 1i64..9), 1..16)
+    ) {
+        let program = gbc_parser::parse_program(
+            "best(S, C, G) <- takes(S, C, G), least(G, C).",
+        ).unwrap();
+        let mut edb = Database::new();
+        for &(s, c, g) in &rows {
+            edb.insert_values(
+                "takes",
+                vec![Value::int(s.into()), Value::int(c.into()), Value::int(g)],
+            );
+        }
+
+        // Direct path.
+        let direct = gbc_engine::evaluate_stratified(&program, &edb).unwrap();
+
+        // Rewritten path.
+        let fr = rewrite_full(&program).unwrap();
+        let rewritten = gbc_engine::evaluate_stratified(&fr.program, &edb).unwrap();
+
+        let best = gbc_ast::Symbol::intern("best");
+        let mut a = direct.facts_of(best);
+        let mut b = rewritten.facts_of(best);
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Classification is stable under fact injection: adding EDB facts
+    /// to a stage-stratified program never changes its class (the check
+    /// is purely syntactic, as the paper claims).
+    #[test]
+    fn classification_ignores_facts(extra in prop::collection::vec((0u8..9, 0u8..9, 1i64..99), 0..12)) {
+        let mut text = String::from(
+            "prm(nil, 0, 0, 0).
+             prm(X, Y, C, I) <- next(I), new_g(X, Y, C, J), J < I, least(C, I), choice(Y, X).
+             new_g(X, Y, C, J) <- prm(_, X, _, J), g(X, Y, C).\n",
+        );
+        for (a, b, c) in extra {
+            text.push_str(&format!("g({a}, {b}, {c}).\n"));
+        }
+        let p = gbc_parser::parse_program(&text).unwrap();
+        prop_assert_eq!(classify(&p).class, ProgramClass::StageStratified { alternating: true });
+    }
+}
+
+#[test]
+fn dropping_the_stage_guard_breaks_strictness() {
+    // Remove J < I from Prim: no longer provably stage-stratified.
+    let p = gbc_parser::parse_program(
+        "prm(nil, 0, 0, 0).
+         prm(X, Y, C, I) <- next(I), new_g(X, Y, C, J), least(C, I), choice(Y, X).
+         new_g(X, Y, C, J) <- prm(_, X, _, J), g(X, Y, C).",
+    )
+    .unwrap();
+    assert!(matches!(
+        classify(&p).class,
+        ProgramClass::NotStageStratified { .. }
+    ));
+}
+
+#[test]
+fn weakening_the_guard_to_le_breaks_strictness() {
+    // J <= I is not strict: next rules demand strict stage descent.
+    let p = gbc_parser::parse_program(
+        "prm(nil, 0, 0, 0).
+         prm(X, Y, C, I) <- next(I), new_g(X, Y, C, J), J <= I, least(C, I), choice(Y, X).
+         new_g(X, Y, C, J) <- prm(_, X, _, J), g(X, Y, C).",
+    )
+    .unwrap();
+    assert!(matches!(
+        classify(&p).class,
+        ProgramClass::NotStageStratified { .. }
+    ));
+}
+
+#[test]
+fn rewrite_full_output_is_negation_only_and_valid() {
+    // Prim's program (with the root guard); programs from gbc-greedy
+    // get the same treatment in tests/integration_pipeline.rs.
+    let p = gbc_parser::parse_program(
+        "prm(nil, 0, 0, 0).
+         prm(X, Y, C, I) <- next(I), new_g(X, Y, C, J), J < I, Y != 0,
+                            least(C, I), choice(Y, X).
+         new_g(X, Y, C, J) <- prm(_, X, _, J), g(X, Y, C).",
+    )
+    .unwrap();
+    let fr = rewrite_full(&p).unwrap();
+    for r in &fr.program.rules {
+        assert!(!r.has_choice(), "{r}");
+        assert!(!r.has_next(), "{r}");
+        assert!(!r.has_extrema(), "{r}");
+    }
+    fr.program
+        .validate()
+        .unwrap_or_else(|e| panic!("rewritten program must validate: {e}\n{}", fr.program));
+}

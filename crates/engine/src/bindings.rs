@@ -1,0 +1,88 @@
+//! Binding frames: variable assignments during rule-body matching.
+
+use gbc_ast::{Value, VarId};
+
+/// A flat binding frame indexed by [`VarId`]. Bind/unbind pairs follow a
+/// trail discipline inside the matcher, so the frame is reused across
+/// the whole enumeration of a rule body without allocation churn.
+#[derive(Clone, Debug, Default)]
+pub struct Bindings {
+    slots: Vec<Option<Value>>,
+}
+
+impl Bindings {
+    /// A frame with room for `n` variables, all unbound.
+    pub fn new(n: usize) -> Bindings {
+        Bindings { slots: vec![None; n] }
+    }
+
+    /// The value bound to `v`, if any.
+    pub fn get(&self, v: VarId) -> Option<&Value> {
+        self.slots.get(v.index()).and_then(Option::as_ref)
+    }
+
+    /// True when `v` is bound.
+    pub fn is_bound(&self, v: VarId) -> bool {
+        self.get(v).is_some()
+    }
+
+    /// Bind `v` to `val`.
+    ///
+    /// # Panics
+    /// Debug-asserts that `v` was unbound — the matcher must check-and-
+    /// compare rather than rebind.
+    pub fn bind(&mut self, v: VarId, val: Value) {
+        debug_assert!(self.slots[v.index()].is_none(), "rebinding {v:?}");
+        self.slots[v.index()] = Some(val);
+    }
+
+    /// Remove the binding of `v` (trail rollback).
+    pub fn unbind(&mut self, v: VarId) {
+        self.slots[v.index()] = None;
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if no variables exist.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Snapshot of the current assignment (for collecting match results).
+    pub fn snapshot(&self) -> Vec<Option<Value>> {
+        self.slots.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_get_unbind() {
+        let mut b = Bindings::new(3);
+        assert!(!b.is_bound(VarId(1)));
+        b.bind(VarId(1), Value::int(42));
+        assert_eq!(b.get(VarId(1)), Some(&Value::int(42)));
+        b.unbind(VarId(1));
+        assert!(!b.is_bound(VarId(1)));
+    }
+
+    #[test]
+    fn out_of_range_get_is_none() {
+        let b = Bindings::new(1);
+        assert_eq!(b.get(VarId(9)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "rebinding")]
+    #[cfg(debug_assertions)]
+    fn rebinding_panics_in_debug() {
+        let mut b = Bindings::new(1);
+        b.bind(VarId(0), Value::int(1));
+        b.bind(VarId(0), Value::int(2));
+    }
+}

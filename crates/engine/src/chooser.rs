@@ -1,0 +1,103 @@
+//! Pluggable non-determinism for the choice fixpoint.
+//!
+//! The paper's γ operator "arbitrarily selects a member" of the new
+//! consequences (Section 2). Different selection policies produce
+//! different stable models; a [`Chooser`] encapsulates the policy.
+//! Candidate lists handed to a chooser are always sorted, so a given
+//! chooser yields a reproducible run.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A selection policy over a non-empty candidate list.
+pub trait Chooser {
+    /// Pick an index in `0..n`. `n ≥ 1`.
+    fn pick(&mut self, n: usize) -> usize;
+}
+
+/// Always picks the first (smallest, since candidate lists are sorted)
+/// candidate — the canonical deterministic run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DeterministicFirst;
+
+impl Chooser for DeterministicFirst {
+    fn pick(&mut self, _n: usize) -> usize {
+        0
+    }
+}
+
+/// Seeded uniform choice — samples the space of stable models
+/// reproducibly.
+#[derive(Clone, Debug)]
+pub struct SeededRandom {
+    rng: StdRng,
+}
+
+impl SeededRandom {
+    /// A chooser with a fixed seed.
+    pub fn new(seed: u64) -> SeededRandom {
+        SeededRandom { rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl Chooser for SeededRandom {
+    fn pick(&mut self, n: usize) -> usize {
+        debug_assert!(n >= 1);
+        self.rng.gen_range(0..n)
+    }
+}
+
+/// Replays a fixed pick sequence (cycling on exhaustion) — lets tests
+/// steer the fixpoint down a specific branch.
+#[derive(Clone, Debug)]
+pub struct Scripted {
+    picks: Vec<usize>,
+    at: usize,
+}
+
+impl Scripted {
+    /// A chooser replaying `picks` (each taken modulo the candidate
+    /// count at its step).
+    pub fn new(picks: Vec<usize>) -> Scripted {
+        Scripted { picks, at: 0 }
+    }
+}
+
+impl Chooser for Scripted {
+    fn pick(&mut self, n: usize) -> usize {
+        let p = self.picks.get(self.at).copied().unwrap_or(0);
+        self.at += 1;
+        p % n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_first_is_zero() {
+        let mut c = DeterministicFirst;
+        assert_eq!(c.pick(5), 0);
+        assert_eq!(c.pick(1), 0);
+    }
+
+    #[test]
+    fn seeded_random_is_reproducible_and_in_range() {
+        let mut a = SeededRandom::new(42);
+        let mut b = SeededRandom::new(42);
+        for n in [1usize, 2, 10, 100] {
+            let pa = a.pick(n);
+            assert_eq!(pa, b.pick(n));
+            assert!(pa < n);
+        }
+    }
+
+    #[test]
+    fn scripted_replays_and_wraps() {
+        let mut c = Scripted::new(vec![3, 7]);
+        assert_eq!(c.pick(5), 3);
+        assert_eq!(c.pick(5), 2); // 7 % 5
+        assert_eq!(c.pick(5), 0); // exhausted → 0
+    }
+}

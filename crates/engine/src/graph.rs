@@ -1,0 +1,157 @@
+//! A small directed graph with Tarjan SCC — shared by the stratified
+//! evaluator here and the stage-clique analysis in `gbc-core`.
+
+/// Directed graph over dense node ids `0..n`.
+#[derive(Clone, Debug)]
+pub struct DiGraph {
+    adj: Vec<Vec<usize>>,
+}
+
+impl DiGraph {
+    /// A graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> DiGraph {
+        DiGraph { adj: vec![Vec::new(); n] }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Add edge `from → to` (duplicates allowed; Tarjan is indifferent).
+    pub fn add_edge(&mut self, from: usize, to: usize) {
+        self.adj[from].push(to);
+    }
+
+    /// Successors of `v`.
+    pub fn successors(&self, v: usize) -> &[usize] {
+        &self.adj[v]
+    }
+
+    /// Strongly connected components, emitted in **dependency-first
+    /// order**: if any node of SCC `A` has an edge into SCC `B` (A
+    /// depends on B), then `B` appears before `A` in the result. This is
+    /// exactly the stratum evaluation order when edges point from rule
+    /// heads to their body predicates.
+    pub fn sccs(&self) -> Vec<Vec<usize>> {
+        // Iterative Tarjan.
+        let n = self.adj.len();
+        let mut index = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut out: Vec<Vec<usize>> = Vec::new();
+        let mut counter = 0usize;
+
+        // Call-stack frames: (node, next-successor-position).
+        let mut frames: Vec<(usize, usize)> = Vec::new();
+
+        for root in 0..n {
+            if index[root] != usize::MAX {
+                continue;
+            }
+            frames.push((root, 0));
+            while let Some(&mut (v, ref mut next)) = frames.last_mut() {
+                if *next == 0 {
+                    index[v] = counter;
+                    low[v] = counter;
+                    counter += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                }
+                if let Some(&w) = self.adj[v].get(*next) {
+                    *next += 1;
+                    if index[w] == usize::MAX {
+                        frames.push((w, 0));
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(index[w]);
+                    }
+                } else {
+                    frames.pop();
+                    if let Some(&(parent, _)) = frames.last() {
+                        low[parent] = low[parent].min(low[v]);
+                    }
+                    if low[v] == index[v] {
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w] = false;
+                            comp.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        comp.sort_unstable();
+                        out.push(comp);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Is there an edge from `a` to `b`?
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        self.adj[a].contains(&b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_cycle_is_one_scc() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 0);
+        assert_eq!(g.sccs(), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn dag_emits_dependencies_first() {
+        // 0 → 1 → 2 ("0 depends on 1 depends on 2").
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        let sccs = g.sccs();
+        assert_eq!(sccs, vec![vec![2], vec![1], vec![0]]);
+    }
+
+    #[test]
+    fn mixed_graph() {
+        // Two-node cycle {1,2}, plus 0 → 1 and 2 → 3.
+        let mut g = DiGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 1);
+        g.add_edge(2, 3);
+        let sccs = g.sccs();
+        let pos = |needle: &[usize]| sccs.iter().position(|c| c == needle).unwrap();
+        assert!(pos(&[3]) < pos(&[1, 2]));
+        assert!(pos(&[1, 2]) < pos(&[0]));
+    }
+
+    #[test]
+    fn self_loop_is_its_own_scc() {
+        let mut g = DiGraph::new(2);
+        g.add_edge(0, 0);
+        let sccs = g.sccs();
+        assert!(sccs.contains(&vec![0]));
+        assert!(sccs.contains(&vec![1]));
+        assert!(g.has_edge(0, 0));
+        assert!(!g.has_edge(1, 1));
+    }
+
+    #[test]
+    fn disconnected_nodes_each_form_an_scc() {
+        let g = DiGraph::new(3);
+        assert_eq!(g.sccs().len(), 3);
+    }
+}

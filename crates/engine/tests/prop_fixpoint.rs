@@ -1,0 +1,98 @@
+//! Property tests for the evaluation engine: seminaive agrees with
+//! naive evaluation, and choice models always satisfy their functional
+//! dependencies.
+
+use gbc_ast::{Program, Value};
+use gbc_engine::chooser::SeededRandom;
+use gbc_engine::eval::eval_rule_plain;
+use gbc_engine::seminaive::Seminaive;
+use gbc_engine::ChoiceFixpoint;
+use gbc_storage::Database;
+use proptest::prelude::*;
+
+fn tc_program() -> Program {
+    gbc_parser::parse_program(
+        "tc(X, Y) <- e(X, Y).
+         tc(X, Z) <- tc(X, Y), e(Y, Z).",
+    )
+    .unwrap()
+}
+
+fn edge_db(edges: &[(u8, u8)]) -> Database {
+    let mut db = Database::new();
+    for &(a, b) in edges {
+        db.insert_values("e", vec![Value::int(a.into()), Value::int(b.into())]);
+    }
+    db
+}
+
+/// Naive saturation reference.
+fn naive(db: &mut Database, program: &Program) {
+    loop {
+        let mut grew = false;
+        for rule in program.proper_rules() {
+            for r in eval_rule_plain(db, rule, None).unwrap() {
+                grew |= db.insert(rule.head.pred, r);
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Seminaive and naive evaluation compute identical models on
+    /// arbitrary edge relations (cycles included).
+    #[test]
+    fn seminaive_equals_naive(edges in prop::collection::vec((0u8..12, 0u8..12), 0..40)) {
+        let program = tc_program();
+        let mut a = edge_db(&edges);
+        Seminaive::new(program.rules.clone()).saturate(&mut a).unwrap();
+        let mut b = edge_db(&edges);
+        naive(&mut b, &program);
+        prop_assert_eq!(a.canonical_form(), b.canonical_form());
+    }
+
+    /// Every choice model of the assignment program satisfies both
+    /// functional dependencies, regardless of the chooser's seed, and is
+    /// maximal (no takes-pair can be added without violating an FD).
+    #[test]
+    fn choice_models_satisfy_and_saturate_fds(
+        pairs in prop::collection::vec((0u8..6, 0u8..6), 1..18),
+        seed in 0u64..500,
+    ) {
+        let program = gbc_parser::parse_program(
+            "a(S, C) <- takes(S, C), choice(C, S), choice(S, C).",
+        ).unwrap();
+        let mut edb = Database::new();
+        for &(s, c) in &pairs {
+            edb.insert_values("takes", vec![Value::int(s.into()), Value::int(c.into())]);
+        }
+        let mut fixpoint = ChoiceFixpoint::new(&program, &edb).unwrap();
+        let m = fixpoint.run(&mut SeededRandom::new(seed)).unwrap();
+        let a = gbc_ast::Symbol::intern("a");
+        let picked = m.facts_of(a);
+
+        // FDs: course → student and student → course.
+        let mut by_c = std::collections::HashMap::new();
+        let mut by_s = std::collections::HashMap::new();
+        for r in &picked {
+            prop_assert!(by_s.insert(r[0].clone(), r[1].clone()).is_none());
+            prop_assert!(by_c.insert(r[1].clone(), r[0].clone()).is_none());
+        }
+        // Maximality: every unpicked takes-pair conflicts with a pick.
+        for &(s, c) in &pairs {
+            let (sv, cv) = (Value::int(s.into()), Value::int(c.into()));
+            let picked_here = picked.iter().any(|r| r[0] == sv && r[1] == cv);
+            if !picked_here {
+                prop_assert!(
+                    by_s.contains_key(&sv) || by_c.contains_key(&cv),
+                    "unpicked pair ({s},{c}) must be blocked by an FD"
+                );
+            }
+        }
+    }
+}

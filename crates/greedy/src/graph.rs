@@ -1,0 +1,116 @@
+//! Graph values and their EDB encoding.
+
+use gbc_ast::Value;
+use gbc_baselines::Edge;
+use gbc_storage::Database;
+
+/// A graph over dense integer node ids `0..n`, as a directed edge list.
+/// Undirected graphs list both orientations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Graph {
+    /// Number of nodes.
+    pub n: usize,
+    /// Directed edges.
+    pub edges: Vec<Edge>,
+}
+
+impl Graph {
+    /// Build from parts.
+    pub fn new(n: usize, edges: Vec<Edge>) -> Graph {
+        Graph { n, edges }
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Add the reverse of every edge (make undirected).
+    pub fn symmetric_closure(mut self) -> Graph {
+        let mut rev: Vec<Edge> = self
+            .edges
+            .iter()
+            .map(|e| Edge::new(e.to, e.from, e.cost))
+            .collect();
+        self.edges.append(&mut rev);
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        self
+    }
+
+    /// Encode as `g(X, Y, C)` facts (plus `node(X)` facts), the schema
+    /// every graph program in the paper uses.
+    pub fn to_edb(&self) -> Database {
+        let mut db = Database::new();
+        for v in 0..self.n {
+            db.insert_values("node", vec![Value::int(v as i64)]);
+        }
+        for e in &self.edges {
+            db.insert_values(
+                "g",
+                vec![
+                    Value::int(i64::from(e.from)),
+                    Value::int(i64::from(e.to)),
+                    Value::int(e.cost),
+                ],
+            );
+        }
+        db
+    }
+}
+
+/// Decode `(X, Y, C)` integer rows back into edges; rows whose first
+/// column is not an integer (e.g. the `nil` exit fact) are skipped.
+pub fn decode_edges(rows: &[gbc_storage::Row]) -> Vec<Edge> {
+    rows.iter()
+        .filter_map(|r| {
+            let from = r.first()?.as_int()?;
+            let to = r.get(1)?.as_int()?;
+            let cost = r.get(2)?.as_int()?;
+            Some(Edge::new(from as u32, to as u32, cost))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbc_ast::Symbol;
+
+    #[test]
+    fn edb_encoding_round_trips() {
+        let g = Graph::new(3, vec![Edge::new(0, 1, 5), Edge::new(1, 2, 7)]);
+        let db = g.to_edb();
+        assert_eq!(db.count(Symbol::intern("node")), 3);
+        let rows = db.facts_of(Symbol::intern("g"));
+        assert_eq!(decode_edges(&rows), g.edges);
+    }
+
+    #[test]
+    fn symmetric_closure_doubles_and_dedups() {
+        let g = Graph::new(2, vec![Edge::new(0, 1, 3), Edge::new(1, 0, 3)]);
+        let s = g.symmetric_closure();
+        assert_eq!(s.edges.len(), 2);
+        let g2 = Graph::new(2, vec![Edge::new(0, 1, 3)]).symmetric_closure();
+        assert_eq!(g2.edges.len(), 2);
+    }
+
+    #[test]
+    fn nil_rows_are_skipped_by_the_decoder() {
+        let rows = vec![
+            gbc_storage::Row::new(vec![
+                Value::Nil,
+                Value::int(0),
+                Value::int(0),
+                Value::int(0),
+            ]),
+            gbc_storage::Row::new(vec![
+                Value::int(0),
+                Value::int(1),
+                Value::int(9),
+                Value::int(1),
+            ]),
+        ];
+        assert_eq!(decode_edges(&rows), vec![Edge::new(0, 1, 9)]);
+    }
+}

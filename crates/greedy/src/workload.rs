@@ -1,0 +1,162 @@
+//! Seeded synthetic workloads.
+//!
+//! The paper specifies no datasets (PODS 1992, theory venue), so every
+//! experiment runs on synthetic inputs with fixed seeds — the shapes
+//! (connected sparse/dense graphs, complete geometric graphs, random
+//! relations, letter frequencies) match the workloads the paper's
+//! examples discuss. All generators are deterministic in `(params, seed)`.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use gbc_baselines::Edge;
+
+use crate::graph::Graph;
+
+/// A connected undirected graph: a random spanning tree plus
+/// `extra_edges` random chords. Costs are drawn from `1..=max_cost`.
+/// Returned with both orientations of each edge.
+pub fn connected_graph(n: usize, extra_edges: usize, max_cost: i64, seed: u64) -> Graph {
+    assert!(n >= 1, "need at least one node");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(2 * (n - 1 + extra_edges));
+    let mut seen = std::collections::HashSet::new();
+    // Random spanning tree: node i attaches to a random earlier node.
+    for i in 1..n {
+        let j = rng.gen_range(0..i);
+        let c = rng.gen_range(1..=max_cost);
+        seen.insert((j.min(i), j.max(i)));
+        edges.push(Edge::new(j as u32, i as u32, c));
+    }
+    let mut added = 0;
+    let mut attempts = 0;
+    while added < extra_edges && attempts < extra_edges * 20 {
+        attempts += 1;
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a == b || !seen.insert((a.min(b), a.max(b))) {
+            continue;
+        }
+        let c = rng.gen_range(1..=max_cost);
+        edges.push(Edge::new(a as u32, b as u32, c));
+        added += 1;
+    }
+    Graph::new(n, edges).symmetric_closure()
+}
+
+/// A complete directed graph over `n` random points on a
+/// `1000 × 1000` grid; costs are rounded Euclidean distances (plus one,
+/// so coincident points still cost something). Symmetric by
+/// construction.
+pub fn complete_geometric(n: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0)))
+        .collect();
+    let mut edges = Vec::with_capacity(n * n.saturating_sub(1));
+    for (i, &(xi, yi)) in pts.iter().enumerate() {
+        for (j, &(xj, yj)) in pts.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let d = ((xi - xj).powi(2) + (yi - yj).powi(2)).sqrt().round() as i64 + 1;
+            edges.push(Edge::new(i as u32, j as u32, d));
+        }
+    }
+    Graph::new(n, edges)
+}
+
+/// Random directed arcs with **unique endpoint pairs and unique costs**
+/// (a permutation of `1..=m`), so greedy matching is deterministic and
+/// executor/baseline runs agree arc-for-arc.
+pub fn random_arcs(n: usize, m: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut costs: Vec<i64> = (1..=m as i64).collect();
+    costs.shuffle(&mut rng);
+    let mut pairs = std::collections::HashSet::new();
+    let mut edges = Vec::with_capacity(m);
+    while edges.len() < m {
+        let a = rng.gen_range(0..n) as u32;
+        let b = rng.gen_range(0..n) as u32;
+        if a == b || !pairs.insert((a, b)) {
+            continue;
+        }
+        edges.push(Edge::new(a, b, costs[edges.len()]));
+    }
+    Graph::new(n, edges)
+}
+
+/// A random relation `p(X, C)`: distinct ids `0..n`, costs a shuffled
+/// permutation of `1..=n` (unique, so the sorted order is total).
+pub fn random_items(n: usize, seed: u64) -> Vec<(i64, i64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut costs: Vec<i64> = (1..=n as i64).collect();
+    costs.shuffle(&mut rng);
+    (0..n as i64).zip(costs).collect()
+}
+
+/// Random letter frequencies `1..=1000` for a `k`-symbol alphabet.
+pub fn letter_freqs(k: usize, seed: u64) -> Vec<i64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..k).map(|_| rng.gen_range(1..=1000)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbc_baselines::unionfind::UnionFind;
+
+    #[test]
+    fn connected_graph_is_connected_and_symmetric() {
+        let g = connected_graph(50, 100, 1000, 7);
+        let mut uf = UnionFind::new(g.n);
+        for e in &g.edges {
+            uf.union(e.from, e.to);
+        }
+        assert_eq!(uf.components(), 1);
+        // Symmetric: reverse of each edge present with equal cost.
+        for e in &g.edges {
+            assert!(g.edges.contains(&Edge::new(e.to, e.from, e.cost)));
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic_in_the_seed() {
+        assert_eq!(connected_graph(20, 30, 50, 1).edges, connected_graph(20, 30, 50, 1).edges);
+        assert_ne!(connected_graph(20, 30, 50, 1).edges, connected_graph(20, 30, 50, 2).edges);
+        assert_eq!(random_items(10, 3), random_items(10, 3));
+        assert_eq!(letter_freqs(8, 9), letter_freqs(8, 9));
+    }
+
+    #[test]
+    fn complete_geometric_has_all_arcs_and_is_symmetric() {
+        let g = complete_geometric(6, 11);
+        assert_eq!(g.edges.len(), 30);
+        for e in &g.edges {
+            assert!(g.edges.contains(&Edge::new(e.to, e.from, e.cost)));
+            assert!(e.cost >= 1);
+        }
+    }
+
+    #[test]
+    fn random_arcs_have_unique_pairs_and_costs() {
+        let g = random_arcs(30, 100, 5);
+        assert_eq!(g.edges.len(), 100);
+        let mut pairs: Vec<(u32, u32)> = g.edges.iter().map(|e| (e.from, e.to)).collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        assert_eq!(pairs.len(), 100);
+        let mut costs: Vec<i64> = g.edges.iter().map(|e| e.cost).collect();
+        costs.sort_unstable();
+        assert_eq!(costs, (1..=100).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn random_items_costs_are_a_permutation() {
+        let items = random_items(16, 4);
+        let mut costs: Vec<i64> = items.iter().map(|&(_, c)| c).collect();
+        costs.sort_unstable();
+        assert_eq!(costs, (1..=16).collect::<Vec<i64>>());
+    }
+}

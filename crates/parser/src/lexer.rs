@@ -1,0 +1,405 @@
+//! Hand-rolled lexer. Tracks line/column for diagnostics.
+
+use std::fmt;
+
+/// Token kinds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Lowercase-initial identifier: predicate name, symbolic constant,
+    /// or one of the keyword goals (the parser decides).
+    Ident(String),
+    /// Uppercase- or `_`-initial identifier: variable. A bare `_` is the
+    /// anonymous variable.
+    Var(String),
+    /// Integer literal (unsigned; unary minus handled in the parser).
+    Int(i64),
+    /// Double-quoted string literal (escapes: `\"`, `\\`, `\n`).
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    /// `<-` or `:-`
+    Arrow,
+    /// `=`
+    Eq,
+    /// `!=` or `<>`
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    /// `not`, `~` or `¬`
+    Not,
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Var(s) => write!(f, "variable `{s}`"),
+            TokenKind::Int(i) => write!(f, "integer `{i}`"),
+            TokenKind::Str(s) => write!(f, "string {s:?}"),
+            TokenKind::LParen => f.write_str("`(`"),
+            TokenKind::RParen => f.write_str("`)`"),
+            TokenKind::Comma => f.write_str("`,`"),
+            TokenKind::Dot => f.write_str("`.`"),
+            TokenKind::Arrow => f.write_str("`<-`"),
+            TokenKind::Eq => f.write_str("`=`"),
+            TokenKind::Ne => f.write_str("`!=`"),
+            TokenKind::Lt => f.write_str("`<`"),
+            TokenKind::Le => f.write_str("`<=`"),
+            TokenKind::Gt => f.write_str("`>`"),
+            TokenKind::Ge => f.write_str("`>=`"),
+            TokenKind::Plus => f.write_str("`+`"),
+            TokenKind::Minus => f.write_str("`-`"),
+            TokenKind::Star => f.write_str("`*`"),
+            TokenKind::Slash => f.write_str("`/`"),
+            TokenKind::Not => f.write_str("`not`"),
+            TokenKind::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+/// A token with its source position (1-based line and column).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// Lexical error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    pub message: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { chars: src.chars().peekable(), line: 1, col: 1 }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next();
+        match c {
+            Some('\n') => {
+                self.line += 1;
+                self.col = 1;
+            }
+            Some(_) => self.col += 1,
+            None => {}
+        }
+        c
+    }
+
+    fn error(&self, message: impl Into<String>) -> LexError {
+        LexError { message: message.into(), line: self.line, col: self.col }
+    }
+}
+
+/// Tokenize `src` in full. The final token is always [`TokenKind::Eof`].
+pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut lx = Lexer::new(src);
+    let mut tokens = Vec::new();
+
+    while let Some(c) = lx.peek() {
+        let (tline, tcol) = (lx.line, lx.col);
+        let mut push = |kind: TokenKind| tokens.push(Token { kind, line: tline, col: tcol });
+
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                lx.bump();
+            }
+            '%' => {
+                while let Some(c2) = lx.bump() {
+                    if c2 == '\n' {
+                        break;
+                    }
+                }
+            }
+            '(' => {
+                lx.bump();
+                push(TokenKind::LParen);
+            }
+            ')' => {
+                lx.bump();
+                push(TokenKind::RParen);
+            }
+            ',' => {
+                lx.bump();
+                push(TokenKind::Comma);
+            }
+            '.' => {
+                lx.bump();
+                push(TokenKind::Dot);
+            }
+            '+' => {
+                lx.bump();
+                push(TokenKind::Plus);
+            }
+            '*' => {
+                lx.bump();
+                push(TokenKind::Star);
+            }
+            '/' => {
+                lx.bump();
+                push(TokenKind::Slash);
+            }
+            '~' | '¬' => {
+                lx.bump();
+                push(TokenKind::Not);
+            }
+            '-' => {
+                lx.bump();
+                push(TokenKind::Minus);
+            }
+            '=' => {
+                lx.bump();
+                push(TokenKind::Eq);
+            }
+            '!' => {
+                lx.bump();
+                if lx.peek() == Some('=') {
+                    lx.bump();
+                    push(TokenKind::Ne);
+                } else {
+                    return Err(lx.error("expected `=` after `!`"));
+                }
+            }
+            '<' => {
+                lx.bump();
+                match lx.peek() {
+                    Some('-') => {
+                        lx.bump();
+                        push(TokenKind::Arrow);
+                    }
+                    Some('=') => {
+                        lx.bump();
+                        push(TokenKind::Le);
+                    }
+                    Some('>') => {
+                        lx.bump();
+                        push(TokenKind::Ne);
+                    }
+                    _ => push(TokenKind::Lt),
+                }
+            }
+            '>' => {
+                lx.bump();
+                if lx.peek() == Some('=') {
+                    lx.bump();
+                    push(TokenKind::Ge);
+                } else {
+                    push(TokenKind::Gt);
+                }
+            }
+            ':' => {
+                lx.bump();
+                if lx.peek() == Some('-') {
+                    lx.bump();
+                    push(TokenKind::Arrow);
+                } else {
+                    return Err(lx.error("expected `-` after `:`"));
+                }
+            }
+            '"' => {
+                lx.bump();
+                let mut s = String::new();
+                loop {
+                    match lx.bump() {
+                        None => return Err(lx.error("unterminated string literal")),
+                        Some('"') => break,
+                        Some('\\') => match lx.bump() {
+                            Some('"') => s.push('"'),
+                            Some('\\') => s.push('\\'),
+                            Some('n') => s.push('\n'),
+                            other => {
+                                return Err(lx.error(format!("unsupported escape `\\{other:?}`")))
+                            }
+                        },
+                        Some(c2) => s.push(c2),
+                    }
+                }
+                push(TokenKind::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let mut n: i64 = 0;
+                while let Some(d) = lx.peek() {
+                    let Some(dv) = d.to_digit(10) else { break };
+                    lx.bump();
+                    n = match n.checked_mul(10).and_then(|m| m.checked_add(dv as i64)) {
+                        Some(v) => v,
+                        None => return Err(lx.error("integer literal overflows i64")),
+                    };
+                }
+                push(TokenKind::Int(n));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(d) = lx.peek() {
+                    if d.is_alphanumeric() || d == '_' {
+                        s.push(d);
+                        lx.bump();
+                    } else {
+                        break;
+                    }
+                }
+                let kind = if s == "not" {
+                    TokenKind::Not
+                } else if s.starts_with(|c: char| c.is_uppercase() || c == '_') {
+                    TokenKind::Var(s)
+                } else {
+                    TokenKind::Ident(s)
+                };
+                push(kind);
+            }
+            other => return Err(lx.error(format!("unexpected character `{other}`"))),
+        }
+    }
+
+    tokens.push(Token { kind: TokenKind::Eof, line: lx.line, col: lx.col });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_a_fact() {
+        assert_eq!(
+            kinds("g(a, b, 3)."),
+            vec![
+                TokenKind::Ident("g".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("a".into()),
+                TokenKind::Comma,
+                TokenKind::Ident("b".into()),
+                TokenKind::Comma,
+                TokenKind::Int(3),
+                TokenKind::RParen,
+                TokenKind::Dot,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_arrows_and_comparisons() {
+        assert_eq!(
+            kinds("<- :- <= >= < > = != <>"),
+            vec![
+                TokenKind::Arrow,
+                TokenKind::Arrow,
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::Lt,
+                TokenKind::Gt,
+                TokenKind::Eq,
+                TokenKind::Ne,
+                TokenKind::Ne,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn variables_vs_identifiers() {
+        assert_eq!(
+            kinds("Crs takes _ _x I1"),
+            vec![
+                TokenKind::Var("Crs".into()),
+                TokenKind::Ident("takes".into()),
+                TokenKind::Var("_".into()),
+                TokenKind::Var("_x".into()),
+                TokenKind::Var("I1".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped_and_lines_tracked() {
+        let toks = tokenize("% header\np(X).\n").unwrap();
+        assert_eq!(toks[0].kind, TokenKind::Ident("p".into()));
+        assert_eq!(toks[0].line, 2);
+        assert_eq!(toks[0].col, 1);
+    }
+
+    #[test]
+    fn negation_spellings() {
+        assert_eq!(
+            kinds("not p ~p ¬p"),
+            vec![
+                TokenKind::Not,
+                TokenKind::Ident("p".into()),
+                TokenKind::Not,
+                TokenKind::Ident("p".into()),
+                TokenKind::Not,
+                TokenKind::Ident("p".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn string_literals_with_escapes() {
+        assert_eq!(
+            kinds(r#""hi \"there\"\n""#),
+            vec![TokenKind::Str("hi \"there\"\n".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(tokenize("\"oops").is_err());
+    }
+
+    #[test]
+    fn integer_overflow_is_an_error() {
+        assert!(tokenize("99999999999999999999").is_err());
+    }
+
+    #[test]
+    fn stray_bang_is_an_error() {
+        assert!(tokenize("p ! q").is_err());
+    }
+
+    #[test]
+    fn positions_point_at_token_start() {
+        let toks = tokenize("p(Xy)").unwrap();
+        // `Xy` starts at column 3.
+        assert_eq!(toks[2].kind, TokenKind::Var("Xy".into()));
+        assert_eq!((toks[2].line, toks[2].col), (1, 3));
+    }
+}

@@ -1,0 +1,569 @@
+//! Recursive-descent parser producing `gbc-ast` values.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use gbc_ast::{Atom, CmpOp, Literal, Program, Rule, Symbol, Term, VarId};
+use gbc_ast::term::{ArithOp, Expr};
+
+use crate::lexer::{tokenize, LexError, Token, TokenKind};
+
+/// Parse error with source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    pub message: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { message: e.message, line: e.line, col: e.col }
+    }
+}
+
+/// Parse a full program. Validation (safety, arities) is *not* run here;
+/// call [`gbc_ast::Program::validate`] for that.
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser::new(tokens);
+    let mut rules = Vec::new();
+    while !p.at_eof() {
+        rules.push(p.clause()?);
+    }
+    Ok(Program::from_rules(rules))
+}
+
+/// Parse a single clause (fact or rule), e.g. for tests and REPL-style use.
+pub fn parse_rule(src: &str) -> Result<Rule, ParseError> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser::new(tokens);
+    let rule = p.clause()?;
+    if !p.at_eof() {
+        return Err(p.err_here("trailing input after clause"));
+    }
+    Ok(rule)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    /// Per-clause variable scope.
+    var_names: Vec<String>,
+    var_map: HashMap<String, VarId>,
+    anon: Vec<bool>,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Parser {
+        Parser {
+            tokens,
+            pos: 0,
+            var_names: Vec::new(),
+            var_map: HashMap::new(),
+            anon: Vec::new(),
+        }
+    }
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        let i = (self.pos + 1).min(self.tokens.len() - 1);
+        &self.tokens[i].kind
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), TokenKind::Eof)
+    }
+
+    fn err_here(&self, msg: impl Into<String>) -> ParseError {
+        let t = &self.tokens[self.pos];
+        ParseError { message: msg.into(), line: t.line, col: t.col }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<(), ParseError> {
+        if *self.peek() == kind {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err_here(format!("expected {kind}, found {}", self.peek())))
+        }
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    // ---- variable scope --------------------------------------------------
+
+    fn begin_clause(&mut self) {
+        self.var_names.clear();
+        self.var_map.clear();
+        self.anon.clear();
+    }
+
+    fn var(&mut self, name: &str) -> VarId {
+        if name == "_" {
+            let id = VarId(self.var_names.len() as u32);
+            self.var_names.push("_".to_owned());
+            self.anon.push(true);
+            return id;
+        }
+        if let Some(&v) = self.var_map.get(name) {
+            return v;
+        }
+        let id = VarId(self.var_names.len() as u32);
+        self.var_names.push(name.to_owned());
+        self.var_map.insert(name.to_owned(), id);
+        self.anon.push(false);
+        id
+    }
+
+    /// Rename anonymous variables so every variable in the clause has a
+    /// distinct surface name (`_`, `_2`, `_3`, …), dodging collisions
+    /// with user-written names. Keeps the printed form reparsable with
+    /// identical semantics.
+    fn finalize_var_names(&mut self) -> Vec<String> {
+        let mut names = std::mem::take(&mut self.var_names);
+        let taken: std::collections::HashSet<String> = names
+            .iter()
+            .zip(&self.anon)
+            .filter(|(_, &a)| !a)
+            .map(|(n, _)| n.clone())
+            .collect();
+        let mut candidates = std::iter::once("_".to_owned())
+            .chain((2usize..).map(|k| format!("_{k}")))
+            .filter(|c| !taken.contains(c));
+        for (i, is_anon) in self.anon.iter().enumerate() {
+            if *is_anon {
+                names[i] = candidates.next().expect("infinite candidate stream");
+            }
+        }
+        names
+    }
+
+    // ---- grammar ---------------------------------------------------------
+
+    fn clause(&mut self) -> Result<Rule, ParseError> {
+        self.begin_clause();
+        let head = self.atom()?;
+        let mut body = Vec::new();
+        if self.eat(&TokenKind::Arrow) {
+            loop {
+                body.push(self.literal()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::Dot)?;
+        let var_names = self.finalize_var_names();
+        Ok(Rule::new(head, body, var_names))
+    }
+
+    fn atom(&mut self) -> Result<Atom, ParseError> {
+        let name = match self.bump() {
+            TokenKind::Ident(s) => s,
+            other => return Err(self.err_here(format!("expected predicate name, found {other}"))),
+        };
+        let mut args = Vec::new();
+        if self.eat(&TokenKind::LParen) {
+            if !self.eat(&TokenKind::RParen) {
+                loop {
+                    args.push(self.term()?);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(TokenKind::RParen)?;
+            }
+        }
+        Ok(Atom::new(Symbol::intern(&name), args))
+    }
+
+    fn literal(&mut self) -> Result<Literal, ParseError> {
+        if self.eat(&TokenKind::Not) {
+            let a = self.atom()?;
+            return Ok(Literal::Neg(a));
+        }
+        // Keyword goals: only when the identifier is immediately applied.
+        if let TokenKind::Ident(name) = self.peek() {
+            if matches!(self.peek2(), TokenKind::LParen) {
+                match name.as_str() {
+                    "choice" => return self.choice_goal(),
+                    "least" => return self.extremum_goal(true),
+                    "most" => return self.extremum_goal(false),
+                    "next" => return self.next_goal(),
+                    _ => {}
+                }
+            }
+        }
+        // Otherwise: an expression, optionally followed by a comparison.
+        let lhs = self.expr()?;
+        let op = match self.peek() {
+            TokenKind::Eq => Some(CmpOp::Eq),
+            TokenKind::Ne => Some(CmpOp::Ne),
+            TokenKind::Lt => Some(CmpOp::Lt),
+            TokenKind::Le => Some(CmpOp::Le),
+            TokenKind::Gt => Some(CmpOp::Gt),
+            TokenKind::Ge => Some(CmpOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.expr()?;
+            return Ok(Literal::Compare { op, lhs, rhs });
+        }
+        // Bare expression must be an atom.
+        match lhs {
+            Expr::Term(Term::Func(pred, args)) => Ok(Literal::Pos(Atom { pred, args })),
+            Expr::Term(Term::Const(gbc_ast::Value::Sym(pred))) => {
+                Ok(Literal::Pos(Atom { pred, args: Vec::new() }))
+            }
+            Expr::Term(Term::Const(gbc_ast::Value::Func(pred, args))) => Ok(Literal::Pos(Atom {
+                pred,
+                args: args.iter().cloned().map(Term::Const).collect(),
+            })),
+            _ => Err(self.err_here("expected an atom or a comparison")),
+        }
+    }
+
+    fn choice_goal(&mut self) -> Result<Literal, ParseError> {
+        self.bump(); // `choice`
+        self.expect(TokenKind::LParen)?;
+        let left = self.term_tuple()?;
+        self.expect(TokenKind::Comma)?;
+        let right = self.term_tuple()?;
+        self.expect(TokenKind::RParen)?;
+        Ok(Literal::Choice { left, right })
+    }
+
+    fn extremum_goal(&mut self, least: bool) -> Result<Literal, ParseError> {
+        self.bump(); // `least` / `most`
+        self.expect(TokenKind::LParen)?;
+        let cost = self.term()?;
+        let group = if self.eat(&TokenKind::Comma) {
+            self.term_tuple()?
+        } else {
+            Vec::new()
+        };
+        self.expect(TokenKind::RParen)?;
+        Ok(if least {
+            Literal::Least { cost, group }
+        } else {
+            Literal::Most { cost, group }
+        })
+    }
+
+    fn next_goal(&mut self) -> Result<Literal, ParseError> {
+        self.bump(); // `next`
+        self.expect(TokenKind::LParen)?;
+        let var = match self.bump() {
+            TokenKind::Var(name) => self.var(&name),
+            other => {
+                return Err(self.err_here(format!(
+                    "next(…) takes a single variable, found {other}"
+                )))
+            }
+        };
+        self.expect(TokenKind::RParen)?;
+        Ok(Literal::Next { var })
+    }
+
+    /// A term or a parenthesised term tuple; `()` is the empty tuple.
+    fn term_tuple(&mut self) -> Result<Vec<Term>, ParseError> {
+        if self.eat(&TokenKind::LParen) {
+            let mut ts = Vec::new();
+            if !self.eat(&TokenKind::RParen) {
+                loop {
+                    ts.push(self.term()?);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(TokenKind::RParen)?;
+            }
+            Ok(ts)
+        } else {
+            Ok(vec![self.term()?])
+        }
+    }
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        match self.bump() {
+            TokenKind::Var(name) => Ok(Term::Var(self.var(&name))),
+            TokenKind::Int(i) => Ok(Term::int(i)),
+            TokenKind::Minus => match self.bump() {
+                TokenKind::Int(i) => Ok(Term::int(-i)),
+                other => Err(self.err_here(format!("expected integer after `-`, found {other}"))),
+            },
+            TokenKind::Str(s) => Ok(Term::Const(gbc_ast::Value::str(&s))),
+            TokenKind::Ident(name) if name == "nil" => Ok(Term::Const(gbc_ast::Value::Nil)),
+            TokenKind::Ident(name) => {
+                if self.eat(&TokenKind::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.term()?);
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(TokenKind::RParen)?;
+                    }
+                    Ok(Term::Func(Symbol::intern(&name), args))
+                } else {
+                    Ok(Term::sym(&name))
+                }
+            }
+            other => Err(self.err_here(format!("expected a term, found {other}"))),
+        }
+    }
+
+    // Expressions: standard precedence climbing.
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => ArithOp::Add,
+                TokenKind::Minus => ArithOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::binary(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => ArithOp::Mul,
+                TokenKind::Slash => ArithOp::Div,
+                TokenKind::Ident(s) if s == "mod" => ArithOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::binary(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        if matches!(self.peek(), TokenKind::Minus) {
+            // `-3` lexes as Minus Int and is folded; `-X` becomes Neg.
+            self.bump();
+            let e = self.unary_expr()?;
+            if let Expr::Term(Term::Const(gbc_ast::Value::Int(i))) = e {
+                return Ok(Expr::int(-i));
+            }
+            return Ok(Expr::Neg(Box::new(e)));
+        }
+        self.primary_expr()
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, ParseError> {
+        // max/min built-ins.
+        if let TokenKind::Ident(name) = self.peek() {
+            let is_builtin = matches!(name.as_str(), "max" | "min")
+                && matches!(self.peek2(), TokenKind::LParen);
+            if is_builtin {
+                let op = if name == "max" { ArithOp::Max } else { ArithOp::Min };
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let a = self.expr()?;
+                self.expect(TokenKind::Comma)?;
+                let b = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                return Ok(Expr::binary(op, a, b));
+            }
+        }
+        if self.eat(&TokenKind::LParen) {
+            let e = self.expr()?;
+            self.expect(TokenKind::RParen)?;
+            return Ok(e);
+        }
+        Ok(Expr::Term(self.term()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_fact() {
+        let r = parse_rule("takes(andy, engl, 4).").unwrap();
+        assert!(r.is_fact());
+        assert_eq!(r.to_string(), "takes(andy,engl,4).");
+    }
+
+    #[test]
+    fn parses_example_1_choice_rule() {
+        let r = parse_rule(
+            "a_st(St, Crs) <- takes(St, Crs), choice(Crs, St), choice(St, Crs).",
+        )
+        .unwrap();
+        assert!(r.has_choice());
+        assert_eq!(r.body.len(), 3);
+        assert!(matches!(&r.body[1], Literal::Choice { left, right }
+            if left.len() == 1 && right.len() == 1));
+    }
+
+    #[test]
+    fn parses_prim_next_rule() {
+        let r = parse_rule(
+            "prm(X, Y, C, I) <- next(I), new_g(X, Y, C, J), J < I, least(C, I), choice(Y, X).",
+        )
+        .unwrap();
+        assert!(r.has_next());
+        assert!(r.has_extrema());
+        assert!(r.has_choice());
+        assert_eq!(r.head.arity(), 4);
+    }
+
+    #[test]
+    fn parses_empty_tuple_choice() {
+        let r = parse_rule("tsp(X, Y, C, 1) <- least_arcs(X, Y, C), choice((), (X, Y)).").unwrap();
+        match &r.body[1] {
+            Literal::Choice { left, right } => {
+                assert!(left.is_empty());
+                assert_eq!(right.len(), 2);
+            }
+            other => panic!("expected choice, got {other:?}", other = other.vars()),
+        }
+    }
+
+    #[test]
+    fn parses_arithmetic_assignment() {
+        let r = parse_rule("p(I) <- q(J), I = J + 1.").unwrap();
+        assert!(matches!(&r.body[1], Literal::Compare { op: CmpOp::Eq, .. }));
+    }
+
+    #[test]
+    fn parses_max_builtin() {
+        let r = parse_rule("p(I) <- q(J), q(K), I = max(J, K).").unwrap();
+        let Literal::Compare { rhs, .. } = &r.body[2] else {
+            panic!("expected comparison");
+        };
+        assert!(rhs.has_arith());
+    }
+
+    #[test]
+    fn parses_negation_and_functor_terms() {
+        let r = parse_rule("subtree(X, I) <- h(t(X, _), _, I).").unwrap();
+        assert_eq!(r.body.len(), 1);
+        let Literal::Pos(a) = &r.body[0] else { panic!() };
+        assert!(matches!(&a.args[0], Term::Func(f, args) if f.as_str() == "t" && args.len() == 2));
+
+        let r2 = parse_rule("p(X) <- q(X), not r(X).").unwrap();
+        assert!(r2.has_negation());
+    }
+
+    #[test]
+    fn anonymous_vars_are_fresh() {
+        let r = parse_rule("new_g(X, Y, C, J) <- prm(_, X, _, J), g(X, Y, C).").unwrap();
+        // prm's first and third args must be distinct variables.
+        let Literal::Pos(a) = &r.body[0] else { panic!() };
+        let (Term::Var(v1), Term::Var(v3)) = (&a.args[0], &a.args[2]) else {
+            panic!()
+        };
+        assert_ne!(v1, v3);
+    }
+
+    #[test]
+    fn nil_parses_as_value() {
+        let r = parse_rule("st(nil, a, 0, 0).").unwrap();
+        assert_eq!(r.head.args[0], Term::Const(gbc_ast::Value::Nil));
+    }
+
+    #[test]
+    fn zero_arity_atoms() {
+        let r = parse_rule("done <- finished.").unwrap();
+        assert_eq!(r.head.arity(), 0);
+        let Literal::Pos(a) = &r.body[0] else { panic!() };
+        assert_eq!(a.arity(), 0);
+    }
+
+    #[test]
+    fn program_with_comments() {
+        let p = parse_program(
+            "% Prim exit rule\nprm(nil, a, 0, 0).\n% recursive rule follows\nnew_g(X,Y,C,J) <- prm(_, X, _, J), g(X,Y,C).\n",
+        )
+        .unwrap();
+        assert_eq!(p.rules.len(), 2);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let e = parse_rule("p(X) <- q(X)").unwrap_err();
+        assert!(e.message.contains("expected `.`"), "{}", e.message);
+    }
+
+    #[test]
+    fn rejects_next_with_nonvariable() {
+        assert!(parse_rule("p(X, 1) <- next(1), q(X).").is_err());
+    }
+
+    #[test]
+    fn negative_integers_in_facts_and_exprs() {
+        let r = parse_rule("g(a, b, -5).").unwrap();
+        assert_eq!(r.head.args[2], Term::int(-5));
+        let r2 = parse_rule("p(X) <- q(X, C), C > -2.").unwrap();
+        assert!(matches!(&r2.body[1], Literal::Compare { .. }));
+    }
+
+    #[test]
+    fn least_group_forms() {
+        // least(C) — empty group
+        let r1 = parse_rule("p(X, C) <- q(X, C), least(C).").unwrap();
+        let Literal::Least { group, .. } = &r1.body[1] else { panic!() };
+        assert!(group.is_empty());
+        // least(C, I) — singleton group, bare
+        let r2 = parse_rule("p(X, C, I) <- q(X, C, I), least(C, I).").unwrap();
+        let Literal::Least { group, .. } = &r2.body[1] else { panic!() };
+        assert_eq!(group.len(), 1);
+        // least(C, (X, I)) — tuple group
+        let r3 = parse_rule("p(X, C, I) <- q(X, C, I), least(C, (X, I)).").unwrap();
+        let Literal::Least { group, .. } = &r3.body[1] else { panic!() };
+        assert_eq!(group.len(), 2);
+        // least(G, ()) — explicit empty group
+        let r4 = parse_rule("p(X, G) <- q(X, G), least(G, ()).").unwrap();
+        let Literal::Least { group, .. } = &r4.body[1] else { panic!() };
+        assert!(group.is_empty());
+    }
+
+    #[test]
+    fn most_parses_like_least() {
+        let r = parse_rule("last_comp(X, J, I) <- comp(X, J, I1), I1 <= I, most(J, X).").unwrap();
+        assert!(matches!(&r.body[2], Literal::Most { .. }));
+    }
+}

@@ -1,0 +1,103 @@
+//! Print/parse round-trip tests: `parse ∘ print` is the identity on the
+//! printed form (the printed form is a fixpoint).
+
+use crate::parse_program;
+
+/// Assert that printing a parsed program and reparsing the print yields
+/// the same printed form.
+fn assert_roundtrip(src: &str) {
+    let p1 = parse_program(src).unwrap_or_else(|e| panic!("parse failed: {e}\n{src}"));
+    let printed1 = p1.to_string();
+    let p2 = parse_program(&printed1)
+        .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed1}"));
+    let printed2 = p2.to_string();
+    assert_eq!(printed1, printed2, "round-trip not a fixpoint for:\n{src}");
+}
+
+#[test]
+fn roundtrip_example_1_one_student_per_course() {
+    assert_roundtrip(
+        "a_st(St, Crs) <- takes(St, Crs), choice(Crs, St), choice(St, Crs).
+         takes(andy, engl). takes(mark, engl). takes(ann, math). takes(mark, math).",
+    );
+}
+
+#[test]
+fn roundtrip_example_3_spanning_tree() {
+    assert_roundtrip(
+        "st(nil, a, 0).
+         st(X, Y, C) <- st(_, X, _), g(X, Y, C), choice(Y, (X, C)).",
+    );
+}
+
+#[test]
+fn roundtrip_example_4_prim() {
+    assert_roundtrip(
+        "prm(nil, a, 0, 0).
+         prm(X, Y, C, I) <- next(I), new_g(X, Y, C, J), J < I, least(C, I), choice(Y, X).
+         new_g(X, Y, C, J) <- prm(_, X, _, J), g(X, Y, C).",
+    );
+}
+
+#[test]
+fn roundtrip_example_5_sort() {
+    assert_roundtrip(
+        "sp(nil, 0, 0).
+         sp(X, C, I) <- next(I), p(X, C), least(C, I).",
+    );
+}
+
+#[test]
+fn roundtrip_example_6_huffman() {
+    assert_roundtrip(
+        "h(X, C, 0) <- letter(X, C).
+         h(t(X, Y), C, I) <- next(I), feasible(t(X, Y), C, J), J < I, least(C),
+                             choice(X, I), choice(Y, I).
+         feasible(t(X, Y), C, I) <- h(X, C1, J), h(Y, C2, K),
+                                    not subtree(X, L1), not subtree(Y, L2),
+                                    I = max(J, K), X != Y, C = C1 + C2.
+         subtree(X, I) <- h(t(X, _), _, I).
+         subtree(X, I) <- h(t(_, X), _, I).",
+    );
+}
+
+#[test]
+fn roundtrip_example_7_matching() {
+    assert_roundtrip(
+        "matching(nil, nil, 0, 0).
+         matching(X, Y, C, I) <- next(I), g(X, Y, C), least(C, I), choice(Y, X), choice(X, Y).",
+    );
+}
+
+#[test]
+fn roundtrip_tsp_chain() {
+    assert_roundtrip(
+        "tsp_chain(X, Y, C, 1) <- least_arcs(X, Y, C), choice((), (X, Y)).
+         tsp_chain(X, Y, C, I) <- next(I), new_g(X, Y, C, J), I = J + 1, least(C, I), choice(Y, X).
+         new_g(X, Y, C, J) <- tsp_chain(_, X, _, J), g(X, Y, C).
+         least_arcs(X, Y, C) <- g(X, Y, C), least(C).",
+    );
+}
+
+#[test]
+fn roundtrip_example_8_kruskal() {
+    assert_roundtrip(
+        "kruskal(X, Y, C, 0) <- g(X, Y, C), least(C), choice((), (X, Y)).
+         kruskal(X, Y, C, I) <- next(I), g(X, Y, C), last_comp(X, J, I1), last_comp(Y, K, I1),
+                                J != K, I1 < I, least(C).
+         last_comp(X, J, I) <- comp(X, J, I1), I1 <= I, most(I1, X).
+         comp(X, K, 0) <- comp0(X, K).
+         comp(X, K, I) <- kruskal(A, B, C, I), last_comp(A, J, I1), last_comp(B, K, I2),
+                          last_comp(X, J, I1).
+         comp0(nil, 0).
+         comp0(X, K) <- next(K), node(X).",
+    );
+}
+
+#[test]
+fn roundtrip_mixed_arith_and_strings() {
+    assert_roundtrip(
+        r#"p("hello world", -3).
+           q(X, I) <- p(X, J), I = ((J * 2) + (7 mod 3)) - max(J, min(J, 0))."#,
+    );
+}

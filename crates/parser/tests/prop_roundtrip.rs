@@ -1,0 +1,64 @@
+//! Property tests: generated programs survive the print → parse cycle.
+
+use gbc_ast::{Atom, CmpOp, Literal, Program, Rule, Term};
+use gbc_ast::term::Expr;
+use proptest::prelude::*;
+
+/// Variable names V0..V5, predicate names from a small pool.
+fn term_strategy() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        (0u32..6).prop_map(Term::var),
+        any::<i32>().prop_map(|i| Term::int(i.into())),
+        prop_oneof![Just("a"), Just("b"), Just("nodeX")].prop_map(Term::sym),
+    ]
+}
+
+fn atom_strategy() -> impl Strategy<Value = Atom> {
+    (
+        prop_oneof![Just("p"), Just("q"), Just("g"), Just("edge")],
+        prop::collection::vec(term_strategy(), 0..4),
+    )
+        .prop_map(|(name, args)| Atom::new(name, args))
+}
+
+fn literal_strategy() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        atom_strategy().prop_map(Literal::Pos),
+        atom_strategy().prop_map(Literal::Neg),
+        (term_strategy(), term_strategy()).prop_map(|(a, b)| Literal::Compare {
+            op: CmpOp::Lt,
+            lhs: Expr::Term(a),
+            rhs: Expr::Term(b),
+        }),
+        (
+            prop::collection::vec(term_strategy(), 0..3),
+            prop::collection::vec(term_strategy(), 0..3),
+        )
+            .prop_map(|(left, right)| Literal::Choice { left, right }),
+        (term_strategy(), prop::collection::vec(term_strategy(), 0..2))
+            .prop_map(|(cost, group)| Literal::Least { cost, group }),
+    ]
+}
+
+fn rule_strategy() -> impl Strategy<Value = Rule> {
+    (atom_strategy(), prop::collection::vec(literal_strategy(), 0..5)).prop_map(|(head, body)| {
+        Rule::new(head, body, (0..6).map(|i| format!("V{i}")).collect())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The printed form of any rule reparses, and reprinting the parse
+    /// is a fixpoint. (Rules here need not be safe — printing is purely
+    /// syntactic.)
+    #[test]
+    fn print_parse_is_a_fixpoint(rules in prop::collection::vec(rule_strategy(), 1..5)) {
+        let p1 = Program::from_rules(rules);
+        let s1 = p1.to_string();
+        let p2 = gbc_parser::parse_program(&s1)
+            .unwrap_or_else(|e| panic!("printed program must reparse: {e}\n{s1}"));
+        let s2 = p2.to_string();
+        prop_assert_eq!(s1, s2);
+    }
+}

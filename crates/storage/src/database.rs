@@ -1,0 +1,153 @@
+//! The fact store: predicate symbol → relation.
+
+use std::collections::BTreeMap;
+
+use gbc_ast::{Symbol, Value};
+
+use crate::relation::Relation;
+use crate::tuple::Row;
+
+/// A database instance. Relations are keyed by predicate [`Symbol`];
+/// iteration over predicates is in symbol (name) order, which keeps
+/// printed models and test expectations stable.
+#[derive(Clone, Debug, Default)]
+pub struct Database {
+    relations: BTreeMap<Symbol, Relation>,
+    /// Returned by [`Database::relation`] for absent predicates, so
+    /// lookups never allocate or panic.
+    empty: Relation,
+}
+
+impl Database {
+    /// Empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Insert `pred(row)`. Returns `false` on duplicate.
+    pub fn insert(&mut self, pred: Symbol, row: Row) -> bool {
+        self.relations.entry(pred).or_default().insert(row)
+    }
+
+    /// Insert from plain values.
+    pub fn insert_values(&mut self, pred: impl Into<Symbol>, values: Vec<Value>) -> bool {
+        self.insert(pred.into(), Row::new(values))
+    }
+
+    /// The relation for `pred`, or an empty relation if absent.
+    pub fn relation(&self, pred: Symbol) -> &Relation {
+        self.relations.get(&pred).unwrap_or(&self.empty)
+    }
+
+    /// Mutable relation handle (creates it if missing).
+    pub fn relation_mut(&mut self, pred: Symbol) -> &mut Relation {
+        self.relations.entry(pred).or_default()
+    }
+
+    /// Does the database contain the fact `pred(row)`?
+    pub fn contains(&self, pred: Symbol, row: &Row) -> bool {
+        self.relations.get(&pred).is_some_and(|r| r.contains(row))
+    }
+
+    /// All predicates with at least one fact, in name order.
+    pub fn predicates(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.relations.keys().copied()
+    }
+
+    /// Row count for one predicate.
+    pub fn count(&self, pred: Symbol) -> usize {
+        self.relations.get(&pred).map_or(0, Relation::len)
+    }
+
+    /// Total fact count.
+    pub fn total_facts(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    /// All facts of one predicate as `(pred, row)` pairs — convenience
+    /// for model comparison in tests.
+    pub fn facts_of(&self, pred: Symbol) -> Vec<Row> {
+        self.relation(pred).iter().cloned().collect()
+    }
+
+    /// Iterate over every fact in the database.
+    pub fn iter_all(&self) -> impl Iterator<Item = (Symbol, &Row)> + '_ {
+        self.relations
+            .iter()
+            .flat_map(|(&p, rel)| rel.iter().map(move |r| (p, r)))
+    }
+
+    /// Render the database as sorted ground facts, one per line —
+    /// the canonical form used in golden tests.
+    pub fn canonical_form(&self) -> String {
+        let mut lines: Vec<String> = Vec::with_capacity(self.total_facts());
+        for (p, rel) in &self.relations {
+            let mut rows: Vec<&Row> = rel.iter().collect();
+            rows.sort();
+            for r in rows {
+                if r.arity() == 0 {
+                    lines.push(format!("{p}."));
+                } else {
+                    lines.push(format!("{p}{r}."));
+                }
+            }
+        }
+        lines.join("\n")
+    }
+}
+
+impl std::fmt::Display for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.canonical_form())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_query() {
+        let mut db = Database::new();
+        assert!(db.insert_values("g", vec![Value::sym("a"), Value::sym("b"), Value::int(1)]));
+        assert!(!db.insert_values("g", vec![Value::sym("a"), Value::sym("b"), Value::int(1)]));
+        let g = Symbol::intern("g");
+        assert_eq!(db.count(g), 1);
+        assert!(db.contains(g, &Row::new(vec![Value::sym("a"), Value::sym("b"), Value::int(1)])));
+    }
+
+    #[test]
+    fn missing_relation_is_empty_not_panic() {
+        let db = Database::new();
+        let nope = Symbol::intern("no_such_pred");
+        assert_eq!(db.relation(nope).len(), 0);
+        assert_eq!(db.count(nope), 0);
+    }
+
+    #[test]
+    fn canonical_form_is_sorted_and_stable() {
+        let mut db = Database::new();
+        db.insert_values("b", vec![Value::int(2)]);
+        db.insert_values("b", vec![Value::int(1)]);
+        db.insert_values("a", vec![Value::sym("x")]);
+        assert_eq!(db.canonical_form(), "a(x).\nb(1).\nb(2).");
+    }
+
+    #[test]
+    fn total_facts_sums_relations() {
+        let mut db = Database::new();
+        db.insert_values("p", vec![Value::int(1)]);
+        db.insert_values("q", vec![Value::int(1)]);
+        db.insert_values("q", vec![Value::int(2)]);
+        assert_eq!(db.total_facts(), 3);
+        let preds: Vec<String> = db.predicates().map(|s| s.to_string()).collect();
+        assert_eq!(preds, vec!["p", "q"]);
+    }
+
+    #[test]
+    fn zero_arity_facts_render_bare() {
+        let mut db = Database::new();
+        db.insert_values("done", vec![]);
+        assert_eq!(db.canonical_form(), "done.");
+    }
+}

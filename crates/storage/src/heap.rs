@@ -1,0 +1,324 @@
+//! An indexed binary min-heap with stable handles.
+//!
+//! The congruence-replacement step of the paper's insertion operation
+//! ("`f1` is deleted from `Q_r` and … `f` is inserted in `Q_r`",
+//! Section 6) needs to *replace the key of an arbitrary element* of the
+//! priority queue in `O(log n)`. `std::collections::BinaryHeap` cannot
+//! do that, so this module provides a classic handle-indexed binary
+//! heap: `push`, `pop_min`, `remove`, and `update` are all logarithmic,
+//! and handles stay valid until their element is popped or removed.
+
+/// A stable reference to a heap element.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Handle(u32);
+
+const NOT_IN_HEAP: usize = usize::MAX;
+
+/// Indexed binary min-heap. `K` is the ordering key; ties are broken by
+/// comparing the full key, so using a composite key like `(cost, row)`
+/// yields fully deterministic pop order.
+#[derive(Clone, Debug)]
+pub struct IndexedHeap<K> {
+    /// Slab: handle index → key (None for freed slots).
+    slab: Vec<Option<K>>,
+    /// Free slab slots available for reuse.
+    free: Vec<u32>,
+    /// The heap array, holding handle indices.
+    heap: Vec<u32>,
+    /// handle index → position in `heap` (or `NOT_IN_HEAP`).
+    pos: Vec<usize>,
+}
+
+impl<K> Default for IndexedHeap<K> {
+    fn default() -> Self {
+        IndexedHeap {
+            slab: Vec::new(),
+            free: Vec::new(),
+            heap: Vec::new(),
+            pos: Vec::new(),
+        }
+    }
+}
+
+impl<K: Ord> IndexedHeap<K> {
+    /// Empty heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Insert a key, returning its handle. `O(log n)`.
+    pub fn push(&mut self, key: K) -> Handle {
+        let h = match self.free.pop() {
+            Some(h) => {
+                self.slab[h as usize] = Some(key);
+                h
+            }
+            None => {
+                self.slab.push(Some(key));
+                self.pos.push(NOT_IN_HEAP);
+                (self.slab.len() - 1) as u32
+            }
+        };
+        let slot = self.heap.len();
+        self.heap.push(h);
+        self.pos[h as usize] = slot;
+        self.sift_up(slot);
+        Handle(h)
+    }
+
+    /// Pop the minimum element. `O(log n)`.
+    pub fn pop_min(&mut self) -> Option<(Handle, K)> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let h = self.heap[0];
+        self.detach(0);
+        let key = self.slab[h as usize].take().expect("slab entry present");
+        self.free.push(h);
+        Some((Handle(h), key))
+    }
+
+    /// The minimum element without removing it.
+    pub fn peek_min(&self) -> Option<(Handle, &K)> {
+        let &h = self.heap.first()?;
+        Some((Handle(h), self.slab[h as usize].as_ref().expect("slab entry present")))
+    }
+
+    /// The key behind a live handle.
+    pub fn get(&self, h: Handle) -> Option<&K> {
+        self.slab.get(h.0 as usize)?.as_ref().filter(|_| {
+            self.pos
+                .get(h.0 as usize)
+                .is_some_and(|&p| p != NOT_IN_HEAP)
+        })
+    }
+
+    /// Remove an arbitrary live element. Returns its key. `O(log n)`.
+    pub fn remove(&mut self, h: Handle) -> Option<K> {
+        let slot = *self.pos.get(h.0 as usize)?;
+        if slot == NOT_IN_HEAP || self.slab[h.0 as usize].is_none() {
+            return None;
+        }
+        self.detach(slot);
+        let key = self.slab[h.0 as usize].take();
+        self.free.push(h.0);
+        key
+    }
+
+    /// Replace the key of a live element, restoring heap order.
+    /// Returns the old key, or `None` if the handle is dead. `O(log n)`.
+    pub fn update(&mut self, h: Handle, key: K) -> Option<K> {
+        let slot = *self.pos.get(h.0 as usize)?;
+        if slot == NOT_IN_HEAP {
+            return None;
+        }
+        let old = self.slab[h.0 as usize].replace(key);
+        let slot = self.pos[h.0 as usize];
+        self.sift_up(slot);
+        self.sift_down(self.pos[h.0 as usize]);
+        old
+    }
+
+    /// Remove the element at heap position `slot`, patching with the
+    /// last element and restoring order.
+    fn detach(&mut self, slot: usize) {
+        let h = self.heap[slot];
+        let last = self.heap.len() - 1;
+        self.heap.swap(slot, last);
+        self.pos[self.heap[slot] as usize] = slot;
+        self.heap.pop();
+        self.pos[h as usize] = NOT_IN_HEAP;
+        if slot < self.heap.len() {
+            let moved = self.heap[slot];
+            self.sift_up(slot);
+            self.sift_down(self.pos[moved as usize]);
+        }
+    }
+
+    fn key_at(&self, slot: usize) -> &K {
+        self.slab[self.heap[slot] as usize]
+            .as_ref()
+            .expect("heap slot points at live slab entry")
+    }
+
+    fn sift_up(&mut self, mut slot: usize) {
+        while slot > 0 {
+            let parent = (slot - 1) / 2;
+            if self.key_at(slot) < self.key_at(parent) {
+                self.swap_slots(slot, parent);
+                slot = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut slot: usize) {
+        loop {
+            let l = 2 * slot + 1;
+            let r = l + 1;
+            let mut smallest = slot;
+            if l < self.heap.len() && self.key_at(l) < self.key_at(smallest) {
+                smallest = l;
+            }
+            if r < self.heap.len() && self.key_at(r) < self.key_at(smallest) {
+                smallest = r;
+            }
+            if smallest == slot {
+                break;
+            }
+            self.swap_slots(slot, smallest);
+            slot = smallest;
+        }
+    }
+
+    fn swap_slots(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.pos[self.heap[a] as usize] = a;
+        self.pos[self.heap[b] as usize] = b;
+    }
+
+    #[cfg(test)]
+    fn assert_invariants(&self) {
+        for slot in 1..self.heap.len() {
+            let parent = (slot - 1) / 2;
+            assert!(
+                self.key_at(parent) <= self.key_at(slot),
+                "heap order violated at slot {slot}"
+            );
+        }
+        for (h, &p) in self.pos.iter().enumerate() {
+            if p != NOT_IN_HEAP {
+                assert_eq!(self.heap[p] as usize, h, "pos map out of sync");
+                assert!(self.slab[h].is_some(), "live handle with empty slab slot");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pushes_and_pops_in_order() {
+        let mut h = IndexedHeap::new();
+        for k in [5, 1, 4, 2, 3] {
+            h.push(k);
+        }
+        let mut out = Vec::new();
+        while let Some((_, k)) = h.pop_min() {
+            out.push(k);
+        }
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn remove_by_handle() {
+        let mut h = IndexedHeap::new();
+        let _a = h.push(10);
+        let b = h.push(20);
+        let _c = h.push(30);
+        assert_eq!(h.remove(b), Some(20));
+        assert_eq!(h.remove(b), None, "double remove is None");
+        let mut out = Vec::new();
+        while let Some((_, k)) = h.pop_min() {
+            out.push(k);
+        }
+        assert_eq!(out, vec![10, 30]);
+    }
+
+    #[test]
+    fn update_decreases_and_increases_keys() {
+        let mut h = IndexedHeap::new();
+        let a = h.push(10);
+        h.push(20);
+        h.push(5);
+        // Decrease 10 → 1: becomes the minimum.
+        assert_eq!(h.update(a, 1), Some(10));
+        assert_eq!(h.peek_min().map(|(_, &k)| k), Some(1));
+        // Increase 1 → 100: sinks to the bottom.
+        assert_eq!(h.update(a, 100), Some(1));
+        assert_eq!(h.pop_min().map(|(_, k)| k), Some(5));
+        assert_eq!(h.pop_min().map(|(_, k)| k), Some(20));
+        assert_eq!(h.pop_min().map(|(_, k)| k), Some(100));
+    }
+
+    #[test]
+    fn handles_are_reused_safely() {
+        let mut h = IndexedHeap::new();
+        let a = h.push(1);
+        h.pop_min();
+        // The slab slot of `a` is reused; the stale handle must be dead.
+        let b = h.push(2);
+        assert_eq!(a.0, b.0, "slot reuse expected in this scenario");
+        assert_eq!(h.get(b), Some(&2));
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn get_on_dead_handle_is_none() {
+        let mut h = IndexedHeap::new();
+        let a = h.push(42);
+        assert_eq!(h.get(a), Some(&42));
+        h.pop_min();
+        assert_eq!(h.get(a), None);
+    }
+
+    proptest! {
+        /// Random interleavings of push/pop/remove/update keep the heap
+        /// consistent, and pop order equals sorted order of survivors.
+        #[test]
+        fn random_ops_preserve_invariants(ops in prop::collection::vec((0u8..4, 0i64..1000), 1..200)) {
+            let mut h = IndexedHeap::new();
+            let mut live: Vec<(Handle, i64)> = Vec::new();
+            for (op, k) in ops {
+                match op {
+                    0 => {
+                        let handle = h.push(k);
+                        live.push((handle, k));
+                    }
+                    1 => {
+                        if let Some((handle, key)) = h.pop_min() {
+                            let min_live = live.iter().map(|&(_, k)| k).min().unwrap();
+                            prop_assert_eq!(key, min_live);
+                            live.retain(|&(hh, _)| hh != handle);
+                        }
+                    }
+                    2 => {
+                        if let Some(&(handle, key)) = live.first() {
+                            prop_assert_eq!(h.remove(handle), Some(key));
+                            live.remove(0);
+                        }
+                    }
+                    _ => {
+                        if let Some(entry) = live.last_mut() {
+                            prop_assert_eq!(h.update(entry.0, k), Some(entry.1));
+                            entry.1 = k;
+                        }
+                    }
+                }
+                h.assert_invariants();
+                prop_assert_eq!(h.len(), live.len());
+            }
+            let mut expected: Vec<i64> = live.iter().map(|&(_, k)| k).collect();
+            expected.sort_unstable();
+            let mut got = Vec::new();
+            while let Some((_, k)) = h.pop_min() {
+                got.push(k);
+            }
+            prop_assert_eq!(got, expected);
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Hash indices on column subsets of a relation.
+
+use std::collections::HashMap;
+
+use gbc_ast::Value;
+
+use crate::tuple::Row;
+
+/// A hash index mapping the projection of a row onto `key_cols` to the
+/// list of matching rows. Built once per (relation, column-set) pair on
+/// first use and maintained incrementally as the relation grows — the
+/// "availability of indices" assumption of the paper's Section 6 cost
+/// model.
+#[derive(Clone, Debug)]
+pub struct Index {
+    key_cols: Vec<usize>,
+    map: HashMap<Vec<Value>, Vec<Row>>,
+}
+
+impl Index {
+    /// Build an index over `rows` keyed on `key_cols`.
+    pub fn build<'a>(key_cols: Vec<usize>, rows: impl IntoIterator<Item = &'a Row>) -> Index {
+        let mut idx = Index { key_cols, map: HashMap::new() };
+        for r in rows {
+            idx.insert(r);
+        }
+        idx
+    }
+
+    /// The indexed columns.
+    pub fn key_cols(&self) -> &[usize] {
+        &self.key_cols
+    }
+
+    /// Add a row (called by the owning relation on insert).
+    pub fn insert(&mut self, row: &Row) {
+        let key = row.project(&self.key_cols);
+        self.map.entry(key).or_default().push(row.clone());
+    }
+
+    /// Rows whose projection equals `key`.
+    pub fn get(&self, key: &[Value]) -> &[Row] {
+        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of distinct keys.
+    pub fn num_keys(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(vals: &[i64]) -> Row {
+        Row::new(vals.iter().map(|&v| Value::int(v)).collect())
+    }
+
+    #[test]
+    fn lookup_by_single_column() {
+        let rows = [row(&[1, 10]), row(&[1, 20]), row(&[2, 30])];
+        let idx = Index::build(vec![0], rows.iter());
+        assert_eq!(idx.get(&[Value::int(1)]).len(), 2);
+        assert_eq!(idx.get(&[Value::int(2)]).len(), 1);
+        assert_eq!(idx.get(&[Value::int(9)]).len(), 0);
+    }
+
+    #[test]
+    fn lookup_by_multiple_columns_respects_order() {
+        let rows = [row(&[1, 2, 3]), row(&[2, 1, 4])];
+        let idx = Index::build(vec![1, 0], rows.iter());
+        // Key is (col1, col0).
+        assert_eq!(idx.get(&[Value::int(2), Value::int(1)]).len(), 1);
+        assert_eq!(idx.get(&[Value::int(1), Value::int(2)]).len(), 1);
+    }
+
+    #[test]
+    fn incremental_insert_extends_the_index() {
+        let mut idx = Index::build(vec![0], std::iter::empty());
+        assert_eq!(idx.num_keys(), 0);
+        idx.insert(&row(&[5, 1]));
+        idx.insert(&row(&[5, 2]));
+        assert_eq!(idx.get(&[Value::int(5)]).len(), 2);
+        assert_eq!(idx.num_keys(), 1);
+    }
+}

@@ -1,0 +1,30 @@
+//! # gbc-storage
+//!
+//! Storage structures for the Greedy-by-Choice engine:
+//!
+//! * [`tuple::Row`] — immutable, cheaply-clonable fact tuples;
+//! * [`relation::Relation`] — insertion-ordered duplicate-free fact sets
+//!   with lazily built, incrementally maintained hash indices
+//!   ([`index::Index`]) on arbitrary column subsets;
+//! * [`database::Database`] — the fact store mapping predicate symbols
+//!   to relations;
+//! * [`heap::IndexedHeap`] — a binary heap with stable handles
+//!   supporting `update`/`remove` (the decrease-key primitive behind the
+//!   congruence replacement of Section 6);
+//! * [`rql::Rql`] — the paper's **D_r = (R_r, Q_r, L_r)** structure: a
+//!   priority queue of candidate facts with one representative per
+//!   *r-congruence* class, the used set `L_r`, and the redundant set
+//!   `R_r`. Insertion and retrieve-least are `O(log |Q|)`.
+
+pub mod database;
+pub mod heap;
+pub mod index;
+pub mod relation;
+pub mod rql;
+pub mod tuple;
+
+pub use database::Database;
+pub use heap::{Handle, IndexedHeap};
+pub use relation::Relation;
+pub use rql::{Rql, RqlOutcome};
+pub use tuple::Row;

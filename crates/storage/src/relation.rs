@@ -1,0 +1,212 @@
+//! Duplicate-free, insertion-ordered relations with cached indices.
+
+use std::cell::RefCell;
+use std::collections::HashSet;
+
+use gbc_ast::Value;
+
+use crate::index::Index;
+use crate::tuple::Row;
+
+/// A relation: an insertion-ordered set of [`Row`]s.
+///
+/// Insertion order is exposed so that evaluation is fully deterministic
+/// (given a deterministic chooser) regardless of hash seeds. Indices on
+/// column subsets are created lazily behind a `RefCell` — the engine
+/// reads relations through `&Relation` while staging derived tuples
+/// elsewhere, so interior mutability confines itself to the index cache.
+#[derive(Debug, Default)]
+pub struct Relation {
+    order: Vec<Row>,
+    set: HashSet<Row>,
+    /// Cached indices, keyed by their column bitmask (bit i ⇒ column i
+    /// participates, in ascending column order).
+    indices: RefCell<Vec<(u64, Index)>>,
+}
+
+impl Clone for Relation {
+    fn clone(&self) -> Self {
+        // Indices are caches; don't copy them.
+        Relation {
+            order: self.order.clone(),
+            set: self.set.clone(),
+            indices: RefCell::new(Vec::new()),
+        }
+    }
+}
+
+fn mask_of(cols: &[usize]) -> u64 {
+    cols.iter().fold(0u64, |m, &c| {
+        assert!(c < 64, "relations support at most 64 indexable columns");
+        m | (1 << c)
+    })
+}
+
+impl Relation {
+    /// Empty relation.
+    pub fn new() -> Relation {
+        Relation::default()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Insert a row; returns `false` if it was already present.
+    pub fn insert(&mut self, row: Row) -> bool {
+        if !self.set.insert(row.clone()) {
+            return false;
+        }
+        for (_, idx) in self.indices.get_mut().iter_mut() {
+            idx.insert(&row);
+        }
+        self.order.push(row);
+        true
+    }
+
+    /// Membership test.
+    pub fn contains(&self, row: &Row) -> bool {
+        self.set.contains(row)
+    }
+
+    /// Rows in insertion order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Row> {
+        self.order.iter()
+    }
+
+    /// The `i`-th row in insertion order.
+    pub fn get(&self, i: usize) -> Option<&Row> {
+        self.order.get(i)
+    }
+
+    /// Rows inserted at or after position `from` (used for deltas).
+    pub fn since(&self, from: usize) -> &[Row] {
+        &self.order[from.min(self.order.len())..]
+    }
+
+    /// Rows whose projection on `cols` (ascending column order) equals
+    /// `key`. Builds and caches an index for `cols` on first use;
+    /// subsequent inserts maintain it.
+    ///
+    /// `key` must list values in the same ascending-column order.
+    pub fn select(&self, cols: &[usize], key: &[Value]) -> Vec<Row> {
+        debug_assert!(cols.windows(2).all(|w| w[0] < w[1]), "cols must be sorted");
+        debug_assert_eq!(cols.len(), key.len());
+        if cols.is_empty() {
+            return self.order.clone();
+        }
+        let mask = mask_of(cols);
+        let mut cache = self.indices.borrow_mut();
+        if let Some((_, idx)) = cache.iter().find(|(m, _)| *m == mask) {
+            return idx.get(key).to_vec();
+        }
+        let idx = Index::build(cols.to_vec(), self.order.iter());
+        let result = idx.get(key).to_vec();
+        cache.push((mask, idx));
+        result
+    }
+
+    /// Drop all cached indices (tests / memory pressure).
+    pub fn clear_indices(&self) {
+        self.indices.borrow_mut().clear();
+    }
+
+    /// Number of cached indices (for tests).
+    pub fn num_indices(&self) -> usize {
+        self.indices.borrow().len()
+    }
+}
+
+impl<'a> IntoIterator for &'a Relation {
+    type Item = &'a Row;
+    type IntoIter = std::slice::Iter<'a, Row>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl FromIterator<Row> for Relation {
+    fn from_iter<T: IntoIterator<Item = Row>>(iter: T) -> Relation {
+        let mut r = Relation::new();
+        for row in iter {
+            r.insert(row);
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(vals: &[i64]) -> Row {
+        Row::new(vals.iter().map(|&v| Value::int(v)).collect())
+    }
+
+    #[test]
+    fn insert_deduplicates() {
+        let mut r = Relation::new();
+        assert!(r.insert(row(&[1, 2])));
+        assert!(!r.insert(row(&[1, 2])));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn iteration_preserves_insertion_order() {
+        let mut r = Relation::new();
+        for k in [3, 1, 2] {
+            r.insert(row(&[k]));
+        }
+        let got: Vec<i64> = r.iter().map(|t| t[0].as_int().unwrap()).collect();
+        assert_eq!(got, vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn select_builds_index_once_and_maintains_it() {
+        let mut r = Relation::new();
+        r.insert(row(&[1, 10]));
+        r.insert(row(&[2, 20]));
+        assert_eq!(r.select(&[0], &[Value::int(1)]).len(), 1);
+        assert_eq!(r.num_indices(), 1);
+        // Insert after the index exists: the index must see the new row.
+        r.insert(row(&[1, 30]));
+        assert_eq!(r.select(&[0], &[Value::int(1)]).len(), 2);
+        assert_eq!(r.num_indices(), 1);
+    }
+
+    #[test]
+    fn select_with_empty_cols_scans_everything() {
+        let mut r = Relation::new();
+        r.insert(row(&[1]));
+        r.insert(row(&[2]));
+        assert_eq!(r.select(&[], &[]).len(), 2);
+    }
+
+    #[test]
+    fn since_returns_suffix() {
+        let mut r = Relation::new();
+        r.insert(row(&[1]));
+        let mark = r.len();
+        r.insert(row(&[2]));
+        r.insert(row(&[3]));
+        let delta: Vec<i64> = r.since(mark).iter().map(|t| t[0].as_int().unwrap()).collect();
+        assert_eq!(delta, vec![2, 3]);
+        assert!(r.since(100).is_empty());
+    }
+
+    #[test]
+    fn distinct_masks_get_distinct_indices() {
+        let mut r = Relation::new();
+        r.insert(row(&[1, 2, 3]));
+        r.select(&[0], &[Value::int(1)]);
+        r.select(&[0, 2], &[Value::int(1), Value::int(3)]);
+        assert_eq!(r.num_indices(), 2);
+    }
+}

@@ -1,0 +1,355 @@
+//! The paper's **D_r = (R_r, Q_r, L_r)** structure (Section 6).
+//!
+//! For a next rule `r` with body
+//! `next(I), p(X̄, J), [J < I, least(C, I)], [choice …]`, the engine
+//! maintains one [`Rql`] per rule:
+//!
+//! * `Q_r` — a priority queue of the candidate solutions to the `least`
+//!   predicate, holding **at most one fact per r-congruence class**
+//!   (two `p`-facts are r-congruent when they agree on every argument
+//!   except the stage argument, the cost argument, and the attributes
+//!   functionally determined by `choice`);
+//! * `L_r` — the facts that have fired the rule (the memo of *chosen*
+//!   facts);
+//! * `R_r` — the redundant facts, which can never fire the rule again.
+//!
+//! The insertion operation implements the paper's case analysis
+//! verbatim; both insertion and retrieve-least are `O(log |Q|)` thanks
+//! to the handle-indexed heap.
+//!
+//! The structure is agnostic about how congruence keys and costs are
+//! derived from facts — the executor in `gbc-core` projects them out of
+//! rows — which keeps this module reusable for all of the paper's
+//! greedy programs.
+
+use std::collections::HashMap;
+
+use gbc_ast::Value;
+
+use crate::heap::{Handle, IndexedHeap};
+use crate::tuple::Row;
+
+/// Congruence-class key: the projection of a fact onto the arguments
+/// that are neither stage, nor cost, nor choice-determined.
+pub type CongKey = Vec<Value>;
+
+/// Result of an [`Rql::insert`], mirroring the paper's case analysis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RqlOutcome {
+    /// No congruent fact was queued or used: the fact entered `Q_r`.
+    Queued,
+    /// A congruent fact with *higher* cost sat in `Q_r`; it moved to
+    /// `R_r` and this fact took its place in `Q_r`.
+    ReplacedQueued,
+    /// A congruent fact with lower-or-equal cost sits in `Q_r`; this
+    /// fact went straight to `R_r`.
+    DominatedInQueue,
+    /// A congruent fact already fired the rule (`∈ L_r`); this fact is
+    /// redundant.
+    CongruentUsed,
+}
+
+/// An entry popped from `Q_r`, pending classification by the caller:
+/// [`Rql::commit`] moves it to `L_r`, [`Rql::discard`] to `R_r`
+/// (the paper's treatment of facts that fail the choice conditions).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Popped {
+    pub key: CongKey,
+    pub cost: Value,
+    pub row: Row,
+}
+
+/// Heap cost wrapper: ascending for `least`, descending for `most`
+/// (the paper's dual — `retrieve least` becomes `retrieve most`). A
+/// single [`Rql`] instance never mixes the two.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum HeapCost {
+    Asc(Value),
+    Desc(Value),
+}
+
+impl HeapCost {
+    fn value(&self) -> &Value {
+        match self {
+            HeapCost::Asc(v) | HeapCost::Desc(v) => v,
+        }
+    }
+
+    fn into_value(self) -> Value {
+        match self {
+            HeapCost::Asc(v) | HeapCost::Desc(v) => v,
+        }
+    }
+}
+
+impl Ord for HeapCost {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        match (self, other) {
+            (HeapCost::Asc(a), HeapCost::Asc(b)) => a.cmp(b),
+            (HeapCost::Desc(a), HeapCost::Desc(b)) => b.cmp(a),
+            // Mixed variants cannot occur within one structure; order
+            // arbitrarily but consistently.
+            (HeapCost::Asc(_), HeapCost::Desc(_)) => std::cmp::Ordering::Less,
+            (HeapCost::Desc(_), HeapCost::Asc(_)) => std::cmp::Ordering::Greater,
+        }
+    }
+}
+
+impl PartialOrd for HeapCost {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The (R,Q,L) structure. See the module docs.
+#[derive(Debug, Default)]
+pub struct Rql {
+    /// Descending (max-first) retrieval for `most` rules.
+    descending: bool,
+    heap: IndexedHeap<(HeapCost, Row)>,
+    /// `Q_r` membership: congruence key → heap handle.
+    queued: HashMap<CongKey, Handle>,
+    /// Inverse of `queued`, needed when popping.
+    key_of: HashMap<Handle, CongKey>,
+    /// `L_r`: congruence keys (with their winning row) that fired the rule.
+    used: HashMap<CongKey, Row>,
+    /// |R_r|. The paper keeps `R_r` only to argue redundant tuples are
+    /// never revisited; a count suffices operationally.
+    redundant: u64,
+    /// Optional audit copy of `R_r` for tests.
+    audit: Option<Vec<Row>>,
+}
+
+impl Rql {
+    /// New structure. `audit` retains the contents of `R_r` (tests only;
+    /// costs memory proportional to |R_r|).
+    pub fn new() -> Rql {
+        Rql::default()
+    }
+
+    /// New structure that records `R_r` contents for inspection.
+    pub fn with_audit() -> Rql {
+        Rql { audit: Some(Vec::new()), ..Rql::default() }
+    }
+
+    /// A structure whose retrieve operation yields the *maximum* cost —
+    /// the dual used by `most` rules (the paper notes `most` is "the
+    /// dual of least", Example 8).
+    pub fn new_descending() -> Rql {
+        Rql { descending: true, ..Rql::default() }
+    }
+
+    fn wrap(&self, cost: Value) -> HeapCost {
+        if self.descending {
+            HeapCost::Desc(cost)
+        } else {
+            HeapCost::Asc(cost)
+        }
+    }
+
+    /// The paper's insertion operation.
+    pub fn insert(&mut self, key: CongKey, cost: Value, row: Row) -> RqlOutcome {
+        if self.used.contains_key(&key) {
+            self.to_redundant(row);
+            return RqlOutcome::CongruentUsed;
+        }
+        let cost = self.wrap(cost);
+        if let Some(&h) = self.queued.get(&key) {
+            let (old_cost, old_row) = self.heap.get(h).expect("queued handle is live").clone();
+            if (cost.clone(), row.clone()) < (old_cost.clone(), old_row.clone()) {
+                self.heap.update(h, (cost, row));
+                self.to_redundant(old_row);
+                RqlOutcome::ReplacedQueued
+            } else {
+                self.to_redundant(row);
+                RqlOutcome::DominatedInQueue
+            }
+        } else {
+            let h = self.heap.push((cost, row));
+            self.queued.insert(key.clone(), h);
+            self.key_of.insert(h, key);
+            RqlOutcome::Queued
+        }
+    }
+
+    /// Pop the best candidate from `Q_r` (minimum cost, or maximum for
+    /// a descending structure). The entry is detached from the queue
+    /// but belongs to neither `L_r` nor `R_r` until the caller
+    /// classifies it with [`Rql::commit`] or [`Rql::discard`].
+    pub fn pop_least(&mut self) -> Option<Popped> {
+        let (h, (cost, row)) = self.heap.pop_min()?;
+        let key = self.key_of.remove(&h).expect("popped handle has a key");
+        self.queued.remove(&key);
+        Some(Popped { key, cost: cost.into_value(), row })
+    }
+
+    /// Peek at the best candidate without removing it.
+    pub fn peek_least(&self) -> Option<(&Value, &Row)> {
+        self.heap.peek_min().map(|(_, (c, r))| (c.value(), r))
+    }
+
+    /// Record a popped entry as *chosen*: it moves to `L_r`, blocking
+    /// every future congruent fact.
+    pub fn commit(&mut self, popped: Popped) {
+        self.used.insert(popped.key, popped.row);
+    }
+
+    /// Record a popped entry as *redundant* (`R_r`): it failed the
+    /// choice conditions. A congruent fact may be queued again later.
+    pub fn discard(&mut self, popped: Popped) {
+        self.to_redundant(popped.row);
+    }
+
+    fn to_redundant(&mut self, row: Row) {
+        self.redundant += 1;
+        if let Some(audit) = &mut self.audit {
+            audit.push(row);
+        }
+    }
+
+    /// |Q_r|.
+    pub fn queue_len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// |L_r|.
+    pub fn used_len(&self) -> usize {
+        self.used.len()
+    }
+
+    /// |R_r|.
+    pub fn redundant_count(&self) -> u64 {
+        self.redundant
+    }
+
+    /// True when `Q_r` is exhausted.
+    pub fn is_queue_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Is a congruent fact already in `L_r`?
+    pub fn key_used(&self, key: &[Value]) -> bool {
+        self.used.contains_key(key)
+    }
+
+    /// The audit copy of `R_r`, if enabled.
+    pub fn redundant_rows(&self) -> Option<&[Row]> {
+        self.audit.as_deref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(vals: &[i64]) -> Row {
+        Row::new(vals.iter().map(|&v| Value::int(v)).collect())
+    }
+
+    fn key(vals: &[i64]) -> CongKey {
+        vals.iter().map(|&v| Value::int(v)).collect()
+    }
+
+    #[test]
+    fn keeps_one_representative_per_congruence_class() {
+        let mut d = Rql::new();
+        // Two facts congruent on key [7]: the cheaper survives in Q.
+        assert_eq!(d.insert(key(&[7]), Value::int(10), row(&[7, 10])), RqlOutcome::Queued);
+        assert_eq!(
+            d.insert(key(&[7]), Value::int(3), row(&[7, 3])),
+            RqlOutcome::ReplacedQueued
+        );
+        assert_eq!(
+            d.insert(key(&[7]), Value::int(5), row(&[7, 5])),
+            RqlOutcome::DominatedInQueue
+        );
+        assert_eq!(d.queue_len(), 1);
+        assert_eq!(d.redundant_count(), 2);
+        let p = d.pop_least().unwrap();
+        assert_eq!(p.cost, Value::int(3));
+    }
+
+    #[test]
+    fn used_class_blocks_future_inserts() {
+        let mut d = Rql::new();
+        d.insert(key(&[1]), Value::int(4), row(&[1, 4]));
+        let p = d.pop_least().unwrap();
+        d.commit(p);
+        assert!(d.key_used(&key(&[1])));
+        assert_eq!(
+            d.insert(key(&[1]), Value::int(1), row(&[1, 1])),
+            RqlOutcome::CongruentUsed
+        );
+        assert_eq!(d.queue_len(), 0);
+        assert_eq!(d.used_len(), 1);
+    }
+
+    #[test]
+    fn discarded_class_can_requeue() {
+        let mut d = Rql::new();
+        d.insert(key(&[2]), Value::int(9), row(&[2, 9]));
+        let p = d.pop_least().unwrap();
+        d.discard(p);
+        // Not used — a congruent fact can enter the queue again.
+        assert_eq!(d.insert(key(&[2]), Value::int(8), row(&[2, 8])), RqlOutcome::Queued);
+        assert_eq!(d.redundant_count(), 1);
+    }
+
+    #[test]
+    fn pop_order_is_by_cost_then_row() {
+        let mut d = Rql::new();
+        d.insert(key(&[1]), Value::int(5), row(&[1, 5]));
+        d.insert(key(&[2]), Value::int(3), row(&[2, 3]));
+        d.insert(key(&[3]), Value::int(5), row(&[0, 5])); // same cost as class 1
+        let costs: Vec<(Value, Row)> = std::iter::from_fn(|| d.pop_least())
+            .map(|p| (p.cost, p.row))
+            .collect();
+        assert_eq!(
+            costs,
+            vec![
+                (Value::int(3), row(&[2, 3])),
+                (Value::int(5), row(&[0, 5])), // row tiebreak: (0,5) < (1,5)
+                (Value::int(5), row(&[1, 5])),
+            ]
+        );
+    }
+
+    #[test]
+    fn audit_mode_records_redundant_rows() {
+        let mut d = Rql::with_audit();
+        d.insert(key(&[1]), Value::int(2), row(&[1, 2]));
+        d.insert(key(&[1]), Value::int(1), row(&[1, 1])); // replaces; (1,2) redundant
+        assert_eq!(d.redundant_rows().unwrap(), &[row(&[1, 2])]);
+    }
+
+    #[test]
+    fn descending_mode_pops_maxima_and_keeps_class_maxima() {
+        let mut d = Rql::new_descending();
+        d.insert(key(&[1]), Value::int(5), row(&[1, 5]));
+        assert_eq!(
+            d.insert(key(&[1]), Value::int(9), row(&[1, 9])),
+            RqlOutcome::ReplacedQueued,
+            "larger cost replaces in descending mode"
+        );
+        assert_eq!(
+            d.insert(key(&[1]), Value::int(7), row(&[1, 7])),
+            RqlOutcome::DominatedInQueue
+        );
+        d.insert(key(&[2]), Value::int(8), row(&[2, 8]));
+        let p1 = d.pop_least().unwrap();
+        assert_eq!(p1.cost, Value::int(9));
+        d.commit(p1);
+        let p2 = d.pop_least().unwrap();
+        assert_eq!(p2.cost, Value::int(8));
+    }
+
+    #[test]
+    fn costs_need_not_be_integers() {
+        // Symbolic costs order lexicographically — exercised by sorting
+        // relations on symbolic keys.
+        let mut d = Rql::new();
+        d.insert(key(&[1]), Value::sym("zebra"), row(&[1]));
+        d.insert(key(&[2]), Value::sym("ant"), row(&[2]));
+        assert_eq!(d.pop_least().unwrap().cost, Value::sym("ant"));
+    }
+}

@@ -1,0 +1,105 @@
+//! Fact tuples.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+use gbc_ast::Value;
+
+/// An immutable fact tuple. Cloning is a reference-count bump, so rows
+/// can live simultaneously in a relation, several indices, and an
+/// (R,Q,L) structure without copying their values.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Row(Arc<[Value]>);
+
+impl Row {
+    /// Build a row from values.
+    pub fn new(values: Vec<Value>) -> Row {
+        Row(Arc::from(values))
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Project the row onto the given columns (in the given order).
+    ///
+    /// # Panics
+    /// Panics if a column index is out of range.
+    pub fn project(&self, cols: &[usize]) -> Vec<Value> {
+        cols.iter().map(|&c| self.0[c].clone()).collect()
+    }
+}
+
+impl Deref for Row {
+    type Target = [Value];
+
+    fn deref(&self) -> &[Value] {
+        &self.0
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(v: Vec<Value>) -> Row {
+        Row::new(v)
+    }
+}
+
+impl FromIterator<Value> for Row {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Row {
+        Row(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+impl fmt::Debug for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projection_reorders_columns() {
+        let r = Row::new(vec![Value::sym("a"), Value::sym("b"), Value::int(3)]);
+        assert_eq!(r.project(&[2, 0]), vec![Value::int(3), Value::sym("a")]);
+    }
+
+    #[test]
+    fn rows_compare_by_value() {
+        let a = Row::new(vec![Value::int(1), Value::int(2)]);
+        let b = Row::new(vec![Value::int(1), Value::int(2)]);
+        let c = Row::new(vec![Value::int(1), Value::int(3)]);
+        assert_eq!(a, b);
+        assert!(a < c);
+    }
+
+    #[test]
+    fn deref_gives_slice_access() {
+        let r = Row::new(vec![Value::int(7)]);
+        assert_eq!(r[0], Value::int(7));
+        assert_eq!(r.arity(), 1);
+    }
+
+    #[test]
+    fn display_is_tuple_syntax() {
+        let r = Row::new(vec![Value::sym("a"), Value::int(1)]);
+        assert_eq!(r.to_string(), "(a,1)");
+    }
+}

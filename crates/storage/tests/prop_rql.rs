@@ -1,0 +1,122 @@
+//! Property tests for the (R,Q,L) structure: conservation, class
+//! uniqueness, and pop-order laws under random operation sequences.
+
+use gbc_ast::Value;
+use gbc_storage::{Row, Rql};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// Insert (class, cost, payload).
+    Insert(u8, i64, u8),
+    /// Pop + commit.
+    PopCommit,
+    /// Pop + discard.
+    PopDiscard,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), -100i64..100, any::<u8>()).prop_map(|(k, c, p)| Op::Insert(k % 8, c, p)),
+        Just(Op::PopCommit),
+        Just(Op::PopDiscard),
+    ]
+}
+
+fn row(class: u8, cost: i64, payload: u8) -> Row {
+    Row::new(vec![
+        Value::int(i64::from(class)),
+        Value::int(cost),
+        Value::int(i64::from(payload)),
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn rql_invariants_hold(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let mut rql = Rql::new();
+        let mut inserted: u64 = 0;
+        let mut popped_committed: u64 = 0;
+        let mut last_committed_cost: Option<i64> = None;
+        let mut used_classes: Vec<u8> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Insert(class, cost, payload) => {
+                    inserted += 1;
+                    let key = vec![Value::int(i64::from(class))];
+                    let outcome = rql.insert(key, Value::int(cost), row(class, cost, payload));
+                    if used_classes.contains(&class) {
+                        prop_assert_eq!(outcome, gbc_storage::rql::RqlOutcome::CongruentUsed);
+                    }
+                }
+                Op::PopCommit => {
+                    if let Some(p) = rql.pop_least() {
+                        // Every queued class is unique: the popped class
+                        // cannot already be used.
+                        let class = p.key[0].as_int().unwrap() as u8;
+                        prop_assert!(!used_classes.contains(&class));
+                        used_classes.push(class);
+                        popped_committed += 1;
+                        if let Value::Int(c) = p.cost {
+                            // Committed costs need not be monotone in
+                            // general (later inserts may be cheaper), but
+                            // when nothing was inserted in between, the
+                            // next pop can't be cheaper. Track weakly:
+                            let _ = last_committed_cost.replace(c);
+                        }
+                        rql.commit(p);
+                    }
+                }
+                Op::PopDiscard => {
+                    if let Some(p) = rql.pop_least() {
+                        rql.discard(p);
+                    }
+                }
+            }
+            // Conservation: every inserted fact is queued, used-blocked,
+            // replaced, dominated, discarded, or still queued.
+            prop_assert!(rql.queue_len() <= 8, "≤ one queued row per class");
+            prop_assert_eq!(rql.used_len() as u64, popped_committed);
+        }
+        // Total accounting: inserted = queued + used + redundant,
+        // where `used` counts commits and `redundant` counts everything
+        // that fell out along the way.
+        prop_assert_eq!(
+            inserted,
+            rql.queue_len() as u64 + popped_committed + rql.redundant_count()
+        );
+    }
+
+    /// Draining a freshly filled structure pops in non-decreasing cost
+    /// order with exactly one representative per class (the cheapest).
+    #[test]
+    fn drain_order_is_sorted_and_class_unique(
+        items in prop::collection::vec((0u8..12, -50i64..50), 1..80)
+    ) {
+        let mut rql = Rql::new();
+        let mut best: std::collections::HashMap<u8, i64> = std::collections::HashMap::new();
+        for (i, &(class, cost)) in items.iter().enumerate() {
+            let key = vec![Value::int(i64::from(class))];
+            rql.insert(key, Value::int(cost), row(class, cost, i as u8));
+            best.entry(class)
+                .and_modify(|b| *b = (*b).min(cost))
+                .or_insert(cost);
+        }
+        let mut prev = i64::MIN;
+        let mut seen = Vec::new();
+        while let Some(p) = rql.pop_least() {
+            let class = p.key[0].as_int().unwrap() as u8;
+            let cost = p.cost.as_int().unwrap();
+            prop_assert!(cost >= prev, "pop order must be non-decreasing");
+            prev = cost;
+            prop_assert!(!seen.contains(&class));
+            prop_assert_eq!(cost, best[&class], "the class representative is its minimum");
+            seen.push(class);
+            rql.commit(p);
+        }
+        prop_assert_eq!(seen.len(), best.len());
+    }
+}

@@ -1,0 +1,32 @@
+//! Huffman coding via Example 6's declarative program: build the tree
+//! with choice + least + next, then read code lengths off the `t(…)`
+//! term and compare against the classical construction.
+//!
+//! ```sh
+//! cargo run --example huffman_codes
+//! ```
+
+use gbc_baselines::huffman::{huffman_tree, weighted_path_length};
+use gbc_greedy::huffman;
+
+fn main() {
+    // English-ish letter frequencies for a small alphabet.
+    let letters = ["e", "t", "a", "o", "i", "n", "s", "h"];
+    let weights = [127i64, 91, 82, 75, 70, 67, 63, 61];
+
+    let run = huffman::run_greedy(&weights).expect("huffman run");
+    let root = huffman::decode_root(&run).expect("tree root");
+    println!("declarative Huffman tree:\n  {root}");
+
+    let decl_wpl = huffman::weighted_path_length(&run, &weights).unwrap();
+    println!("\ncode lengths (symbol, bits):");
+    for (sym, depth) in huffman::leaf_depths(&root) {
+        println!("  {:>2} ({})  {} bits", sym, letters[sym as usize], depth);
+    }
+
+    let base = huffman_tree(&weights).expect("baseline tree");
+    let base_wpl = weighted_path_length(&base, &weights);
+    println!("\nweighted path length: declarative {decl_wpl}, classical {base_wpl}");
+    assert_eq!(decl_wpl, base_wpl, "equal WPL ⇒ equally optimal");
+    println!("optimality check: OK");
+}

@@ -1,0 +1,32 @@
+//! Greedy TSP chains (the paper's "computation of sub-optimals"): a
+//! declarative Hamiltonian-path heuristic over a random set of cities,
+//! compared with nearest-neighbour.
+//!
+//! ```sh
+//! cargo run --example tsp_route
+//! ```
+
+use gbc_baselines::total_cost;
+use gbc_baselines::tsp::{is_hamiltonian_path, nearest_neighbour};
+use gbc_greedy::{tsp, workload};
+
+fn main() {
+    let g = workload::complete_geometric(20, 3);
+    println!("{} cities, {} arcs", g.n, g.num_edges());
+
+    let route = tsp::run_greedy(&g).expect("tsp run");
+    assert!(is_hamiltonian_path(g.n, &route), "must visit every city once");
+
+    println!("\ndeclarative greedy chain (stage order):");
+    for (i, e) in route.iter().enumerate() {
+        println!("  step {:>2}: city {:>2} → city {:>2}  (cost {})", i + 1, e.from, e.to, e.cost);
+    }
+    let decl_cost = total_cost(&route);
+
+    let nn = nearest_neighbour(g.n, &g.edges, 0);
+    println!(
+        "\ntotal cost: greedy chain {decl_cost}, nearest-neighbour {}",
+        total_cost(&nn)
+    );
+    println!("both are heuristics; neither dominates in general.");
+}

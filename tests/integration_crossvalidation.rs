@@ -1,0 +1,128 @@
+//! Cross-validation of every declarative algorithm against its
+//! procedural baseline, including property-based sweeps over random
+//! workloads.
+
+use gbc_baselines::huffman::{huffman_tree, weighted_path_length as wpl_base};
+use gbc_baselines::kruskal::kruskal_mst;
+use gbc_baselines::matching::{greedy_matching, is_matching, is_maximal};
+use gbc_baselines::prim::prim_mst;
+use gbc_baselines::total_cost;
+use gbc_baselines::tsp::{greedy_chain, is_hamiltonian_path};
+use gbc_greedy::{huffman, kruskal, matching, prim, sorting, spanning, tsp, workload};
+use proptest::prelude::*;
+
+#[test]
+fn prim_equals_kruskal_equals_baselines_on_a_sweep() {
+    for seed in 0..8 {
+        let n = 10 + (seed as usize % 5) * 7;
+        let g = workload::connected_graph(n, 2 * n, 500, seed);
+        let decl_prim = prim::run_greedy(&g, 0).unwrap();
+        let decl_kruskal = kruskal::run_stage_views(&g);
+        let base_prim = prim_mst(g.n, &g.edges, 0);
+        let base_kruskal = kruskal_mst(g.n, &g.edges);
+        let costs = [
+            total_cost(&decl_prim),
+            total_cost(&decl_kruskal.tree),
+            total_cost(&base_prim),
+            total_cost(&base_kruskal),
+        ];
+        assert!(costs.windows(2).all(|w| w[0] == w[1]), "seed {seed}: {costs:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// MST optimality: declarative Prim matches union-find Kruskal on
+    /// arbitrary connected graphs.
+    #[test]
+    fn prop_prim_is_optimal(n in 3usize..16, extra in 0usize..24, seed in 0u64..1000) {
+        let g = workload::connected_graph(n, extra, 50, seed);
+        let decl = prim::run_greedy(&g, 0).unwrap();
+        prop_assert_eq!(decl.len(), g.n - 1);
+        let base = kruskal_mst(g.n, &g.edges);
+        prop_assert_eq!(total_cost(&decl), total_cost(&base));
+    }
+
+    /// Sorting: the declarative ranks are a sorted permutation.
+    #[test]
+    fn prop_sorting_is_a_sorted_permutation(n in 0usize..64, seed in 0u64..1000) {
+        let items = workload::random_items(n, seed);
+        let sorted = sorting::run_greedy(&items).unwrap();
+        prop_assert_eq!(sorted.len(), n);
+        // Ranks are exactly 1..=n in order; costs ascend.
+        for (k, &(_, c, i)) in sorted.iter().enumerate() {
+            prop_assert_eq!(i, k as i64 + 1);
+            if k > 0 {
+                prop_assert!(sorted[k - 1].1 <= c);
+            }
+        }
+        // The multiset of ids is preserved.
+        let mut ids: Vec<i64> = sorted.iter().map(|&(x, _, _)| x).collect();
+        ids.sort_unstable();
+        let mut expected: Vec<i64> = items.iter().map(|&(x, _)| x).collect();
+        expected.sort_unstable();
+        prop_assert_eq!(ids, expected);
+    }
+
+    /// Matching: declarative output is a maximal matching identical to
+    /// the baseline (workload costs are unique).
+    #[test]
+    fn prop_matching_is_maximal_and_matches_baseline(
+        n in 4usize..20,
+        m_frac in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let m = (n * m_frac).min(n * (n - 1) / 2);
+        let g = workload::random_arcs(n, m.max(1), seed);
+        let mut decl = matching::run_greedy(&g).unwrap();
+        prop_assert!(is_matching(&decl));
+        prop_assert!(is_maximal(g.n, &g.edges, &decl));
+        let mut base = greedy_matching(g.n, &g.edges);
+        decl.sort_unstable();
+        base.sort_unstable();
+        prop_assert_eq!(decl, base);
+    }
+
+    /// Huffman: equal weighted path length to the classical optimum.
+    #[test]
+    fn prop_huffman_wpl_is_optimal(k in 2usize..10, seed in 0u64..1000) {
+        let w = workload::letter_freqs(k, seed);
+        let run = huffman::run_greedy(&w).unwrap();
+        let decl = huffman::weighted_path_length(&run, &w).unwrap();
+        let base = huffman_tree(&w).map(|t| wpl_base(&t, &w)).unwrap();
+        prop_assert_eq!(decl, base);
+    }
+
+    /// TSP: the declarative chain is Hamiltonian with the same cost as
+    /// the procedural greedy chain.
+    #[test]
+    fn prop_tsp_chain_is_hamiltonian(n in 3usize..10, seed in 0u64..1000) {
+        let g = workload::complete_geometric(n, seed);
+        let decl = tsp::run_greedy(&g).unwrap();
+        prop_assert!(is_hamiltonian_path(g.n, &decl));
+        let base = greedy_chain(g.n, &g.edges);
+        prop_assert_eq!(total_cost(&decl), total_cost(&base));
+    }
+
+    /// Spanning trees: both evaluation styles always produce one.
+    #[test]
+    fn prop_spanning_trees_span(n in 2usize..12, extra in 0usize..12, seed in 0u64..1000) {
+        let g = workload::connected_graph(n, extra, 20, seed);
+        let stage = spanning::run_stage(&g, 0).unwrap();
+        prop_assert!(spanning::is_spanning_tree(&g, 0, &stage));
+        let choice = spanning::run_choice(&g, 0).unwrap();
+        prop_assert!(spanning::is_spanning_tree(&g, 0, &choice));
+    }
+
+    /// The greedy executor and the generic fixpoint compute the same
+    /// model for deterministic (least-driven, unique-cost) programs.
+    #[test]
+    fn prop_greedy_equals_generic_on_sorting(n in 0usize..24, seed in 0u64..1000) {
+        let items = workload::random_items(n, seed);
+        prop_assert_eq!(
+            sorting::run_greedy(&items).unwrap(),
+            sorting::run_generic(&items).unwrap()
+        );
+    }
+}
