@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# CI entry point — everything runs offline against the vendored/in-tree
+# dependency set (the workspace has zero registry dependencies).
+#
+# Usage: ./ci.sh
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release) =="
+cargo build --release --offline --workspace
+
+echo "== tests =="
+cargo test -q --offline --workspace
+
+echo "== format =="
+cargo fmt --all --check
+
+echo "== smoke: gbc run with observability =="
+stats_json="$(mktemp)"
+trap 'rm -f "$stats_json"' EXIT
+./target/release/gbc run programs/prim.dl programs/graph_small.dl \
+    --stats --stats-json "$stats_json" >/dev/null
+grep -q '"gamma_steps": 5' "$stats_json" || {
+    echo "unexpected gamma_steps in $stats_json" >&2
+    exit 1
+}
+
+echo "CI OK"

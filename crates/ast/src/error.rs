@@ -8,11 +8,7 @@ pub enum AstError {
     /// A variable is not range-restricted (see [`crate::rule::Rule::check_safety`]).
     UnsafeVariable { rule: String, var: String },
     /// A predicate is used with two different arities.
-    ArityMismatch {
-        pred: String,
-        expected: usize,
-        found: usize,
-    },
+    ArityMismatch { pred: String, expected: usize, found: usize },
     /// A fact (body-less rule) has a non-ground head.
     NonGroundFact { rule: String },
     /// A `next` goal's stage variable also appears elsewhere in an
@@ -28,10 +24,9 @@ impl fmt::Display for AstError {
             AstError::UnsafeVariable { rule, var } => {
                 write!(f, "unsafe variable `{var}` in rule `{rule}`")
             }
-            AstError::ArityMismatch { pred, expected, found } => write!(
-                f,
-                "predicate `{pred}` used with arity {found}, previously {expected}"
-            ),
+            AstError::ArityMismatch { pred, expected, found } => {
+                write!(f, "predicate `{pred}` used with arity {found}, previously {expected}")
+            }
             AstError::NonGroundFact { rule } => {
                 write!(f, "fact with non-ground head: `{rule}`")
             }

@@ -101,34 +101,19 @@ pub enum Literal {
     /// Negated atom `¬p(…)` (stratified negation).
     Neg(Atom),
     /// Comparison / assignment `lhs op rhs` over arithmetic expressions.
-    Compare {
-        op: CmpOp,
-        lhs: Expr,
-        rhs: Expr,
-    },
+    Compare { op: CmpOp, lhs: Expr, rhs: Expr },
     /// `choice(L, R)` — the FD `L → R` must hold in the model. Both
     /// sides are term tuples; either may be empty (`choice((), (X, Y))`
     /// as in the TSP exit rule, meaning "exactly one `(X, Y)` overall").
-    Choice {
-        left: Vec<Term>,
-        right: Vec<Term>,
-    },
+    Choice { left: Vec<Term>, right: Vec<Term> },
     /// `least(C, G)` — among bindings satisfying the rest of the body,
     /// keep those minimal in `cost` for each value of the `group` tuple.
     /// `least(C)` is the empty-group form.
-    Least {
-        cost: Term,
-        group: Vec<Term>,
-    },
+    Least { cost: Term, group: Vec<Term> },
     /// `most(C, G)` — dual of `least`.
-    Most {
-        cost: Term,
-        group: Vec<Term>,
-    },
+    Most { cost: Term, group: Vec<Term> },
     /// `next(I)` — stage goal; macro-expands per Section 3 of the paper.
-    Next {
-        var: VarId,
-    },
+    Next { var: VarId },
 }
 
 impl Literal {
@@ -152,7 +137,10 @@ impl Literal {
     pub fn is_meta(&self) -> bool {
         matches!(
             self,
-            Literal::Choice { .. } | Literal::Least { .. } | Literal::Most { .. } | Literal::Next { .. }
+            Literal::Choice { .. }
+                | Literal::Least { .. }
+                | Literal::Most { .. }
+                | Literal::Next { .. }
         )
     }
 
@@ -229,10 +217,8 @@ mod tests {
 
     #[test]
     fn literal_vars_cover_choice_tuples() {
-        let l = Literal::Choice {
-            left: vec![Term::var(3)],
-            right: vec![Term::var(1), Term::var(3)],
-        };
+        let l =
+            Literal::Choice { left: vec![Term::var(3)], right: vec![Term::var(1), Term::var(3)] };
         assert_eq!(l.vars(), vec![VarId(3), VarId(1)]);
     }
 

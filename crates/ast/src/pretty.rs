@@ -194,16 +194,10 @@ mod tests {
         // prm(X,Y,C,I) <- next(I), new_g(X,Y,C,J), J < I, least(C,(I)), choice((Y),(X)).
         let names: Vec<String> = ["X", "Y", "C", "I", "J"].iter().map(|s| s.to_string()).collect();
         let r = Rule::new(
-            Atom::new(
-                "prm",
-                vec![Term::var(0), Term::var(1), Term::var(2), Term::var(3)],
-            ),
+            Atom::new("prm", vec![Term::var(0), Term::var(1), Term::var(2), Term::var(3)]),
             vec![
                 Literal::Next { var: VarId(3) },
-                Literal::pos(
-                    "new_g",
-                    vec![Term::var(0), Term::var(1), Term::var(2), Term::var(4)],
-                ),
+                Literal::pos("new_g", vec![Term::var(0), Term::var(1), Term::var(2), Term::var(4)]),
                 Literal::cmp(CmpOp::Lt, Expr::var(4), Expr::var(3)),
                 Literal::Least { cost: Term::var(2), group: vec![Term::var(3)] },
                 Literal::Choice { left: vec![Term::var(1)], right: vec![Term::var(0)] },

@@ -35,10 +35,7 @@ impl Program {
 
     /// Append a ground fact `pred(args)`.
     pub fn push_fact(&mut self, pred: impl Into<Symbol>, args: Vec<Value>) {
-        let atom = Atom::new(
-            pred,
-            args.into_iter().map(crate::term::Term::Const).collect(),
-        );
+        let atom = Atom::new(pred, args.into_iter().map(crate::term::Term::Const).collect());
         self.rules.push(Rule::fact(atom));
     }
 
@@ -91,12 +88,8 @@ impl Program {
 
     /// Predicates defined only by facts or never defined (extensional).
     pub fn edb_predicates(&self) -> Vec<Symbol> {
-        let idb: Vec<Symbol> = self
-            .rules
-            .iter()
-            .filter(|r| !r.is_fact())
-            .map(|r| r.head.pred)
-            .collect();
+        let idb: Vec<Symbol> =
+            self.rules.iter().filter(|r| !r.is_fact()).map(|r| r.head.pred).collect();
         let mut edb: Vec<Symbol> = Vec::new();
         for r in &self.rules {
             for l in &r.body {
@@ -214,10 +207,7 @@ mod tests {
         // p(X) <- next(I), q(X).
         let p = Program::from_rules(vec![Rule::new(
             Atom::new("p", vec![Term::var(0)]),
-            vec![
-                Literal::Next { var: VarId(1) },
-                Literal::pos("q", vec![Term::var(0)]),
-            ],
+            vec![Literal::Next { var: VarId(1) }, Literal::pos("q", vec![Term::var(0)])],
             vec!["X".into(), "I".into()],
         )]);
         assert!(matches!(p.validate(), Err(AstError::MalformedNext { .. })));
@@ -227,10 +217,7 @@ mod tests {
     fn validate_rejects_two_next_goals() {
         let p = Program::from_rules(vec![Rule::new(
             Atom::new("p", vec![Term::var(0), Term::var(1)]),
-            vec![
-                Literal::Next { var: VarId(0) },
-                Literal::Next { var: VarId(1) },
-            ],
+            vec![Literal::Next { var: VarId(0) }, Literal::Next { var: VarId(1) }],
             vec!["I".into(), "J".into()],
         )]);
         assert!(matches!(p.validate(), Err(AstError::MultipleNext { .. })));

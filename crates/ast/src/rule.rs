@@ -44,10 +44,7 @@ impl Rule {
 
     /// The surface name of a variable.
     pub fn var_name(&self, v: VarId) -> &str {
-        self.var_names
-            .get(v.index())
-            .map(String::as_str)
-            .unwrap_or("_?")
+        self.var_names.get(v.index()).map(String::as_str).unwrap_or("_?")
     }
 
     /// True if any body literal is a `choice` goal.
@@ -62,9 +59,7 @@ impl Rule {
 
     /// True if any body literal is `least` or `most`.
     pub fn has_extrema(&self) -> bool {
-        self.body
-            .iter()
-            .any(|l| matches!(l, Literal::Least { .. } | Literal::Most { .. }))
+        self.body.iter().any(|l| matches!(l, Literal::Least { .. } | Literal::Most { .. }))
     }
 
     /// True if any body literal is a negated atom.
@@ -199,10 +194,7 @@ mod tests {
             vec![Literal::pos("q", vec![Term::var(0)])],
             names(2),
         );
-        assert!(matches!(
-            r.check_safety(),
-            Err(AstError::UnsafeVariable { .. })
-        ));
+        assert!(matches!(r.check_safety(), Err(AstError::UnsafeVariable { .. })));
     }
 
     #[test]
@@ -229,10 +221,7 @@ mod tests {
         // p(X) <- q(X), not r(Y).
         let r = Rule::new(
             Atom::new("p", vec![Term::var(0)]),
-            vec![
-                Literal::pos("q", vec![Term::var(0)]),
-                Literal::neg("r", vec![Term::var(1)]),
-            ],
+            vec![Literal::pos("q", vec![Term::var(0)]), Literal::neg("r", vec![Term::var(1)])],
             names(2),
         );
         assert!(r.check_safety().is_err());
@@ -243,10 +232,7 @@ mod tests {
         // st(X, I) <- next(I), g(X).
         let r = Rule::new(
             Atom::new("st", vec![Term::var(0), Term::var(1)]),
-            vec![
-                Literal::Next { var: VarId(1) },
-                Literal::pos("g", vec![Term::var(0)]),
-            ],
+            vec![Literal::Next { var: VarId(1) }, Literal::pos("g", vec![Term::var(0)])],
             names(2),
         );
         assert!(r.check_safety().is_ok());

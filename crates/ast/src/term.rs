@@ -239,15 +239,9 @@ mod tests {
 
     #[test]
     fn ground_term_converts_to_value() {
-        let t = Term::Func(
-            Symbol::intern("t"),
-            vec![Term::sym("a"), Term::int(3)],
-        );
+        let t = Term::Func(Symbol::intern("t"), vec![Term::sym("a"), Term::int(3)]);
         assert!(t.is_ground());
-        assert_eq!(
-            t.as_value().unwrap(),
-            Value::func("t", vec![Value::sym("a"), Value::int(3)])
-        );
+        assert_eq!(t.as_value().unwrap(), Value::func("t", vec![Value::sym("a"), Value::int(3)]));
     }
 
     #[test]
@@ -260,10 +254,7 @@ mod tests {
     #[test]
     fn vars_dedup_in_first_occurrence_order() {
         // t(X, Y, X)
-        let t = Term::Func(
-            Symbol::intern("t"),
-            vec![Term::var(1), Term::var(0), Term::var(1)],
-        );
+        let t = Term::Func(Symbol::intern("t"), vec![Term::var(1), Term::var(0), Term::var(1)]);
         assert_eq!(t.vars(), vec![VarId(1), VarId(0)]);
     }
 

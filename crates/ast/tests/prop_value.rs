@@ -1,82 +1,123 @@
 //! Property tests for the value order and the term model — the total
 //! order on [`Value`] underpins every priority queue in the system, so
 //! its lawfulness is load-bearing.
+//!
+//! Seeded-loop style: random cases come from the in-tree deterministic
+//! PRNG, so every failure reproduces exactly.
 
 use gbc_ast::{Symbol, Term, Value};
-use proptest::prelude::*;
+use gbc_telemetry::rng::Rng;
 
-/// A strategy over values, including nested functor terms.
-fn value_strategy() -> impl Strategy<Value = Value> {
-    let leaf = prop_oneof![
-        Just(Value::Nil),
-        any::<i64>().prop_map(Value::Int),
-        "[a-z][a-z0-9_]{0,6}".prop_map(|s| Value::sym(&s)),
-        "[ -~]{0,8}".prop_map(|s| Value::str(&s)),
-    ];
-    leaf.prop_recursive(3, 24, 3, |inner| {
-        (prop_oneof![Just("t"), Just("f"), Just("pair")], prop::collection::vec(inner, 0..3))
-            .prop_map(|(name, args)| Value::func(name, args))
-    })
+/// A random value, including nested functor terms up to `depth` levels.
+fn random_value(rng: &mut Rng, depth: u32) -> Value {
+    let branch = if depth == 0 { rng.below(4) } else { rng.below(5) };
+    match branch {
+        0 => Value::Nil,
+        1 => Value::Int(rng.range_i64(i64::MIN / 2, i64::MAX / 2)),
+        2 => {
+            let len = 1 + rng.below_usize(7);
+            let s: String = (0..len)
+                .map(|i| {
+                    let alphabet =
+                        if i == 0 { &b"abcdefghij"[..] } else { &b"abcdefghij0123_"[..] };
+                    alphabet[rng.below_usize(alphabet.len())] as char
+                })
+                .collect();
+            Value::sym(&s)
+        }
+        3 => {
+            let len = rng.below_usize(9);
+            let s: String = (0..len).map(|_| (b' ' + rng.below(95) as u8) as char).collect();
+            Value::str(&s)
+        }
+        _ => {
+            let name = ["t", "f", "pair"][rng.below_usize(3)];
+            let n_args = rng.below_usize(3);
+            let args = (0..n_args).map(|_| random_value(rng, depth - 1)).collect();
+            Value::func(name, args)
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Total order laws: antisymmetry and transitivity via sort
-    /// stability, reflexivity of equality.
-    #[test]
-    fn ordering_is_total_and_consistent(a in value_strategy(), b in value_strategy(), c in value_strategy()) {
-        use std::cmp::Ordering;
+/// Total order laws: antisymmetry and transitivity, reflexivity of
+/// equality.
+#[test]
+fn ordering_is_total_and_consistent() {
+    use std::cmp::Ordering;
+    let mut rng = Rng::new(0x5EED_0007);
+    for case in 0..256 {
+        let a = random_value(&mut rng, 3);
+        let b = random_value(&mut rng, 3);
+        let c = random_value(&mut rng, 3);
         // Antisymmetry.
         match a.cmp(&b) {
-            Ordering::Less => prop_assert_eq!(b.cmp(&a), Ordering::Greater),
-            Ordering::Greater => prop_assert_eq!(b.cmp(&a), Ordering::Less),
+            Ordering::Less => assert_eq!(b.cmp(&a), Ordering::Greater, "case {case}"),
+            Ordering::Greater => assert_eq!(b.cmp(&a), Ordering::Less, "case {case}"),
             Ordering::Equal => {
-                prop_assert_eq!(&a, &b);
-                prop_assert_eq!(b.cmp(&a), Ordering::Equal);
+                assert_eq!(&a, &b, "case {case}");
+                assert_eq!(b.cmp(&a), Ordering::Equal, "case {case}");
             }
         }
         // Transitivity.
         if a <= b && b <= c {
-            prop_assert!(a <= c);
+            assert!(a <= c, "case {case}");
         }
         // Reflexivity.
-        prop_assert_eq!(a.cmp(&a), Ordering::Equal);
+        assert_eq!(a.cmp(&a), Ordering::Equal, "case {case}");
     }
+}
 
-    /// Equal values hash equally.
-    #[test]
-    fn eq_implies_hash_eq(a in value_strategy()) {
-        use std::collections::hash_map::DefaultHasher;
-        use std::hash::{Hash, Hasher};
+/// Equal values hash equally.
+#[test]
+fn eq_implies_hash_eq() {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let mut rng = Rng::new(0x5EED_0008);
+    for case in 0..256 {
+        let a = random_value(&mut rng, 3);
         let b = a.clone();
         let mut ha = DefaultHasher::new();
         let mut hb = DefaultHasher::new();
         a.hash(&mut ha);
         b.hash(&mut hb);
-        prop_assert_eq!(ha.finish(), hb.finish());
+        assert_eq!(ha.finish(), hb.finish(), "case {case}");
     }
+}
 
-    /// Ground terms convert to values and back structurally: a ground
-    /// `Term` built from a `Value` evaluates to that value.
-    #[test]
-    fn ground_term_value_round_trip(v in value_strategy()) {
-        fn to_term(v: &Value) -> Term {
-            match v {
-                Value::Func(f, args) => Term::Func(*f, args.iter().map(to_term).collect()),
-                other => Term::Const(other.clone()),
-            }
+/// Ground terms convert to values and back structurally: a ground
+/// `Term` built from a `Value` evaluates to that value.
+#[test]
+fn ground_term_value_round_trip() {
+    fn to_term(v: &Value) -> Term {
+        match v {
+            Value::Func(f, args) => Term::Func(*f, args.iter().map(to_term).collect()),
+            other => Term::Const(other.clone()),
         }
-        let t = to_term(&v);
-        prop_assert!(t.is_ground());
-        prop_assert_eq!(t.as_value(), Some(v));
     }
+    let mut rng = Rng::new(0x5EED_0009);
+    for case in 0..256 {
+        let v = random_value(&mut rng, 3);
+        let t = to_term(&v);
+        assert!(t.is_ground(), "case {case}");
+        assert_eq!(t.as_value(), Some(v), "case {case}");
+    }
+}
 
-    /// Symbol interning round-trips arbitrary identifiers.
-    #[test]
-    fn symbol_round_trip(s in "[a-z][a-z0-9_]{0,16}") {
+/// Symbol interning round-trips arbitrary identifiers.
+#[test]
+fn symbol_round_trip() {
+    let mut rng = Rng::new(0x5EED_000A);
+    for case in 0..256 {
+        let len = 1 + rng.below_usize(16);
+        let s: String = (0..len)
+            .map(|i| {
+                let alphabet =
+                    if i == 0 { &b"abcdefghijklmnop"[..] } else { &b"abcdefgh01234_"[..] };
+                alphabet[rng.below_usize(alphabet.len())] as char
+            })
+            .collect();
         let sym = Symbol::intern(&s);
-        prop_assert_eq!(sym.as_str(), s.as_str());
-        prop_assert_eq!(Symbol::intern(&s), sym);
+        assert_eq!(sym.as_str(), s.as_str(), "case {case}");
+        assert_eq!(Symbol::intern(&s), sym, "case {case}");
     }
 }

@@ -72,10 +72,7 @@ pub fn huffman_tree(weights: &[i64]) -> Option<Tree> {
 /// Weighted path length Σ weight(s)·depth(s) — the cost Huffman
 /// minimises; equal-WPL trees are equally optimal.
 pub fn weighted_path_length(tree: &Tree, weights: &[i64]) -> i64 {
-    tree.code_lengths()
-        .iter()
-        .map(|&(sym, depth)| weights[sym as usize] * i64::from(depth))
-        .sum()
+    tree.code_lengths().iter().map(|&(sym, depth)| weights[sym as usize] * i64::from(depth)).sum()
 }
 
 #[cfg(test)]
@@ -114,11 +111,7 @@ mod tests {
         // Huffman codes are complete: Σ 2^-len = 1.
         let w = [3, 1, 4, 1, 5, 9, 2, 6];
         let t = huffman_tree(&w).unwrap();
-        let sum: f64 = t
-            .code_lengths()
-            .iter()
-            .map(|&(_, d)| 0.5f64.powi(d as i32))
-            .sum();
+        let sum: f64 = t.code_lengths().iter().map(|&(_, d)| 0.5f64.powi(d as i32)).sum();
         assert!((sum - 1.0).abs() < 1e-9, "kraft sum {sum}");
     }
 

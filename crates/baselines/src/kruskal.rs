@@ -70,10 +70,7 @@ mod tests {
     use crate::total_cost;
 
     fn undirected(pairs: &[(u32, u32, i64)]) -> Vec<Edge> {
-        pairs
-            .iter()
-            .flat_map(|&(a, b, c)| [Edge::new(a, b, c), Edge::new(b, a, c)])
-            .collect()
+        pairs.iter().flat_map(|&(a, b, c)| [Edge::new(a, b, c), Edge::new(b, a, c)]).collect()
     }
 
     #[test]

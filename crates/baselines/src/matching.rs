@@ -47,9 +47,7 @@ pub fn is_maximal(n: usize, edges: &[Edge], m: &[Edge]) -> bool {
         source_used[e.from as usize] = true;
         target_used[e.to as usize] = true;
     }
-    edges
-        .iter()
-        .all(|e| source_used[e.from as usize] || target_used[e.to as usize])
+    edges.iter().all(|e| source_used[e.from as usize] || target_used[e.to as usize])
 }
 
 #[cfg(test)]
@@ -59,12 +57,8 @@ mod tests {
 
     #[test]
     fn picks_cheap_disjoint_arcs() {
-        let edges = [
-            Edge::new(0, 1, 1),
-            Edge::new(0, 2, 2),
-            Edge::new(3, 1, 3),
-            Edge::new(3, 2, 4),
-        ];
+        let edges =
+            [Edge::new(0, 1, 1), Edge::new(0, 2, 2), Edge::new(3, 1, 3), Edge::new(3, 2, 4)];
         let m = greedy_matching(4, &edges);
         // (0,1,1) then (3,2,4): (0,2) blocked by source 0, (3,1) by target 1.
         assert_eq!(m, vec![Edge::new(0, 1, 1), Edge::new(3, 2, 4)]);

@@ -1,8 +1,8 @@
 //! Classical Prim with a binary heap — `O(e log n)` (the comparator in
 //! the paper's "Prim's Algorithm: Complexity of Example 4").
 
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use crate::Edge;
 
@@ -50,10 +50,7 @@ mod tests {
 
     /// Both orientations of an undirected edge list.
     pub(crate) fn undirected(pairs: &[(u32, u32, i64)]) -> Vec<Edge> {
-        pairs
-            .iter()
-            .flat_map(|&(a, b, c)| [Edge::new(a, b, c), Edge::new(b, a, c)])
-            .collect()
+        pairs.iter().flat_map(|&(a, b, c)| [Edge::new(a, b, c), Edge::new(b, a, c)]).collect()
     }
 
     #[test]

@@ -61,10 +61,7 @@ pub fn optimal_profit_bruteforce(jobs: &[Job]) -> i64 {
             .map(|(_, j)| j)
             .collect();
         chosen.sort_by_key(|j| j.deadline);
-        let feasible = chosen
-            .iter()
-            .enumerate()
-            .all(|(i, j)| j.deadline as usize >= i + 1);
+        let feasible = chosen.iter().enumerate().all(|(i, j)| j.deadline as usize >= i + 1);
         if feasible {
             best = best.max(chosen.iter().map(|j| j.profit).sum());
         }
@@ -85,10 +82,9 @@ pub fn is_valid_schedule(jobs: &[Job], schedule: &[(u32, u32)]) -> bool {
     if ids.windows(2).any(|w| w[0] == w[1]) {
         return false;
     }
-    schedule.iter().all(|&(id, slot)| {
-        jobs.iter()
-            .any(|j| j.id == id && slot >= 1 && slot <= j.deadline)
-    })
+    schedule
+        .iter()
+        .all(|&(id, slot)| jobs.iter().any(|j| j.id == id && slot >= 1 && slot <= j.deadline))
 }
 
 #[cfg(test)]

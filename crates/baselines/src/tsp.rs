@@ -25,20 +25,14 @@ pub fn greedy_chain(n: usize, edges: &[Edge]) -> Vec<Edge> {
         a.sort_unstable();
     }
 
-    let seed = *edges
-        .iter()
-        .min_by_key(|e| (e.cost, e.from, e.to))
-        .expect("nonempty");
+    let seed = *edges.iter().min_by_key(|e| (e.cost, e.from, e.to)).expect("nonempty");
     let mut visited = vec![false; n];
     visited[seed.from as usize] = true;
     visited[seed.to as usize] = true;
     let mut chain = vec![seed];
     let mut end = seed.to;
     loop {
-        let next = adj[end as usize]
-            .iter()
-            .find(|&&(_, to)| !visited[to as usize])
-            .copied();
+        let next = adj[end as usize].iter().find(|&&(_, to)| !visited[to as usize]).copied();
         let Some((c, to)) = next else { break };
         visited[to as usize] = true;
         chain.push(Edge::new(end, to, c));
@@ -64,10 +58,7 @@ pub fn nearest_neighbour(n: usize, edges: &[Edge], start: u32) -> Vec<Edge> {
     let mut path = Vec::new();
     let mut cur = start;
     loop {
-        let next = adj[cur as usize]
-            .iter()
-            .find(|&&(_, to)| !visited[to as usize])
-            .copied();
+        let next = adj[cur as usize].iter().find(|&&(_, to)| !visited[to as usize]).copied();
         let Some((c, to)) = next else { break };
         visited[to as usize] = true;
         path.push(Edge::new(cur, to, c));
@@ -124,12 +115,7 @@ mod tests {
 
     #[test]
     fn greedy_chain_is_hamiltonian_on_complete_graphs() {
-        let edges = complete(&[
-            &[0, 2, 9, 10],
-            &[2, 0, 6, 4],
-            &[9, 6, 0, 8],
-            &[10, 4, 8, 0],
-        ]);
+        let edges = complete(&[&[0, 2, 9, 10], &[2, 0, 6, 4], &[9, 6, 0, 8], &[10, 4, 8, 0]]);
         let chain = greedy_chain(4, &edges);
         assert!(is_hamiltonian_path(4, &chain), "{chain:?}");
         // Seed (0,1,2), then cheapest from 1 unvisited: (1,3,4), then (3,2,8).
@@ -138,12 +124,7 @@ mod tests {
 
     #[test]
     fn nearest_neighbour_is_hamiltonian() {
-        let edges = complete(&[
-            &[0, 2, 9, 10],
-            &[2, 0, 6, 4],
-            &[9, 6, 0, 8],
-            &[10, 4, 8, 0],
-        ]);
+        let edges = complete(&[&[0, 2, 9, 10], &[2, 0, 6, 4], &[9, 6, 0, 8], &[10, 4, 8, 0]]);
         let p = nearest_neighbour(4, &edges, 0);
         assert!(is_hamiltonian_path(4, &p));
     }

@@ -13,11 +13,7 @@ pub struct UnionFind {
 impl UnionFind {
     /// `n` singleton sets.
     pub fn new(n: usize) -> UnionFind {
-        UnionFind {
-            parent: (0..n as u32).collect(),
-            rank: vec![0; n],
-            components: n,
-        }
+        UnionFind { parent: (0..n as u32).collect(), rank: vec![0; n], components: n }
     }
 
     /// Representative of `x`'s set (with path compression).
@@ -41,11 +37,8 @@ impl UnionFind {
         if ra == rb {
             return false;
         }
-        let (hi, lo) = if self.rank[ra as usize] >= self.rank[rb as usize] {
-            (ra, rb)
-        } else {
-            (rb, ra)
-        };
+        let (hi, lo) =
+            if self.rank[ra as usize] >= self.rank[rb as usize] { (ra, rb) } else { (rb, ra) };
         self.parent[lo as usize] = hi;
         if self.rank[hi as usize] == self.rank[lo as usize] {
             self.rank[hi as usize] += 1;

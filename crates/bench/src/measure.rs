@@ -1,4 +1,6 @@
-//! Timing and scaling-fit utilities.
+//! Timing and scaling-fit utilities: single-shot timers, a
+//! warmup + median-of-k repetition harness (the in-tree replacement for
+//! criterion), and log-log scaling fits.
 
 use std::time::Instant;
 
@@ -16,6 +18,73 @@ pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let start = Instant::now();
     let out = f();
     (out, start.elapsed().as_secs_f64())
+}
+
+/// The repetition harness: `warmup` unmeasured runs, then `reps` timed
+/// runs reported as their median.
+///
+/// The median is robust against the one-off outliers (allocator warmup,
+/// scheduler preemption) that make min/mean noisy on shared machines,
+/// which is all the statistical machinery these tables need.
+#[derive(Clone, Copy, Debug)]
+pub struct Harness {
+    /// Unmeasured warmup executions before timing starts.
+    pub warmup: usize,
+    /// Timed repetitions; the median is reported. Must be ≥ 1.
+    pub reps: usize,
+}
+
+/// The result of a [`Harness::run`]: the last value `f` produced plus
+/// the timing distribution.
+#[derive(Clone, Copy, Debug)]
+pub struct Timing {
+    /// Median of the timed repetitions, seconds.
+    pub median_secs: f64,
+    /// Fastest repetition, seconds.
+    pub min_secs: f64,
+    /// Slowest repetition, seconds.
+    pub max_secs: f64,
+}
+
+impl Harness {
+    /// The default harness: 1 warmup run, median of 5.
+    pub fn new() -> Harness {
+        Harness { warmup: 1, reps: 5 }
+    }
+
+    /// A reduced harness for `--quick` sweeps: no warmup, median of 3.
+    pub fn quick() -> Harness {
+        Harness { warmup: 0, reps: 3 }
+    }
+
+    /// Run `f` under the harness, returning its last result and the
+    /// timing distribution over the measured repetitions.
+    pub fn run<T>(&self, mut f: impl FnMut() -> T) -> (T, Timing) {
+        assert!(self.reps >= 1, "harness needs at least one repetition");
+        for _ in 0..self.warmup {
+            f();
+        }
+        let mut times = Vec::with_capacity(self.reps);
+        let mut out = None;
+        for _ in 0..self.reps {
+            let (v, secs) = time_once(&mut f);
+            out = Some(v);
+            times.push(secs);
+        }
+        times.sort_by(f64::total_cmp);
+        let timing = Timing {
+            median_secs: times[times.len() / 2],
+            min_secs: times[0],
+            max_secs: times[times.len() - 1],
+        };
+        (out.expect("reps >= 1"), timing)
+    }
+}
+
+impl Default for Harness {
+    fn default() -> Harness {
+        Harness::new()
+    }
 }
 
 /// Least-squares slope of `log(time)` against `log(size)` — the
@@ -78,5 +147,26 @@ mod tests {
         let (v, secs) = time_once(|| 6 * 7);
         assert_eq!(v, 42);
         assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn harness_runs_warmup_plus_reps_and_reports_median() {
+        let mut calls = 0u32;
+        let h = Harness { warmup: 2, reps: 5 };
+        let (last, timing) = h.run(|| {
+            calls += 1;
+            calls
+        });
+        assert_eq!(calls, 7, "2 warmup + 5 measured");
+        assert_eq!(last, 7);
+        assert!(timing.min_secs <= timing.median_secs);
+        assert!(timing.median_secs <= timing.max_secs);
+    }
+
+    #[test]
+    fn quick_harness_skips_warmup() {
+        let mut calls = 0u32;
+        let (_, _) = Harness::quick().run(|| calls += 1);
+        assert_eq!(calls, 3);
     }
 }

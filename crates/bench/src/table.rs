@@ -37,10 +37,7 @@ mod tests {
     fn aligns_columns() {
         let t = render_table(
             &["n", "secs"],
-            &[
-                vec!["8".into(), "0.001".into()],
-                vec!["1024".into(), "0.125".into()],
-            ],
+            &[vec!["8".into(), "0.001".into()], vec!["1024".into(), "0.125".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -2,10 +2,10 @@
 //!
 //! ```text
 //! gbc check   FILE...            parse, validate, classify
-//! gbc run     FILE... [--generic] [--seed N] [--stats]
-//! gbc models  FILE... [--max N]  enumerate all choice models
+//! gbc run     FILE... [--generic] [--seed N] [--stats] [--trace] [--stats-json PATH]
+//! gbc models  FILE... [--max N] [--stats] [--stats-json PATH]
 //! gbc rewrite FILE...            print the negative (rewritten) program
-//! gbc verify  FILE...            run, then check stability (Theorem 1)
+//! gbc verify  FILE... [--stats] [--trace] [--stats-json PATH]
 //! ```
 //!
 //! Multiple files are concatenated (programs + facts mix freely), so
@@ -14,13 +14,25 @@
 //! ```text
 //! gbc run programs/prim.dl programs/graph_small.dl --stats
 //! ```
+//!
+//! Observability:
+//!
+//! * `--stats` prints the counter registry and the phase-timer report
+//!   to stderr after the run;
+//! * `--trace` streams one line per γ event (stage commits, exit
+//!   commits, discards, flat rounds) to stderr as it happens — the
+//!   paper's tuple ↔ stage bijection made visible;
+//! * `--stats-json PATH` writes the full telemetry report (counters,
+//!   per-round delta history, phase timings) as JSON to `PATH`.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use gbc_core::{classify, compile, verify_stable_model};
 use gbc_engine::enumerate::{all_choice_models_with, EnumerateConfig};
 use gbc_engine::{ChoiceFixpoint, DeterministicFirst, SeededRandom};
 use gbc_storage::Database;
+use gbc_telemetry::{StderrTrace, Telemetry};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -37,6 +49,8 @@ struct Options {
     files: Vec<String>,
     generic: bool,
     stats: bool,
+    trace: bool,
+    stats_json: Option<String>,
     seed: Option<u64>,
     max_models: usize,
 }
@@ -46,6 +60,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         files: Vec::new(),
         generic: false,
         stats: false,
+        trace: false,
+        stats_json: None,
         seed: None,
         max_models: 1000,
     };
@@ -54,6 +70,11 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         match a.as_str() {
             "--generic" => opts.generic = true,
             "--stats" => opts.stats = true,
+            "--trace" => opts.trace = true,
+            "--stats-json" => {
+                let v = it.next().ok_or("--stats-json needs a path")?;
+                opts.stats_json = Some(v.clone());
+            }
             "--seed" => {
                 let v = it.next().ok_or("--seed needs a value")?;
                 opts.seed = Some(v.parse().map_err(|_| format!("bad seed `{v}`"))?);
@@ -72,6 +93,41 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         return Err("no input files".into());
     }
     Ok(opts)
+}
+
+impl Options {
+    /// Build the telemetry bundle the flags ask for. Counters are always
+    /// on; `--stats`/`--stats-json` additionally enable phase timers and
+    /// the per-round delta history; `--trace` attaches a stderr sink.
+    fn telemetry(&self) -> Telemetry {
+        let tel = if self.stats || self.stats_json.is_some() {
+            Telemetry::enabled()
+        } else {
+            Telemetry::counters_only()
+        };
+        if self.trace {
+            tel.with_trace(Arc::new(StderrTrace))
+        } else {
+            tel
+        }
+    }
+
+    /// Emit the post-run reports the flags ask for.
+    fn report(&self, tel: &Telemetry) -> Result<(), String> {
+        if self.stats {
+            eprint!("{}", tel.snapshot().render());
+            let phases = tel.phases.render();
+            if !phases.is_empty() {
+                eprint!("{phases}");
+            }
+        }
+        if let Some(path) = &self.stats_json {
+            let mut text = tel.to_json().pretty();
+            text.push('\n');
+            std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+        }
+        Ok(())
+    }
 }
 
 fn load(files: &[String]) -> Result<gbc_ast::Program, String> {
@@ -103,7 +159,7 @@ fn run(args: &[String]) -> Result<(), String> {
 
 fn usage() -> String {
     "usage: gbc <check|run|models|rewrite|verify> FILE... \
-     [--generic] [--seed N] [--stats] [--max N]"
+     [--generic] [--seed N] [--stats] [--trace] [--stats-json PATH] [--max N]"
         .to_owned()
 }
 
@@ -155,36 +211,34 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
     let program = load(&opts.files)?;
     let compiled = compile(program).map_err(|e| e.to_string())?;
     let edb = Database::new();
+    let tel = opts.telemetry();
 
     let run = if opts.generic || !compiled.has_greedy_plan() || opts.seed.is_some() {
         // Seeded or generic: the engine fixpoint with the chosen policy.
         let mut fixpoint =
             ChoiceFixpoint::new(compiled.expanded(), &edb).map_err(|e| e.to_string())?;
-        match opts.seed {
-            Some(seed) => fixpoint.run(&mut SeededRandom::new(seed)),
-            None => fixpoint.run(&mut DeterministicFirst),
-        }
-        .map_err(|e| e.to_string())?;
+        fixpoint.set_metrics(Arc::clone(&tel.metrics));
+        tel.phases
+            .time("run", || match opts.seed {
+                Some(seed) => fixpoint.run(&mut SeededRandom::new(seed)),
+                None => fixpoint.run(&mut DeterministicFirst),
+            })
+            .map_err(|e| e.to_string())?;
         let chosen = gbc_core::verify::records_from_engine(&fixpoint, compiled.expanded());
         gbc_core::GreedyRun {
             db: fixpoint.into_database(),
             chosen,
             stats: gbc_core::GreedyStats::default(),
+            snapshot: tel.snapshot(),
         }
     } else {
-        compiled.run_greedy(&edb).map_err(|e| e.to_string())?
+        compiled
+            .run_greedy_telemetry(&edb, gbc_core::GreedyConfig::default(), &tel)
+            .map_err(|e| e.to_string())?
     };
 
     println!("{}", run.db.canonical_form());
-    if opts.stats {
-        eprintln!(
-            "γ steps: {}, discarded: {}, flat facts: {}, queue peak: {}",
-            run.stats.gamma_steps,
-            run.stats.discarded,
-            run.stats.flat_new_facts,
-            run.stats.queue_peak
-        );
-    }
+    opts.report(&tel)?;
     Ok(())
 }
 
@@ -193,13 +247,17 @@ fn cmd_models(opts: &Options) -> Result<(), String> {
     // The enumerator needs a next-free program.
     let expanded = gbc_core::rewrite::next::expand_next(&program).map_err(|e| e.to_string())?;
     let config = EnumerateConfig { max_nodes: 1_000_000, max_models: opts.max_models };
-    let models =
-        all_choice_models_with(&expanded, &Database::new(), config).map_err(|e| e.to_string())?;
+    let tel = opts.telemetry();
+    let models = tel
+        .phases
+        .time("models", || all_choice_models_with(&expanded, &Database::new(), config))
+        .map_err(|e| e.to_string())?;
     println!("{} model(s)", models.len());
     for (i, m) in models.iter().enumerate() {
         println!("--- model {}", i + 1);
         println!("{}", m.canonical_form());
     }
+    opts.report(&tel)?;
     Ok(())
 }
 
@@ -214,12 +272,14 @@ fn cmd_verify(opts: &Options) -> Result<(), String> {
     let program = load(&opts.files)?;
     let compiled = compile(program.clone()).map_err(|e| e.to_string())?;
     let edb = Database::new();
-    let run = compiled.run(&edb).map_err(|e| e.to_string())?;
+    let tel = opts.telemetry();
+    let run = compiled.run_telemetry(&edb, &tel).map_err(|e| e.to_string())?;
     let ok = verify_stable_model(&program, &edb, &run).map_err(|e| e.to_string())?;
     println!(
         "stable model check: {}",
         if ok { "PASS (Theorem 1 holds for this run)" } else { "FAIL" }
     );
+    opts.report(&tel)?;
     if ok {
         Ok(())
     } else {

@@ -223,8 +223,7 @@ fn analyse_clique(program: &Program, stages: &StageInfo, clique: &[Symbol]) -> C
                 _ => continue,
             };
             let ok = group.is_empty()
-                || (group.len() == 1
-                    && matches!(&group[0], Term::Var(v) if *v == stage_var));
+                || (group.len() == 1 && matches!(&group[0], Term::Var(v) if *v == stage_var));
             if !ok {
                 info.stage_stratified = false;
                 info.notes.push(format!(
@@ -299,9 +298,7 @@ fn has_cycle(preds: &[Symbol], edges: &[(Symbol, Symbol)]) -> bool {
     for &(a, b) in edges {
         g.add_edge(idx(a), idx(b));
     }
-    g.sccs()
-        .iter()
-        .any(|c| c.len() > 1 || g.has_edge(c[0], c[0]))
+    g.sccs().iter().any(|c| c.len() > 1 || g.has_edge(c[0], c[0]))
 }
 
 fn overall_class(
@@ -320,15 +317,10 @@ fn overall_class(
     if has_next {
         for c in cliques {
             if c.is_stage_clique && !c.stage_stratified {
-                return ProgramClass::NotStageStratified {
-                    reason: c.notes.join("; "),
-                };
+                return ProgramClass::NotStageStratified { reason: c.notes.join("; ") };
             }
         }
-        let alternating = cliques
-            .iter()
-            .filter(|c| c.is_stage_clique)
-            .all(|c| c.alternating);
+        let alternating = cliques.iter().filter(|c| c.is_stage_clique).all(|c| c.alternating);
         return ProgramClass::StageStratified { alternating };
     }
     if has_choice {
@@ -349,11 +341,7 @@ fn overall_class(
                         && (graph.has_edge(pred_ids[&r.head.pred], pred_ids[&p]))
                     {
                         // Same SCC: recursive only if the SCC is recursive.
-                        let scc_recursive = comp_of
-                            .iter()
-                            .filter(|&&c| c == h)
-                            .count()
-                            > 1
+                        let scc_recursive = comp_of.iter().filter(|&&c| c == h).count() > 1
                             || graph.has_edge(pred_ids[&r.head.pred], pred_ids[&r.head.pred]);
                         if scc_recursive {
                             return ProgramClass::Unstratified {
@@ -401,10 +389,7 @@ mod tests {
              sp(X, C, I) <- next(I), p(X, C), least(C, I).",
         )
         .unwrap();
-        assert_eq!(
-            classify(&p).class,
-            ProgramClass::StageStratified { alternating: true }
-        );
+        assert_eq!(classify(&p).class, ProgramClass::StageStratified { alternating: true });
     }
 
     #[test]
@@ -432,11 +417,7 @@ mod tests {
         )
         .unwrap();
         let a = classify(&p);
-        assert!(
-            matches!(a.class, ProgramClass::NotStageStratified { .. }),
-            "{:?}",
-            a.class
-        );
+        assert!(matches!(a.class, ProgramClass::NotStageStratified { .. }), "{:?}", a.class);
     }
 
     #[test]
@@ -448,10 +429,7 @@ mod tests {
              new_g(X, Y, C, J) <- prm(_, X, _, J), g(X, Y, C).",
         )
         .unwrap();
-        assert!(matches!(
-            classify(&p).class,
-            ProgramClass::NotStageStratified { .. }
-        ));
+        assert!(matches!(classify(&p).class, ProgramClass::NotStageStratified { .. }));
     }
 
     #[test]
@@ -467,10 +445,7 @@ mod tests {
              comp0(X, K) <- next(K), node(X).",
         )
         .unwrap();
-        assert!(matches!(
-            classify(&p).class,
-            ProgramClass::NotStageStratified { .. }
-        ));
+        assert!(matches!(classify(&p).class, ProgramClass::NotStageStratified { .. }));
     }
 
     #[test]
@@ -496,10 +471,7 @@ mod tests {
         assert_eq!(classify(&strat).class, ProgramClass::Stratified);
 
         let unstrat = parse_program("win(X) <- move(X, Y), not win(Y).").unwrap();
-        assert!(matches!(
-            classify(&unstrat).class,
-            ProgramClass::Unstratified { .. }
-        ));
+        assert!(matches!(classify(&unstrat).class, ProgramClass::Unstratified { .. }));
     }
 
     #[test]
@@ -527,9 +499,6 @@ mod tests {
                                      choice(Y, X), choice(X, Y).",
         )
         .unwrap();
-        assert_eq!(
-            classify(&p).class,
-            ProgramClass::StageStratified { alternating: true }
-        );
+        assert_eq!(classify(&p).class, ProgramClass::StageStratified { alternating: true });
     }
 }

@@ -155,11 +155,7 @@ mod tests {
     use gbc_ast::Atom;
 
     fn rule_with(body: Vec<Literal>, nvars: usize) -> Rule {
-        Rule::new(
-            Atom::new("h", vec![]),
-            body,
-            (0..nvars).map(|i| format!("V{i}")).collect(),
-        )
+        Rule::new(Atom::new("h", vec![]), body, (0..nvars).map(|i| format!("V{i}")).collect())
     }
 
     #[test]

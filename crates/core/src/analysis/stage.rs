@@ -125,11 +125,8 @@ pub fn infer_stages(program: &Program) -> StageInfo {
         }) else {
             continue;
         };
-        if let Some(pos) = rule
-            .head
-            .args
-            .iter()
-            .position(|t| matches!(t, Term::Var(v) if *v == next_var))
+        if let Some(pos) =
+            rule.head.args.iter().position(|t| matches!(t, Term::Var(v) if *v == next_var))
         {
             record(&mut info, rule.head.pred, pos);
         }
@@ -168,9 +165,7 @@ pub fn infer_stages(program: &Program) -> StageInfo {
 fn record(info: &mut StageInfo, pred: Symbol, pos: usize) {
     match info.stage_arg.get(&pred) {
         Some(&old) if old != pos => {
-            let msg = format!(
-                "predicate `{pred}` inferred with stage arguments {old} and {pos}"
-            );
+            let msg = format!("predicate `{pred}` inferred with stage arguments {old} and {pos}");
             if !info.conflicts.contains(&msg) {
                 info.conflicts.push(msg);
             }

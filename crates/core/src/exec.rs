@@ -31,6 +31,7 @@
 //! paper's sorting analysis describes).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use gbc_ast::{CmpOp, Literal, Program, Rule, Symbol, Term, Value, VarId};
 use gbc_engine::bindings::Bindings;
@@ -38,6 +39,7 @@ use gbc_engine::eval::{eval_expr, eval_term, instantiate_head, match_term};
 use gbc_engine::extrema::{collect_matches, filter_extrema};
 use gbc_engine::seminaive::Seminaive;
 use gbc_storage::{Database, Row, Rql};
+use gbc_telemetry::{DiscardReason, Snapshot, Telemetry, TraceEvent};
 
 use crate::analysis::stage::StageInfo;
 use crate::error::CoreError;
@@ -91,6 +93,8 @@ pub struct GreedyRun {
     pub chosen: Vec<ChosenRecord>,
     /// Counters.
     pub stats: GreedyStats,
+    /// The full telemetry counter snapshot of the run.
+    pub snapshot: Snapshot,
 }
 
 /// The compiled plan for one next rule.
@@ -255,11 +259,8 @@ fn build_plan(
 
     // Chain mode: I = J + 1 for the source's stage column J.
     let cons = crate::analysis::constraints::Constraints::from_rule(rule);
-    let source_stage_col = stages
-        .stage_arg
-        .get(&source.pred)
-        .copied()
-        .filter(|&pos| pos < source.args.len());
+    let source_stage_col =
+        stages.stage_arg.get(&source.pred).copied().filter(|&pos| pos < source.args.len());
     let chain = source_stage_col.is_some_and(|pos| {
         matches!(&source.args[pos], Term::Var(j)
             if cons.lt(*j, stage_var) && cons.le_offset(stage_var, *j, 1))
@@ -368,6 +369,7 @@ pub struct GreedyExecutor {
     config: GreedyConfig,
     chosen: Vec<ChosenRecord>,
     stats: GreedyStats,
+    tel: Telemetry,
 }
 
 impl GreedyExecutor {
@@ -396,11 +398,7 @@ impl GreedyExecutor {
             } else if r.has_next() {
                 // handled by plans
             } else if r.has_choice() {
-                let goals = r
-                    .body
-                    .iter()
-                    .filter(|l| matches!(l, Literal::Choice { .. }))
-                    .count();
+                let goals = r.body.iter().filter(|l| matches!(l, Literal::Choice { .. })).count();
                 exit_memos.push(vec![FdMap::new(); goals]);
                 exits.push((ri, r.clone()));
             } else {
@@ -424,7 +422,7 @@ impl GreedyExecutor {
             })
             .collect();
         let exit_stale = vec![None; exits.len()];
-        GreedyExecutor {
+        let mut ex = GreedyExecutor {
             flat: Seminaive::new(flat_rules),
             nexts,
             exits,
@@ -434,26 +432,55 @@ impl GreedyExecutor {
             config,
             chosen: Vec::new(),
             stats: GreedyStats::default(),
+            tel: Telemetry::default(),
+        };
+        ex.attach_telemetry();
+        ex
+    }
+
+    /// Swap in a telemetry handle (counters, phase timers, trace sink)
+    /// and wire its counter registry into every layer: the database's
+    /// index caches, the seminaive saturator, and each rule's `Q_r`.
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.tel = tel;
+        self.attach_telemetry();
+    }
+
+    fn attach_telemetry(&mut self) {
+        let m = Arc::clone(&self.tel.metrics);
+        self.db.set_metrics(Arc::clone(&m));
+        self.flat.set_metrics(Arc::clone(&m));
+        for ns in &mut self.nexts {
+            ns.rql.set_metrics(Arc::clone(&m));
         }
     }
 
     /// Run to fixpoint.
     pub fn run(mut self) -> Result<GreedyRun, CoreError> {
+        let tel = self.tel.clone();
+        let mut flat_round: u64 = 0;
         loop {
-            self.stats.flat_new_facts += self.flat.saturate(&mut self.db)?;
-            if self.fire_exit_rule()? {
+            let new_facts = tel.phases.time("run/flat", || self.flat.saturate(&mut self.db))?;
+            self.stats.flat_new_facts += new_facts;
+            flat_round += 1;
+            tel.trace_with(|| TraceEvent::FlatRound { round: flat_round, new_facts });
+            if tel.phases.time("run/exit", || self.fire_exit_rule())? {
                 continue;
             }
-            for i in 0..self.nexts.len() {
-                self.feed(i)?;
-            }
-            let mut fired = false;
-            for i in 0..self.nexts.len() {
-                if self.fire_next_rule(i)? {
-                    fired = true;
-                    break;
+            tel.phases.time("run/feed", || -> Result<(), CoreError> {
+                for i in 0..self.nexts.len() {
+                    self.feed(i)?;
                 }
-            }
+                Ok(())
+            })?;
+            let fired = tel.phases.time("run/gamma", || -> Result<bool, CoreError> {
+                for i in 0..self.nexts.len() {
+                    if self.fire_next_rule(i)? {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            })?;
             if !fired {
                 break;
             }
@@ -461,7 +488,8 @@ impl GreedyExecutor {
                 return Err(CoreError::StepLimit { steps: self.stats.gamma_steps });
             }
         }
-        Ok(GreedyRun { db: self.db, chosen: self.chosen, stats: self.stats })
+        let snapshot = self.tel.metrics.snapshot();
+        Ok(GreedyRun { db: self.db, chosen: self.chosen, stats: self.stats, snapshot })
     }
 
     /// Fire one exit choice rule instance, generic-candidate style.
@@ -498,12 +526,17 @@ impl GreedyExecutor {
                 continue;
             };
             let pairs = eval_goal_pairs(rule, &b)?;
+            self.tel.trace_with(|| TraceEvent::ExitCommit {
+                pred: rule.head.pred.to_string(),
+                fact: head.to_string(),
+            });
             self.db.insert(rule.head.pred, head);
             for (gi, (l, r)) in pairs.iter().enumerate() {
                 self.exit_memos[ei][gi].insert(l.clone(), r.clone());
             }
             self.chosen.push(ChosenRecord { rule_idx: *ri, pairs, chosen_args: args });
             self.stats.gamma_steps += 1;
+            self.tel.metrics.gamma_steps.inc();
             return Ok(true);
         }
         Ok(false)
@@ -526,9 +559,7 @@ impl GreedyExecutor {
         for row in head_rel.since(ns.head_mark) {
             match row.get(plan.stage_pos) {
                 Some(Value::Int(s)) => ns.stage = ns.stage.max(*s),
-                Some(other) => {
-                    return Err(CoreError::NonIntegerStage { found: other.to_string() })
-                }
+                Some(other) => return Err(CoreError::NonIntegerStage { found: other.to_string() }),
                 None => {}
             }
             new_w.push(
@@ -546,9 +577,7 @@ impl GreedyExecutor {
         let rows: Vec<Row> = src_rel.since(ns.src_mark).to_vec();
         ns.src_mark = src_rel.len();
 
-        let Literal::Pos(source) = &plan.rule.body[plan.source_lit] else {
-            unreachable!()
-        };
+        let Literal::Pos(source) = &plan.rule.body[plan.source_lit] else { unreachable!() };
         for row in rows {
             let mut b = Bindings::new(plan.rule.num_vars());
             let mut trail = Vec::new();
@@ -565,10 +594,7 @@ impl GreedyExecutor {
                 continue;
             }
             let cost = match plan.cost {
-                Some((cv, _)) => b
-                    .get(cv)
-                    .cloned()
-                    .expect("cost variable bound by source match"),
+                Some((cv, _)) => b.get(cv).cloned().expect("cost variable bound by source match"),
                 None => Value::Nil,
             };
             let key = row.project(&plan.cong_cols);
@@ -580,6 +606,7 @@ impl GreedyExecutor {
 
     /// γ for next rule `i`: pop candidates until one passes every check.
     fn fire_next_rule(&mut self, i: usize) -> Result<bool, CoreError> {
+        let tel = self.tel.clone();
         // Split the borrow: take what we need out of `self.nexts[i]`.
         let ns = &mut self.nexts[i];
         if ns.stage == i64::MIN {
@@ -594,16 +621,11 @@ impl GreedyExecutor {
                 ),
             });
         }
-        let next_stage = ns
-            .stage
-            .checked_add(1)
-            .ok_or(CoreError::StepLimit { steps: u64::MAX })?;
+        let next_stage = ns.stage.checked_add(1).ok_or(CoreError::StepLimit { steps: u64::MAX })?;
 
         while let Some(popped) = ns.rql.pop_least() {
             let plan = &ns.plan;
-            let Literal::Pos(source) = &plan.rule.body[plan.source_lit] else {
-                unreachable!()
-            };
+            let Literal::Pos(source) = &plan.rule.body[plan.source_lit] else { unreachable!() };
             let mut b = Bindings::new(plan.rule.num_vars());
             let mut trail = Vec::new();
             let ok = source
@@ -614,10 +636,23 @@ impl GreedyExecutor {
             debug_assert!(ok, "queued row must re-match its source atom");
             b.bind(plan.stage_var, Value::Int(next_stage));
 
-            let passes = apply_comparisons(&plan.pre_checks, &mut b)?
-                && apply_comparisons(&plan.post_checks, &mut b)?
-                && fd_consistent_goals(&plan.choice_goals, &ns.memos, &plan.rule, &b)?;
-            if !passes {
+            let stage_ok = apply_comparisons(&plan.pre_checks, &mut b)?
+                && apply_comparisons(&plan.post_checks, &mut b)?;
+            let fd_ok =
+                stage_ok && fd_consistent_goals(&plan.choice_goals, &ns.memos, &plan.rule, &b)?;
+            if !fd_ok {
+                let reason = if stage_ok {
+                    tel.metrics.diffchoice_rejections.inc();
+                    DiscardReason::DiffChoice
+                } else {
+                    DiscardReason::StaleStage
+                };
+                tel.metrics.discarded_pops.inc();
+                tel.trace_with(|| TraceEvent::Discard {
+                    pred: plan.head_pred.to_string(),
+                    reason,
+                    row: popped.row.to_string(),
+                });
                 ns.rql.discard(popped);
                 self.stats.discarded += 1;
                 continue;
@@ -631,6 +666,13 @@ impl GreedyExecutor {
                 .map(|(_, v)| v.clone())
                 .collect();
             if ns.w_used.contains(&w) {
+                tel.metrics.stage_reuse_rejections.inc();
+                tel.metrics.discarded_pops.inc();
+                tel.trace_with(|| TraceEvent::Discard {
+                    pred: plan.head_pred.to_string(),
+                    reason: DiscardReason::StageReuse,
+                    row: popped.row.to_string(),
+                });
                 ns.rql.discard(popped);
                 self.stats.discarded += 1;
                 continue;
@@ -643,12 +685,19 @@ impl GreedyExecutor {
             for (gi, (l, r)) in pairs.iter().take(plan.choice_goals.len()).enumerate() {
                 ns.memos[gi].insert(l.clone(), r.clone());
             }
+            tel.trace_with(|| TraceEvent::StageCommit {
+                pred: plan.head_pred.to_string(),
+                stage: next_stage,
+                cost: if plan.cost.is_some() { popped.cost.to_string() } else { String::new() },
+                fact: head.to_string(),
+            });
             ns.rql.commit(popped);
             ns.stage = next_stage;
             let rule_idx = plan.rule_idx;
             self.db.insert(ns.plan.head_pred, head);
             self.chosen.push(ChosenRecord { rule_idx, pairs, chosen_args });
             self.stats.gamma_steps += 1;
+            tel.metrics.gamma_steps.inc();
             return Ok(true);
         }
         Ok(false)
@@ -710,9 +759,7 @@ fn eval_tuple(rule: &Rule, terms: &[Term], b: &Bindings) -> Result<Vec<Value>, C
         .iter()
         .map(|t| {
             eval_term(t, b).ok_or_else(|| {
-                CoreError::Engine(gbc_engine::EngineError::NonGroundHead {
-                    rule: rule.to_string(),
-                })
+                CoreError::Engine(gbc_engine::EngineError::NonGroundHead { rule: rule.to_string() })
             })
         })
         .collect()
@@ -780,9 +827,7 @@ fn eval_choice_vars(rule: &Rule, b: &Bindings) -> Result<Vec<Value>, CoreError> 
         .into_iter()
         .map(|v| {
             b.get(v).cloned().ok_or_else(|| {
-                CoreError::Engine(gbc_engine::EngineError::NonGroundHead {
-                    rule: rule.to_string(),
-                })
+                CoreError::Engine(gbc_engine::EngineError::NonGroundHead { rule: rule.to_string() })
             })
         })
         .collect()

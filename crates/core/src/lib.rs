@@ -51,9 +51,12 @@ pub use exec::{ChosenRecord, GreedyConfig, GreedyRun, GreedyStats};
 pub use rewrite::{rewrite_full, FullRewrite};
 pub use verify::verify_stable_model;
 
+use std::sync::Arc;
+
 use gbc_ast::Program;
 use gbc_engine::{ChoiceFixpoint, ChoiceFixpointConfig, DeterministicFirst};
 use gbc_storage::Database;
+use gbc_telemetry::Telemetry;
 
 /// A compiled program: validated, analysed, `next`-expanded, and — when
 /// it is stage-stratified and its next rules fit the Section 6 template
@@ -79,10 +82,7 @@ pub fn compile(program: Program) -> Result<Compiled, CoreError> {
                 Err(e) => (Vec::new(), Some(e.to_string())),
             }
         }
-        other => (
-            Vec::new(),
-            Some(format!("not stage-stratified (class {other:?})")),
-        ),
+        other => (Vec::new(), Some(format!("not stage-stratified (class {other:?})"))),
     };
     Ok(Compiled { program, expanded, analysis, plans, plan_error })
 }
@@ -129,11 +129,31 @@ impl Compiled {
         edb: &Database,
         config: GreedyConfig,
     ) -> Result<GreedyRun, CoreError> {
+        self.run_greedy_telemetry(edb, config, &Telemetry::default())
+    }
+
+    /// [`Compiled::run_greedy_with`] under an explicit [`Telemetry`]
+    /// handle: counters, phase timers and the trace sink are threaded
+    /// through every executor layer. The whole executor run is charged
+    /// to the `run` phase (its internals appear as `run/...` children).
+    pub fn run_greedy_telemetry(
+        &self,
+        edb: &Database,
+        config: GreedyConfig,
+        tel: &Telemetry,
+    ) -> Result<GreedyRun, CoreError> {
         if let Some(e) = &self.plan_error {
             return Err(CoreError::NoGreedyPlan { detail: e.clone() });
         }
-        exec::GreedyExecutor::new(&self.program, &self.expanded, self.plans.clone(), edb, config)
-            .run()
+        let mut ex = exec::GreedyExecutor::new(
+            &self.program,
+            &self.expanded,
+            self.plans.clone(),
+            edb,
+            config,
+        );
+        ex.set_telemetry(tel.clone());
+        tel.phases.time("run", || ex.run())
     }
 
     /// Run with the generic Choice Fixpoint (`gbc-engine`) on the
@@ -141,18 +161,26 @@ impl Compiled {
     /// evaluator: correct for every program that is locally stratified
     /// modulo choice, but without the (R,Q,L) asymptotics.
     pub fn run_generic(&self, edb: &Database) -> Result<GreedyRun, CoreError> {
-        let mut fixpoint = ChoiceFixpoint::with_config(
-            &self.expanded,
-            edb,
-            ChoiceFixpointConfig::default(),
-        )?;
-        fixpoint.run(&mut DeterministicFirst)?;
+        self.run_generic_telemetry(edb, &Telemetry::default())
+    }
+
+    /// [`Compiled::run_generic`] under an explicit [`Telemetry`] handle.
+    pub fn run_generic_telemetry(
+        &self,
+        edb: &Database,
+        tel: &Telemetry,
+    ) -> Result<GreedyRun, CoreError> {
+        let mut fixpoint =
+            ChoiceFixpoint::with_config(&self.expanded, edb, ChoiceFixpointConfig::default())?;
+        fixpoint.set_metrics(Arc::clone(&tel.metrics));
+        tel.phases.time("run", || fixpoint.run(&mut DeterministicFirst).map(|_| ()))?;
         let chosen = verify::records_from_engine(&fixpoint, &self.expanded);
         let steps = fixpoint.gamma_steps();
         Ok(GreedyRun {
             db: fixpoint.into_database(),
             chosen,
             stats: GreedyStats { gamma_steps: steps, ..GreedyStats::default() },
+            snapshot: tel.metrics.snapshot(),
         })
     }
 
@@ -163,6 +191,15 @@ impl Compiled {
             self.run_greedy(edb)
         } else {
             self.run_generic(edb)
+        }
+    }
+
+    /// [`Compiled::run`] under an explicit [`Telemetry`] handle.
+    pub fn run_telemetry(&self, edb: &Database, tel: &Telemetry) -> Result<GreedyRun, CoreError> {
+        if self.has_greedy_plan() {
+            self.run_greedy_telemetry(edb, GreedyConfig::default(), tel)
+        } else {
+            self.run_generic_telemetry(edb, tel)
         }
     }
 }

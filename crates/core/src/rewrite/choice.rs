@@ -25,8 +25,8 @@
 
 use std::collections::HashMap;
 
-use gbc_ast::{CmpOp, Literal, Program, Rule, Symbol, Term, VarId};
 use gbc_ast::term::Expr;
+use gbc_ast::{CmpOp, Literal, Program, Rule, Symbol, Term, VarId};
 
 use crate::rewrite::{fresh_pred, fresh_var};
 
@@ -68,10 +68,8 @@ pub fn choice_vars(rule: &Rule) -> Vec<VarId> {
 
 /// Apply the rewriting to every choice rule of `program`.
 pub fn rewrite_choice(program: &Program) -> ChoiceRewrite {
-    let mut taken: Vec<Symbol> = program
-        .signature()
-        .map(|sig| sig.keys().copied().collect())
-        .unwrap_or_default();
+    let mut taken: Vec<Symbol> =
+        program.signature().map(|sig| sig.keys().copied().collect()).unwrap_or_default();
     let mut top_rules = Vec::new();
     let mut aux_rules = Vec::new();
     let mut chosen_preds = Vec::new();
@@ -97,11 +95,7 @@ pub fn rewrite_choice(program: &Program) -> ChoiceRewrite {
         ordinal += 1;
     }
     top_rules.extend(aux_rules);
-    ChoiceRewrite {
-        program: Program::from_rules(top_rules),
-        chosen_preds,
-        diffchoice_preds,
-    }
+    ChoiceRewrite { program: Program::from_rules(top_rules), chosen_preds, diffchoice_preds }
 }
 
 fn rewrite_one(
@@ -121,10 +115,7 @@ fn rewrite_one(
         .body
         .iter()
         .filter(|l| {
-            !matches!(
-                l,
-                Literal::Choice { .. } | Literal::Least { .. } | Literal::Most { .. }
-            )
+            !matches!(l, Literal::Choice { .. } | Literal::Least { .. } | Literal::Most { .. })
         })
         .cloned()
         .collect();
@@ -143,12 +134,8 @@ fn rewrite_one(
             _ => None,
         })
         .collect();
-    let mut chosen_body: Vec<Literal> = rule
-        .body
-        .iter()
-        .filter(|l| !matches!(l, Literal::Choice { .. }))
-        .cloned()
-        .collect();
+    let mut chosen_body: Vec<Literal> =
+        rule.body.iter().filter(|l| !matches!(l, Literal::Choice { .. })).cloned().collect();
     let mut goal_diff_preds = Vec::new();
     for (j, (l, r)) in goals.iter().enumerate() {
         let dc = fresh_pred(&format!("diffchoice_{ordinal}_{j}"), taken);
@@ -192,10 +179,8 @@ fn rewrite_one(
                 let hint = format!("{}_p", rule.var_name(v));
                 prime.insert(v, fresh_var(&mut var_names, &hint));
             }
-            let d_primed: Vec<Term> = d_vars
-                .iter()
-                .map(|v| Term::Var(prime.get(v).copied().unwrap_or(*v)))
-                .collect();
+            let d_primed: Vec<Term> =
+                d_vars.iter().map(|v| Term::Var(prime.get(v).copied().unwrap_or(*v))).collect();
 
             let mut head_args = l.clone();
             head_args.extend(r.iter().cloned());
@@ -207,11 +192,7 @@ fn rewrite_one(
                 Expr::Term(Term::Var(diseq_var)),
                 Expr::Term(Term::Var(prime[&diseq_var])),
             ));
-            aux_rules.push(Rule::new(
-                gbc_ast::Atom::new(dc, head_args),
-                body,
-                var_names,
-            ));
+            aux_rules.push(Rule::new(gbc_ast::Atom::new(dc, head_args), body, var_names));
         }
     }
 }
@@ -247,11 +228,7 @@ mod tests {
         // No choice goals remain.
         assert!(p.rules.iter().all(|r| !r.has_choice()));
         // The chosen rule has two negated diffchoice goals.
-        let chosen_rule = p
-            .rules
-            .iter()
-            .find(|r| r.head.pred == out.chosen_preds[0])
-            .unwrap();
+        let chosen_rule = p.rules.iter().find(|r| r.head.pred == out.chosen_preds[0]).unwrap();
         assert_eq!(chosen_rule.negated_atoms().count(), 2);
     }
 
@@ -276,12 +253,8 @@ mod tests {
         let out = rewrite_choice(&Program::from_rules(vec![r]));
         // Two diffchoice rules: one per right-hand variable.
         assert_eq!(out.diffchoice_preds.len(), 1);
-        let diff_rules: Vec<&Rule> = out
-            .program
-            .rules
-            .iter()
-            .filter(|r| r.head.pred == out.diffchoice_preds[0])
-            .collect();
+        let diff_rules: Vec<&Rule> =
+            out.program.rules.iter().filter(|r| r.head.pred == out.diffchoice_preds[0]).collect();
         assert_eq!(diff_rules.len(), 2);
         assert!(out.program.validate().is_ok(), "{}", out.program);
     }
@@ -301,12 +274,8 @@ mod tests {
         let out = rewrite_choice(&Program::from_rules(vec![r]));
         let top = &out.program.rules[0];
         assert!(!top.has_extrema(), "top rule drops the extremum: {top}");
-        let chosen_rule = out
-            .program
-            .rules
-            .iter()
-            .find(|r| r.head.pred == out.chosen_preds[0])
-            .unwrap();
+        let chosen_rule =
+            out.program.rules.iter().find(|r| r.head.pred == out.chosen_preds[0]).unwrap();
         assert!(chosen_rule.has_extrema(), "chosen rule keeps it: {chosen_rule}");
     }
 

@@ -38,10 +38,8 @@ pub struct LeastRewrite {
 
 /// Rewrite every `least`/`most` goal in `program`.
 pub fn rewrite_least(program: &Program) -> LeastRewrite {
-    let mut taken: Vec<Symbol> = program
-        .signature()
-        .map(|sig| sig.keys().copied().collect())
-        .unwrap_or_default();
+    let mut taken: Vec<Symbol> =
+        program.signature().map(|sig| sig.keys().copied().collect()).unwrap_or_default();
     let mut rules = Vec::new();
     let mut aux = Vec::new();
     let mut better_preds = Vec::new();
@@ -131,20 +129,16 @@ fn rename_term(t: &Term, prime: &HashMap<VarId, VarId>) -> Term {
     match t {
         Term::Var(v) => Term::Var(prime.get(v).copied().unwrap_or(*v)),
         Term::Const(c) => Term::Const(c.clone()),
-        Term::Func(f, args) => {
-            Term::Func(*f, args.iter().map(|a| rename_term(a, prime)).collect())
-        }
+        Term::Func(f, args) => Term::Func(*f, args.iter().map(|a| rename_term(a, prime)).collect()),
     }
 }
 
 fn rename_expr(e: &Expr, prime: &HashMap<VarId, VarId>) -> Expr {
     match e {
         Expr::Term(t) => Expr::Term(rename_term(t, prime)),
-        Expr::Binary(op, l, r) => Expr::Binary(
-            *op,
-            Box::new(rename_expr(l, prime)),
-            Box::new(rename_expr(r, prime)),
-        ),
+        Expr::Binary(op, l, r) => {
+            Expr::Binary(*op, Box::new(rename_expr(l, prime)), Box::new(rename_expr(r, prime)))
+        }
         Expr::Neg(inner) => Expr::Neg(Box::new(rename_expr(inner, prime))),
     }
 }
@@ -159,11 +153,9 @@ fn rename_literal(l: &Literal, prime: &HashMap<VarId, VarId>) -> Literal {
             a.pred,
             a.args.iter().map(|t| rename_term(t, prime)).collect(),
         )),
-        Literal::Compare { op, lhs, rhs } => Literal::Compare {
-            op: *op,
-            lhs: rename_expr(lhs, prime),
-            rhs: rename_expr(rhs, prime),
-        },
+        Literal::Compare { op, lhs, rhs } => {
+            Literal::Compare { op: *op, lhs: rename_expr(lhs, prime), rhs: rename_expr(rhs, prime) }
+        }
         Literal::Choice { left, right } => Literal::Choice {
             left: left.iter().map(|t| rename_term(t, prime)).collect(),
             right: right.iter().map(|t| rename_term(t, prime)).collect(),
@@ -176,9 +168,7 @@ fn rename_literal(l: &Literal, prime: &HashMap<VarId, VarId>) -> Literal {
             cost: rename_term(cost, prime),
             group: group.iter().map(|t| rename_term(t, prime)).collect(),
         },
-        Literal::Next { var } => Literal::Next {
-            var: prime.get(var).copied().unwrap_or(*var),
-        },
+        Literal::Next { var } => Literal::Next { var: prime.get(var).copied().unwrap_or(*var) },
     }
 }
 
@@ -203,12 +193,9 @@ mod tests {
 
     fn takes_edb() -> Database {
         let mut db = Database::new();
-        for (s, c, g) in [
-            ("andy", "engl", 4),
-            ("mark", "engl", 2),
-            ("ann", "math", 3),
-            ("mark", "math", 2),
-        ] {
+        for (s, c, g) in
+            [("andy", "engl", 4), ("mark", "engl", 2), ("ann", "math", 3), ("mark", "math", 2)]
+        {
             db.insert_values("takes", vec![Value::sym(s), Value::sym(c), Value::int(g)]);
         }
         db
@@ -226,8 +213,8 @@ mod tests {
     fn rewritten_program_computes_the_same_answers() {
         // Stratified evaluation of the rewritten program must agree with
         // the engine's direct extrema implementation.
-        let direct = gbc_engine::extrema::eval_rule_with_extrema(&takes_edb(), &bttm_rule())
-            .unwrap();
+        let direct =
+            gbc_engine::extrema::eval_rule_with_extrema(&takes_edb(), &bttm_rule()).unwrap();
         let out = rewrite_least(&Program::from_rules(vec![bttm_rule()]));
         let m = gbc_engine::evaluate_stratified(&out.program, &takes_edb()).unwrap();
         let mut rewritten = m.facts_of(Symbol::intern("bttm"));
@@ -270,15 +257,8 @@ mod tests {
         assert_eq!(out.better_preds.len(), 2);
         // The second better rule's body must reference the first better
         // predicate (negatively) — the sequential-filter semantics.
-        let second = out
-            .program
-            .rules
-            .iter()
-            .find(|r| r.head.pred == out.better_preds[1])
-            .unwrap();
-        let refs_first = second
-            .negated_atoms()
-            .any(|a| a.pred == out.better_preds[0]);
+        let second = out.program.rules.iter().find(|r| r.head.pred == out.better_preds[1]).unwrap();
+        let refs_first = second.negated_atoms().any(|a| a.pred == out.better_preds[0]);
         assert!(refs_first, "{second}");
     }
 }

@@ -72,9 +72,5 @@ pub fn rewrite_full(program: &gbc_ast::Program) -> Result<FullRewrite, crate::Co
     let lr = least::rewrite_least(&cr.program);
     let mut aux_preds = cr.diffchoice_preds.clone();
     aux_preds.extend(lr.better_preds.iter().copied());
-    Ok(FullRewrite {
-        program: lr.program,
-        chosen_preds: cr.chosen_preds,
-        aux_preds,
-    })
+    Ok(FullRewrite { program: lr.program, chosen_preds: cr.chosen_preds, aux_preds })
 }

@@ -79,36 +79,27 @@ fn expand_rule(rule: &Rule) -> Result<Rule, CoreError> {
     let i1 = fresh_var(&mut var_names, "I1");
 
     // p(_, …, I1, …, _): anonymous at every non-stage position.
-    let prev_args: Vec<Term> = (0..rule.head.arity())
-        .map(|i| {
-            if i == stage_pos {
-                Term::Var(i1)
-            } else {
-                Term::Var(fresh_var(&mut var_names, "_"))
-            }
-        })
-        .collect();
+    let prev_args: Vec<Term> =
+        (0..rule.head.arity())
+            .map(|i| {
+                if i == stage_pos {
+                    Term::Var(i1)
+                } else {
+                    Term::Var(fresh_var(&mut var_names, "_"))
+                }
+            })
+            .collect();
 
-    let mut body: Vec<Literal> = rule
-        .body
-        .iter()
-        .filter(|l| !matches!(l, Literal::Next { .. }))
-        .cloned()
-        .collect();
+    let mut body: Vec<Literal> =
+        rule.body.iter().filter(|l| !matches!(l, Literal::Next { .. })).cloned().collect();
     body.push(Literal::pos(rule.head.pred, prev_args));
     body.push(Literal::cmp(
         CmpOp::Eq,
         Expr::Term(Term::Var(stage_var)),
         Expr::binary(ArithOp::Add, Expr::Term(Term::Var(i1)), Expr::int(1)),
     ));
-    body.push(Literal::Choice {
-        left: vec![Term::Var(stage_var)],
-        right: w_terms.clone(),
-    });
-    body.push(Literal::Choice {
-        left: w_terms,
-        right: vec![Term::Var(stage_var)],
-    });
+    body.push(Literal::Choice { left: vec![Term::Var(stage_var)], right: w_terms.clone() });
+    body.push(Literal::Choice { left: w_terms, right: vec![Term::Var(stage_var)] });
 
     Ok(Rule::new(rule.head.clone(), body, var_names))
 }
@@ -178,10 +169,7 @@ mod tests {
             vec!["I".into()],
         );
         let p = Program::from_rules(vec![bad]);
-        assert!(matches!(
-            expand_next(&p),
-            Err(CoreError::BadNextRule { .. })
-        ));
+        assert!(matches!(expand_next(&p), Err(CoreError::BadNextRule { .. })));
     }
 
     #[test]
@@ -206,21 +194,14 @@ mod tests {
                         Term::var(4),
                     ],
                 ),
-                Literal::cmp(
-                    CmpOp::Lt,
-                    Expr::var(4),
-                    Expr::var(3),
-                ),
+                Literal::cmp(CmpOp::Lt, Expr::var(4), Expr::var(3)),
             ],
             vec!["X".into(), "Y".into(), "C".into(), "I".into(), "J".into()],
         );
         let e = expand_next(&Program::from_rules(vec![r])).unwrap();
         let expanded = &e.rules[0];
-        let choice_count = expanded
-            .body
-            .iter()
-            .filter(|l| matches!(l, Literal::Choice { .. }))
-            .count();
+        let choice_count =
+            expanded.body.iter().filter(|l| matches!(l, Literal::Choice { .. })).count();
         assert_eq!(choice_count, 2);
         // W tuple holds the compound term t(X, Y) and C.
         let Some(Literal::Choice { right, .. }) = expanded

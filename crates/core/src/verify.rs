@@ -30,34 +30,24 @@ pub fn verify_stable_model(
     // the expanded program — which is the original rule order filtered,
     // since expansion rewrites rules in place.
     let expanded = crate::rewrite::next::expand_next(program)?;
-    let choice_rule_indices: Vec<usize> = expanded
-        .rules
-        .iter()
-        .enumerate()
-        .filter(|(_, r)| r.has_choice())
-        .map(|(i, _)| i)
-        .collect();
+    let choice_rule_indices: Vec<usize> =
+        expanded.rules.iter().enumerate().filter(|(_, r)| r.has_choice()).map(|(i, _)| i).collect();
 
     // M₀ = run database + chosen facts.
     let mut m0 = run.db.clone();
     for rec in &run.chosen {
-        let ordinal = choice_rule_indices
-            .iter()
-            .position(|&i| i == rec.rule_idx)
-            .ok_or_else(|| CoreError::NotStageProgram {
-                detail: format!("chosen record for non-choice rule {}", rec.rule_idx),
+        let ordinal =
+            choice_rule_indices.iter().position(|&i| i == rec.rule_idx).ok_or_else(|| {
+                CoreError::NotStageProgram {
+                    detail: format!("chosen record for non-choice rule {}", rec.rule_idx),
+                }
             })?;
         m0.insert(fr.chosen_preds[ordinal], Row::new(rec.chosen_args.clone()));
     }
 
     // Complete M with the auxiliary relations (diffchoice, better).
-    let aux_rules: Vec<Rule> = fr
-        .program
-        .rules
-        .iter()
-        .filter(|r| fr.aux_preds.contains(&r.head.pred))
-        .cloned()
-        .collect();
+    let aux_rules: Vec<Rule> =
+        fr.program.rules.iter().filter(|r| fr.aux_preds.contains(&r.head.pred)).cloned().collect();
     let m = gbc_engine::evaluate_stratified(&Program::from_rules(aux_rules), &m0)?;
 
     Ok(gbc_engine::is_stable_model(&fr.program, edb, &m)?)

@@ -1,9 +1,9 @@
 //! Unit tests for the greedy plan compiler: template matching, chain
 //! detection, and congruence-key derivation (the Section 6 machinery).
 
+use gbc_ast::Value;
 use gbc_core::{compile, CoreError, GreedyConfig, ProgramClass};
 use gbc_storage::Database;
-use gbc_ast::Value;
 
 fn compiled(text: &str) -> gbc_core::Compiled {
     compile(gbc_parser::parse_program(text).unwrap()).unwrap()
@@ -119,10 +119,7 @@ fn missing_initial_stage_fact_is_reported() {
     assert!(c.has_greedy_plan());
     let mut edb = Database::new();
     edb.insert_values("q", vec![Value::sym("a")]);
-    assert!(matches!(
-        c.run_greedy(&edb),
-        Err(CoreError::NoGreedyPlan { .. })
-    ));
+    assert!(matches!(c.run_greedy(&edb), Err(CoreError::NoGreedyPlan { .. })));
 }
 
 #[test]
@@ -147,10 +144,7 @@ fn non_integer_stage_is_reported() {
     );
     let mut edb = Database::new();
     edb.insert_values("q", vec![Value::sym("a")]);
-    assert!(matches!(
-        c.run_greedy(&edb),
-        Err(CoreError::NonIntegerStage { .. })
-    ));
+    assert!(matches!(c.run_greedy(&edb), Err(CoreError::NonIntegerStage { .. })));
 }
 
 #[test]

@@ -5,21 +5,22 @@
 use gbc_ast::Value;
 use gbc_core::{classify, rewrite_full, ProgramClass};
 use gbc_storage::Database;
-use proptest::prelude::*;
+use gbc_telemetry::rng::Rng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// For extrema-only programs (no choice), the full rewriting to
+/// negation computes the same answers under stratified evaluation
+/// as the engine's direct extrema implementation.
+#[test]
+fn least_rewrite_preserves_answers() {
+    let mut rng = Rng::new(0x5EED_0005);
+    for case in 0..48 {
+        let n_rows = 1 + rng.below_usize(15);
+        let rows: Vec<(u8, u8, i64)> = (0..n_rows)
+            .map(|_| (rng.below(5) as u8, rng.below(5) as u8, rng.range_i64(1, 8)))
+            .collect();
 
-    /// For extrema-only programs (no choice), the full rewriting to
-    /// negation computes the same answers under stratified evaluation
-    /// as the engine's direct extrema implementation.
-    #[test]
-    fn least_rewrite_preserves_answers(
-        rows in prop::collection::vec((0u8..5, 0u8..5, 1i64..9), 1..16)
-    ) {
-        let program = gbc_parser::parse_program(
-            "best(S, C, G) <- takes(S, C, G), least(G, C).",
-        ).unwrap();
+        let program =
+            gbc_parser::parse_program("best(S, C, G) <- takes(S, C, G), least(G, C).").unwrap();
         let mut edb = Database::new();
         for &(s, c, g) in &rows {
             edb.insert_values(
@@ -40,24 +41,33 @@ proptest! {
         let mut b = rewritten.facts_of(best);
         a.sort();
         b.sort();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}");
     }
+}
 
-    /// Classification is stable under fact injection: adding EDB facts
-    /// to a stage-stratified program never changes its class (the check
-    /// is purely syntactic, as the paper claims).
-    #[test]
-    fn classification_ignores_facts(extra in prop::collection::vec((0u8..9, 0u8..9, 1i64..99), 0..12)) {
+/// Classification is stable under fact injection: adding EDB facts
+/// to a stage-stratified program never changes its class (the check
+/// is purely syntactic, as the paper claims).
+#[test]
+fn classification_ignores_facts() {
+    let mut rng = Rng::new(0x5EED_0006);
+    for case in 0..48 {
+        let n_extra = rng.below_usize(12);
         let mut text = String::from(
             "prm(nil, 0, 0, 0).
              prm(X, Y, C, I) <- next(I), new_g(X, Y, C, J), J < I, least(C, I), choice(Y, X).
              new_g(X, Y, C, J) <- prm(_, X, _, J), g(X, Y, C).\n",
         );
-        for (a, b, c) in extra {
+        for _ in 0..n_extra {
+            let (a, b, c) = (rng.below(9), rng.below(9), rng.range_i64(1, 98));
             text.push_str(&format!("g({a}, {b}, {c}).\n"));
         }
         let p = gbc_parser::parse_program(&text).unwrap();
-        prop_assert_eq!(classify(&p).class, ProgramClass::StageStratified { alternating: true });
+        assert_eq!(
+            classify(&p).class,
+            ProgramClass::StageStratified { alternating: true },
+            "case {case}"
+        );
     }
 }
 
@@ -70,10 +80,7 @@ fn dropping_the_stage_guard_breaks_strictness() {
          new_g(X, Y, C, J) <- prm(_, X, _, J), g(X, Y, C).",
     )
     .unwrap();
-    assert!(matches!(
-        classify(&p).class,
-        ProgramClass::NotStageStratified { .. }
-    ));
+    assert!(matches!(classify(&p).class, ProgramClass::NotStageStratified { .. }));
 }
 
 #[test]
@@ -85,10 +92,7 @@ fn weakening_the_guard_to_le_breaks_strictness() {
          new_g(X, Y, C, J) <- prm(_, X, _, J), g(X, Y, C).",
     )
     .unwrap();
-    assert!(matches!(
-        classify(&p).class,
-        ProgramClass::NotStageStratified { .. }
-    ));
+    assert!(matches!(classify(&p).class, ProgramClass::NotStageStratified { .. }));
 }
 
 #[test]

@@ -19,9 +19,11 @@
 //! looking a candidate's left-hand tuple up in those maps.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use gbc_ast::{Literal, Program, Rule, Symbol, Term, Value};
 use gbc_storage::{Database, Row};
+use gbc_telemetry::Metrics;
 
 use crate::bindings::Bindings;
 use crate::chooser::Chooser;
@@ -81,6 +83,9 @@ pub struct ChoiceFixpoint {
     steps: u64,
     /// Log of fired candidates, in firing order.
     committed: Vec<Candidate>,
+    /// Shared counter registry (γ steps; forwarded to the database and
+    /// the flat-rule saturator on attach).
+    metrics: Option<Arc<Metrics>>,
 }
 
 impl ChoiceFixpoint {
@@ -122,11 +127,7 @@ impl ChoiceFixpoint {
         let memos = choice_rules
             .iter()
             .map(|r| {
-                let goals = r
-                    .body
-                    .iter()
-                    .filter(|l| matches!(l, Literal::Choice { .. }))
-                    .count();
+                let goals = r.body.iter().filter(|l| matches!(l, Literal::Choice { .. })).count();
                 vec![FdMap::new(); goals]
             })
             .collect();
@@ -140,7 +141,16 @@ impl ChoiceFixpoint {
             config,
             steps: 0,
             committed: Vec::new(),
+            metrics: None,
         })
+    }
+
+    /// Attach a counter registry: γ commits, seminaive deltas, and
+    /// index traffic of the evolving database all report to it.
+    pub fn set_metrics(&mut self, metrics: Arc<Metrics>) {
+        self.db.set_metrics(Arc::clone(&metrics));
+        self.flat.set_metrics(Arc::clone(&metrics));
+        self.metrics = Some(metrics);
     }
 
     /// The current database.
@@ -217,6 +227,9 @@ impl ChoiceFixpoint {
         }
         self.committed.push(cand.clone());
         self.steps += 1;
+        if let Some(m) = &self.metrics {
+            m.gamma_steps.inc();
+        }
     }
 
     /// The fired candidates, in order. Index [`Candidate::rule`] refers
@@ -256,9 +269,7 @@ impl ChoiceFixpoint {
         terms
             .iter()
             .map(|t| {
-                eval_term(t, b).ok_or_else(|| EngineError::NonGroundHead {
-                    rule: rule.to_string(),
-                })
+                eval_term(t, b).ok_or_else(|| EngineError::NonGroundHead { rule: rule.to_string() })
             })
             .collect()
     }
@@ -308,9 +319,10 @@ impl ChoiceFixpoint {
         if !self.db.contains(self.choice_heads[cand.rule], &cand.head) {
             return true;
         }
-        cand.choices.iter().enumerate().any(|(gi, (l, r))| {
-            self.memos[cand.rule][gi].get(l) != Some(r)
-        })
+        cand.choices
+            .iter()
+            .enumerate()
+            .any(|(gi, (l, r))| self.memos[cand.rule][gi].get(l) != Some(r))
     }
 }
 
@@ -340,9 +352,7 @@ fn choice_var_values(rule: &Rule, b: &Bindings) -> Result<Vec<Value>, EngineErro
     choice_vars(rule)
         .into_iter()
         .map(|v| {
-            b.get(v).cloned().ok_or_else(|| EngineError::NonGroundHead {
-                rule: rule.to_string(),
-            })
+            b.get(v).cloned().ok_or_else(|| EngineError::NonGroundHead { rule: rule.to_string() })
         })
         .collect()
 }
@@ -539,9 +549,6 @@ mod tests {
             ChoiceFixpointConfig { max_gamma_steps: 50 },
         )
         .unwrap();
-        assert!(matches!(
-            cf.run(&mut DeterministicFirst),
-            Err(EngineError::StepLimit { .. })
-        ));
+        assert!(matches!(cf.run(&mut DeterministicFirst), Err(EngineError::StepLimit { .. })));
     }
 }

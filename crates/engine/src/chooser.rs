@@ -6,8 +6,7 @@
 //! Candidate lists handed to a chooser are always sorted, so a given
 //! chooser yields a reproducible run.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use gbc_telemetry::rng::Rng;
 
 /// A selection policy over a non-empty candidate list.
 pub trait Chooser {
@@ -30,20 +29,20 @@ impl Chooser for DeterministicFirst {
 /// reproducibly.
 #[derive(Clone, Debug)]
 pub struct SeededRandom {
-    rng: StdRng,
+    rng: Rng,
 }
 
 impl SeededRandom {
     /// A chooser with a fixed seed.
     pub fn new(seed: u64) -> SeededRandom {
-        SeededRandom { rng: StdRng::seed_from_u64(seed) }
+        SeededRandom { rng: Rng::new(seed) }
     }
 }
 
 impl Chooser for SeededRandom {
     fn pick(&mut self, n: usize) -> usize {
         debug_assert!(n >= 1);
-        self.rng.gen_range(0..n)
+        self.rng.below_usize(n)
     }
 }
 

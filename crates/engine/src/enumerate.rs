@@ -34,10 +34,7 @@ impl Default for EnumerateConfig {
 
 /// All choice models of `program` over `edb`, as canonically rendered
 /// databases in sorted order.
-pub fn all_choice_models(
-    program: &Program,
-    edb: &Database,
-) -> Result<Vec<Database>, EngineError> {
+pub fn all_choice_models(program: &Program, edb: &Database) -> Result<Vec<Database>, EngineError> {
     all_choice_models_with(program, edb, EnumerateConfig::default())
 }
 
@@ -109,12 +106,9 @@ mod tests {
             vec!["St".into(), "Crs".into(), "G".into()],
         );
         let mut edb = Database::new();
-        for (s, c, g) in [
-            ("andy", "engl", 4),
-            ("mark", "engl", 2),
-            ("ann", "math", 3),
-            ("mark", "math", 2),
-        ] {
+        for (s, c, g) in
+            [("andy", "engl", 4), ("mark", "engl", 2), ("ann", "math", 3), ("mark", "math", 2)]
+        {
             edb.insert_values("takes", vec![Value::sym(s), Value::sym(c), Value::int(g)]);
         }
         (Program::from_rules(vec![rule]), edb)
@@ -154,7 +148,11 @@ mod tests {
             Atom::new("bi_st_c", vec![Term::var(0), Term::var(1), Term::var(2)]),
             vec![
                 Literal::pos("takes", vec![Term::var(0), Term::var(1), Term::var(2)]),
-                Literal::cmp(gbc_ast::CmpOp::Gt, gbc_ast::term::Expr::var(2), gbc_ast::term::Expr::int(1)),
+                Literal::cmp(
+                    gbc_ast::CmpOp::Gt,
+                    gbc_ast::term::Expr::var(2),
+                    gbc_ast::term::Expr::int(1),
+                ),
                 Literal::Least { cost: Term::var(2), group: vec![] },
                 Literal::Choice { left: vec![Term::var(0)], right: vec![Term::var(1)] },
                 Literal::Choice { left: vec![Term::var(1)], right: vec![Term::var(0)] },

@@ -48,13 +48,12 @@ pub fn eval_expr(e: &Expr, b: &Bindings) -> Result<Option<Value>, EngineError> {
         Expr::Term(t) => Ok(eval_term(t, b)),
         Expr::Neg(inner) => match eval_expr(inner, b)? {
             None => Ok(None),
-            Some(Value::Int(i)) => i
-                .checked_neg()
-                .map(|v| Some(Value::Int(v)))
-                .ok_or(EngineError::Overflow),
-            Some(other) => Err(EngineError::TypeError {
-                context: format!("unary minus on `{other}`"),
-            }),
+            Some(Value::Int(i)) => {
+                i.checked_neg().map(|v| Some(Value::Int(v))).ok_or(EngineError::Overflow)
+            }
+            Some(other) => {
+                Err(EngineError::TypeError { context: format!("unary minus on `{other}`") })
+            }
         },
         Expr::Binary(op, l, r) => {
             let (Some(lv), Some(rv)) = (eval_expr(l, b)?, eval_expr(r, b)?) else {
@@ -70,9 +69,7 @@ pub fn eval_expr(e: &Expr, b: &Bindings) -> Result<Option<Value>, EngineError> {
                 return Ok(Some(out));
             }
             let (Value::Int(a), Value::Int(c)) = (&lv, &rv) else {
-                return Err(EngineError::TypeError {
-                    context: format!("`{lv}` {op:?} `{rv}`"),
-                });
+                return Err(EngineError::TypeError { context: format!("`{lv}` {op:?} `{rv}`") });
             };
             let (a, c) = (*a, *c);
             let out = match op {
@@ -113,10 +110,9 @@ pub fn match_term(t: &Term, v: &Value, b: &mut Bindings, trail: &mut Vec<VarId>)
         },
         Term::Const(c) => c == v,
         Term::Func(f, args) => match v {
-            Value::Func(g, vals) if f == g && args.len() == vals.len() => args
-                .iter()
-                .zip(vals.iter())
-                .all(|(t2, v2)| match_term(t2, v2, b, trail)),
+            Value::Func(g, vals) if f == g && args.len() == vals.len() => {
+                args.iter().zip(vals.iter()).all(|(t2, v2)| match_term(t2, v2, b, trail))
+            }
             _ => false,
         },
     }
@@ -172,13 +168,8 @@ pub fn for_each_match_opts(
     if rule.has_next() {
         return Err(EngineError::UnexpandedNext { rule: rule.to_string() });
     }
-    let pending: Vec<usize> = rule
-        .body
-        .iter()
-        .enumerate()
-        .filter(|(_, l)| !l.is_meta())
-        .map(|(i, _)| i)
-        .collect();
+    let pending: Vec<usize> =
+        rule.body.iter().enumerate().filter(|(_, l)| !l.is_meta()).map(|(i, _)| i).collect();
     let mut m = Matcher {
         db,
         neg_db: neg_db.unwrap_or(db),
@@ -207,11 +198,8 @@ impl Matcher<'_> {
     fn classify(&self, lit: &Literal) -> Result<Step, EngineError> {
         match lit {
             Literal::Pos(a) => {
-                let ground = a
-                    .args
-                    .iter()
-                    .filter(|t| eval_term(t, &self.bindings).is_some())
-                    .count();
+                let ground =
+                    a.args.iter().filter(|t| eval_term(t, &self.bindings).is_some()).count();
                 Ok(Step::Enumerate(ground))
             }
             Literal::Neg(a) => {
@@ -226,11 +214,8 @@ impl Matcher<'_> {
                     (Some(_), None) | (None, Some(_)) if *op == CmpOp::Eq => {
                         // Assignable if the unbound side is a bare term
                         // (variable or pattern) rather than arithmetic.
-                        let unbound = if matches!(eval_expr(lhs, &self.bindings)?, None) {
-                            lhs
-                        } else {
-                            rhs
-                        };
+                        let unbound =
+                            if matches!(eval_expr(lhs, &self.bindings)?, None) { lhs } else { rhs };
                         Ok(if unbound.as_bare_term().is_some() {
                             Step::Assign
                         } else {
@@ -279,11 +264,7 @@ impl Matcher<'_> {
             return Err(EngineError::NoEvaluableLiteral { rule: self.rule.to_string() });
         };
         let li = pending[pi];
-        let rest: Vec<usize> = pending
-            .iter()
-            .copied()
-            .filter(|&x| x != li)
-            .collect();
+        let rest: Vec<usize> = pending.iter().copied().filter(|&x| x != li).collect();
 
         match &self.rule.body[li] {
             Literal::Neg(a) => {
@@ -311,9 +292,7 @@ impl Matcher<'_> {
                         // Assignment: unify the unbound bare term.
                         let unbound_expr =
                             if eval_expr(lhs, &self.bindings)?.is_none() { lhs } else { rhs };
-                        let term = unbound_expr
-                            .as_bare_term()
-                            .expect("classified as assignable");
+                        let term = unbound_expr.as_bare_term().expect("classified as assignable");
                         let mut trail = Vec::new();
                         if match_term(term, &val, &mut self.bindings, &mut trail) {
                             self.solve(&rest)?;
@@ -476,8 +455,7 @@ mod tests {
         );
         let db = db_edges(&[("a", "b", 1), ("b", "c", 2), ("c", "d", 3)]);
         let delta = vec![Row::new(vec![Value::sym("b"), Value::sym("c"), Value::int(2)])];
-        let rows =
-            eval_rule_plain(&db, &rule, Some(Focus { literal: 0, rows: &delta })).unwrap();
+        let rows = eval_rule_plain(&db, &rule, Some(Focus { literal: 0, rows: &delta })).unwrap();
         assert_eq!(rows, vec![Row::new(vec![Value::sym("b"), Value::sym("d")])]);
     }
 
@@ -485,10 +463,7 @@ mod tests {
     fn functor_patterns_destructure_values() {
         // left(X) <- h(t(X, Y)).
         let mut db = Database::new();
-        db.insert_values(
-            "h",
-            vec![Value::func("t", vec![Value::sym("a"), Value::sym("b")])],
-        );
+        db.insert_values("h", vec![Value::func("t", vec![Value::sym("a"), Value::sym("b")])]);
         db.insert_values("h", vec![Value::sym("leaf")]);
         let rule = Rule::new(
             gbc_ast::Atom::new("left", vec![Term::var(0)]),
@@ -531,10 +506,7 @@ mod tests {
         );
         let mut db = Database::new();
         db.insert_values("q", vec![Value::int(4)]);
-        assert_eq!(
-            eval_rule_plain(&db, &rule, None),
-            Err(EngineError::DivideByZero)
-        );
+        assert_eq!(eval_rule_plain(&db, &rule, None), Err(EngineError::DivideByZero));
     }
 
     #[test]
@@ -553,10 +525,7 @@ mod tests {
         );
         let mut db = Database::new();
         db.insert_values("q", vec![Value::sym("a")]);
-        assert!(matches!(
-            eval_rule_plain(&db, &rule, None),
-            Err(EngineError::TypeError { .. })
-        ));
+        assert!(matches!(eval_rule_plain(&db, &rule, None), Err(EngineError::TypeError { .. })));
     }
 
     #[test]

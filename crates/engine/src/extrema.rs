@@ -57,10 +57,8 @@ pub fn filter_extrema(
             std::collections::HashMap::new();
         let mut keyed: Vec<(Vec<Value>, Value)> = Vec::with_capacity(frames.len());
         for b in &frames {
-            let group: Vec<Value> = group_t
-                .iter()
-                .map(|t| eval_ground(t, b, rule))
-                .collect::<Result<_, _>>()?;
+            let group: Vec<Value> =
+                group_t.iter().map(|t| eval_ground(t, b, rule)).collect::<Result<_, _>>()?;
             let cost = eval_ground(cost_t, b, rule)?;
             match best.get_mut(&group) {
                 Some(cur) => {
@@ -76,11 +74,8 @@ pub fn filter_extrema(
             keyed.push((group, cost));
         }
         // Pass 2: retain ties with the best cost.
-        let mut keep = keyed
-            .iter()
-            .map(|(g, c)| best.get(g) == Some(c))
-            .collect::<Vec<bool>>()
-            .into_iter();
+        let mut keep =
+            keyed.iter().map(|(g, c)| best.get(g) == Some(c)).collect::<Vec<bool>>().into_iter();
         frames.retain(|_| keep.next().unwrap_or(false));
     }
     Ok(frames)
@@ -98,18 +93,15 @@ pub fn eval_rule_with_extrema(db: &Database, rule: &Rule) -> Result<Vec<Row>, En
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gbc_ast::{Atom, CmpOp};
     use gbc_ast::term::Expr;
+    use gbc_ast::{Atom, CmpOp};
 
     /// takes(St, Crs, G) facts from the paper's Example 1 (with grades).
     fn takes_db() -> Database {
         let mut db = Database::new();
-        for (s, c, g) in [
-            ("andy", "engl", 4),
-            ("mark", "engl", 2),
-            ("ann", "math", 3),
-            ("mark", "math", 2),
-        ] {
+        for (s, c, g) in
+            [("andy", "engl", 4), ("mark", "engl", 2), ("ann", "math", 3), ("mark", "math", 2)]
+        {
             db.insert_values("takes", vec![Value::sym(s), Value::sym(c), Value::int(g)]);
         }
         db

@@ -14,9 +14,11 @@
 //! latest γ step introduced.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use gbc_ast::{Literal, Rule, Symbol};
 use gbc_storage::{Database, Row};
+use gbc_telemetry::Metrics;
 
 use crate::error::EngineError;
 use crate::eval::{eval_rule_plain, Focus};
@@ -30,6 +32,8 @@ pub struct Seminaive {
     marks: HashMap<Symbol, usize>,
     /// Rules already given their initial full evaluation.
     evaluated_once: Vec<bool>,
+    /// Per-round delta sizes report here when attached.
+    metrics: Option<Arc<Metrics>>,
 }
 
 impl Seminaive {
@@ -38,11 +42,14 @@ impl Seminaive {
     /// evaluation time by the matcher.
     pub fn new(rules: Vec<Rule>) -> Seminaive {
         let n = rules.len();
-        Seminaive {
-            rules,
-            marks: HashMap::new(),
-            evaluated_once: vec![false; n],
-        }
+        Seminaive { rules, marks: HashMap::new(), evaluated_once: vec![false; n], metrics: None }
+    }
+
+    /// Attach a counter registry: each saturation round reports its
+    /// delta size (`record_delta`), feeding `tuples_derived`,
+    /// `flat_rounds` and the optional per-round history.
+    pub fn set_metrics(&mut self, metrics: Arc<Metrics>) {
+        self.metrics = Some(metrics);
     }
 
     /// The rules driven by this instance.
@@ -75,9 +82,9 @@ impl Seminaive {
                         eval_rule_plain(db, rule, None)?
                     }
                 } else if rule.has_extrema() {
-                    let grown = rule.positive_atoms().any(|a| {
-                        self.marks.get(&a.pred).copied().unwrap_or(0) < db.count(a.pred)
-                    });
+                    let grown = rule
+                        .positive_atoms()
+                        .any(|a| self.marks.get(&a.pred).copied().unwrap_or(0) < db.count(a.pred));
                     if !grown {
                         continue;
                     }
@@ -112,6 +119,9 @@ impl Seminaive {
                 *m = (*m).max(len);
             }
 
+            if let Some(m) = &self.metrics {
+                m.record_delta(new_facts);
+            }
             total += new_facts;
             if new_facts == 0 {
                 return Ok(total);
@@ -209,18 +219,14 @@ mod tests {
         db.insert_values("arc", vec![Value::sym("a"), Value::int(5)]);
         let mut sn = Seminaive::new(rules);
         sn.saturate(&mut db).unwrap();
-        assert!(db.contains(
-            Symbol::intern("cheapest"),
-            &Row::new(vec![Value::sym("a"), Value::int(5)])
-        ));
+        assert!(db
+            .contains(Symbol::intern("cheapest"), &Row::new(vec![Value::sym("a"), Value::int(5)])));
         // A cheaper arc arrives: the new minimum is also derived
         // (inflationary semantics — old facts persist, as the paper's
         // fixpoint prescribes).
         db.insert_values("arc", vec![Value::sym("a"), Value::int(2)]);
         sn.saturate(&mut db).unwrap();
-        assert!(db.contains(
-            Symbol::intern("cheapest"),
-            &Row::new(vec![Value::sym("a"), Value::int(2)])
-        ));
+        assert!(db
+            .contains(Symbol::intern("cheapest"), &Row::new(vec![Value::sym("a"), Value::int(2)])));
     }
 }

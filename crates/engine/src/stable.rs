@@ -34,7 +34,9 @@ pub fn is_stable_model(
     for r in &program.rules {
         if r.has_choice() || r.has_next() || r.has_extrema() {
             return Err(EngineError::Unstratified {
-                detail: format!("rule `{r}` must be rewritten to negation before stability checking"),
+                detail: format!(
+                    "rule `{r}` must be rewritten to negation before stability checking"
+                ),
             });
         }
     }
@@ -42,12 +44,7 @@ pub fn is_stable_model(
     // Least model of the reduct, seeded with EDB and program facts.
     let mut db = edb.clone();
     for fact in program.facts() {
-        let row = fact
-            .head
-            .args
-            .iter()
-            .map(|t| t.as_value().expect("ground fact"))
-            .collect();
+        let row = fact.head.args.iter().map(|t| t.as_value().expect("ground fact")).collect();
         let pred = fact.head.pred;
         if !m.contains(pred, &row) {
             return Ok(false); // a fact of the program is missing from M

@@ -102,9 +102,7 @@ pub fn evaluate_stratified(program: &Program, edb: &Database) -> Result<Database
     for r in &program.rules {
         if r.has_choice() || r.has_next() {
             return Err(EngineError::Unstratified {
-                detail: format!(
-                    "rule `{r}` uses choice/next; use the choice fixpoint instead"
-                ),
+                detail: format!("rule `{r}` uses choice/next; use the choice fixpoint instead"),
             });
         }
     }
@@ -132,12 +130,8 @@ pub fn evaluate_stratified(program: &Program, edb: &Database) -> Result<Database
 
     let mut db = edb.clone();
     for fact in program.facts() {
-        let row = fact
-            .head
-            .args
-            .iter()
-            .map(|t| t.as_value().expect("validated ground fact"))
-            .collect();
+        let row =
+            fact.head.args.iter().map(|t| t.as_value().expect("validated ground fact")).collect();
         db.insert(fact.head.pred, row);
     }
 
@@ -204,11 +198,7 @@ mod tests {
         edb.insert_values("e", vec![Value::sym("c"), Value::sym("d")]);
         let m = evaluate_stratified(&program, &edb).unwrap();
         let unreachable = Symbol::intern("unreachable");
-        let got: Vec<String> = m
-            .facts_of(unreachable)
-            .iter()
-            .map(|r| r[0].to_string())
-            .collect();
+        let got: Vec<String> = m.facts_of(unreachable).iter().map(|r| r[0].to_string()).collect();
         assert_eq!(got.len(), 2);
         assert!(got.contains(&"c".to_string()) && got.contains(&"d".to_string()));
     }

@@ -1,6 +1,9 @@
 //! Property tests for the evaluation engine: seminaive agrees with
 //! naive evaluation, and choice models always satisfy their functional
 //! dependencies.
+//!
+//! Seeded-loop style: random cases come from the in-tree deterministic
+//! PRNG, so every failure reproduces exactly.
 
 use gbc_ast::{Program, Value};
 use gbc_engine::chooser::SeededRandom;
@@ -8,7 +11,7 @@ use gbc_engine::eval::eval_rule_plain;
 use gbc_engine::seminaive::Seminaive;
 use gbc_engine::ChoiceFixpoint;
 use gbc_storage::Database;
-use proptest::prelude::*;
+use gbc_telemetry::rng::Rng;
 
 fn tc_program() -> Program {
     gbc_parser::parse_program(
@@ -41,32 +44,40 @@ fn naive(db: &mut Database, program: &Program) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Seminaive and naive evaluation compute identical models on
+/// arbitrary edge relations (cycles included).
+#[test]
+fn seminaive_equals_naive() {
+    let mut rng = Rng::new(0x5EED_0003);
+    for case in 0..64 {
+        let n_edges = rng.below_usize(40);
+        let edges: Vec<(u8, u8)> =
+            (0..n_edges).map(|_| (rng.below(12) as u8, rng.below(12) as u8)).collect();
 
-    /// Seminaive and naive evaluation compute identical models on
-    /// arbitrary edge relations (cycles included).
-    #[test]
-    fn seminaive_equals_naive(edges in prop::collection::vec((0u8..12, 0u8..12), 0..40)) {
         let program = tc_program();
         let mut a = edge_db(&edges);
         Seminaive::new(program.rules.clone()).saturate(&mut a).unwrap();
         let mut b = edge_db(&edges);
         naive(&mut b, &program);
-        prop_assert_eq!(a.canonical_form(), b.canonical_form());
+        assert_eq!(a.canonical_form(), b.canonical_form(), "case {case}");
     }
+}
 
-    /// Every choice model of the assignment program satisfies both
-    /// functional dependencies, regardless of the chooser's seed, and is
-    /// maximal (no takes-pair can be added without violating an FD).
-    #[test]
-    fn choice_models_satisfy_and_saturate_fds(
-        pairs in prop::collection::vec((0u8..6, 0u8..6), 1..18),
-        seed in 0u64..500,
-    ) {
-        let program = gbc_parser::parse_program(
-            "a(S, C) <- takes(S, C), choice(C, S), choice(S, C).",
-        ).unwrap();
+/// Every choice model of the assignment program satisfies both
+/// functional dependencies, regardless of the chooser's seed, and is
+/// maximal (no takes-pair can be added without violating an FD).
+#[test]
+fn choice_models_satisfy_and_saturate_fds() {
+    let mut rng = Rng::new(0x5EED_0004);
+    for case in 0..64 {
+        let n_pairs = 1 + rng.below_usize(17);
+        let pairs: Vec<(u8, u8)> =
+            (0..n_pairs).map(|_| (rng.below(6) as u8, rng.below(6) as u8)).collect();
+        let seed = rng.below(500);
+
+        let program =
+            gbc_parser::parse_program("a(S, C) <- takes(S, C), choice(C, S), choice(S, C).")
+                .unwrap();
         let mut edb = Database::new();
         for &(s, c) in &pairs {
             edb.insert_values("takes", vec![Value::int(s.into()), Value::int(c.into())]);
@@ -80,17 +91,17 @@ proptest! {
         let mut by_c = std::collections::HashMap::new();
         let mut by_s = std::collections::HashMap::new();
         for r in &picked {
-            prop_assert!(by_s.insert(r[0].clone(), r[1].clone()).is_none());
-            prop_assert!(by_c.insert(r[1].clone(), r[0].clone()).is_none());
+            assert!(by_s.insert(r[0].clone(), r[1].clone()).is_none(), "case {case}");
+            assert!(by_c.insert(r[1].clone(), r[0].clone()).is_none(), "case {case}");
         }
         // Maximality: every unpicked takes-pair conflicts with a pick.
         for &(s, c) in &pairs {
             let (sv, cv) = (Value::int(s.into()), Value::int(c.into()));
             let picked_here = picked.iter().any(|r| r[0] == sv && r[1] == cv);
             if !picked_here {
-                prop_assert!(
+                assert!(
                     by_s.contains_key(&sv) || by_c.contains_key(&cv),
-                    "unpicked pair ({s},{c}) must be blocked by an FD"
+                    "unpicked pair ({s},{c}) must be blocked by an FD (case {case})"
                 );
             }
         }

@@ -27,11 +27,8 @@ impl Graph {
 
     /// Add the reverse of every edge (make undirected).
     pub fn symmetric_closure(mut self) -> Graph {
-        let mut rev: Vec<Edge> = self
-            .edges
-            .iter()
-            .map(|e| Edge::new(e.to, e.from, e.cost))
-            .collect();
+        let mut rev: Vec<Edge> =
+            self.edges.iter().map(|e| Edge::new(e.to, e.from, e.cost)).collect();
         self.edges.append(&mut rev);
         self.edges.sort_unstable();
         self.edges.dedup();
@@ -98,18 +95,8 @@ mod tests {
     #[test]
     fn nil_rows_are_skipped_by_the_decoder() {
         let rows = vec![
-            gbc_storage::Row::new(vec![
-                Value::Nil,
-                Value::int(0),
-                Value::int(0),
-                Value::int(0),
-            ]),
-            gbc_storage::Row::new(vec![
-                Value::int(0),
-                Value::int(1),
-                Value::int(9),
-                Value::int(1),
-            ]),
+            gbc_storage::Row::new(vec![Value::Nil, Value::int(0), Value::int(0), Value::int(0)]),
+            gbc_storage::Row::new(vec![Value::int(0), Value::int(1), Value::int(9), Value::int(1)]),
         ];
         assert_eq!(decode_edges(&rows), vec![Edge::new(0, 1, 9)]);
     }

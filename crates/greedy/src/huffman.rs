@@ -104,12 +104,7 @@ pub fn leaf_depths(tree: &Value) -> Vec<(u32, u32)> {
 /// Weighted path length of a run's tree.
 pub fn weighted_path_length(run: &GreedyRun, weights: &[i64]) -> Option<i64> {
     let root = decode_root(run)?;
-    Some(
-        leaf_depths(&root)
-            .iter()
-            .map(|&(sym, d)| weights[sym as usize] * i64::from(d))
-            .sum(),
-    )
+    Some(leaf_depths(&root).iter().map(|&(sym, d)| weights[sym as usize] * i64::from(d)).sum())
 }
 
 /// Build the Huffman tree declaratively.
@@ -137,10 +132,7 @@ mod tests {
         // non-termination over the t functor is a semantic property the
         // paper's own finiteness theorem (next-Datalog only) excludes.
         let p = gbc_parser::parse_program(PROGRAM_PAPER).unwrap();
-        assert!(matches!(
-            gbc_core::classify(&p).class,
-            ProgramClass::StageStratified { .. }
-        ));
+        assert!(matches!(gbc_core::classify(&p).class, ProgramClass::StageStratified { .. }));
     }
 
     #[test]

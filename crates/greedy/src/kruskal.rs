@@ -63,10 +63,7 @@ pub fn run_stage_views(graph: &Graph) -> KruskalRun {
     db.insert_values("comp0", vec![Value::Nil, Value::int(0)]);
     for x in 0..n {
         db.insert_values("comp0", vec![Value::int(x as i64), Value::int(comp[x])]);
-        db.insert_values(
-            "comp",
-            vec![Value::int(x as i64), Value::int(comp[x]), Value::int(0)],
-        );
+        db.insert_values("comp", vec![Value::int(x as i64), Value::int(comp[x]), Value::int(0)]);
     }
 
     // The edge queue Q (cost-ordered, full-row congruence: Kruskal
@@ -99,12 +96,7 @@ pub fn run_stage_views(graph: &Graph) -> KruskalRun {
         tree.push(Edge::new(x as u32, y as u32, c));
         db.insert_values(
             "kruskal",
-            vec![
-                Value::int(x as i64),
-                Value::int(y as i64),
-                Value::int(c),
-                Value::int(stage),
-            ],
+            vec![Value::int(x as i64), Value::int(y as i64), Value::int(c), Value::int(stage)],
         );
         // Relabel component J as K — the O(n) sweep the paper charges
         // to the recursive comp rule — stamping new comp facts.
@@ -142,10 +134,7 @@ mod tests {
     #[test]
     fn the_paper_program_is_rejected_by_the_classifier() {
         let p = gbc_parser::parse_program(PROGRAM).unwrap();
-        assert!(matches!(
-            classify(&p).class,
-            ProgramClass::NotStageStratified { .. }
-        ));
+        assert!(matches!(classify(&p).class, ProgramClass::NotStageStratified { .. }));
     }
 
     #[test]
@@ -165,7 +154,7 @@ mod tests {
         let run = run_stage_views(&g);
         assert_eq!(run.db.count(Symbol::intern("kruskal")), 7);
         assert_eq!(run.db.count(Symbol::intern("comp0")), 9); // n + nil
-        // comp: n stage-0 facts plus one per relabelled node.
+                                                              // comp: n stage-0 facts plus one per relabelled node.
         assert!(run.db.count(Symbol::intern("comp")) >= 8 + 7);
         assert_eq!(decode(&run).len(), 7);
     }
@@ -184,12 +173,7 @@ mod tests {
         // edge, so it is popped mid-run and moved to R.
         let g = Graph::new(
             4,
-            vec![
-                Edge::new(0, 1, 1),
-                Edge::new(1, 2, 2),
-                Edge::new(0, 2, 3),
-                Edge::new(2, 3, 4),
-            ],
+            vec![Edge::new(0, 1, 1), Edge::new(1, 2, 2), Edge::new(0, 2, 3), Edge::new(2, 3, 4)],
         );
         let run = run_stage_views(&g);
         assert_eq!(run.tree.len(), 3);
@@ -199,10 +183,7 @@ mod tests {
     #[test]
     fn evaluation_stops_once_the_tree_is_complete() {
         // Remaining queue entries are never popped after n−1 accepts.
-        let g = Graph::new(
-            3,
-            vec![Edge::new(0, 1, 1), Edge::new(1, 2, 2), Edge::new(0, 2, 3)],
-        );
+        let g = Graph::new(3, vec![Edge::new(0, 1, 1), Edge::new(1, 2, 2), Edge::new(0, 2, 3)]);
         let run = run_stage_views(&g);
         assert_eq!(run.tree.len(), 2);
         assert_eq!(run.redundant, 0);

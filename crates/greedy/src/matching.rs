@@ -61,12 +61,7 @@ mod tests {
     fn small_graph_matches_baseline() {
         let g = Graph::new(
             4,
-            vec![
-                Edge::new(0, 1, 1),
-                Edge::new(0, 2, 2),
-                Edge::new(3, 1, 3),
-                Edge::new(3, 2, 4),
-            ],
+            vec![Edge::new(0, 1, 1), Edge::new(0, 2, 2), Edge::new(3, 1, 3), Edge::new(3, 2, 4)],
         );
         let decl = run_greedy(&g).unwrap();
         let base = greedy_matching(g.n, &g.edges);

@@ -69,12 +69,7 @@ mod tests {
     fn square() -> Graph {
         Graph::new(
             4,
-            vec![
-                Edge::new(0, 1, 1),
-                Edge::new(1, 2, 2),
-                Edge::new(2, 3, 3),
-                Edge::new(0, 3, 4),
-            ],
+            vec![Edge::new(0, 1, 1), Edge::new(1, 2, 2), Edge::new(2, 3, 3), Edge::new(0, 3, 4)],
         )
         .symmetric_closure()
     }

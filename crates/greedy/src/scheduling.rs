@@ -63,17 +63,12 @@ pub fn edb(jobs: &[Job]) -> Database {
 pub fn decode(run: &GreedyRun) -> Vec<(u32, u32)> {
     let mut rows = run.db.facts_of(Symbol::intern("sched"));
     rows.sort_by_key(|r| r[2].as_int().unwrap_or(i64::MAX));
-    rows.iter()
-        .filter_map(|r| Some((r[0].as_int()? as u32, r[1].as_int()? as u32)))
-        .collect()
+    rows.iter().filter_map(|r| Some((r[0].as_int()? as u32, r[1].as_int()? as u32))).collect()
 }
 
 /// Total profit of a run's schedule.
 pub fn total_profit(jobs: &[Job], schedule: &[(u32, u32)]) -> i64 {
-    schedule
-        .iter()
-        .map(|&(id, _)| jobs.iter().find(|j| j.id == id).map_or(0, |j| j.profit))
-        .sum()
+    schedule.iter().map(|&(id, _)| jobs.iter().find(|j| j.id == id).map_or(0, |j| j.profit)).sum()
 }
 
 /// Schedule `jobs` with the greedy executor.
@@ -85,12 +80,9 @@ pub fn run_greedy(jobs: &[Job]) -> Result<Vec<(u32, u32)>, CoreError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gbc_baselines::scheduling::{
-        is_valid_schedule, job_sequencing, optimal_profit_bruteforce,
-    };
+    use gbc_baselines::scheduling::{is_valid_schedule, job_sequencing, optimal_profit_bruteforce};
     use gbc_core::ProgramClass;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use gbc_telemetry::rng::Rng;
 
     #[test]
     fn classifies_and_plans_with_most() {
@@ -134,11 +126,11 @@ mod tests {
 
     #[test]
     fn random_instances_reach_the_bruteforce_optimum() {
-        let mut rng = StdRng::seed_from_u64(99);
+        let mut rng = Rng::new(99);
         for round in 0..12 {
-            let n = rng.gen_range(1..10);
+            let n = 1 + rng.below(9) as u32;
             let jobs: Vec<Job> = (0..n)
-                .map(|i| Job::new(i, rng.gen_range(1..60), rng.gen_range(1..6)))
+                .map(|i| Job::new(i, rng.range_i64(1, 59), rng.range_i64(1, 5) as u32))
                 .collect();
             let sched = run_greedy(&jobs).unwrap();
             assert!(is_valid_schedule(&jobs, &sched), "round {round}: {jobs:?}");

@@ -20,12 +20,9 @@ choice(St, Crs), choice(Crs, St).";
 /// The paper's `takes` facts (Example 1, with grades).
 pub fn paper_facts() -> Database {
     let mut db = Database::new();
-    for (s, c, g) in [
-        ("andy", "engl", 4),
-        ("mark", "engl", 2),
-        ("ann", "math", 3),
-        ("mark", "math", 2),
-    ] {
+    for (s, c, g) in
+        [("andy", "engl", 4), ("mark", "engl", 2), ("ann", "math", 3), ("mark", "math", 2)]
+    {
         db.insert_values("takes", vec![Value::sym(s), Value::sym(c), Value::int(g)]);
     }
     db

@@ -41,8 +41,7 @@ use crate::graph::{decode_edges, Graph};
 
 /// The paper's text, kept for reference (not executable as printed —
 /// see the module docs).
-pub const PROGRAM_PAPER: &str =
-    "tsp_chain(X, Y, C, 1) <- least_arcs(X, Y, C), choice((), (X, Y)).
+pub const PROGRAM_PAPER: &str = "tsp_chain(X, Y, C, 1) <- least_arcs(X, Y, C), choice((), (X, Y)).
 tsp_chain(X, Y, C, I) <- next(I), new_g(X, Y, C, J), I = J + 1, least(C, I), choice(Y, X).
 new_g(X, Y, C, J) <- tsp_chain(_, X, _, J), g(X, Y, C).
 least_arcs(X, Y, C) <- g(X, Y, C), least(C).";

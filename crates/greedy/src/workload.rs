@@ -6,11 +6,8 @@
 //! relations, letter frequencies) match the workloads the paper's
 //! examples discuss. All generators are deterministic in `(params, seed)`.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
-
 use gbc_baselines::Edge;
+use gbc_telemetry::rng::Rng;
 
 use crate::graph::Graph;
 
@@ -19,13 +16,13 @@ use crate::graph::Graph;
 /// Returned with both orientations of each edge.
 pub fn connected_graph(n: usize, extra_edges: usize, max_cost: i64, seed: u64) -> Graph {
     assert!(n >= 1, "need at least one node");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::new(seed);
     let mut edges = Vec::with_capacity(2 * (n - 1 + extra_edges));
     let mut seen = std::collections::HashSet::new();
     // Random spanning tree: node i attaches to a random earlier node.
     for i in 1..n {
-        let j = rng.gen_range(0..i);
-        let c = rng.gen_range(1..=max_cost);
+        let j = rng.below_usize(i);
+        let c = rng.range_i64(1, max_cost);
         seen.insert((j.min(i), j.max(i)));
         edges.push(Edge::new(j as u32, i as u32, c));
     }
@@ -33,12 +30,12 @@ pub fn connected_graph(n: usize, extra_edges: usize, max_cost: i64, seed: u64) -
     let mut attempts = 0;
     while added < extra_edges && attempts < extra_edges * 20 {
         attempts += 1;
-        let a = rng.gen_range(0..n);
-        let b = rng.gen_range(0..n);
+        let a = rng.below_usize(n);
+        let b = rng.below_usize(n);
         if a == b || !seen.insert((a.min(b), a.max(b))) {
             continue;
         }
-        let c = rng.gen_range(1..=max_cost);
+        let c = rng.range_i64(1, max_cost);
         edges.push(Edge::new(a as u32, b as u32, c));
         added += 1;
     }
@@ -50,10 +47,8 @@ pub fn connected_graph(n: usize, extra_edges: usize, max_cost: i64, seed: u64) -
 /// so coincident points still cost something). Symmetric by
 /// construction.
 pub fn complete_geometric(n: usize, seed: u64) -> Graph {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let pts: Vec<(f64, f64)> = (0..n)
-        .map(|_| (rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0)))
-        .collect();
+    let mut rng = Rng::new(seed);
+    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.f64() * 1000.0, rng.f64() * 1000.0)).collect();
     let mut edges = Vec::with_capacity(n * n.saturating_sub(1));
     for (i, &(xi, yi)) in pts.iter().enumerate() {
         for (j, &(xj, yj)) in pts.iter().enumerate() {
@@ -71,14 +66,14 @@ pub fn complete_geometric(n: usize, seed: u64) -> Graph {
 /// (a permutation of `1..=m`), so greedy matching is deterministic and
 /// executor/baseline runs agree arc-for-arc.
 pub fn random_arcs(n: usize, m: usize, seed: u64) -> Graph {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::new(seed);
     let mut costs: Vec<i64> = (1..=m as i64).collect();
-    costs.shuffle(&mut rng);
+    rng.shuffle(&mut costs);
     let mut pairs = std::collections::HashSet::new();
     let mut edges = Vec::with_capacity(m);
     while edges.len() < m {
-        let a = rng.gen_range(0..n) as u32;
-        let b = rng.gen_range(0..n) as u32;
+        let a = rng.below_usize(n) as u32;
+        let b = rng.below_usize(n) as u32;
         if a == b || !pairs.insert((a, b)) {
             continue;
         }
@@ -90,16 +85,16 @@ pub fn random_arcs(n: usize, m: usize, seed: u64) -> Graph {
 /// A random relation `p(X, C)`: distinct ids `0..n`, costs a shuffled
 /// permutation of `1..=n` (unique, so the sorted order is total).
 pub fn random_items(n: usize, seed: u64) -> Vec<(i64, i64)> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::new(seed);
     let mut costs: Vec<i64> = (1..=n as i64).collect();
-    costs.shuffle(&mut rng);
+    rng.shuffle(&mut costs);
     (0..n as i64).zip(costs).collect()
 }
 
 /// Random letter frequencies `1..=1000` for a `k`-symbol alphabet.
 pub fn letter_freqs(k: usize, seed: u64) -> Vec<i64> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..k).map(|_| rng.gen_range(1..=1000)).collect()
+    let mut rng = Rng::new(seed);
+    (0..k).map(|_| rng.range_i64(1, 1000)).collect()
 }
 
 #[cfg(test)]

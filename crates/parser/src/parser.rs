@@ -3,8 +3,8 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use gbc_ast::{Atom, CmpOp, Literal, Program, Rule, Symbol, Term, VarId};
 use gbc_ast::term::{ArithOp, Expr};
+use gbc_ast::{Atom, CmpOp, Literal, Program, Rule, Symbol, Term, VarId};
 
 use crate::lexer::{tokenize, LexError, Token, TokenKind};
 
@@ -64,13 +64,7 @@ struct Parser {
 
 impl Parser {
     fn new(tokens: Vec<Token>) -> Parser {
-        Parser {
-            tokens,
-            pos: 0,
-            var_names: Vec::new(),
-            var_map: HashMap::new(),
-            anon: Vec::new(),
-        }
+        Parser { tokens, pos: 0, var_names: Vec::new(), var_map: HashMap::new(), anon: Vec::new() }
     }
 
     fn peek(&self) -> &TokenKind {
@@ -148,12 +142,8 @@ impl Parser {
     /// identical semantics.
     fn finalize_var_names(&mut self) -> Vec<String> {
         let mut names = std::mem::take(&mut self.var_names);
-        let taken: std::collections::HashSet<String> = names
-            .iter()
-            .zip(&self.anon)
-            .filter(|(_, &a)| !a)
-            .map(|(n, _)| n.clone())
-            .collect();
+        let taken: std::collections::HashSet<String> =
+            names.iter().zip(&self.anon).filter(|(_, &a)| !a).map(|(n, _)| n.clone()).collect();
         let mut candidates = std::iter::once("_".to_owned())
             .chain((2usize..).map(|k| format!("_{k}")))
             .filter(|c| !taken.contains(c));
@@ -265,17 +255,9 @@ impl Parser {
         self.bump(); // `least` / `most`
         self.expect(TokenKind::LParen)?;
         let cost = self.term()?;
-        let group = if self.eat(&TokenKind::Comma) {
-            self.term_tuple()?
-        } else {
-            Vec::new()
-        };
+        let group = if self.eat(&TokenKind::Comma) { self.term_tuple()? } else { Vec::new() };
         self.expect(TokenKind::RParen)?;
-        Ok(if least {
-            Literal::Least { cost, group }
-        } else {
-            Literal::Most { cost, group }
-        })
+        Ok(if least { Literal::Least { cost, group } } else { Literal::Most { cost, group } })
     }
 
     fn next_goal(&mut self) -> Result<Literal, ParseError> {
@@ -284,9 +266,7 @@ impl Parser {
         let var = match self.bump() {
             TokenKind::Var(name) => self.var(&name),
             other => {
-                return Err(self.err_here(format!(
-                    "next(…) takes a single variable, found {other}"
-                )))
+                return Err(self.err_here(format!("next(…) takes a single variable, found {other}")))
             }
         };
         self.expect(TokenKind::RParen)?;
@@ -392,8 +372,8 @@ impl Parser {
     fn primary_expr(&mut self) -> Result<Expr, ParseError> {
         // max/min built-ins.
         if let TokenKind::Ident(name) = self.peek() {
-            let is_builtin = matches!(name.as_str(), "max" | "min")
-                && matches!(self.peek2(), TokenKind::LParen);
+            let is_builtin =
+                matches!(name.as_str(), "max" | "min") && matches!(self.peek2(), TokenKind::LParen);
             if is_builtin {
                 let op = if name == "max" { ArithOp::Max } else { ArithOp::Min };
                 self.bump();
@@ -427,10 +407,8 @@ mod tests {
 
     #[test]
     fn parses_example_1_choice_rule() {
-        let r = parse_rule(
-            "a_st(St, Crs) <- takes(St, Crs), choice(Crs, St), choice(St, Crs).",
-        )
-        .unwrap();
+        let r = parse_rule("a_st(St, Crs) <- takes(St, Crs), choice(Crs, St), choice(St, Crs).")
+            .unwrap();
         assert!(r.has_choice());
         assert_eq!(r.body.len(), 3);
         assert!(matches!(&r.body[1], Literal::Choice { left, right }
@@ -492,9 +470,7 @@ mod tests {
         let r = parse_rule("new_g(X, Y, C, J) <- prm(_, X, _, J), g(X, Y, C).").unwrap();
         // prm's first and third args must be distinct variables.
         let Literal::Pos(a) = &r.body[0] else { panic!() };
-        let (Term::Var(v1), Term::Var(v3)) = (&a.args[0], &a.args[2]) else {
-            panic!()
-        };
+        let (Term::Var(v1), Term::Var(v3)) = (&a.args[0], &a.args[2]) else { panic!() };
         assert_ne!(v1, v3);
     }
 

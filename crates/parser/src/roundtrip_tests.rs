@@ -8,8 +8,7 @@ use crate::parse_program;
 fn assert_roundtrip(src: &str) {
     let p1 = parse_program(src).unwrap_or_else(|e| panic!("parse failed: {e}\n{src}"));
     let printed1 = p1.to_string();
-    let p2 = parse_program(&printed1)
-        .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed1}"));
+    let p2 = parse_program(&printed1).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed1}"));
     let printed2 = p2.to_string();
     assert_eq!(printed1, printed2, "round-trip not a fixpoint for:\n{src}");
 }

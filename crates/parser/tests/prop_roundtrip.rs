@@ -1,64 +1,64 @@
 //! Property tests: generated programs survive the print → parse cycle.
+//!
+//! Seeded-loop style: random cases come from the in-tree deterministic
+//! PRNG, so every failure reproduces exactly.
 
-use gbc_ast::{Atom, CmpOp, Literal, Program, Rule, Term};
 use gbc_ast::term::Expr;
-use proptest::prelude::*;
+use gbc_ast::{Atom, CmpOp, Literal, Program, Rule, Term};
+use gbc_telemetry::rng::Rng;
 
-/// Variable names V0..V5, predicate names from a small pool.
-fn term_strategy() -> impl Strategy<Value = Term> {
-    prop_oneof![
-        (0u32..6).prop_map(Term::var),
-        any::<i32>().prop_map(|i| Term::int(i.into())),
-        prop_oneof![Just("a"), Just("b"), Just("nodeX")].prop_map(Term::sym),
-    ]
+/// Variable names V0..V5, integers, symbols from a small pool.
+fn random_term(rng: &mut Rng) -> Term {
+    match rng.below(3) {
+        0 => Term::var(rng.below(6) as u32),
+        1 => Term::int(rng.range_i64(i32::MIN as i64, i32::MAX as i64)),
+        _ => Term::sym(["a", "b", "nodeX"][rng.below_usize(3)]),
+    }
 }
 
-fn atom_strategy() -> impl Strategy<Value = Atom> {
-    (
-        prop_oneof![Just("p"), Just("q"), Just("g"), Just("edge")],
-        prop::collection::vec(term_strategy(), 0..4),
-    )
-        .prop_map(|(name, args)| Atom::new(name, args))
+fn random_terms(rng: &mut Rng, max: usize) -> Vec<Term> {
+    (0..rng.below_usize(max)).map(|_| random_term(rng)).collect()
 }
 
-fn literal_strategy() -> impl Strategy<Value = Literal> {
-    prop_oneof![
-        atom_strategy().prop_map(Literal::Pos),
-        atom_strategy().prop_map(Literal::Neg),
-        (term_strategy(), term_strategy()).prop_map(|(a, b)| Literal::Compare {
+fn random_atom(rng: &mut Rng) -> Atom {
+    let name = ["p", "q", "g", "edge"][rng.below_usize(4)];
+    Atom::new(name, random_terms(rng, 4))
+}
+
+fn random_literal(rng: &mut Rng) -> Literal {
+    match rng.below(5) {
+        0 => Literal::Pos(random_atom(rng)),
+        1 => Literal::Neg(random_atom(rng)),
+        2 => Literal::Compare {
             op: CmpOp::Lt,
-            lhs: Expr::Term(a),
-            rhs: Expr::Term(b),
-        }),
-        (
-            prop::collection::vec(term_strategy(), 0..3),
-            prop::collection::vec(term_strategy(), 0..3),
-        )
-            .prop_map(|(left, right)| Literal::Choice { left, right }),
-        (term_strategy(), prop::collection::vec(term_strategy(), 0..2))
-            .prop_map(|(cost, group)| Literal::Least { cost, group }),
-    ]
+            lhs: Expr::Term(random_term(rng)),
+            rhs: Expr::Term(random_term(rng)),
+        },
+        3 => Literal::Choice { left: random_terms(rng, 3), right: random_terms(rng, 3) },
+        _ => Literal::Least { cost: random_term(rng), group: random_terms(rng, 2) },
+    }
 }
 
-fn rule_strategy() -> impl Strategy<Value = Rule> {
-    (atom_strategy(), prop::collection::vec(literal_strategy(), 0..5)).prop_map(|(head, body)| {
-        Rule::new(head, body, (0..6).map(|i| format!("V{i}")).collect())
-    })
+fn random_rule(rng: &mut Rng) -> Rule {
+    let head = random_atom(rng);
+    let body = (0..rng.below_usize(5)).map(|_| random_literal(rng)).collect();
+    Rule::new(head, body, (0..6).map(|i| format!("V{i}")).collect())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// The printed form of any rule reparses, and reprinting the parse
-    /// is a fixpoint. (Rules here need not be safe — printing is purely
-    /// syntactic.)
-    #[test]
-    fn print_parse_is_a_fixpoint(rules in prop::collection::vec(rule_strategy(), 1..5)) {
+/// The printed form of any rule reparses, and reprinting the parse is a
+/// fixpoint. (Rules here need not be safe — printing is purely
+/// syntactic.)
+#[test]
+fn print_parse_is_a_fixpoint() {
+    let mut rng = Rng::new(0x5EED_000B);
+    for case in 0..256 {
+        let n_rules = 1 + rng.below_usize(4);
+        let rules: Vec<Rule> = (0..n_rules).map(|_| random_rule(&mut rng)).collect();
         let p1 = Program::from_rules(rules);
         let s1 = p1.to_string();
         let p2 = gbc_parser::parse_program(&s1)
-            .unwrap_or_else(|e| panic!("printed program must reparse: {e}\n{s1}"));
+            .unwrap_or_else(|e| panic!("printed program must reparse (case {case}): {e}\n{s1}"));
         let s2 = p2.to_string();
-        prop_assert_eq!(s1, s2);
+        assert_eq!(s1, s2, "case {case}");
     }
 }

@@ -1,8 +1,10 @@
 //! The fact store: predicate symbol → relation.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use gbc_ast::{Symbol, Value};
+use gbc_telemetry::Metrics;
 
 use crate::relation::Relation;
 use crate::tuple::Row;
@@ -16,6 +18,8 @@ pub struct Database {
     /// Returned by [`Database::relation`] for absent predicates, so
     /// lookups never allocate or panic.
     empty: Relation,
+    /// Counter registry handed to every relation (existing and future).
+    metrics: Option<Arc<Metrics>>,
 }
 
 impl Database {
@@ -24,9 +28,27 @@ impl Database {
         Database::default()
     }
 
+    /// Attach a counter registry: every current relation reports index
+    /// traffic to it, as will relations created later.
+    pub fn set_metrics(&mut self, metrics: Arc<Metrics>) {
+        for rel in self.relations.values_mut() {
+            rel.set_metrics(Arc::clone(&metrics));
+        }
+        self.metrics = Some(metrics);
+    }
+
+    fn fresh_relation(metrics: &Option<Arc<Metrics>>) -> Relation {
+        let mut rel = Relation::new();
+        if let Some(m) = metrics {
+            rel.set_metrics(Arc::clone(m));
+        }
+        rel
+    }
+
     /// Insert `pred(row)`. Returns `false` on duplicate.
     pub fn insert(&mut self, pred: Symbol, row: Row) -> bool {
-        self.relations.entry(pred).or_default().insert(row)
+        let metrics = &self.metrics;
+        self.relations.entry(pred).or_insert_with(|| Database::fresh_relation(metrics)).insert(row)
     }
 
     /// Insert from plain values.
@@ -41,7 +63,8 @@ impl Database {
 
     /// Mutable relation handle (creates it if missing).
     pub fn relation_mut(&mut self, pred: Symbol) -> &mut Relation {
-        self.relations.entry(pred).or_default()
+        let metrics = &self.metrics;
+        self.relations.entry(pred).or_insert_with(|| Database::fresh_relation(metrics))
     }
 
     /// Does the database contain the fact `pred(row)`?
@@ -72,9 +95,7 @@ impl Database {
 
     /// Iterate over every fact in the database.
     pub fn iter_all(&self) -> impl Iterator<Item = (Symbol, &Row)> + '_ {
-        self.relations
-            .iter()
-            .flat_map(|(&p, rel)| rel.iter().map(move |r| (p, r)))
+        self.relations.iter().flat_map(|(&p, rel)| rel.iter().map(move |r| (p, r)))
     }
 
     /// Render the database as sorted ground facts, one per line —

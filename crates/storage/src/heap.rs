@@ -31,12 +31,7 @@ pub struct IndexedHeap<K> {
 
 impl<K> Default for IndexedHeap<K> {
     fn default() -> Self {
-        IndexedHeap {
-            slab: Vec::new(),
-            free: Vec::new(),
-            heap: Vec::new(),
-            pos: Vec::new(),
-        }
+        IndexedHeap { slab: Vec::new(), free: Vec::new(), heap: Vec::new(), pos: Vec::new() }
     }
 }
 
@@ -96,11 +91,10 @@ impl<K: Ord> IndexedHeap<K> {
 
     /// The key behind a live handle.
     pub fn get(&self, h: Handle) -> Option<&K> {
-        self.slab.get(h.0 as usize)?.as_ref().filter(|_| {
-            self.pos
-                .get(h.0 as usize)
-                .is_some_and(|&p| p != NOT_IN_HEAP)
-        })
+        self.slab
+            .get(h.0 as usize)?
+            .as_ref()
+            .filter(|_| self.pos.get(h.0 as usize).is_some_and(|&p| p != NOT_IN_HEAP))
     }
 
     /// Remove an arbitrary live element. Returns its key. `O(log n)`.
@@ -146,9 +140,7 @@ impl<K: Ord> IndexedHeap<K> {
     }
 
     fn key_at(&self, slot: usize) -> &K {
-        self.slab[self.heap[slot] as usize]
-            .as_ref()
-            .expect("heap slot points at live slab entry")
+        self.slab[self.heap[slot] as usize].as_ref().expect("heap slot points at live slab entry")
     }
 
     fn sift_up(&mut self, mut slot: usize) {
@@ -192,10 +184,7 @@ impl<K: Ord> IndexedHeap<K> {
     fn assert_invariants(&self) {
         for slot in 1..self.heap.len() {
             let parent = (slot - 1) / 2;
-            assert!(
-                self.key_at(parent) <= self.key_at(slot),
-                "heap order violated at slot {slot}"
-            );
+            assert!(self.key_at(parent) <= self.key_at(slot), "heap order violated at slot {slot}");
         }
         for (h, &p) in self.pos.iter().enumerate() {
             if p != NOT_IN_HEAP {
@@ -209,7 +198,7 @@ impl<K: Ord> IndexedHeap<K> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use gbc_telemetry::rng::Rng;
 
     #[test]
     fn pushes_and_pops_in_order() {
@@ -276,14 +265,19 @@ mod tests {
         assert_eq!(h.get(a), None);
     }
 
-    proptest! {
-        /// Random interleavings of push/pop/remove/update keep the heap
-        /// consistent, and pop order equals sorted order of survivors.
-        #[test]
-        fn random_ops_preserve_invariants(ops in prop::collection::vec((0u8..4, 0i64..1000), 1..200)) {
+    /// Random interleavings of push/pop/remove/update keep the heap
+    /// consistent, and pop order equals sorted order of survivors.
+    /// Seeded-loop property test: 256 random op sequences per run.
+    #[test]
+    fn random_ops_preserve_invariants() {
+        let mut rng = Rng::new(0xB10C_4EA9);
+        for case in 0..256 {
+            let n_ops = 1 + rng.below_usize(199);
             let mut h = IndexedHeap::new();
             let mut live: Vec<(Handle, i64)> = Vec::new();
-            for (op, k) in ops {
+            for _ in 0..n_ops {
+                let op = rng.below(4) as u8;
+                let k = rng.range_i64(0, 999);
                 match op {
                     0 => {
                         let handle = h.push(k);
@@ -292,25 +286,25 @@ mod tests {
                     1 => {
                         if let Some((handle, key)) = h.pop_min() {
                             let min_live = live.iter().map(|&(_, k)| k).min().unwrap();
-                            prop_assert_eq!(key, min_live);
+                            assert_eq!(key, min_live, "case {case}");
                             live.retain(|&(hh, _)| hh != handle);
                         }
                     }
                     2 => {
                         if let Some(&(handle, key)) = live.first() {
-                            prop_assert_eq!(h.remove(handle), Some(key));
+                            assert_eq!(h.remove(handle), Some(key), "case {case}");
                             live.remove(0);
                         }
                     }
                     _ => {
                         if let Some(entry) = live.last_mut() {
-                            prop_assert_eq!(h.update(entry.0, k), Some(entry.1));
+                            assert_eq!(h.update(entry.0, k), Some(entry.1), "case {case}");
                             entry.1 = k;
                         }
                     }
                 }
                 h.assert_invariants();
-                prop_assert_eq!(h.len(), live.len());
+                assert_eq!(h.len(), live.len(), "case {case}");
             }
             let mut expected: Vec<i64> = live.iter().map(|&(_, k)| k).collect();
             expected.sort_unstable();
@@ -318,7 +312,7 @@ mod tests {
             while let Some((_, k)) = h.pop_min() {
                 got.push(k);
             }
-            prop_assert_eq!(got, expected);
+            assert_eq!(got, expected, "case {case}");
         }
     }
 }

@@ -2,8 +2,10 @@
 
 use std::cell::RefCell;
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use gbc_ast::Value;
+use gbc_telemetry::Metrics;
 
 use crate::index::Index;
 use crate::tuple::Row;
@@ -22,6 +24,9 @@ pub struct Relation {
     /// Cached indices, keyed by their column bitmask (bit i ⇒ column i
     /// participates, in ascending column order).
     indices: RefCell<Vec<(u64, Index)>>,
+    /// Shared counter registry; index builds/probes are reported here
+    /// when attached.
+    metrics: Option<Arc<Metrics>>,
 }
 
 impl Clone for Relation {
@@ -31,6 +36,7 @@ impl Clone for Relation {
             order: self.order.clone(),
             set: self.set.clone(),
             indices: RefCell::new(Vec::new()),
+            metrics: self.metrics.clone(),
         }
     }
 }
@@ -46,6 +52,11 @@ impl Relation {
     /// Empty relation.
     pub fn new() -> Relation {
         Relation::default()
+    }
+
+    /// Attach a counter registry; index builds and probes report to it.
+    pub fn set_metrics(&mut self, metrics: Arc<Metrics>) {
+        self.metrics = Some(metrics);
     }
 
     /// Number of rows.
@@ -102,9 +113,15 @@ impl Relation {
             return self.order.clone();
         }
         let mask = mask_of(cols);
+        if let Some(m) = &self.metrics {
+            m.index_probes.inc();
+        }
         let mut cache = self.indices.borrow_mut();
         if let Some((_, idx)) = cache.iter().find(|(m, _)| *m == mask) {
             return idx.get(key).to_vec();
+        }
+        if let Some(m) = &self.metrics {
+            m.index_builds.inc();
         }
         let idx = Index::build(cols.to_vec(), self.order.iter());
         let result = idx.get(key).to_vec();
@@ -199,6 +216,20 @@ mod tests {
         let delta: Vec<i64> = r.since(mark).iter().map(|t| t[0].as_int().unwrap()).collect();
         assert_eq!(delta, vec![2, 3]);
         assert!(r.since(100).is_empty());
+    }
+
+    #[test]
+    fn metrics_count_builds_and_probes() {
+        let m = Arc::new(Metrics::new());
+        let mut r = Relation::new();
+        r.set_metrics(Arc::clone(&m));
+        r.insert(row(&[1, 10]));
+        r.select(&[0], &[Value::int(1)]); // probe + build
+        r.select(&[0], &[Value::int(1)]); // probe only
+        r.select(&[], &[]); // full scan: neither
+        let s = m.snapshot();
+        assert_eq!(s.index_builds, 1);
+        assert_eq!(s.index_probes, 2);
     }
 
     #[test]

@@ -23,8 +23,10 @@
 //! greedy programs.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use gbc_ast::Value;
+use gbc_telemetry::Metrics;
 
 use crate::heap::{Handle, IndexedHeap};
 use crate::tuple::Row;
@@ -118,6 +120,9 @@ pub struct Rql {
     redundant: u64,
     /// Optional audit copy of `R_r` for tests.
     audit: Option<Vec<Row>>,
+    /// Shared counter registry; heap/congruence traffic is reported
+    /// here when attached.
+    metrics: Option<Arc<Metrics>>,
 }
 
 impl Rql {
@@ -139,6 +144,13 @@ impl Rql {
         Rql { descending: true, ..Rql::default() }
     }
 
+    /// Attach a counter registry. Subsequent operations report heap
+    /// inserts/replaces/pops, congruence outcomes and the queue
+    /// high-water mark to it.
+    pub fn set_metrics(&mut self, metrics: Arc<Metrics>) {
+        self.metrics = Some(metrics);
+    }
+
     fn wrap(&self, cost: Value) -> HeapCost {
         if self.descending {
             HeapCost::Desc(cost)
@@ -149,6 +161,23 @@ impl Rql {
 
     /// The paper's insertion operation.
     pub fn insert(&mut self, key: CongKey, cost: Value, row: Row) -> RqlOutcome {
+        let outcome = self.insert_inner(key, cost, row);
+        if let Some(m) = &self.metrics {
+            match outcome {
+                RqlOutcome::Queued => m.heap_inserts.inc(),
+                RqlOutcome::ReplacedQueued => {
+                    m.heap_replaces.inc();
+                    m.congruence_replacements.inc();
+                }
+                RqlOutcome::DominatedInQueue => m.rql_dominated.inc(),
+                RqlOutcome::CongruentUsed => m.rql_used_blocked.inc(),
+            }
+            m.queue_peak.observe(self.heap.len() as u64);
+        }
+        outcome
+    }
+
+    fn insert_inner(&mut self, key: CongKey, cost: Value, row: Row) -> RqlOutcome {
         if self.used.contains_key(&key) {
             self.to_redundant(row);
             return RqlOutcome::CongruentUsed;
@@ -178,6 +207,9 @@ impl Rql {
     /// classifies it with [`Rql::commit`] or [`Rql::discard`].
     pub fn pop_least(&mut self) -> Option<Popped> {
         let (h, (cost, row)) = self.heap.pop_min()?;
+        if let Some(m) = &self.metrics {
+            m.heap_pops.inc();
+        }
         let key = self.key_of.remove(&h).expect("popped handle has a key");
         self.queued.remove(&key);
         Some(Popped { key, cost: cost.into_value(), row })
@@ -255,14 +287,8 @@ mod tests {
         let mut d = Rql::new();
         // Two facts congruent on key [7]: the cheaper survives in Q.
         assert_eq!(d.insert(key(&[7]), Value::int(10), row(&[7, 10])), RqlOutcome::Queued);
-        assert_eq!(
-            d.insert(key(&[7]), Value::int(3), row(&[7, 3])),
-            RqlOutcome::ReplacedQueued
-        );
-        assert_eq!(
-            d.insert(key(&[7]), Value::int(5), row(&[7, 5])),
-            RqlOutcome::DominatedInQueue
-        );
+        assert_eq!(d.insert(key(&[7]), Value::int(3), row(&[7, 3])), RqlOutcome::ReplacedQueued);
+        assert_eq!(d.insert(key(&[7]), Value::int(5), row(&[7, 5])), RqlOutcome::DominatedInQueue);
         assert_eq!(d.queue_len(), 1);
         assert_eq!(d.redundant_count(), 2);
         let p = d.pop_least().unwrap();
@@ -276,10 +302,7 @@ mod tests {
         let p = d.pop_least().unwrap();
         d.commit(p);
         assert!(d.key_used(&key(&[1])));
-        assert_eq!(
-            d.insert(key(&[1]), Value::int(1), row(&[1, 1])),
-            RqlOutcome::CongruentUsed
-        );
+        assert_eq!(d.insert(key(&[1]), Value::int(1), row(&[1, 1])), RqlOutcome::CongruentUsed);
         assert_eq!(d.queue_len(), 0);
         assert_eq!(d.used_len(), 1);
     }
@@ -301,9 +324,8 @@ mod tests {
         d.insert(key(&[1]), Value::int(5), row(&[1, 5]));
         d.insert(key(&[2]), Value::int(3), row(&[2, 3]));
         d.insert(key(&[3]), Value::int(5), row(&[0, 5])); // same cost as class 1
-        let costs: Vec<(Value, Row)> = std::iter::from_fn(|| d.pop_least())
-            .map(|p| (p.cost, p.row))
-            .collect();
+        let costs: Vec<(Value, Row)> =
+            std::iter::from_fn(|| d.pop_least()).map(|p| (p.cost, p.row)).collect();
         assert_eq!(
             costs,
             vec![
@@ -331,16 +353,35 @@ mod tests {
             RqlOutcome::ReplacedQueued,
             "larger cost replaces in descending mode"
         );
-        assert_eq!(
-            d.insert(key(&[1]), Value::int(7), row(&[1, 7])),
-            RqlOutcome::DominatedInQueue
-        );
+        assert_eq!(d.insert(key(&[1]), Value::int(7), row(&[1, 7])), RqlOutcome::DominatedInQueue);
         d.insert(key(&[2]), Value::int(8), row(&[2, 8]));
         let p1 = d.pop_least().unwrap();
         assert_eq!(p1.cost, Value::int(9));
         d.commit(p1);
         let p2 = d.pop_least().unwrap();
         assert_eq!(p2.cost, Value::int(8));
+    }
+
+    #[test]
+    fn metrics_observe_every_outcome() {
+        let m = Arc::new(Metrics::new());
+        let mut d = Rql::new();
+        d.set_metrics(Arc::clone(&m));
+        d.insert(key(&[1]), Value::int(5), row(&[1, 5])); // queued
+        d.insert(key(&[1]), Value::int(3), row(&[1, 3])); // replaces
+        d.insert(key(&[1]), Value::int(4), row(&[1, 4])); // dominated
+        d.insert(key(&[2]), Value::int(8), row(&[2, 8])); // queued
+        let p = d.pop_least().unwrap();
+        d.commit(p);
+        d.insert(key(&[1]), Value::int(1), row(&[1, 1])); // used-blocked
+        let s = m.snapshot();
+        assert_eq!(s.heap_inserts, 2);
+        assert_eq!(s.heap_replaces, 1);
+        assert_eq!(s.congruence_replacements, 1);
+        assert_eq!(s.rql_dominated, 1);
+        assert_eq!(s.rql_used_blocked, 1);
+        assert_eq!(s.heap_pops, 1);
+        assert_eq!(s.queue_peak, 2);
     }
 
     #[test]

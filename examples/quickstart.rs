@@ -23,10 +23,7 @@ fn main() {
     // Compile: validation, stage-stratification analysis, greedy plan.
     let compiled = compile(program).expect("compile");
     println!("class: {:?}", compiled.class());
-    assert_eq!(
-        *compiled.class(),
-        ProgramClass::StageStratified { alternating: true }
-    );
+    assert_eq!(*compiled.class(), ProgramClass::StageStratified { alternating: true });
     assert!(compiled.has_greedy_plan());
 
     // Load an EDB and run the Alternating Stage-Choice Fixpoint.

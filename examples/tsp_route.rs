@@ -24,9 +24,6 @@ fn main() {
     let decl_cost = total_cost(&route);
 
     let nn = nearest_neighbour(g.n, &g.edges, 0);
-    println!(
-        "\ntotal cost: greedy chain {decl_cost}, nearest-neighbour {}",
-        total_cost(&nn)
-    );
+    println!("\ntotal cost: greedy chain {decl_cost}, nearest-neighbour {}", total_cost(&nn));
     println!("both are heuristics; neither dominates in general.");
 }

@@ -1,6 +1,8 @@
 //! Cross-validation of every declarative algorithm against its
-//! procedural baseline, including property-based sweeps over random
-//! workloads.
+//! procedural baseline, including seeded sweeps over random workloads.
+//!
+//! Seeded-loop style: random cases come from the in-tree deterministic
+//! PRNG, so every failure reproduces exactly.
 
 use gbc_baselines::huffman::{huffman_tree, weighted_path_length as wpl_base};
 use gbc_baselines::kruskal::kruskal_mst;
@@ -9,7 +11,7 @@ use gbc_baselines::prim::prim_mst;
 use gbc_baselines::total_cost;
 use gbc_baselines::tsp::{greedy_chain, is_hamiltonian_path};
 use gbc_greedy::{huffman, kruskal, matching, prim, sorting, spanning, tsp, workload};
-use proptest::prelude::*;
+use gbc_telemetry::rng::Rng;
 
 #[test]
 fn prim_equals_kruskal_equals_baselines_on_a_sweep() {
@@ -30,31 +32,38 @@ fn prim_equals_kruskal_equals_baselines_on_a_sweep() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// MST optimality: declarative Prim matches union-find Kruskal on
-    /// arbitrary connected graphs.
-    #[test]
-    fn prop_prim_is_optimal(n in 3usize..16, extra in 0usize..24, seed in 0u64..1000) {
+/// MST optimality: declarative Prim matches union-find Kruskal on
+/// arbitrary connected graphs.
+#[test]
+fn prop_prim_is_optimal() {
+    let mut rng = Rng::new(0x5EED_0010);
+    for case in 0..16 {
+        let n = 3 + rng.below_usize(13);
+        let extra = rng.below_usize(24);
+        let seed = rng.below(1000);
         let g = workload::connected_graph(n, extra, 50, seed);
         let decl = prim::run_greedy(&g, 0).unwrap();
-        prop_assert_eq!(decl.len(), g.n - 1);
+        assert_eq!(decl.len(), g.n - 1, "case {case}");
         let base = kruskal_mst(g.n, &g.edges);
-        prop_assert_eq!(total_cost(&decl), total_cost(&base));
+        assert_eq!(total_cost(&decl), total_cost(&base), "case {case}");
     }
+}
 
-    /// Sorting: the declarative ranks are a sorted permutation.
-    #[test]
-    fn prop_sorting_is_a_sorted_permutation(n in 0usize..64, seed in 0u64..1000) {
+/// Sorting: the declarative ranks are a sorted permutation.
+#[test]
+fn prop_sorting_is_a_sorted_permutation() {
+    let mut rng = Rng::new(0x5EED_0011);
+    for case in 0..16 {
+        let n = rng.below_usize(64);
+        let seed = rng.below(1000);
         let items = workload::random_items(n, seed);
         let sorted = sorting::run_greedy(&items).unwrap();
-        prop_assert_eq!(sorted.len(), n);
+        assert_eq!(sorted.len(), n, "case {case}");
         // Ranks are exactly 1..=n in order; costs ascend.
         for (k, &(_, c, i)) in sorted.iter().enumerate() {
-            prop_assert_eq!(i, k as i64 + 1);
+            assert_eq!(i, k as i64 + 1, "case {case}");
             if k > 0 {
-                prop_assert!(sorted[k - 1].1 <= c);
+                assert!(sorted[k - 1].1 <= c, "case {case}");
             }
         }
         // The multiset of ids is preserved.
@@ -62,67 +71,91 @@ proptest! {
         ids.sort_unstable();
         let mut expected: Vec<i64> = items.iter().map(|&(x, _)| x).collect();
         expected.sort_unstable();
-        prop_assert_eq!(ids, expected);
+        assert_eq!(ids, expected, "case {case}");
     }
+}
 
-    /// Matching: declarative output is a maximal matching identical to
-    /// the baseline (workload costs are unique).
-    #[test]
-    fn prop_matching_is_maximal_and_matches_baseline(
-        n in 4usize..20,
-        m_frac in 1usize..4,
-        seed in 0u64..1000,
-    ) {
+/// Matching: declarative output is a maximal matching identical to the
+/// baseline (workload costs are unique).
+#[test]
+fn prop_matching_is_maximal_and_matches_baseline() {
+    let mut rng = Rng::new(0x5EED_0012);
+    for case in 0..16 {
+        let n = 4 + rng.below_usize(16);
+        let m_frac = 1 + rng.below_usize(3);
+        let seed = rng.below(1000);
         let m = (n * m_frac).min(n * (n - 1) / 2);
         let g = workload::random_arcs(n, m.max(1), seed);
         let mut decl = matching::run_greedy(&g).unwrap();
-        prop_assert!(is_matching(&decl));
-        prop_assert!(is_maximal(g.n, &g.edges, &decl));
+        assert!(is_matching(&decl), "case {case}");
+        assert!(is_maximal(g.n, &g.edges, &decl), "case {case}");
         let mut base = greedy_matching(g.n, &g.edges);
         decl.sort_unstable();
         base.sort_unstable();
-        prop_assert_eq!(decl, base);
+        assert_eq!(decl, base, "case {case}");
     }
+}
 
-    /// Huffman: equal weighted path length to the classical optimum.
-    #[test]
-    fn prop_huffman_wpl_is_optimal(k in 2usize..10, seed in 0u64..1000) {
+/// Huffman: equal weighted path length to the classical optimum.
+#[test]
+fn prop_huffman_wpl_is_optimal() {
+    let mut rng = Rng::new(0x5EED_0013);
+    for case in 0..16 {
+        let k = 2 + rng.below_usize(8);
+        let seed = rng.below(1000);
         let w = workload::letter_freqs(k, seed);
         let run = huffman::run_greedy(&w).unwrap();
         let decl = huffman::weighted_path_length(&run, &w).unwrap();
         let base = huffman_tree(&w).map(|t| wpl_base(&t, &w)).unwrap();
-        prop_assert_eq!(decl, base);
+        assert_eq!(decl, base, "case {case}");
     }
+}
 
-    /// TSP: the declarative chain is Hamiltonian with the same cost as
-    /// the procedural greedy chain.
-    #[test]
-    fn prop_tsp_chain_is_hamiltonian(n in 3usize..10, seed in 0u64..1000) {
+/// TSP: the declarative chain is Hamiltonian with the same cost as the
+/// procedural greedy chain.
+#[test]
+fn prop_tsp_chain_is_hamiltonian() {
+    let mut rng = Rng::new(0x5EED_0014);
+    for case in 0..16 {
+        let n = 3 + rng.below_usize(7);
+        let seed = rng.below(1000);
         let g = workload::complete_geometric(n, seed);
         let decl = tsp::run_greedy(&g).unwrap();
-        prop_assert!(is_hamiltonian_path(g.n, &decl));
+        assert!(is_hamiltonian_path(g.n, &decl), "case {case}");
         let base = greedy_chain(g.n, &g.edges);
-        prop_assert_eq!(total_cost(&decl), total_cost(&base));
+        assert_eq!(total_cost(&decl), total_cost(&base), "case {case}");
     }
+}
 
-    /// Spanning trees: both evaluation styles always produce one.
-    #[test]
-    fn prop_spanning_trees_span(n in 2usize..12, extra in 0usize..12, seed in 0u64..1000) {
+/// Spanning trees: both evaluation styles always produce one.
+#[test]
+fn prop_spanning_trees_span() {
+    let mut rng = Rng::new(0x5EED_0015);
+    for case in 0..16 {
+        let n = 2 + rng.below_usize(10);
+        let extra = rng.below_usize(12);
+        let seed = rng.below(1000);
         let g = workload::connected_graph(n, extra, 20, seed);
         let stage = spanning::run_stage(&g, 0).unwrap();
-        prop_assert!(spanning::is_spanning_tree(&g, 0, &stage));
+        assert!(spanning::is_spanning_tree(&g, 0, &stage), "case {case}");
         let choice = spanning::run_choice(&g, 0).unwrap();
-        prop_assert!(spanning::is_spanning_tree(&g, 0, &choice));
+        assert!(spanning::is_spanning_tree(&g, 0, &choice), "case {case}");
     }
+}
 
-    /// The greedy executor and the generic fixpoint compute the same
-    /// model for deterministic (least-driven, unique-cost) programs.
-    #[test]
-    fn prop_greedy_equals_generic_on_sorting(n in 0usize..24, seed in 0u64..1000) {
+/// The greedy executor and the generic fixpoint compute the same model
+/// for deterministic (least-driven, unique-cost) programs.
+#[test]
+fn prop_greedy_equals_generic_on_sorting() {
+    let mut rng = Rng::new(0x5EED_0016);
+    for case in 0..16 {
+        let n = rng.below_usize(24);
+        let seed = rng.below(1000);
         let items = workload::random_items(n, seed);
-        prop_assert_eq!(
+        assert_eq!(
             sorting::run_greedy(&items).unwrap(),
-            sorting::run_generic(&items).unwrap()
+            sorting::run_generic(&items).unwrap(),
+            "case {case}"
         );
     }
 }

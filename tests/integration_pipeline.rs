@@ -63,19 +63,13 @@ fn classification_table_matches_the_paper() {
 
     // Kruskal: outside strict stage stratification, as the paper says.
     let p = gbc_parser::parse_program(kruskal::PROGRAM).unwrap();
-    assert!(matches!(
-        classify(&p).class,
-        ProgramClass::NotStageStratified { .. }
-    ));
+    assert!(matches!(classify(&p).class, ProgramClass::NotStageStratified { .. }));
 }
 
 #[test]
 fn greedy_plans_exist_exactly_where_expected() {
-    let has_plan = |text: &str| {
-        compile(gbc_parser::parse_program(text).unwrap())
-            .unwrap()
-            .has_greedy_plan()
-    };
+    let has_plan =
+        |text: &str| compile(gbc_parser::parse_program(text).unwrap()).unwrap().has_greedy_plan();
     assert!(has_plan(&prim::program_text(0)));
     assert!(has_plan(sorting::PROGRAM));
     assert!(has_plan(matching::PROGRAM));

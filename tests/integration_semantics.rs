@@ -78,10 +78,7 @@ fn v1_tampered_model_fails_the_check() {
     let edb = sorting::edb(&items);
     let compiled = compile(gbc_parser::parse_program(sorting::PROGRAM).unwrap()).unwrap();
     let mut run = compiled.run_greedy(&edb).unwrap();
-    run.db.insert_values(
-        "sp",
-        vec![Value::int(99), Value::int(99), Value::int(99)],
-    );
+    run.db.insert_values("sp", vec![Value::int(99), Value::int(99), Value::int(99)]);
     assert!(!verify_stable_model(compiled.program(), &edb, &run).unwrap());
 }
 
@@ -147,11 +144,9 @@ fn v2_every_enumerated_model_is_stable() {
                 db: fixpoint.into_database(),
                 chosen,
                 stats: gbc_core::GreedyStats::default(),
+                snapshot: gbc_telemetry::Snapshot::default(),
             };
-            assert!(
-                verify_stable_model(&program, &edb, &run).unwrap(),
-                "scripted picks ({a},{b})"
-            );
+            assert!(verify_stable_model(&program, &edb, &run).unwrap(), "scripted picks ({a},{b})");
             seen.insert(run.db.canonical_form());
         }
     }
