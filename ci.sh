@@ -12,6 +12,9 @@ cargo build --release --offline --workspace
 echo "== tests =="
 cargo test -q --offline --workspace
 
+echo "== lints =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
 echo "== format =="
 cargo fmt --all --check
 
@@ -22,6 +25,17 @@ trap 'rm -f "$stats_json"' EXIT
     --stats --stats-json "$stats_json" >/dev/null
 grep -q '"gamma_steps": 5' "$stats_json" || {
     echo "unexpected gamma_steps in $stats_json" >&2
+    exit 1
+}
+
+echo "== bench: machine-readable experiment record =="
+# Quick (0-warmup, median-of-3) run of the paper experiments; appends a
+# labelled run to BENCH_experiments.json so every CI pass leaves a
+# timing + counter trail next to the committed pre/post-PR records.
+./target/release/experiments prim sort --quick \
+    --json BENCH_experiments.json --label "ci-quick" >/dev/null
+grep -q '"label": "ci-quick"' BENCH_experiments.json || {
+    echo "experiments run did not land in BENCH_experiments.json" >&2
     exit 1
 }
 

@@ -61,7 +61,7 @@ pub fn optimal_profit_bruteforce(jobs: &[Job]) -> i64 {
             .map(|(_, j)| j)
             .collect();
         chosen.sort_by_key(|j| j.deadline);
-        let feasible = chosen.iter().enumerate().all(|(i, j)| j.deadline as usize >= i + 1);
+        let feasible = chosen.iter().enumerate().all(|(i, j)| j.deadline as usize > i);
         if feasible {
             best = best.max(chosen.iter().map(|j| j.profit).sum());
         }
@@ -74,7 +74,7 @@ pub fn optimal_profit_bruteforce(jobs: &[Job]) -> i64 {
 pub fn is_valid_schedule(jobs: &[Job], schedule: &[(u32, u32)]) -> bool {
     let mut slots: Vec<u32> = schedule.iter().map(|&(_, s)| s).collect();
     slots.sort_unstable();
-    if slots.windows(2).any(|w| w[0] == w[1]) || slots.iter().any(|&s| s == 0) {
+    if slots.windows(2).any(|w| w[0] == w[1]) || slots.contains(&0) {
         return false;
     }
     let mut ids: Vec<u32> = schedule.iter().map(|&(j, _)| j).collect();

@@ -101,12 +101,11 @@ mod tests {
 
     /// Complete directed graph from a symmetric cost matrix.
     fn complete(costs: &[&[i64]]) -> Vec<Edge> {
-        let n = costs.len();
         let mut edges = Vec::new();
-        for i in 0..n {
-            for j in 0..n {
+        for (i, row) in costs.iter().enumerate() {
+            for (j, &c) in row.iter().enumerate() {
                 if i != j {
-                    edges.push(Edge::new(i as u32, j as u32, costs[i][j]));
+                    edges.push(Edge::new(i as u32, j as u32, c));
                 }
             }
         }

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! experiments [prim|sort|matching|kruskal|models|huffman|tsp|spanning|
-//!              scheduling|ablation|seminaive|all] [--quick]
+//!              scheduling|ablation|seminaive|all]...
+//!             [--quick] [--json <path>] [--label <name>]
 //! ```
 //!
 //! Each experiment prints problem sizes, wall-clock medians (in-tree
@@ -13,6 +14,11 @@
 //! the machine: heap operations per `e log e` for Prim (flat across
 //! sizes ⇔ the `O(e log e)` claim), γ steps, discarded pops. Output is
 //! recorded in `EXPERIMENTS.md`.
+//!
+//! `--json <path>` appends a machine-readable run (per-row median
+//! nanoseconds plus the certificate counters for E1–E4) to `<path>`,
+//! creating `{"runs": [...]}` on first use — the repo's perf
+//! trajectory, kept in `BENCH_experiments.json` by `ci.sh`.
 
 use gbc_baselines::huffman::{huffman_tree, weighted_path_length as wpl_base};
 use gbc_baselines::kruskal::{kruskal_mst, kruskal_relabel};
@@ -23,25 +29,44 @@ use gbc_baselines::total_cost;
 use gbc_baselines::tsp::{greedy_chain, is_hamiltonian_path, nearest_neighbour};
 use gbc_bench::{fit_exponent, render_table, Harness, Sample};
 use gbc_greedy::{huffman, kruskal, matching, prim, sorting, spanning, student, tsp, workload};
+use gbc_telemetry::Json;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let which =
-        args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_else(|| "all".to_owned());
+    let mut json_path: Option<String> = None;
+    let mut label = "run".to_owned();
+    let mut names: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => {}
+            "--json" => json_path = Some(it.next().expect("--json needs a path").clone()),
+            "--label" => label = it.next().expect("--label needs a value").clone(),
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag: {flag}");
+                std::process::exit(2);
+            }
+            name => names.push(name.to_owned()),
+        }
+    }
+    if names.is_empty() {
+        names.push("all".to_owned());
+    }
 
-    let run = |name: &str| which == "all" || which == name;
+    let run = |name: &str| names.iter().any(|n| n == "all" || n == name);
+    let mut rec = Recorder::default();
     if run("prim") {
-        e1_prim(quick);
+        e1_prim(quick, &mut rec);
     }
     if run("sort") {
-        e2_sort(quick);
+        e2_sort(quick, &mut rec);
     }
     if run("matching") {
-        e3_matching(quick);
+        e3_matching(quick, &mut rec);
     }
     if run("kruskal") {
-        e4_kruskal(quick);
+        e4_kruskal(quick, &mut rec);
     }
     if run("models") {
         e5_models();
@@ -64,6 +89,72 @@ fn main() {
     if run("seminaive") {
         a2_seminaive(quick);
     }
+
+    if let Some(path) = json_path {
+        append_run(&path, rec.into_run(&label));
+        println!("\nappended run \"{label}\" to {path}");
+    }
+}
+
+/// Collects one JSON row per (experiment, problem size) for `--json`.
+#[derive(Default)]
+struct Recorder {
+    experiments: Vec<(String, Vec<Json>)>,
+}
+
+impl Recorder {
+    fn push(&mut self, exp: &str, fields: Vec<(&str, Json)>) {
+        let row = Json::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect());
+        match self.experiments.iter_mut().find(|(name, _)| name == exp) {
+            Some((_, rows)) => rows.push(row),
+            None => self.experiments.push((exp.to_owned(), vec![row])),
+        }
+    }
+
+    fn into_run(self, label: &str) -> Json {
+        Json::obj(vec![
+            ("label", Json::Str(label.to_owned())),
+            (
+                "experiments",
+                Json::Arr(
+                    self.experiments
+                        .into_iter()
+                        .map(|(name, rows)| {
+                            Json::obj(vec![("name", Json::Str(name)), ("rows", Json::Arr(rows))])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Median seconds → integer nanoseconds for the JSON artifact.
+fn ns(secs: f64) -> Json {
+    Json::UInt((secs * 1e9).round() as u64)
+}
+
+/// Append one run object to the `{"runs": [...]}` array at `path`,
+/// creating the file on first use. The file is only ever written by
+/// this function, so the splice can rely on its exact shape.
+fn append_run(path: &str, run: Json) {
+    let run_text = run.pretty();
+    let out = match std::fs::read_to_string(path) {
+        Ok(existing) => {
+            let trimmed = existing.trim_end();
+            let Some(prefix) = trimmed.strip_suffix("]}") else {
+                eprintln!("{path} does not end in \"]}}\" — not a bench-run file; refusing");
+                std::process::exit(2);
+            };
+            let sep = if prefix.trim_end().ends_with('[') { "\n" } else { ",\n" };
+            format!("{}{}{}\n]}}\n", prefix.trim_end(), sep, run_text)
+        }
+        Err(_) => format!("{{\"runs\": [\n{run_text}\n]}}\n"),
+    };
+    std::fs::write(path, out).unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(2);
+    });
 }
 
 fn harness(quick: bool) -> Harness {
@@ -78,7 +169,7 @@ fn secs(s: f64) -> String {
     format!("{:.4}", s)
 }
 
-fn e1_prim(quick: bool) {
+fn e1_prim(quick: bool, rec: &mut Recorder) {
     println!("\n== E1  Prim (Example 4): declarative O(e log e) vs classical O(e log n) ==");
     let sizes: &[usize] = if quick { &[128, 256, 512] } else { &[128, 256, 512, 1024, 2048] };
     let h = harness(quick);
@@ -99,6 +190,22 @@ fn e1_prim(quick: bool) {
         let elog = e as f64 * (e as f64).log2();
         decl_samples.push(Sample { size: e as u64, secs: t_decl.median_secs });
         base_samples.push(Sample { size: e as u64, secs: t_base.median_secs });
+        rec.push(
+            "prim",
+            vec![
+                ("n", Json::UInt(n as u64)),
+                ("e", Json::UInt(e as u64)),
+                ("decl_ns", ns(t_decl.median_secs)),
+                ("classical_ns", ns(t_base.median_secs)),
+                ("mst_cost", Json::Int(total_cost(&decl_edges))),
+                ("heap_ops", Json::UInt(heap_ops)),
+                ("gamma_steps", Json::UInt(run.snapshot.gamma_steps)),
+                ("discarded_pops", Json::UInt(run.snapshot.discarded_pops)),
+                ("tuples_derived", Json::UInt(run.snapshot.tuples_derived)),
+                ("rows_cloned", Json::UInt(run.snapshot.rows_cloned)),
+                ("plan_cache_hits", Json::UInt(run.snapshot.plan_cache_hits)),
+            ],
+        );
         rows.push(vec![
             n.to_string(),
             e.to_string(),
@@ -109,6 +216,8 @@ fn e1_prim(quick: bool) {
             heap_ops.to_string(),
             format!("{:.3}", heap_ops as f64 / elog),
             run.snapshot.discarded_pops.to_string(),
+            run.snapshot.rows_cloned.to_string(),
+            run.snapshot.plan_cache_hits.to_string(),
         ]);
     }
     println!(
@@ -124,6 +233,8 @@ fn e1_prim(quick: bool) {
                 "heap_ops",
                 "ops/(e·lg e)",
                 "discarded",
+                "rows_cloned",
+                "plan_hits",
             ],
             &rows
         )
@@ -136,7 +247,7 @@ fn e1_prim(quick: bool) {
     );
 }
 
-fn e2_sort(quick: bool) {
+fn e2_sort(quick: bool, rec: &mut Recorder) {
     println!("\n== E2  Sorting (Example 5): the fixpoint runs heap-sort, O(n log n) ==");
     let sizes: &[usize] = if quick { &[512, 1024, 2048] } else { &[512, 1024, 2048, 4096, 8192] };
     let h = harness(quick);
@@ -161,6 +272,19 @@ fn e2_sort(quick: bool) {
         decl_s.push(Sample { size: n as u64, secs: t_decl.median_secs });
         heap_s.push(Sample { size: n as u64, secs: t_heap.median_secs });
         ins_s.push(Sample { size: n as u64, secs: t_ins.median_secs });
+        rec.push(
+            "sort",
+            vec![
+                ("n", Json::UInt(n as u64)),
+                ("decl_ns", ns(t_decl.median_secs)),
+                ("heapsort_ns", ns(t_heap.median_secs)),
+                ("insertion_ns", ns(t_ins.median_secs)),
+                ("heap_ops", Json::UInt(run.snapshot.heap_ops())),
+                ("gamma_steps", Json::UInt(run.snapshot.gamma_steps)),
+                ("rows_cloned", Json::UInt(run.snapshot.rows_cloned)),
+                ("plan_cache_hits", Json::UInt(run.snapshot.plan_cache_hits)),
+            ],
+        );
         rows.push(vec![
             n.to_string(),
             secs(t_decl.median_secs),
@@ -168,11 +292,25 @@ fn e2_sort(quick: bool) {
             secs(t_ins.median_secs),
             run.snapshot.heap_ops().to_string(),
             run.snapshot.gamma_steps.to_string(),
+            run.snapshot.rows_cloned.to_string(),
+            run.snapshot.plan_cache_hits.to_string(),
         ]);
     }
     println!(
         "{}",
-        render_table(&["n", "decl_s", "heapsort_s", "insertion_s", "heap_ops", "γ_steps"], &rows)
+        render_table(
+            &[
+                "n",
+                "decl_s",
+                "heapsort_s",
+                "insertion_s",
+                "heap_ops",
+                "γ_steps",
+                "rows_cloned",
+                "plan_hits",
+            ],
+            &rows
+        )
     );
     println!(
         "scaling exponents: declarative {:.2} (≈1, heap-sort-like), heapsort {:.2}, insertion {:.2} (≈2)",
@@ -182,7 +320,7 @@ fn e2_sort(quick: bool) {
     );
 }
 
-fn e3_matching(quick: bool) {
+fn e3_matching(quick: bool, rec: &mut Recorder) {
     println!("\n== E3  Matching (Example 7): greedy maximal matching, O(e log e) ==");
     let sizes: &[usize] =
         if quick { &[1024, 2048, 4096] } else { &[1024, 2048, 4096, 8192, 16384] };
@@ -199,6 +337,20 @@ fn e3_matching(quick: bool) {
         assert_eq!(total_cost(&decl), total_cost(&base), "same greedy matching");
         decl_s.push(Sample { size: e as u64, secs: t_decl.median_secs });
         base_s.push(Sample { size: e as u64, secs: t_base.median_secs });
+        rec.push(
+            "matching",
+            vec![
+                ("e", Json::UInt(e as u64)),
+                ("matching_size", Json::UInt(decl.len() as u64)),
+                ("decl_ns", ns(t_decl.median_secs)),
+                ("classical_ns", ns(t_base.median_secs)),
+                ("heap_ops", Json::UInt(run.snapshot.heap_ops())),
+                ("gamma_steps", Json::UInt(run.snapshot.gamma_steps)),
+                ("discarded_pops", Json::UInt(run.snapshot.discarded_pops)),
+                ("rows_cloned", Json::UInt(run.snapshot.rows_cloned)),
+                ("plan_cache_hits", Json::UInt(run.snapshot.plan_cache_hits)),
+            ],
+        );
         rows.push(vec![
             e.to_string(),
             decl.len().to_string(),
@@ -207,12 +359,24 @@ fn e3_matching(quick: bool) {
             format!("{:.1}", t_decl.median_secs / t_base.median_secs.max(1e-9)),
             run.snapshot.heap_ops().to_string(),
             run.snapshot.discarded_pops.to_string(),
+            run.snapshot.rows_cloned.to_string(),
+            run.snapshot.plan_cache_hits.to_string(),
         ]);
     }
     println!(
         "{}",
         render_table(
-            &["e", "|matching|", "decl_s", "classical_s", "ratio", "heap_ops", "discarded"],
+            &[
+                "e",
+                "|matching|",
+                "decl_s",
+                "classical_s",
+                "ratio",
+                "heap_ops",
+                "discarded",
+                "rows_cloned",
+                "plan_hits",
+            ],
             &rows
         )
     );
@@ -223,7 +387,7 @@ fn e3_matching(quick: bool) {
     );
 }
 
-fn e4_kruskal(quick: bool) {
+fn e4_kruskal(quick: bool, rec: &mut Recorder) {
     println!("\n== E4  Kruskal (Example 8): declarative O(e·n) vs classical O(e log e) ==");
     let sizes: &[usize] = if quick { &[256, 512, 1024] } else { &[256, 512, 1024, 2048, 4096] };
     let h = harness(quick);
@@ -238,6 +402,20 @@ fn e4_kruskal(quick: bool) {
         assert_eq!(total_cost(&relab), total_cost(&uf));
         decl_s.push(Sample { size: n as u64, secs: t_decl.median_secs });
         uf_s.push(Sample { size: n as u64, secs: t_uf.median_secs });
+        // `run_stage_views` drives `Rql` directly, outside telemetry —
+        // timings and structural counts only for this one.
+        rec.push(
+            "kruskal",
+            vec![
+                ("n", Json::UInt(n as u64)),
+                ("e", Json::UInt(g.num_edges() as u64)),
+                ("decl_views_ns", ns(t_decl.median_secs)),
+                ("relabel_ns", ns(t_relab.median_secs)),
+                ("union_find_ns", ns(t_uf.median_secs)),
+                ("tree_edges", Json::UInt(run.tree.len() as u64)),
+                ("redundant_pops", Json::UInt(run.redundant)),
+            ],
+        );
         rows.push(vec![
             n.to_string(),
             g.num_edges().to_string(),

@@ -30,15 +30,15 @@
 //! sorting, every source fact is its own class — the behaviour the
 //! paper's sorting analysis describes).
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use gbc_ast::{CmpOp, Literal, Program, Rule, Symbol, Term, Value, VarId};
 use gbc_engine::bindings::Bindings;
 use gbc_engine::eval::{eval_expr, eval_term, instantiate_head, match_term};
-use gbc_engine::extrema::{collect_matches, filter_extrema};
+use gbc_engine::extrema::{collect_matches_plan, filter_extrema};
+use gbc_engine::plan::PlanCache;
 use gbc_engine::seminaive::Seminaive;
-use gbc_storage::{Database, Row, Rql};
+use gbc_storage::{Database, FxHashMap, FxHashSet, Row, Rql};
 use gbc_telemetry::{DiscardReason, Snapshot, Telemetry, TraceEvent};
 
 use crate::analysis::stage::StageInfo;
@@ -335,7 +335,7 @@ fn build_plan(
     })
 }
 
-type FdMap = HashMap<Vec<Value>, Vec<Value>>;
+type FdMap = FxHashMap<Vec<Value>, Vec<Value>>;
 
 struct NextState {
     plan: NextPlan,
@@ -352,7 +352,7 @@ struct NextState {
     /// tuple `W` is committed at exactly one stage. Without this check
     /// a chain-mode program can re-commit the same tuple at every new
     /// stage (the head differs only in `I`) and never terminate.
-    w_used: std::collections::HashSet<Vec<Value>>,
+    w_used: FxHashSet<Vec<Value>>,
 }
 
 /// The executor. Create with [`GreedyExecutor::new`], then [`GreedyExecutor::run`].
@@ -361,6 +361,8 @@ pub struct GreedyExecutor {
     nexts: Vec<NextState>,
     /// Exit choice rules (choice, no next), with their memos.
     exits: Vec<(usize, Rule)>,
+    /// Compiled join plans of the exit rules, one slot per rule.
+    exit_plans: PlanCache,
     exit_memos: Vec<Vec<FdMap>>,
     /// Per exit rule: the body-relation size total at the last fruitless
     /// attempt — unchanged inputs ⇒ still fruitless, skip the re-scan.
@@ -399,7 +401,7 @@ impl GreedyExecutor {
                 // handled by plans
             } else if r.has_choice() {
                 let goals = r.body.iter().filter(|l| matches!(l, Literal::Choice { .. })).count();
-                exit_memos.push(vec![FdMap::new(); goals]);
+                exit_memos.push(vec![FdMap::default(); goals]);
                 exits.push((ri, r.clone()));
             } else {
                 flat_rules.push(r.clone());
@@ -416,16 +418,18 @@ impl GreedyExecutor {
                     src_mark: 0,
                     head_mark: 0,
                     stage: i64::MIN,
-                    memos: vec![FdMap::new(); goals],
-                    w_used: std::collections::HashSet::new(),
+                    memos: vec![FdMap::default(); goals],
+                    w_used: FxHashSet::default(),
                 }
             })
             .collect();
         let exit_stale = vec![None; exits.len()];
+        let exit_plans = PlanCache::new(exits.len());
         let mut ex = GreedyExecutor {
             flat: Seminaive::new(flat_rules),
             nexts,
             exits,
+            exit_plans,
             exit_memos,
             exit_stale,
             db,
@@ -494,15 +498,29 @@ impl GreedyExecutor {
 
     /// Fire one exit choice rule instance, generic-candidate style.
     fn fire_exit_rule(&mut self) -> Result<bool, CoreError> {
-        for (ei, (ri, rule)) in self.exits.iter().enumerate() {
-            let body_size: usize = rule.positive_atoms().map(|a| self.db.count(a.pred)).sum();
-            if self.exit_stale[ei] == Some(body_size) {
+        let GreedyExecutor {
+            exits,
+            exit_plans,
+            exit_memos,
+            exit_stale,
+            db,
+            tel,
+            chosen,
+            stats,
+            ..
+        } = self;
+        for (ei, (ri, rule)) in exits.iter().enumerate() {
+            let body_size: usize = rule.positive_atoms().map(|a| db.count(a.pred)).sum();
+            if exit_stale[ei] == Some(body_size) {
                 continue;
             }
-            let frames = collect_matches(&self.db, rule, None)?;
+            let plan = exit_plans
+                .get_or_compile(ei, rule, Some(&*tel.metrics))
+                .map_err(CoreError::Engine)?;
+            let frames = collect_matches_plan(db, rule, &plan, None)?;
             let mut consistent = Vec::new();
             for b in frames {
-                if fd_consistent(rule, &self.exit_memos[ei], &b)? {
+                if fd_consistent(rule, &exit_memos[ei], &b)? {
                     consistent.push(b);
                 }
             }
@@ -512,31 +530,31 @@ impl GreedyExecutor {
             for b in minimal {
                 let head = instantiate_head(rule, &b)?;
                 let args = eval_choice_vars(rule, &b)?;
-                if self.db.contains(rule.head.pred, &head)
-                    && all_pairs_present(rule, &self.exit_memos[ei], &b)?
+                if db.contains(rule.head.pred, &head)
+                    && all_pairs_present(rule, &exit_memos[ei], &b)?
                 {
                     continue; // not new
                 }
-                if best.as_ref().is_none_or(|(h, a, _)| (&head, &args) < (h, a)) {
+                if best.as_ref().map_or(true, |(h, a, _)| (&head, &args) < (h, a)) {
                     best = Some((head, args, b));
                 }
             }
             let Some((head, args, b)) = best else {
-                self.exit_stale[ei] = Some(body_size);
+                exit_stale[ei] = Some(body_size);
                 continue;
             };
             let pairs = eval_goal_pairs(rule, &b)?;
-            self.tel.trace_with(|| TraceEvent::ExitCommit {
+            tel.trace_with(|| TraceEvent::ExitCommit {
                 pred: rule.head.pred.to_string(),
                 fact: head.to_string(),
             });
-            self.db.insert(rule.head.pred, head);
+            db.insert(rule.head.pred, head);
             for (gi, (l, r)) in pairs.iter().enumerate() {
-                self.exit_memos[ei][gi].insert(l.clone(), r.clone());
+                exit_memos[ei][gi].insert(l.clone(), r.clone());
             }
-            self.chosen.push(ChosenRecord { rule_idx: *ri, pairs, chosen_args: args });
-            self.stats.gamma_steps += 1;
-            self.tel.metrics.gamma_steps.inc();
+            chosen.push(ChosenRecord { rule_idx: *ri, pairs, chosen_args: args });
+            stats.gamma_steps += 1;
+            tel.metrics.gamma_steps.inc();
             return Ok(true);
         }
         Ok(false)
@@ -545,7 +563,8 @@ impl GreedyExecutor {
     /// Push newly derived source facts of next rule `i` into its `Q_r`,
     /// and refresh the rule's stage high-water mark.
     fn feed(&mut self, i: usize) -> Result<(), CoreError> {
-        let ns = &mut self.nexts[i];
+        let GreedyExecutor { nexts, db, stats, .. } = self;
+        let ns = &mut nexts[i];
         let plan = &ns.plan;
 
         // Track the head relation's max stage (exit rules seed it), and
@@ -554,7 +573,7 @@ impl GreedyExecutor {
         // and vice versa" (Section 3) — the W → I direction must also
         // cover facts produced by exit rules, or a chain program can
         // re-commit an exit tuple at a fresh stage forever.
-        let head_rel = self.db.relation(plan.head_pred);
+        let head_rel = db.relation(plan.head_pred);
         let mut new_w: Vec<Vec<Value>> = Vec::new();
         for row in head_rel.since(ns.head_mark) {
             match row.get(plan.stage_pos) {
@@ -573,14 +592,19 @@ impl GreedyExecutor {
         ns.head_mark = head_rel.len();
         ns.w_used.extend(new_w);
 
-        let src_rel = self.db.relation(plan.source_pred);
-        let rows: Vec<Row> = src_rel.since(ns.src_mark).to_vec();
+        // The new rows are borrowed in place from the relation's arena;
+        // the only copy made is the Arc bump when a row enters `Q_r`.
+        let src_rel = db.relation(plan.source_pred);
+        let rows = src_rel.since(ns.src_mark);
         ns.src_mark = src_rel.len();
 
         let Literal::Pos(source) = &plan.rule.body[plan.source_lit] else { unreachable!() };
+        let mut b = Bindings::new(plan.rule.num_vars());
+        let mut trail: Vec<VarId> = Vec::new();
         for row in rows {
-            let mut b = Bindings::new(plan.rule.num_vars());
-            let mut trail = Vec::new();
+            for v in trail.drain(..) {
+                b.unbind(v);
+            }
             let matched = row.arity() == source.args.len()
                 && source
                     .args
@@ -590,7 +614,7 @@ impl GreedyExecutor {
             if !matched {
                 continue;
             }
-            if !apply_comparisons(&plan.pre_checks, &mut b)? {
+            if !apply_comparisons(&plan.pre_checks, &mut b, &mut trail)? {
                 continue;
             }
             let cost = match plan.cost {
@@ -598,8 +622,8 @@ impl GreedyExecutor {
                 None => Value::Nil,
             };
             let key = row.project(&plan.cong_cols);
-            ns.rql.insert(key, cost, row);
-            self.stats.queue_peak = self.stats.queue_peak.max(ns.rql.queue_len());
+            ns.rql.insert(key, cost, row.clone());
+            stats.queue_peak = stats.queue_peak.max(ns.rql.queue_len());
         }
         Ok(())
     }
@@ -623,11 +647,16 @@ impl GreedyExecutor {
         }
         let next_stage = ns.stage.checked_add(1).ok_or(CoreError::StepLimit { steps: u64::MAX })?;
 
+        // One scratch frame for the whole retrieve-least loop: the trail
+        // rewinds it between pops instead of reallocating per candidate.
+        let mut b = Bindings::new(ns.plan.rule.num_vars());
+        let mut trail: Vec<VarId> = Vec::new();
         while let Some(popped) = ns.rql.pop_least() {
+            for v in trail.drain(..) {
+                b.unbind(v);
+            }
             let plan = &ns.plan;
             let Literal::Pos(source) = &plan.rule.body[plan.source_lit] else { unreachable!() };
-            let mut b = Bindings::new(plan.rule.num_vars());
-            let mut trail = Vec::new();
             let ok = source
                 .args
                 .iter()
@@ -635,9 +664,10 @@ impl GreedyExecutor {
                 .all(|(t, v)| match_term(t, v, &mut b, &mut trail));
             debug_assert!(ok, "queued row must re-match its source atom");
             b.bind(plan.stage_var, Value::Int(next_stage));
+            trail.push(plan.stage_var);
 
-            let stage_ok = apply_comparisons(&plan.pre_checks, &mut b)?
-                && apply_comparisons(&plan.post_checks, &mut b)?;
+            let stage_ok = apply_comparisons(&plan.pre_checks, &mut b, &mut trail)?
+                && apply_comparisons(&plan.post_checks, &mut b, &mut trail)?;
             let fd_ok =
                 stage_ok && fd_consistent_goals(&plan.choice_goals, &ns.memos, &plan.rule, &b)?;
             if !fd_ok {
@@ -705,8 +735,14 @@ impl GreedyExecutor {
 }
 
 /// Evaluate the comparison literals in order, with `=`-assignment
-/// (engine semantics). Returns false when a comparison fails.
-fn apply_comparisons(lits: &[Literal], b: &mut Bindings) -> Result<bool, CoreError> {
+/// (engine semantics). Returns false when a comparison fails. Variables
+/// bound along the way are recorded on `trail` so callers reusing a
+/// scratch frame can rewind them.
+fn apply_comparisons(
+    lits: &[Literal],
+    b: &mut Bindings,
+    trail: &mut Vec<VarId>,
+) -> Result<bool, CoreError> {
     // Small fixpoint: some comparisons may bind variables used by later
     // ones regardless of their syntactic order.
     let mut pending: Vec<&Literal> = lits.iter().collect();
@@ -732,8 +768,7 @@ fn apply_comparisons(lits: &[Literal], b: &mut Bindings) -> Result<bool, CoreErr
                     };
                     match unbound.as_bare_term() {
                         Some(t) => {
-                            let mut trail = Vec::new();
-                            if !match_term(t, &val, b, &mut trail) {
+                            if !match_term(t, &val, b, trail) {
                                 return Ok(false);
                             }
                             progressed = true;
@@ -811,8 +846,11 @@ fn all_pairs_present(rule: &Rule, memos: &[FdMap], b: &Bindings) -> Result<bool,
     Ok(true)
 }
 
+/// A committed `(left, right)` value pair of one choice goal.
+type GoalPair = (Vec<Value>, Vec<Value>);
+
 /// Evaluate every choice goal of `rule` to its (L, R) value pair.
-fn eval_goal_pairs(rule: &Rule, b: &Bindings) -> Result<Vec<(Vec<Value>, Vec<Value>)>, CoreError> {
+fn eval_goal_pairs(rule: &Rule, b: &Bindings) -> Result<Vec<GoalPair>, CoreError> {
     let mut out = Vec::new();
     for lit in &rule.body {
         let Literal::Choice { left, right } = lit else { continue };

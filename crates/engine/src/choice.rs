@@ -18,7 +18,6 @@
 //! and the `diffChoice` consistency test is generated on the fly by
 //! looking a candidate's left-hand tuple up in those maps.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use gbc_ast::{Literal, Program, Rule, Symbol, Term, Value};
@@ -29,7 +28,8 @@ use crate::bindings::Bindings;
 use crate::chooser::Chooser;
 use crate::error::EngineError;
 use crate::eval::{eval_term, instantiate_head};
-use crate::extrema::{collect_matches, filter_extrema};
+use crate::extrema::{collect_matches_plan, filter_extrema};
+use crate::plan::RulePlan;
 use crate::seminaive::Seminaive;
 
 /// Tuning for the fixpoint.
@@ -64,7 +64,7 @@ pub struct Candidate {
 }
 
 /// The functional-dependency memo of one `choice` goal.
-type FdMap = HashMap<Vec<Value>, Vec<Value>>;
+type FdMap = gbc_storage::FxHashMap<Vec<Value>, Vec<Value>>;
 
 /// The Choice Fixpoint machine. Holds the evolving database, the
 /// chosen-FD memos, and the flat-rule saturator. Cloneable so the
@@ -74,6 +74,10 @@ pub struct ChoiceFixpoint {
     choice_rules: Vec<Rule>,
     /// Head predicate of each choice rule (cached).
     choice_heads: Vec<Symbol>,
+    /// Join plans of the choice rules, compiled once at construction;
+    /// every γ step re-executes them instead of re-deriving the literal
+    /// order (`candidates` takes `&self`, so the cache is eager).
+    choice_plans: Vec<Arc<RulePlan>>,
     flat: Seminaive,
     /// `memos[rule][goal]` — one FD map per choice goal per rule
     /// (distinct `chosen_i`, per the paper's footnote 1).
@@ -128,13 +132,18 @@ impl ChoiceFixpoint {
             .iter()
             .map(|r| {
                 let goals = r.body.iter().filter(|l| matches!(l, Literal::Choice { .. })).count();
-                vec![FdMap::new(); goals]
+                vec![FdMap::default(); goals]
             })
             .collect();
         let choice_heads = choice_rules.iter().map(|r| r.head.pred).collect();
+        let choice_plans = choice_rules
+            .iter()
+            .map(|r| RulePlan::compile(r).map(Arc::new))
+            .collect::<Result<_, _>>()?;
         Ok(ChoiceFixpoint {
             choice_rules,
             choice_heads,
+            choice_plans,
             flat: Seminaive::new(flat_rules),
             memos,
             db,
@@ -196,7 +205,10 @@ impl ChoiceFixpoint {
     pub fn candidates(&self) -> Result<Vec<Candidate>, EngineError> {
         let mut out = Vec::new();
         for (ri, rule) in self.choice_rules.iter().enumerate() {
-            let frames = collect_matches(&self.db, rule, None)?;
+            if let Some(m) = &self.metrics {
+                m.plan_cache_hits.inc();
+            }
+            let frames = collect_matches_plan(&self.db, rule, &self.choice_plans[ri], None)?;
             // diffChoice on the fly: drop frames contradicting a memo.
             let mut consistent = Vec::new();
             for b in frames {
@@ -362,6 +374,7 @@ mod tests {
     use super::*;
     use crate::chooser::{DeterministicFirst, Scripted};
     use gbc_ast::Atom;
+    use std::collections::HashMap;
 
     /// The paper's Example 1: one student per course and vice versa.
     fn example1() -> (Program, Database) {

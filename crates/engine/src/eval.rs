@@ -2,10 +2,13 @@
 //!
 //! [`for_each_match`] enumerates every satisfying assignment of a rule
 //! body against a [`Database`], invoking a callback per match. Literal
-//! order is chosen dynamically (sideways information passing): ground
-//! comparisons and negations run as early as possible, `=` goals bind as
-//! soon as one side is ground, and positive atoms are joined through
-//! hash indices on their bound argument positions.
+//! order follows sideways information passing — ground comparisons and
+//! negations run as early as possible, `=` goals bind as soon as one
+//! side is ground, positive atoms join through hash indices on their
+//! bound argument positions — but the ordering itself is computed once
+//! per rule by [`crate::plan`] rather than re-derived per call; this
+//! module keeps the term-level primitives (`eval_term`, `eval_expr`,
+//! `match_term`, `instantiate_head`) the executor is built from.
 //!
 //! Meta-goals (`choice`, `least`, `most`) are *skipped* here — they are
 //! not first-order conditions on a single binding. Their handling lives
@@ -13,7 +16,7 @@
 //! the matcher is an error: `gbc-core` expands those away first.
 
 use gbc_ast::term::{ArithOp, Expr};
-use gbc_ast::{CmpOp, Literal, Rule, Term, Value, VarId};
+use gbc_ast::{Rule, Term, Value, VarId};
 use gbc_storage::{Database, Row};
 
 use crate::bindings::Bindings;
@@ -127,19 +130,6 @@ pub fn instantiate_head(rule: &Rule, b: &Bindings) -> Result<Row, EngineError> {
     }
 }
 
-/// How a pending literal can be processed right now.
-enum Step {
-    /// A ground comparison or negation: check and continue (no branching).
-    Filter,
-    /// An `=` goal that binds variables on one side.
-    Assign,
-    /// A positive atom to enumerate; payload = number of ground args
-    /// (higher = more selective index key).
-    Enumerate(usize),
-    /// Not processable yet.
-    Stuck,
-}
-
 /// Enumerate all satisfying bindings of `rule`'s body. `on_match`
 /// receives the binding frame; returning `false` stops the enumeration
 /// early (used by existence checks).
@@ -164,190 +154,12 @@ pub fn for_each_match_opts(
     focus: Option<Focus<'_>>,
     on_match: &mut dyn FnMut(&Bindings) -> Result<bool, EngineError>,
 ) -> Result<(), EngineError> {
-    // Meta goals are handled by higher layers; `next` must be expanded.
-    if rule.has_next() {
-        return Err(EngineError::UnexpandedNext { rule: rule.to_string() });
-    }
-    let pending: Vec<usize> =
-        rule.body.iter().enumerate().filter(|(_, l)| !l.is_meta()).map(|(i, _)| i).collect();
-    let mut m = Matcher {
-        db,
-        neg_db: neg_db.unwrap_or(db),
-        rule,
-        focus,
-        bindings: Bindings::new(rule.num_vars()),
-        on_match,
-        stopped: false,
-    };
-    m.solve(&pending)?;
-    Ok(())
-}
-
-struct Matcher<'a> {
-    db: &'a Database,
-    /// Database negated atoms are tested against (== `db` normally).
-    neg_db: &'a Database,
-    rule: &'a Rule,
-    focus: Option<Focus<'a>>,
-    bindings: Bindings,
-    on_match: &'a mut dyn FnMut(&Bindings) -> Result<bool, EngineError>,
-    stopped: bool,
-}
-
-impl Matcher<'_> {
-    fn classify(&self, lit: &Literal) -> Result<Step, EngineError> {
-        match lit {
-            Literal::Pos(a) => {
-                let ground =
-                    a.args.iter().filter(|t| eval_term(t, &self.bindings).is_some()).count();
-                Ok(Step::Enumerate(ground))
-            }
-            Literal::Neg(a) => {
-                let all = a.args.iter().all(|t| eval_term(t, &self.bindings).is_some());
-                Ok(if all { Step::Filter } else { Step::Stuck })
-            }
-            Literal::Compare { op, lhs, rhs } => {
-                let lv = eval_expr(lhs, &self.bindings)?;
-                let rv = eval_expr(rhs, &self.bindings)?;
-                match (lv, rv) {
-                    (Some(_), Some(_)) => Ok(Step::Filter),
-                    (Some(_), None) | (None, Some(_)) if *op == CmpOp::Eq => {
-                        // Assignable if the unbound side is a bare term
-                        // (variable or pattern) rather than arithmetic.
-                        let unbound =
-                            if matches!(eval_expr(lhs, &self.bindings)?, None) { lhs } else { rhs };
-                        Ok(if unbound.as_bare_term().is_some() {
-                            Step::Assign
-                        } else {
-                            Step::Stuck
-                        })
-                    }
-                    _ => Ok(Step::Stuck),
-                }
-            }
-            _ => unreachable!("meta literals are filtered out"),
-        }
-    }
-
-    fn solve(&mut self, pending: &[usize]) -> Result<(), EngineError> {
-        if self.stopped {
-            return Ok(());
-        }
-        if pending.is_empty() {
-            if !(self.on_match)(&self.bindings)? {
-                self.stopped = true;
-            }
-            return Ok(());
-        }
-
-        // Pick the best processable literal: Filter > Assign > the
-        // focused atom > the atom with the most ground arguments.
-        let mut best: Option<(usize, usize, u32)> = None; // (pending idx, rank, tiebreak)
-        for (pi, &li) in pending.iter().enumerate() {
-            let step = self.classify(&self.rule.body[li])?;
-            let (rank, tie) = match step {
-                Step::Filter => (0, 0),
-                Step::Assign => (1, 0),
-                Step::Enumerate(ground) => {
-                    let focused = self.focus.is_some_and(|f| f.literal == li);
-                    // Focused atoms first (their row sets are the small
-                    // deltas), then the most selective.
-                    (2, if focused { 0 } else { u32::MAX - ground as u32 })
-                }
-                Step::Stuck => continue,
-            };
-            if best.is_none_or(|(_, br, bt)| (rank, tie) < (br, bt)) {
-                best = Some((pi, rank, tie));
-            }
-        }
-        let Some((pi, _, _)) = best else {
-            return Err(EngineError::NoEvaluableLiteral { rule: self.rule.to_string() });
-        };
-        let li = pending[pi];
-        let rest: Vec<usize> = pending.iter().copied().filter(|&x| x != li).collect();
-
-        match &self.rule.body[li] {
-            Literal::Neg(a) => {
-                let vals: Vec<Value> = a
-                    .args
-                    .iter()
-                    .map(|t| eval_term(t, &self.bindings).expect("classified as ground"))
-                    .collect();
-                if !self.neg_db.contains(a.pred, &Row::new(vals)) {
-                    self.solve(&rest)?;
-                }
-                Ok(())
-            }
-            Literal::Compare { op, lhs, rhs } => {
-                let lv = eval_expr(lhs, &self.bindings)?;
-                let rv = eval_expr(rhs, &self.bindings)?;
-                match (lv, rv) {
-                    (Some(a), Some(b)) => {
-                        if op.eval(a.cmp(&b)) {
-                            self.solve(&rest)?;
-                        }
-                        Ok(())
-                    }
-                    (Some(val), None) | (None, Some(val)) => {
-                        // Assignment: unify the unbound bare term.
-                        let unbound_expr =
-                            if eval_expr(lhs, &self.bindings)?.is_none() { lhs } else { rhs };
-                        let term = unbound_expr.as_bare_term().expect("classified as assignable");
-                        let mut trail = Vec::new();
-                        if match_term(term, &val, &mut self.bindings, &mut trail) {
-                            self.solve(&rest)?;
-                        }
-                        for v in trail {
-                            self.bindings.unbind(v);
-                        }
-                        Ok(())
-                    }
-                    _ => unreachable!("classified as Filter/Assign"),
-                }
-            }
-            Literal::Pos(a) => {
-                // Gather ground arguments as the index key.
-                let mut bound: Vec<(usize, Value)> = Vec::new();
-                for (col, t) in a.args.iter().enumerate() {
-                    if let Some(v) = eval_term(t, &self.bindings) {
-                        bound.push((col, v));
-                    }
-                }
-                bound.sort_by_key(|(c, _)| *c);
-                let cols: Vec<usize> = bound.iter().map(|(c, _)| *c).collect();
-                let key: Vec<Value> = bound.iter().map(|(_, v)| v.clone()).collect();
-
-                let rows: Vec<Row> = if let Some(f) = self.focus.filter(|f| f.literal == li) {
-                    f.rows.to_vec()
-                } else {
-                    self.db.relation(a.pred).select(&cols, &key)
-                };
-
-                let mut trail = Vec::new();
-                for row in &rows {
-                    if row.arity() != a.args.len() {
-                        continue;
-                    }
-                    let ok = a
-                        .args
-                        .iter()
-                        .zip(row.iter())
-                        .all(|(t, v)| match_term(t, v, &mut self.bindings, &mut trail));
-                    if ok {
-                        self.solve(&rest)?;
-                    }
-                    for v in trail.drain(..) {
-                        self.bindings.unbind(v);
-                    }
-                    if self.stopped {
-                        break;
-                    }
-                }
-                Ok(())
-            }
-            _ => unreachable!("meta literals are filtered out"),
-        }
-    }
+    // One-shot path: compile only the variant this call needs and run
+    // it. Hot-path callers hold a [`crate::plan::PlanCache`] and go
+    // through [`crate::plan::for_each_match_plan`] instead, paying the
+    // compile exactly once per rule.
+    let variant = crate::plan::JoinPlan::compile(rule, focus.map(|f| f.literal))?;
+    crate::plan::execute(db, neg_db, rule, &variant, focus, on_match)
 }
 
 /// Evaluate a rule completely (no extrema/choice handling): collect the
@@ -368,7 +180,7 @@ pub fn eval_rule_plain(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gbc_ast::Symbol;
+    use gbc_ast::{CmpOp, Literal, Symbol};
 
     fn db_edges(edges: &[(&str, &str, i64)]) -> Database {
         let mut db = Database::new();

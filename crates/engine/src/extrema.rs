@@ -21,6 +21,7 @@ use gbc_storage::{Database, Row};
 use crate::bindings::Bindings;
 use crate::error::EngineError;
 use crate::eval::{eval_term, for_each_match, instantiate_head, Focus};
+use crate::plan::{for_each_match_plan, RulePlan};
 
 /// Collect the binding frames of every body match (cloned snapshots).
 pub fn collect_matches(
@@ -30,6 +31,22 @@ pub fn collect_matches(
 ) -> Result<Vec<Bindings>, EngineError> {
     let mut frames = Vec::new();
     for_each_match(db, rule, focus, &mut |b| {
+        frames.push(b.clone());
+        Ok(true)
+    })?;
+    Ok(frames)
+}
+
+/// [`collect_matches`] through a precompiled plan — the hot-path
+/// variant used by the choice fixpoint and the greedy executor.
+pub fn collect_matches_plan(
+    db: &Database,
+    rule: &Rule,
+    plan: &RulePlan,
+    focus: Option<Focus<'_>>,
+) -> Result<Vec<Bindings>, EngineError> {
+    let mut frames = Vec::new();
+    for_each_match_plan(db, None, rule, plan, focus, &mut |b| {
         frames.push(b.clone());
         Ok(true)
     })?;
@@ -86,6 +103,17 @@ pub fn filter_extrema(
 /// relation insert deduplicates).
 pub fn eval_rule_with_extrema(db: &Database, rule: &Rule) -> Result<Vec<Row>, EngineError> {
     let frames = collect_matches(db, rule, None)?;
+    let frames = filter_extrema(rule, frames)?;
+    frames.iter().map(|b| instantiate_head(rule, b)).collect()
+}
+
+/// [`eval_rule_with_extrema`] through a precompiled plan.
+pub fn eval_rule_with_extrema_plan(
+    db: &Database,
+    rule: &Rule,
+    plan: &RulePlan,
+) -> Result<Vec<Row>, EngineError> {
+    let frames = collect_matches_plan(db, rule, plan, None)?;
     let frames = filter_extrema(rule, frames)?;
     frames.iter().map(|b| instantiate_head(rule, b)).collect()
 }

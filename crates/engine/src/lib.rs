@@ -35,6 +35,7 @@ pub mod error;
 pub mod eval;
 pub mod extrema;
 pub mod graph;
+pub mod plan;
 pub mod seminaive;
 pub mod stable;
 pub mod stratified;

@@ -21,13 +21,17 @@ use gbc_storage::{Database, Row};
 use gbc_telemetry::Metrics;
 
 use crate::error::EngineError;
-use crate::eval::{eval_rule_plain, Focus};
-use crate::extrema::eval_rule_with_extrema;
+use crate::eval::{instantiate_head, Focus};
+use crate::extrema::eval_rule_with_extrema_plan;
+use crate::plan::{for_each_match_plan, PlanCache};
 
 /// Persistent seminaive driver. See the module docs.
 #[derive(Debug, Clone)]
 pub struct Seminaive {
     rules: Vec<Rule>,
+    /// Compiled join plans, one slot per rule, filled on first use and
+    /// reused for every subsequent round and saturation call.
+    plans: PlanCache,
     /// Per-predicate count of rows already used as deltas.
     marks: HashMap<Symbol, usize>,
     /// Rules already given their initial full evaluation.
@@ -42,7 +46,13 @@ impl Seminaive {
     /// evaluation time by the matcher.
     pub fn new(rules: Vec<Rule>) -> Seminaive {
         let n = rules.len();
-        Seminaive { rules, marks: HashMap::new(), evaluated_once: vec![false; n], metrics: None }
+        Seminaive {
+            rules,
+            plans: PlanCache::new(n),
+            marks: HashMap::new(),
+            evaluated_once: vec![false; n],
+            metrics: None,
+        }
     }
 
     /// Attach a counter registry: each saturation round reports its
@@ -59,50 +69,64 @@ impl Seminaive {
 
     /// Run rounds until fixpoint. Returns the number of new facts.
     pub fn saturate(&mut self, db: &mut Database) -> Result<u64, EngineError> {
+        let Seminaive { rules, plans, marks, evaluated_once, metrics } = self;
         let mut total: u64 = 0;
         loop {
             // Snapshot lengths at round start: rows at or beyond these
             // positions belong to the *next* round's deltas.
             let mut start_lens: HashMap<Symbol, usize> = HashMap::new();
-            for rule in &self.rules {
+            for rule in rules.iter() {
                 for a in rule.positive_atoms() {
                     start_lens.insert(a.pred, db.count(a.pred));
                 }
             }
 
             let mut new_facts: u64 = 0;
-            for ri in 0..self.rules.len() {
-                let rule = &self.rules[ri];
+            for (ri, rule) in rules.iter().enumerate() {
                 let head = rule.head.pred;
-                let derived: Vec<Row> = if !self.evaluated_once[ri] {
-                    self.evaluated_once[ri] = true;
+                let plan = plans.get_or_compile(ri, rule, metrics.as_deref())?;
+                let derived: Vec<Row> = if !evaluated_once[ri] {
+                    evaluated_once[ri] = true;
                     if rule.has_extrema() {
-                        eval_rule_with_extrema(db, rule)?
+                        eval_rule_with_extrema_plan(db, rule, &plan)?
                     } else {
-                        eval_rule_plain(db, rule, None)?
+                        let mut derived = Vec::new();
+                        for_each_match_plan(db, None, rule, &plan, None, &mut |b| {
+                            derived.push(instantiate_head(rule, b)?);
+                            Ok(true)
+                        })?;
+                        derived
                     }
                 } else if rule.has_extrema() {
                     let grown = rule
                         .positive_atoms()
-                        .any(|a| self.marks.get(&a.pred).copied().unwrap_or(0) < db.count(a.pred));
+                        .any(|a| marks.get(&a.pred).copied().unwrap_or(0) < db.count(a.pred));
                     if !grown {
                         continue;
                     }
-                    eval_rule_with_extrema(db, rule)?
+                    eval_rule_with_extrema_plan(db, rule, &plan)?
                 } else {
                     let mut derived = Vec::new();
                     for (li, lit) in rule.body.iter().enumerate() {
                         let Literal::Pos(a) = lit else { continue };
-                        let from = self.marks.get(&a.pred).copied().unwrap_or(0);
+                        let from = marks.get(&a.pred).copied().unwrap_or(0);
                         if from >= db.count(a.pred) {
                             continue;
                         }
-                        let rows: Vec<Row> = db.relation(a.pred).since(from).to_vec();
-                        derived.extend(eval_rule_plain(
+                        // The delta rows are borrowed in place from the
+                        // relation's arena — no per-round copy.
+                        let rows = db.relation(a.pred).since(from);
+                        for_each_match_plan(
                             db,
+                            None,
                             rule,
-                            Some(Focus { literal: li, rows: &rows }),
-                        )?);
+                            &plan,
+                            Some(Focus { literal: li, rows }),
+                            &mut |b| {
+                                derived.push(instantiate_head(rule, b)?);
+                                Ok(true)
+                            },
+                        )?;
                     }
                     derived
                 };
@@ -115,11 +139,11 @@ impl Seminaive {
 
             // Advance marks to the round-start snapshot.
             for (pred, len) in start_lens {
-                let m = self.marks.entry(pred).or_insert(0);
+                let m = marks.entry(pred).or_insert(0);
                 *m = (*m).max(len);
             }
 
-            if let Some(m) = &self.metrics {
+            if let Some(m) = metrics {
                 m.record_delta(new_facts);
             }
             total += new_facts;

@@ -61,9 +61,9 @@ pub fn run_stage_views(graph: &Graph) -> KruskalRun {
     // paper's comp0 next-loop; the concrete numbering is immaterial).
     let mut comp: Vec<i64> = (0..n as i64).map(|x| x + 1).collect();
     db.insert_values("comp0", vec![Value::Nil, Value::int(0)]);
-    for x in 0..n {
-        db.insert_values("comp0", vec![Value::int(x as i64), Value::int(comp[x])]);
-        db.insert_values("comp", vec![Value::int(x as i64), Value::int(comp[x]), Value::int(0)]);
+    for (x, &c) in comp.iter().enumerate() {
+        db.insert_values("comp0", vec![Value::int(x as i64), Value::int(c)]);
+        db.insert_values("comp", vec![Value::int(x as i64), Value::int(c), Value::int(0)]);
     }
 
     // The edge queue Q (cost-ordered, full-row congruence: Kruskal

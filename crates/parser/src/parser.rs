@@ -180,16 +180,14 @@ impl Parser {
             other => return Err(self.err_here(format!("expected predicate name, found {other}"))),
         };
         let mut args = Vec::new();
-        if self.eat(&TokenKind::LParen) {
-            if !self.eat(&TokenKind::RParen) {
-                loop {
-                    args.push(self.term()?);
-                    if !self.eat(&TokenKind::Comma) {
-                        break;
-                    }
+        if self.eat(&TokenKind::LParen) && !self.eat(&TokenKind::RParen) {
+            loop {
+                args.push(self.term()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
                 }
-                self.expect(TokenKind::RParen)?;
             }
+            self.expect(TokenKind::RParen)?;
         }
         Ok(Atom::new(Symbol::intern(&name), args))
     }

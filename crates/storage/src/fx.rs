@@ -1,0 +1,178 @@
+//! A fast, deterministic hasher for the engine's hot maps.
+//!
+//! The default `std` hasher (SipHash-1-3) is keyed and DoS-resistant,
+//! which the engine does not need: every key it hashes — congruence
+//! keys, index projections, row sets — is derived from a fixed input
+//! program and workload, not from an adversary. What the hot path
+//! *does* need is a hasher whose per-word cost is a multiply and a
+//! rotate instead of a full ARX round, because `Vec<Value>` keys are
+//! hashed on every index probe, every (R,Q,L) insert and every
+//! relation insert.
+//!
+//! This is the classic multiply-rotate-xor construction (the "Fx"
+//! scheme popularised by Firefox and rustc), implemented in-tree to
+//! honour the workspace's zero-registry-dependency policy. It is also
+//! deterministic across processes — unlike the randomly keyed default
+//! — which keeps hash-map capacity growth, and therefore allocation
+//! traces, reproducible from run to run.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Odd multiplier (derived from the golden ratio) used by the Fx
+/// construction; spreads entropy across the high bits, which the
+/// hash-map bucket index is taken from after the final multiply.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The hasher state: a single 64-bit accumulator.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            let (chunk, rest) = bytes.split_at(8);
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+            bytes = rest;
+        }
+        if bytes.len() >= 4 {
+            let (chunk, rest) = bytes.split_at(4);
+            self.add_to_hash(u64::from(u32::from_le_bytes(
+                chunk.try_into().expect("4-byte chunk"),
+            )));
+            bytes = rest;
+        }
+        for &b in bytes {
+            self.add_to_hash(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_i8(&mut self, i: i8) {
+        self.add_to_hash(i as u8 as u64);
+    }
+
+    #[inline]
+    fn write_i16(&mut self, i: i16) {
+        self.add_to_hash(i as u16 as u64);
+    }
+
+    #[inline]
+    fn write_i32(&mut self, i: i32) {
+        self.add_to_hash(i as u32 as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, i: i64) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_isize(&mut self, i: isize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// Builds [`FxHasher`]s; the zero-sized state makes `HashMap::default`
+/// free.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_eq!(hash_of(&"greedy"), hash_of(&"greedy"));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        assert_ne!(hash_of(&1u64), hash_of(&2u64));
+        assert_ne!(hash_of(&vec![1u64, 2]), hash_of(&vec![2u64, 1]));
+        assert_ne!(hash_of(&"ab"), hash_of(&"ba"));
+    }
+
+    #[test]
+    fn byte_stream_chunking_covers_all_lengths() {
+        // 0..=17 bytes exercises the 8-, 4- and 1-byte paths of
+        // `write`; equal streams must agree regardless of length class.
+        for len in 0..=17usize {
+            let bytes: Vec<u8> = (0..len as u8).collect();
+            let mut a = FxHasher::default();
+            a.write(&bytes);
+            let mut b = FxHasher::default();
+            b.write(&bytes);
+            assert_eq!(a.finish(), b.finish(), "len {len}");
+            if len > 0 {
+                let mut c = FxHasher::default();
+                let mut tweaked = bytes.clone();
+                tweaked[len - 1] ^= 1;
+                c.write(&tweaked);
+                assert_ne!(a.finish(), c.finish(), "len {len} must be sensitive");
+            }
+        }
+    }
+
+    #[test]
+    fn maps_and_sets_work_with_the_aliases() {
+        let mut m: FxHashMap<Vec<u64>, &str> = FxHashMap::default();
+        m.insert(vec![1, 2], "a");
+        assert_eq!(m.get([1u64, 2].as_slice()), Some(&"a"));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+    }
+}

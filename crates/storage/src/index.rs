@@ -1,28 +1,32 @@
 //! Hash indices on column subsets of a relation.
 
-use std::collections::HashMap;
-
 use gbc_ast::Value;
 
+use crate::fx::FxHashMap;
 use crate::tuple::Row;
 
 /// A hash index mapping the projection of a row onto `key_cols` to the
-/// list of matching rows. Built once per (relation, column-set) pair on
-/// first use and maintained incrementally as the relation grows — the
-/// "availability of indices" assumption of the paper's Section 6 cost
-/// model.
+/// list of matching **row ids** — positions in the owning relation's
+/// insertion-ordered arena. Storing `u32` ids instead of cloned rows
+/// keeps an index at four bytes per entry and makes it valid across
+/// `Relation::clone()` (the arena is copied verbatim, so ids keep
+/// pointing at the same rows). Built once per (relation, column-set)
+/// pair on first use and maintained incrementally as the relation
+/// grows — the "availability of indices" assumption of the paper's
+/// Section 6 cost model.
 #[derive(Clone, Debug)]
 pub struct Index {
     key_cols: Vec<usize>,
-    map: HashMap<Vec<Value>, Vec<Row>>,
+    map: FxHashMap<Vec<Value>, Vec<u32>>,
 }
 
 impl Index {
-    /// Build an index over `rows` keyed on `key_cols`.
-    pub fn build<'a>(key_cols: Vec<usize>, rows: impl IntoIterator<Item = &'a Row>) -> Index {
-        let mut idx = Index { key_cols, map: HashMap::new() };
-        for r in rows {
-            idx.insert(r);
+    /// Build an index over an arena of rows keyed on `key_cols`. Row
+    /// ids are the positions in `rows`.
+    pub fn build(key_cols: Vec<usize>, rows: &[Row]) -> Index {
+        let mut idx = Index { key_cols, map: FxHashMap::default() };
+        for (id, r) in rows.iter().enumerate() {
+            idx.insert(r, id as u32);
         }
         idx
     }
@@ -32,14 +36,15 @@ impl Index {
         &self.key_cols
     }
 
-    /// Add a row (called by the owning relation on insert).
-    pub fn insert(&mut self, row: &Row) {
+    /// Add a row with its arena position (called by the owning relation
+    /// on insert).
+    pub fn insert(&mut self, row: &Row, id: u32) {
         let key = row.project(&self.key_cols);
-        self.map.entry(key).or_default().push(row.clone());
+        self.map.entry(key).or_default().push(id);
     }
 
-    /// Rows whose projection equals `key`.
-    pub fn get(&self, key: &[Value]) -> &[Row] {
+    /// Ids of rows whose projection equals `key`, in insertion order.
+    pub fn get(&self, key: &[Value]) -> &[u32] {
         self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
     }
 
@@ -60,28 +65,28 @@ mod tests {
     #[test]
     fn lookup_by_single_column() {
         let rows = [row(&[1, 10]), row(&[1, 20]), row(&[2, 30])];
-        let idx = Index::build(vec![0], rows.iter());
-        assert_eq!(idx.get(&[Value::int(1)]).len(), 2);
-        assert_eq!(idx.get(&[Value::int(2)]).len(), 1);
-        assert_eq!(idx.get(&[Value::int(9)]).len(), 0);
+        let idx = Index::build(vec![0], &rows);
+        assert_eq!(idx.get(&[Value::int(1)]), &[0, 1]);
+        assert_eq!(idx.get(&[Value::int(2)]), &[2]);
+        assert_eq!(idx.get(&[Value::int(9)]), &[] as &[u32]);
     }
 
     #[test]
     fn lookup_by_multiple_columns_respects_order() {
         let rows = [row(&[1, 2, 3]), row(&[2, 1, 4])];
-        let idx = Index::build(vec![1, 0], rows.iter());
+        let idx = Index::build(vec![1, 0], &rows);
         // Key is (col1, col0).
-        assert_eq!(idx.get(&[Value::int(2), Value::int(1)]).len(), 1);
-        assert_eq!(idx.get(&[Value::int(1), Value::int(2)]).len(), 1);
+        assert_eq!(idx.get(&[Value::int(2), Value::int(1)]), &[0]);
+        assert_eq!(idx.get(&[Value::int(1), Value::int(2)]), &[1]);
     }
 
     #[test]
     fn incremental_insert_extends_the_index() {
-        let mut idx = Index::build(vec![0], std::iter::empty());
+        let mut idx = Index::build(vec![0], &[]);
         assert_eq!(idx.num_keys(), 0);
-        idx.insert(&row(&[5, 1]));
-        idx.insert(&row(&[5, 2]));
-        assert_eq!(idx.get(&[Value::int(5)]).len(), 2);
+        idx.insert(&row(&[5, 1]), 0);
+        idx.insert(&row(&[5, 2]), 1);
+        assert_eq!(idx.get(&[Value::int(5)]), &[0, 1]);
         assert_eq!(idx.num_keys(), 1);
     }
 }

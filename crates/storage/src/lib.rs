@@ -17,6 +17,7 @@
 //!   `R_r`. Insertion and retrieve-least are `O(log |Q|)`.
 
 pub mod database;
+pub mod fx;
 pub mod heap;
 pub mod index;
 pub mod relation;
@@ -24,6 +25,7 @@ pub mod rql;
 pub mod tuple;
 
 pub use database::Database;
+pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use heap::{Handle, IndexedHeap};
 pub use relation::Relation;
 pub use rql::{Rql, RqlOutcome};

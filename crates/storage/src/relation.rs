@@ -1,26 +1,30 @@
 //! Duplicate-free, insertion-ordered relations with cached indices.
 
 use std::cell::RefCell;
-use std::collections::HashSet;
 use std::sync::Arc;
 
 use gbc_ast::Value;
 use gbc_telemetry::Metrics;
 
+use crate::fx::FxHashSet;
 use crate::index::Index;
 use crate::tuple::Row;
 
 /// A relation: an insertion-ordered set of [`Row`]s.
 ///
 /// Insertion order is exposed so that evaluation is fully deterministic
-/// (given a deterministic chooser) regardless of hash seeds. Indices on
-/// column subsets are created lazily behind a `RefCell` — the engine
-/// reads relations through `&Relation` while staging derived tuples
-/// elsewhere, so interior mutability confines itself to the index cache.
+/// (given a deterministic chooser) regardless of hash seeds. The
+/// ordered vector doubles as the **arena**: indices and callers refer
+/// to rows by `u32` position in it ([`Relation::arena`],
+/// [`Relation::select_ids_into`]), so the join path never has to clone
+/// rows out of storage. Indices on column subsets are created lazily
+/// behind a `RefCell` — the engine reads relations through `&Relation`
+/// while staging derived tuples elsewhere, so interior mutability
+/// confines itself to the index cache.
 #[derive(Debug, Default)]
 pub struct Relation {
     order: Vec<Row>,
-    set: HashSet<Row>,
+    set: FxHashSet<Row>,
     /// Cached indices, keyed by their column bitmask (bit i ⇒ column i
     /// participates, in ascending column order).
     indices: RefCell<Vec<(u64, Index)>>,
@@ -31,21 +35,30 @@ pub struct Relation {
 
 impl Clone for Relation {
     fn clone(&self) -> Self {
-        // Indices are caches; don't copy them.
+        // Indices survive the clone: they hold arena positions, and the
+        // arena (`order`) is copied verbatim, so every stored row id
+        // still points at the same row in the copy.
         Relation {
             order: self.order.clone(),
             set: self.set.clone(),
-            indices: RefCell::new(Vec::new()),
+            indices: RefCell::new(self.indices.borrow().clone()),
             metrics: self.metrics.clone(),
         }
     }
 }
 
-fn mask_of(cols: &[usize]) -> u64 {
-    cols.iter().fold(0u64, |m, &c| {
-        assert!(c < 64, "relations support at most 64 indexable columns");
-        m | (1 << c)
-    })
+/// The column bitmask identifying a cached index, or `None` when a
+/// column is beyond the 64 the mask can represent — such column sets
+/// are served by a linear scan instead of an index.
+fn mask_of(cols: &[usize]) -> Option<u64> {
+    let mut mask = 0u64;
+    for &c in cols {
+        if c >= 64 {
+            return None;
+        }
+        mask |= 1 << c;
+    }
+    Some(mask)
 }
 
 impl Relation {
@@ -74,8 +87,9 @@ impl Relation {
         if !self.set.insert(row.clone()) {
             return false;
         }
+        let id = self.order.len() as u32;
         for (_, idx) in self.indices.get_mut().iter_mut() {
-            idx.insert(&row);
+            idx.insert(&row, id);
         }
         self.order.push(row);
         true
@@ -84,6 +98,12 @@ impl Relation {
     /// Membership test.
     pub fn contains(&self, row: &Row) -> bool {
         self.set.contains(row)
+    }
+
+    /// Membership test from a value slice, without materialising a
+    /// `Row` (the negation check of the compiled join path).
+    pub fn contains_values(&self, values: &[Value]) -> bool {
+        self.set.contains(values)
     }
 
     /// Rows in insertion order.
@@ -96,37 +116,80 @@ impl Relation {
         self.order.get(i)
     }
 
+    /// The insertion-ordered row arena. Row ids produced by
+    /// [`Relation::select_ids_into`] index into this slice.
+    pub fn arena(&self) -> &[Row] {
+        &self.order
+    }
+
     /// Rows inserted at or after position `from` (used for deltas).
     pub fn since(&self, from: usize) -> &[Row] {
         &self.order[from.min(self.order.len())..]
     }
 
-    /// Rows whose projection on `cols` (ascending column order) equals
-    /// `key`. Builds and caches an index for `cols` on first use;
-    /// subsequent inserts maintain it.
+    /// Collect into `out` the arena ids of rows whose projection on
+    /// `cols` (ascending column order) equals `key`; `out` is cleared
+    /// first. Builds and caches an index for `cols` on first use;
+    /// subsequent inserts maintain it. Column sets reaching past
+    /// column 63 cannot be masked into the index cache key and fall
+    /// back to an unindexed linear scan.
     ///
-    /// `key` must list values in the same ascending-column order.
-    pub fn select(&self, cols: &[usize], key: &[Value]) -> Vec<Row> {
+    /// Ids are copied out (rather than returned as a borrow) so the
+    /// internal index cache is not kept borrowed while the caller
+    /// iterates — a nested probe of the same relation (self-join) would
+    /// otherwise conflict with it.
+    pub fn select_ids_into(&self, cols: &[usize], key: &[Value], out: &mut Vec<u32>) {
         debug_assert!(cols.windows(2).all(|w| w[0] < w[1]), "cols must be sorted");
         debug_assert_eq!(cols.len(), key.len());
+        out.clear();
         if cols.is_empty() {
-            return self.order.clone();
+            out.extend(0..self.order.len() as u32);
+            return;
         }
-        let mask = mask_of(cols);
         if let Some(m) = &self.metrics {
             m.index_probes.inc();
         }
+        let Some(mask) = mask_of(cols) else {
+            for (i, row) in self.order.iter().enumerate() {
+                if cols.iter().zip(key).all(|(&c, k)| row.get(c) == Some(k)) {
+                    out.push(i as u32);
+                }
+            }
+            return;
+        };
         let mut cache = self.indices.borrow_mut();
         if let Some((_, idx)) = cache.iter().find(|(m, _)| *m == mask) {
-            return idx.get(key).to_vec();
+            out.extend_from_slice(idx.get(key));
+            return;
         }
         if let Some(m) = &self.metrics {
             m.index_builds.inc();
         }
-        let idx = Index::build(cols.to_vec(), self.order.iter());
-        let result = idx.get(key).to_vec();
+        let idx = Index::build(cols.to_vec(), &self.order);
+        out.extend_from_slice(idx.get(key));
         cache.push((mask, idx));
-        result
+    }
+
+    /// Rows whose projection on `cols` (ascending column order) equals
+    /// `key`, cloned out of the arena. Compatibility wrapper over
+    /// [`Relation::select_ids_into`] — hot callers should use the id
+    /// form and read the arena in place; every row this clones is
+    /// counted in the `rows_cloned` metric.
+    ///
+    /// `key` must list values in the same ascending-column order.
+    pub fn select(&self, cols: &[usize], key: &[Value]) -> Vec<Row> {
+        if cols.is_empty() {
+            if let Some(m) = &self.metrics {
+                m.rows_cloned.add(self.order.len() as u64);
+            }
+            return self.order.clone();
+        }
+        let mut ids = Vec::new();
+        self.select_ids_into(cols, key, &mut ids);
+        if let Some(m) = &self.metrics {
+            m.rows_cloned.add(ids.len() as u64);
+        }
+        ids.iter().map(|&i| self.order[i as usize].clone()).collect()
     }
 
     /// Drop all cached indices (tests / memory pressure).
@@ -162,6 +225,7 @@ impl FromIterator<Row> for Relation {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gbc_telemetry::rng::Rng;
 
     fn row(vals: &[i64]) -> Row {
         Row::new(vals.iter().map(|&v| Value::int(v)).collect())
@@ -207,6 +271,18 @@ mod tests {
     }
 
     #[test]
+    fn select_ids_point_into_the_arena() {
+        let mut r = Relation::new();
+        r.insert(row(&[1, 10]));
+        r.insert(row(&[2, 20]));
+        r.insert(row(&[1, 30]));
+        let mut ids = Vec::new();
+        r.select_ids_into(&[0], &[Value::int(1)], &mut ids);
+        assert_eq!(ids, vec![0, 2]);
+        assert_eq!(r.arena()[ids[1] as usize], row(&[1, 30]));
+    }
+
+    #[test]
     fn since_returns_suffix() {
         let mut r = Relation::new();
         r.insert(row(&[1]));
@@ -219,17 +295,20 @@ mod tests {
     }
 
     #[test]
-    fn metrics_count_builds_and_probes() {
+    fn metrics_count_builds_probes_and_clones() {
         let m = Arc::new(Metrics::new());
         let mut r = Relation::new();
         r.set_metrics(Arc::clone(&m));
         r.insert(row(&[1, 10]));
-        r.select(&[0], &[Value::int(1)]); // probe + build
-        r.select(&[0], &[Value::int(1)]); // probe only
-        r.select(&[], &[]); // full scan: neither
+        r.select(&[0], &[Value::int(1)]); // probe + build, clones 1 row
+        r.select(&[0], &[Value::int(1)]); // probe only, clones 1 row
+        r.select(&[], &[]); // full scan: clones, but neither probe nor build
+        let mut ids = Vec::new();
+        r.select_ids_into(&[0], &[Value::int(1)], &mut ids); // probe, no clone
         let s = m.snapshot();
         assert_eq!(s.index_builds, 1);
-        assert_eq!(s.index_probes, 2);
+        assert_eq!(s.index_probes, 3);
+        assert_eq!(s.rows_cloned, 3);
     }
 
     #[test]
@@ -239,5 +318,82 @@ mod tests {
         r.select(&[0], &[Value::int(1)]);
         r.select(&[0, 2], &[Value::int(1), Value::int(3)]);
         assert_eq!(r.num_indices(), 2);
+    }
+
+    #[test]
+    fn clone_keeps_indices_valid() {
+        let mut r = Relation::new();
+        r.insert(row(&[1, 10]));
+        r.insert(row(&[1, 20]));
+        r.select(&[0], &[Value::int(1)]);
+        assert_eq!(r.num_indices(), 1);
+        let mut c = r.clone();
+        assert_eq!(c.num_indices(), 1, "indices survive clone");
+        // The clone's index keeps working and keeps being maintained.
+        c.insert(row(&[1, 30]));
+        assert_eq!(c.select(&[0], &[Value::int(1)]).len(), 3);
+        assert_eq!(c.num_indices(), 1, "no rebuild needed after clone");
+        // ...without affecting the original.
+        assert_eq!(r.select(&[0], &[Value::int(1)]).len(), 2);
+    }
+
+    #[test]
+    fn contains_values_avoids_row_construction() {
+        let mut r = Relation::new();
+        r.insert(row(&[4, 5]));
+        assert!(r.contains_values(&[Value::int(4), Value::int(5)]));
+        assert!(!r.contains_values(&[Value::int(5), Value::int(4)]));
+        assert!(!r.contains_values(&[Value::int(4)]));
+    }
+
+    /// Columns ≥ 64 can't participate in the index-cache bitmask; the
+    /// select must fall back to a linear scan instead of panicking.
+    #[test]
+    fn wide_relations_fall_back_to_linear_scan() {
+        let mut r = Relation::new();
+        let mut wide: Vec<i64> = (0..70).collect();
+        r.insert(Row::new(wide.iter().map(|&v| Value::int(v)).collect()));
+        wide[69] = -1;
+        r.insert(Row::new(wide.iter().map(|&v| Value::int(v)).collect()));
+        let hits = r.select(&[0, 69], &[Value::int(0), Value::int(69)]);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0][69], Value::int(69));
+        assert_eq!(r.num_indices(), 0, "no index cached for unmaskable columns");
+        // Also out-of-range columns simply match nothing.
+        assert!(r.select(&[0, 200], &[Value::int(0), Value::int(0)]).is_empty());
+    }
+
+    /// Seeded sweep: after any interleaving of inserts and probes, the
+    /// ids served by the incrementally maintained index agree with a
+    /// fresh rebuild over the arena.
+    #[test]
+    fn incremental_index_agrees_with_fresh_rebuild() {
+        let mut rng = Rng::new(0x01DD_ECAF);
+        for case in 0..64 {
+            let mut r = Relation::new();
+            let n_ops = 1 + rng.below_usize(127);
+            for _ in 0..n_ops {
+                // Narrow value ranges force collisions, duplicates and
+                // multi-row keys.
+                let a = rng.range_i64(0, 7);
+                let b = rng.range_i64(0, 7);
+                r.insert(row(&[a, b]));
+                if rng.below(4) == 0 {
+                    // Probe mid-stream so the cached index exists early
+                    // and is maintained across subsequent inserts.
+                    let mut ids = Vec::new();
+                    r.select_ids_into(&[0], &[Value::int(rng.range_i64(0, 7))], &mut ids);
+                }
+            }
+            for key_col in [0usize, 1] {
+                for k in 0..8 {
+                    let key = [Value::int(k)];
+                    let mut cached = Vec::new();
+                    r.select_ids_into(&[key_col], &key, &mut cached);
+                    let fresh = Index::build(vec![key_col], r.arena());
+                    assert_eq!(cached, fresh.get(&key), "case {case} col {key_col} key {k}");
+                }
+            }
+        }
     }
 }

@@ -22,12 +22,12 @@
 //! rows — which keeps this module reusable for all of the paper's
 //! greedy programs.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use gbc_ast::Value;
 use gbc_telemetry::Metrics;
 
+use crate::fx::FxHashMap;
 use crate::heap::{Handle, IndexedHeap};
 use crate::tuple::Row;
 
@@ -110,11 +110,11 @@ pub struct Rql {
     descending: bool,
     heap: IndexedHeap<(HeapCost, Row)>,
     /// `Q_r` membership: congruence key → heap handle.
-    queued: HashMap<CongKey, Handle>,
+    queued: FxHashMap<CongKey, Handle>,
     /// Inverse of `queued`, needed when popping.
-    key_of: HashMap<Handle, CongKey>,
+    key_of: FxHashMap<Handle, CongKey>,
     /// `L_r`: congruence keys (with their winning row) that fired the rule.
-    used: HashMap<CongKey, Row>,
+    used: FxHashMap<CongKey, Row>,
     /// |R_r|. The paper keeps `R_r` only to argue redundant tuples are
     /// never revisited; a count suffices operationally.
     redundant: u64,
@@ -179,18 +179,18 @@ impl Rql {
 
     fn insert_inner(&mut self, key: CongKey, cost: Value, row: Row) -> RqlOutcome {
         if self.used.contains_key(&key) {
-            self.to_redundant(row);
+            self.mark_redundant(row);
             return RqlOutcome::CongruentUsed;
         }
         let cost = self.wrap(cost);
         if let Some(&h) = self.queued.get(&key) {
-            let (old_cost, old_row) = self.heap.get(h).expect("queued handle is live").clone();
-            if (cost.clone(), row.clone()) < (old_cost.clone(), old_row.clone()) {
-                self.heap.update(h, (cost, row));
-                self.to_redundant(old_row);
+            let old = self.heap.get(h).expect("queued handle is live");
+            if (&cost, &row) < (&old.0, &old.1) {
+                let (_, old_row) = self.heap.update(h, (cost, row)).expect("handle just probed");
+                self.mark_redundant(old_row);
                 RqlOutcome::ReplacedQueued
             } else {
-                self.to_redundant(row);
+                self.mark_redundant(row);
                 RqlOutcome::DominatedInQueue
             }
         } else {
@@ -229,10 +229,10 @@ impl Rql {
     /// Record a popped entry as *redundant* (`R_r`): it failed the
     /// choice conditions. A congruent fact may be queued again later.
     pub fn discard(&mut self, popped: Popped) {
-        self.to_redundant(popped.row);
+        self.mark_redundant(popped.row);
     }
 
-    fn to_redundant(&mut self, row: Row) {
+    fn mark_redundant(&mut self, row: Row) {
         self.redundant += 1;
         if let Some(audit) = &mut self.audit {
             audit.push(row);

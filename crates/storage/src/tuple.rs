@@ -40,6 +40,18 @@ impl Deref for Row {
     }
 }
 
+/// Lets hash sets/maps keyed by `Row` be probed with a plain value
+/// slice, without materialising a `Row` (negation checks on the join
+/// path). Sound because the derived `Hash`/`Eq`/`Ord` of the
+/// single-field `Row` delegate to the `[Value]` impls through the
+/// `Arc`, so a row and its borrowed slice always hash and compare
+/// identically.
+impl std::borrow::Borrow<[Value]> for Row {
+    fn borrow(&self) -> &[Value] {
+        &self.0
+    }
+}
+
 impl From<Vec<Value>> for Row {
     fn from(v: Vec<Value>) -> Row {
         Row::new(v)

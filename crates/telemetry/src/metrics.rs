@@ -66,6 +66,13 @@ pub struct Metrics {
     pub index_builds: Counter,
     /// Index probes (every `select`).
     pub index_probes: Counter,
+    /// Full `Row` clones materialised out of storage on the join path
+    /// (legacy `select` copies; the compiled executor reads the arena
+    /// in place and should keep this near zero).
+    pub rows_cloned: Counter,
+    /// Rule evaluations served by a cached compiled join plan instead
+    /// of a fresh compilation.
+    pub plan_cache_hits: Counter,
     // -- storage: the (R,Q,L) structure --
     /// Fresh insertions into some `Q_r` heap.
     pub heap_inserts: Counter,
@@ -129,6 +136,8 @@ impl Metrics {
             flat_rounds: self.flat_rounds.get(),
             index_builds: self.index_builds.get(),
             index_probes: self.index_probes.get(),
+            rows_cloned: self.rows_cloned.get(),
+            plan_cache_hits: self.plan_cache_hits.get(),
             heap_inserts: self.heap_inserts.get(),
             heap_replaces: self.heap_replaces.get(),
             heap_pops: self.heap_pops.get(),
@@ -153,6 +162,8 @@ pub struct Snapshot {
     pub flat_rounds: u64,
     pub index_builds: u64,
     pub index_probes: u64,
+    pub rows_cloned: u64,
+    pub plan_cache_hits: u64,
     pub heap_inserts: u64,
     pub heap_replaces: u64,
     pub heap_pops: u64,
@@ -186,6 +197,8 @@ impl Snapshot {
             ("stage_reuse_rejections", self.stage_reuse_rejections),
             ("index_builds", self.index_builds),
             ("index_probes", self.index_probes),
+            ("rows_cloned", self.rows_cloned),
+            ("plan_cache_hits", self.plan_cache_hits),
         ]
     }
 

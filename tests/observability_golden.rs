@@ -71,6 +71,40 @@ const GOLDEN_RQL_USED_BLOCKED: u64 = 244;
 const GOLDEN_QUEUE_PEAK: u64 = 45;
 const GOLDEN_TUPLES_DERIVED: u64 = 510;
 
+/// E2 (sorting, Example 5) pinned alongside Prim: a fixed-seed item
+/// list must produce exactly these counters. Sorting exercises the
+/// γ/(R,Q,L) path with *no* flat rules, so this golden pins the
+/// executor loop itself (feed, pop, commit) where the Prim golden
+/// mostly pins seminaive + congruence behaviour.
+#[test]
+fn sort_counters_are_golden() {
+    let items = gbc_greedy::workload::random_items(256, 42);
+    let compiled = gbc_greedy::sorting::compiled();
+    let edb = gbc_greedy::sorting::edb(&items);
+    let tel = Telemetry::enabled();
+    let run = compiled.run_greedy_telemetry(&edb, GreedyConfig::default(), &tel).unwrap();
+    let snap = &run.snapshot;
+
+    // One γ commit per item: the tuple ↔ stage bijection of Section 3.
+    assert_eq!(snap.gamma_steps, 256, "γ steps = n");
+    // Every item is its own congruence class (the key is the whole
+    // row), so the heap sees exactly one insert and one pop per item —
+    // heap-sort, operation for operation.
+    assert_eq!(snap.heap_inserts, GOLDEN_SORT_HEAP_INSERTS);
+    assert_eq!(snap.heap_replaces, GOLDEN_SORT_HEAP_REPLACES);
+    assert_eq!(snap.heap_pops, GOLDEN_SORT_HEAP_POPS);
+    assert_eq!(snap.discarded_pops, GOLDEN_SORT_DISCARDED_POPS);
+    assert_eq!(snap.queue_peak, GOLDEN_SORT_QUEUE_PEAK);
+    assert_eq!(snap.tuples_derived, GOLDEN_SORT_TUPLES_DERIVED);
+}
+
+const GOLDEN_SORT_HEAP_INSERTS: u64 = 256;
+const GOLDEN_SORT_HEAP_REPLACES: u64 = 0;
+const GOLDEN_SORT_HEAP_POPS: u64 = 256;
+const GOLDEN_SORT_DISCARDED_POPS: u64 = 0;
+const GOLDEN_SORT_QUEUE_PEAK: u64 = 256;
+const GOLDEN_SORT_TUPLES_DERIVED: u64 = 0;
+
 /// Two identical runs produce byte-identical counter reports and
 /// byte-identical traces.
 #[test]
