@@ -20,13 +20,53 @@ cargo fmt --all --check
 
 echo "== smoke: gbc run with observability =="
 stats_json="$(mktemp)"
-trap 'rm -f "$stats_json"' EXIT
+diag_json="$(mktemp)"
+trap 'rm -f "$stats_json" "$diag_json"' EXIT
 ./target/release/gbc run programs/prim.dl programs/graph_small.dl \
     --stats --stats-json "$stats_json" >/dev/null
 grep -q '"gamma_steps": 5' "$stats_json" || {
     echo "unexpected gamma_steps in $stats_json" >&2
     exit 1
 }
+
+echo "== check: shipped programs are diagnostic-clean =="
+# Every shipped program must pass the full static pipeline with zero
+# diagnostics, warnings included. Programs and their EDB files are
+# grouped the way the README runs them (new_g is defined in both
+# prim.dl and spanning.dl, so those check separately).
+check_groups=(
+    "programs/prim.dl programs/graph_small.dl"
+    "programs/spanning.dl programs/graph_small.dl"
+    "programs/sort.dl"
+    "programs/matching.dl"
+    "programs/huffman.dl"
+    "programs/scheduling.dl"
+    "programs/tsp.dl"
+    "programs/assignment.dl"
+)
+for group in "${check_groups[@]}"; do
+    # shellcheck disable=SC2086
+    ./target/release/gbc check $group --deny-warnings >/dev/null || {
+        echo "gbc check --deny-warnings failed for: $group" >&2
+        exit 1
+    }
+done
+
+echo "== check: negative corpus matches the JSON goldens =="
+# Each programs/bad fixture re-renders to exactly its committed
+# --diag-json snapshot (the .expect rendering is covered in-process by
+# tests/diagnostics_golden.rs).
+for fixture in programs/bad/*.dl; do
+    golden="${fixture%.dl}.diag.json"
+    # Negative fixtures exit nonzero by design; only the JSON matters.
+    ./target/release/gbc check "$fixture" --diag-json "$diag_json" \
+        >/dev/null 2>&1 || true
+    diff -u "$golden" "$diag_json" || {
+        echo "diagnostics drifted for $fixture (bless with GBC_BLESS=1 \
+cargo test --test diagnostics_golden)" >&2
+        exit 1
+    }
+done
 
 echo "== bench: machine-readable experiment record =="
 # Quick (0-warmup, median-of-3) run of the paper experiments; appends a

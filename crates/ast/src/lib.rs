@@ -23,19 +23,23 @@
 //! This crate is purely syntactic: parsing lives in `gbc-parser`,
 //! semantics in `gbc-engine` and `gbc-core`.
 
+pub mod diag;
 pub mod error;
 pub mod literal;
 pub mod pretty;
 pub mod program;
 pub mod rule;
+pub mod span;
 pub mod symbol;
 pub mod term;
 pub mod value;
 
+pub use diag::{Diagnostic, Label, Severity};
 pub use error::AstError;
 pub use literal::{Atom, CmpOp, Literal};
 pub use program::Program;
 pub use rule::Rule;
+pub use span::{LiteralSpans, RuleSpans, SourceMap, Span};
 pub use symbol::Symbol;
 pub use term::{Expr, Term, VarId};
 pub use value::Value;

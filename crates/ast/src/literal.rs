@@ -161,6 +161,24 @@ impl Literal {
         out
     }
 
+    /// The variables of each top-level sub-term, in the same order the
+    /// parser records argument spans ([`crate::span::LiteralSpans`]):
+    /// atom arguments; `lhs`, `rhs` of a comparison; left then right
+    /// tuple elements of `choice`; cost then group terms of an
+    /// extremum; the `next` variable. Index `i` of the result aligns
+    /// with `LiteralSpans::arg(i)`.
+    pub fn arg_vars(&self) -> Vec<Vec<VarId>> {
+        match self {
+            Literal::Pos(a) | Literal::Neg(a) => a.args.iter().map(Term::vars).collect(),
+            Literal::Compare { lhs, rhs, .. } => vec![lhs.vars(), rhs.vars()],
+            Literal::Choice { left, right } => left.iter().chain(right).map(Term::vars).collect(),
+            Literal::Least { cost, group } | Literal::Most { cost, group } => {
+                std::iter::once(cost.vars()).chain(group.iter().map(Term::vars)).collect()
+            }
+            Literal::Next { var } => vec![vec![*var]],
+        }
+    }
+
     /// Append all variable occurrences to `out`.
     pub fn collect_vars(&self, out: &mut Vec<VarId>) {
         match self {

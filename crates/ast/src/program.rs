@@ -2,9 +2,11 @@
 
 use std::collections::BTreeMap;
 
+use crate::diag::Diagnostic;
 use crate::error::AstError;
 use crate::literal::{Atom, Literal};
 use crate::rule::Rule;
+use crate::span::Span;
 use crate::symbol::Symbol;
 use crate::value::Value;
 
@@ -151,6 +153,132 @@ impl Program {
     pub fn extend(&mut self, other: Program) {
         self.rules.extend(other.rules);
     }
+
+    /// All static-validation failures as span-carrying diagnostics
+    /// (codes GBC002–GBC006). Unlike [`Program::validate`], which stops
+    /// at the first error, this collects every failure so `gbc check`
+    /// can report them in one pass. Empty iff `validate()` returns `Ok`.
+    pub fn diagnostics(&self) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+
+        // GBC002: arity consistency. Remember the first-seen occurrence
+        // of each predicate so the mismatch can point both ways.
+        let mut sig: BTreeMap<Symbol, (usize, Span)> = BTreeMap::new();
+        let mut check_arity = |pred: Symbol,
+                               arity: usize,
+                               span: Span,
+                               out: &mut Vec<Diagnostic>| match sig
+            .get(&pred)
+        {
+            Some(&(first, first_span)) if first != arity => {
+                out.push(
+                    Diagnostic::error(
+                        "GBC002",
+                        format!(
+                            "predicate `{pred}` used with arity {arity}, \
+                                 but first used with arity {first}"
+                        ),
+                    )
+                    .with_label(span, format!("arity {arity} here"))
+                    .with_secondary(first_span, format!("arity {first} established here"))
+                    .with_note("every predicate must be used with a single arity program-wide"),
+                );
+            }
+            Some(_) => {}
+            None => {
+                sig.insert(pred, (arity, span));
+            }
+        };
+        for r in &self.rules {
+            check_arity(r.head.pred, r.head.arity(), r.head_span(), &mut out);
+            for (i, l) in r.body.iter().enumerate() {
+                if let Literal::Pos(a) | Literal::Neg(a) = l {
+                    check_arity(a.pred, a.arity(), r.literal_span(i), &mut out);
+                }
+            }
+        }
+
+        for r in &self.rules {
+            // GBC004: facts must be ground.
+            if r.is_fact() && !r.head.is_ground() {
+                out.push(
+                    Diagnostic::error("GBC004", format!("fact `{r}` has a non-ground head"))
+                        .with_label(r.head_span(), "contains variables")
+                        .with_help("facts are body-less rules; every argument must be a constant"),
+                );
+            }
+            // GBC003: safety / range restriction.
+            for v in r.unsafe_vars() {
+                out.push(
+                    Diagnostic::error(
+                        "GBC003",
+                        format!(
+                            "unsafe variable `{}` in rule for `{}`",
+                            r.var_name(v),
+                            r.head.pred
+                        ),
+                    )
+                    .with_label(
+                        r.var_span(v),
+                        format!("`{}` is not bound by any positive body literal", r.var_name(v)),
+                    )
+                    .with_note(
+                        "every variable must be limited: bound by a positive body atom, by \
+                         `next`, or by an `=` goal over limited variables (range restriction)",
+                    ),
+                );
+            }
+            // GBC005/GBC006: next-goal well-formedness.
+            let next_lits: Vec<(usize, crate::term::VarId)> = r
+                .body
+                .iter()
+                .enumerate()
+                .filter_map(|(i, l)| match l {
+                    Literal::Next { var } => Some((i, *var)),
+                    _ => None,
+                })
+                .collect();
+            if next_lits.len() > 1 {
+                let (first, _) = next_lits[0];
+                let (second, _) = next_lits[1];
+                out.push(
+                    Diagnostic::error(
+                        "GBC006",
+                        format!("rule for `{}` has more than one `next` goal", r.head.pred),
+                    )
+                    .with_label(r.literal_span(second), "second `next` goal")
+                    .with_secondary(r.literal_span(first), "first `next` goal")
+                    .with_note(
+                        "a rule mints at most one new stage (Section 3: one stage per \
+                         committed head)",
+                    ),
+                );
+            } else if let Some(&(i, v)) = next_lits.first() {
+                let mut head_vars = Vec::new();
+                for t in &r.head.args {
+                    t.collect_vars(&mut head_vars);
+                }
+                if !head_vars.contains(&v) {
+                    out.push(
+                        Diagnostic::error(
+                            "GBC005",
+                            format!(
+                                "stage variable `{}` of `next` does not appear in the rule head",
+                                r.var_name(v)
+                            ),
+                        )
+                        .with_label(r.literal_span(i), "stage minted here")
+                        .with_secondary(r.head_span(), "head does not receive the stage")
+                        .with_note(
+                            "the stage number must be recorded in the head so the tuple ↔ \
+                             stage bijection of Section 3 exists",
+                        ),
+                    );
+                }
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -194,11 +322,11 @@ mod tests {
 
     #[test]
     fn validate_rejects_nonground_fact() {
-        let p = Program::from_rules(vec![Rule {
-            head: Atom::new("g", vec![Term::var(0)]),
-            body: vec![],
-            var_names: vec!["X".into()],
-        }]);
+        let p = Program::from_rules(vec![Rule::new(
+            Atom::new("g", vec![Term::var(0)]),
+            vec![],
+            vec!["X".into()],
+        )]);
         assert!(matches!(p.validate(), Err(AstError::NonGroundFact { .. })));
     }
 

@@ -2,6 +2,7 @@
 
 use crate::error::AstError;
 use crate::literal::{Atom, CmpOp, Literal};
+use crate::span::RuleSpans;
 use crate::term::{Expr, Term, VarId};
 
 /// A rule `head ← body`. Facts are rules with an empty body and a
@@ -10,7 +11,11 @@ use crate::term::{Expr, Term, VarId};
 /// Variables are rule-local dense indices ([`VarId`]); their surface
 /// names live in [`Rule::var_names`] so that diagnostics and the
 /// pretty-printer can show `X`, `Crs`, `I1` instead of `_v0`.
-#[derive(Clone, PartialEq, Eq)]
+///
+/// Rules parsed from source additionally carry [`RuleSpans`] so static
+/// checks can point at the offending literal; spans are ignored by
+/// equality (a parsed rule equals the same rule built programmatically).
+#[derive(Clone, Eq)]
 pub struct Rule {
     /// Head atom.
     pub head: Atom,
@@ -19,17 +24,68 @@ pub struct Rule {
     pub body: Vec<Literal>,
     /// Surface names for `VarId(0) .. VarId(var_names.len())`.
     pub var_names: Vec<String>,
+    /// Source spans, when the rule came from the parser. `None` for
+    /// rules built programmatically or synthesized by rewritings.
+    pub spans: Option<RuleSpans>,
+}
+
+impl PartialEq for Rule {
+    /// Structural equality; source spans are ignored.
+    fn eq(&self, other: &Rule) -> bool {
+        self.head == other.head && self.body == other.body && self.var_names == other.var_names
+    }
 }
 
 impl Rule {
     /// Build a rule, taking ownership of its parts.
     pub fn new(head: Atom, body: Vec<Literal>, var_names: Vec<String>) -> Rule {
-        Rule { head, body, var_names }
+        Rule { head, body, var_names, spans: None }
     }
 
     /// Build a fact (ground head, empty body).
     pub fn fact(head: Atom) -> Rule {
-        Rule { head, body: Vec::new(), var_names: Vec::new() }
+        Rule { head, body: Vec::new(), var_names: Vec::new(), spans: None }
+    }
+
+    /// Attach source spans (builder style, used by the parser).
+    pub fn with_spans(mut self, spans: RuleSpans) -> Rule {
+        self.spans = Some(spans);
+        self
+    }
+
+    /// The rule's full source span (dummy when unparsed).
+    pub fn span(&self) -> crate::span::Span {
+        self.spans.as_ref().map(|s| s.span).unwrap_or_else(crate::span::Span::dummy)
+    }
+
+    /// The head atom's source span (dummy when unparsed).
+    pub fn head_span(&self) -> crate::span::Span {
+        self.spans.as_ref().map(|s| s.head).unwrap_or_else(crate::span::Span::dummy)
+    }
+
+    /// The source span of body literal `i` (dummy when unparsed).
+    pub fn literal_span(&self, i: usize) -> crate::span::Span {
+        self.spans.as_ref().map(|s| s.literal(i)).unwrap_or_else(crate::span::Span::dummy)
+    }
+
+    /// The most precise span available for variable `v`: the first
+    /// head-argument or body sub-term containing it, in source order;
+    /// falls back to the rule span (or dummy when unparsed).
+    pub fn var_span(&self, v: VarId) -> crate::span::Span {
+        let Some(rs) = &self.spans else { return crate::span::Span::dummy() };
+        for (a, t) in self.head.args.iter().enumerate() {
+            if t.vars().contains(&v) {
+                return rs.head_arg(a);
+            }
+        }
+        for (i, lit) in self.body.iter().enumerate() {
+            for (a, vars) in lit.arg_vars().iter().enumerate() {
+                if vars.contains(&v) {
+                    return rs.literal_arg(i, a);
+                }
+            }
+        }
+        rs.span
     }
 
     /// True when the rule is a fact.
@@ -94,6 +150,19 @@ impl Rule {
     /// Variables appearing *only* in negated atoms, comparisons, `choice`
     /// or extrema goals are unsafe.
     pub fn check_safety(&self) -> Result<(), AstError> {
+        match self.unsafe_vars().first() {
+            None => Ok(()),
+            Some(&v) => Err(AstError::UnsafeVariable {
+                rule: self.to_string(),
+                var: self.var_name(v).to_owned(),
+            }),
+        }
+    }
+
+    /// All variables of the rule that are *not* limited (see
+    /// [`Rule::check_safety`]), in first-occurrence order. Empty iff the
+    /// rule is safe.
+    pub fn unsafe_vars(&self) -> Vec<VarId> {
         let mut limited = vec![false; self.num_vars()];
 
         // Positive atoms and `next` limit their variables.
@@ -130,15 +199,18 @@ impl Rule {
         for l in &self.body {
             l.collect_vars(&mut all_vars);
         }
-        for v in all_vars {
-            if !limited[v.index()] {
-                return Err(AstError::UnsafeVariable {
-                    rule: self.to_string(),
-                    var: self.var_name(v).to_owned(),
-                });
+        let mut unsafe_vars: Vec<VarId> =
+            all_vars.into_iter().filter(|v| !limited[v.index()]).collect();
+        let mut seen: Vec<VarId> = Vec::new();
+        unsafe_vars.retain(|v| {
+            if seen.contains(v) {
+                false
+            } else {
+                seen.push(*v);
+                true
             }
-        }
-        Ok(())
+        });
+        unsafe_vars
     }
 }
 

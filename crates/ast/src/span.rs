@@ -1,0 +1,261 @@
+//! Source spans and the source map.
+//!
+//! Spans are half-open byte ranges `[start, end)` into the concatenated
+//! program source. They are minted by the lexer, threaded through the
+//! parser, and attached to rules as [`RuleSpans`] so that every static
+//! check can point at the exact rule, literal or argument it is
+//! complaining about. Line/column information is *not* stored in the
+//! span; it is recovered on demand from a [`SourceMap`], which also
+//! remembers the file boundaries when several `.dl` files are
+//! concatenated (`gbc run program.dl data.dl`).
+
+use std::fmt;
+
+/// A half-open byte range into the program source.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+}
+
+impl Span {
+    /// Build a span.
+    pub fn new(start: u32, end: u32) -> Span {
+        Span { start, end }
+    }
+
+    /// The zero span, used for synthesized AST nodes with no source.
+    pub fn dummy() -> Span {
+        Span { start: 0, end: 0 }
+    }
+
+    /// True for the zero span of synthesized nodes.
+    pub fn is_dummy(&self) -> bool {
+        self.start == 0 && self.end == 0
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span { start: self.start.min(other.start), end: self.end.max(other.end) }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// Spans of one body literal: the literal itself plus its top-level
+/// sub-terms in source order (atom arguments; `lhs`/`rhs` of a
+/// comparison; cost then group terms of an extremum; left then right
+/// tuple elements of a `choice`; the variable of `next`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LiteralSpans {
+    /// The whole literal.
+    pub span: Span,
+    /// Top-level sub-term spans, in source order. May be empty when the
+    /// literal was produced by a rewriting pass or a parse path that
+    /// does not track argument positions; consumers must fall back to
+    /// [`LiteralSpans::span`].
+    pub args: Vec<Span>,
+}
+
+impl LiteralSpans {
+    /// The span of argument `i`, falling back to the literal span.
+    pub fn arg(&self, i: usize) -> Span {
+        self.args.get(i).copied().unwrap_or(self.span)
+    }
+}
+
+/// Source spans of one rule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RuleSpans {
+    /// The whole rule, `head` through the final `.`.
+    pub span: Span,
+    /// The head atom.
+    pub head: Span,
+    /// The head atom's top-level argument terms.
+    pub head_args: Vec<Span>,
+    /// One entry per body literal, in body order.
+    pub literals: Vec<LiteralSpans>,
+}
+
+impl RuleSpans {
+    /// The span of body literal `i`, falling back to the rule span.
+    pub fn literal(&self, i: usize) -> Span {
+        self.literals.get(i).map(|l| l.span).unwrap_or(self.span)
+    }
+
+    /// The span of argument `a` of body literal `i`, with fallbacks.
+    pub fn literal_arg(&self, i: usize, a: usize) -> Span {
+        self.literals.get(i).map(|l| l.arg(a)).unwrap_or(self.span)
+    }
+
+    /// The span of head argument `a`, falling back to the head span.
+    pub fn head_arg(&self, a: usize) -> Span {
+        self.head_args.get(a).copied().unwrap_or(self.head)
+    }
+}
+
+/// One source file inside a [`SourceMap`].
+#[derive(Clone, Debug)]
+pub struct SourceFile {
+    /// Display name (usually the path given on the command line).
+    pub name: String,
+    /// File contents, newline-terminated.
+    pub text: String,
+    /// Byte offset of this file's first character in the concatenation.
+    pub base: u32,
+}
+
+/// A resolved source location: file, 1-based line and column, and the
+/// text of the containing line (for snippet rendering).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Location {
+    pub file: String,
+    pub line: u32,
+    pub col: u32,
+    pub line_text: String,
+}
+
+/// The concatenation of one or more named source files, with enough
+/// bookkeeping to resolve a [`Span`] back to file/line/column.
+#[derive(Clone, Debug, Default)]
+pub struct SourceMap {
+    files: Vec<SourceFile>,
+    len: u32,
+}
+
+impl SourceMap {
+    /// Empty map.
+    pub fn new() -> SourceMap {
+        SourceMap::default()
+    }
+
+    /// A map over a single anonymous source (tests, library callers).
+    pub fn single(name: &str, text: &str) -> SourceMap {
+        let mut sm = SourceMap::new();
+        sm.add_file(name, text);
+        sm
+    }
+
+    /// Append a file; returns the base offset its spans start at. A
+    /// trailing newline is added when missing so concatenated files
+    /// never glue tokens together.
+    pub fn add_file(&mut self, name: &str, text: &str) -> u32 {
+        let base = self.len;
+        let mut text = text.to_owned();
+        if !text.ends_with('\n') {
+            text.push('\n');
+        }
+        self.len += text.len() as u32;
+        self.files.push(SourceFile { name: name.to_owned(), text, base });
+        base
+    }
+
+    /// The full concatenated source (what should be handed to the parser).
+    pub fn source(&self) -> String {
+        let mut out = String::with_capacity(self.len as usize);
+        for f in &self.files {
+            out.push_str(&f.text);
+        }
+        out
+    }
+
+    /// The files in the map.
+    pub fn files(&self) -> &[SourceFile] {
+        &self.files
+    }
+
+    /// The file containing byte `offset`, if any.
+    pub fn file_of(&self, offset: u32) -> Option<&SourceFile> {
+        self.files.iter().rev().find(|f| offset >= f.base && offset < f.base + f.text.len() as u32)
+    }
+
+    /// Resolve a byte offset to a [`Location`]. Offsets past the end
+    /// resolve to the last line of the last file (so EOF diagnostics
+    /// still render).
+    pub fn locate(&self, offset: u32) -> Option<Location> {
+        let file = match self.file_of(offset) {
+            Some(f) => f,
+            None => self.files.last()?,
+        };
+        let rel =
+            (offset.saturating_sub(file.base) as usize).min(file.text.len().saturating_sub(1));
+        let mut line = 1u32;
+        let mut line_start = 0usize;
+        for (i, b) in file.text.bytes().enumerate() {
+            if i >= rel {
+                break;
+            }
+            if b == b'\n' {
+                line += 1;
+                line_start = i + 1;
+            }
+        }
+        let line_end =
+            file.text[line_start..].find('\n').map(|i| line_start + i).unwrap_or(file.text.len());
+        let col = (rel - line_start.min(rel)) as u32 + 1;
+        Some(Location {
+            file: file.name.clone(),
+            line,
+            col,
+            line_text: file.text[line_start..line_end].to_owned(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_union_covers_both() {
+        assert_eq!(Span::new(3, 7).to(Span::new(5, 12)), Span::new(3, 12));
+        assert!(Span::dummy().is_dummy());
+        assert!(!Span::new(0, 1).is_dummy());
+    }
+
+    #[test]
+    fn locate_resolves_lines_and_columns() {
+        let sm = SourceMap::single("a.dl", "p(x).\nq(y).\n");
+        let l = sm.locate(6).unwrap();
+        assert_eq!((l.line, l.col), (2, 1));
+        assert_eq!(l.line_text, "q(y).");
+        let l0 = sm.locate(2).unwrap();
+        assert_eq!((l0.line, l0.col), (1, 3));
+    }
+
+    #[test]
+    fn multi_file_offsets_resolve_to_the_right_file() {
+        let mut sm = SourceMap::new();
+        sm.add_file("one.dl", "p(a).");
+        let base = sm.add_file("two.dl", "q(b).\n");
+        assert_eq!(base, 6); // "p(a)." + added '\n'
+        let l = sm.locate(base + 2).unwrap();
+        assert_eq!(l.file, "two.dl");
+        assert_eq!((l.line, l.col), (1, 3));
+        assert_eq!(l.line_text, "q(b).");
+    }
+
+    #[test]
+    fn source_concatenation_matches_bases() {
+        let mut sm = SourceMap::new();
+        sm.add_file("one.dl", "p(a).\n");
+        sm.add_file("two.dl", "q(b).\n");
+        assert_eq!(sm.source(), "p(a).\nq(b).\n");
+        assert_eq!(sm.file_of(0).unwrap().name, "one.dl");
+        assert_eq!(sm.file_of(6).unwrap().name, "two.dl");
+        assert!(sm.file_of(99).is_none());
+    }
+
+    #[test]
+    fn locate_past_end_clamps_to_last_line() {
+        let sm = SourceMap::single("a.dl", "p(x).\n");
+        let l = sm.locate(1000).unwrap();
+        assert_eq!(l.line, 1);
+    }
+}

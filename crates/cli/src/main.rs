@@ -1,12 +1,19 @@
 //! `gbc` — command-line front end for the Greedy-by-Choice system.
 //!
 //! ```text
-//! gbc check   FILE...            parse, validate, classify
+//! gbc check   FILE... [--deny-warnings] [--diag-json PATH]
 //! gbc run     FILE... [--generic] [--seed N] [--stats] [--trace] [--stats-json PATH]
 //! gbc models  FILE... [--max N] [--stats] [--stats-json PATH]
 //! gbc rewrite FILE...            print the negative (rewritten) program
 //! gbc verify  FILE... [--stats] [--trace] [--stats-json PATH]
 //! ```
+//!
+//! `gbc check` runs the full static pipeline — parse, validation,
+//! Section 4 classification, lints — and renders every finding as a
+//! rustc-style diagnostic with source snippets (codes `GBC0xx`; see
+//! `gbc_ast::diag` for the registry). `--deny-warnings` turns a warning
+//! count into a failing exit; `--diag-json PATH` additionally writes
+//! the findings as JSON (`-` for stdout).
 //!
 //! Multiple files are concatenated (programs + facts mix freely), so
 //! rules and EDB data can live in separate `.dl` files:
@@ -28,7 +35,9 @@
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use gbc_core::{classify, compile, verify_stable_model};
+use gbc_ast::diag::{error_count, render_all, warning_count};
+use gbc_ast::{Diagnostic, SourceMap};
+use gbc_core::{compile, verify_stable_model};
 use gbc_engine::enumerate::{all_choice_models_with, EnumerateConfig};
 use gbc_engine::{ChoiceFixpoint, DeterministicFirst, SeededRandom};
 use gbc_storage::Database;
@@ -53,6 +62,8 @@ struct Options {
     stats_json: Option<String>,
     seed: Option<u64>,
     max_models: usize,
+    deny_warnings: bool,
+    diag_json: Option<String>,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -64,6 +75,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         stats_json: None,
         seed: None,
         max_models: 1000,
+        deny_warnings: false,
+        diag_json: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -71,6 +84,11 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--generic" => opts.generic = true,
             "--stats" => opts.stats = true,
             "--trace" => opts.trace = true,
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--diag-json" => {
+                let v = it.next().ok_or("--diag-json needs a path (or `-` for stdout)")?;
+                opts.diag_json = Some(v.clone());
+            }
             "--stats-json" => {
                 let v = it.next().ok_or("--stats-json needs a path")?;
                 opts.stats_json = Some(v.clone());
@@ -130,15 +148,32 @@ impl Options {
     }
 }
 
-fn load(files: &[String]) -> Result<gbc_ast::Program, String> {
-    let mut source = String::new();
+/// Read every input file into one [`SourceMap`] (programs + facts mix
+/// freely; spans stay attributable to the file they came from).
+fn read_sources(files: &[String]) -> Result<SourceMap, String> {
+    let mut sm = SourceMap::new();
     for f in files {
         let text = std::fs::read_to_string(f).map_err(|e| format!("{f}: {e}"))?;
-        source.push_str(&text);
-        source.push('\n');
+        sm.add_file(f, &text);
     }
-    let program = gbc_parser::parse_program(&source).map_err(|e| e.to_string())?;
-    program.validate().map_err(|e| e.to_string())?;
+    Ok(sm)
+}
+
+/// Render `diags` against `sm` as the failure message for a command
+/// that cannot proceed (parse or validation errors).
+fn render_failure(diags: &[Diagnostic], sm: &SourceMap) -> String {
+    let rendered = render_all(diags, sm);
+    format!("invalid program\n{}{} error(s) emitted", rendered, error_count(diags))
+}
+
+fn load(files: &[String]) -> Result<gbc_ast::Program, String> {
+    let sm = read_sources(files)?;
+    let program = gbc_parser::parse_program(&sm.source())
+        .map_err(|e| render_failure(&[e.to_diagnostic()], &sm))?;
+    let diags = program.diagnostics();
+    if error_count(&diags) > 0 {
+        return Err(render_failure(&diags, &sm));
+    }
     Ok(program)
 }
 
@@ -159,52 +194,93 @@ fn run(args: &[String]) -> Result<(), String> {
 
 fn usage() -> String {
     "usage: gbc <check|run|models|rewrite|verify> FILE... \
-     [--generic] [--seed N] [--stats] [--trace] [--stats-json PATH] [--max N]"
+     [--generic] [--seed N] [--stats] [--trace] [--stats-json PATH] [--max N] \
+     [--deny-warnings] [--diag-json PATH]"
         .to_owned()
 }
 
 fn cmd_check(opts: &Options) -> Result<(), String> {
-    let program = load(&opts.files)?;
-    let analysis = classify(&program);
-    println!("rules: {}", program.rules.len());
-    println!(
-        "facts: {}, proper rules: {}",
-        program.facts().count(),
-        program.proper_rules().count()
-    );
-    println!("class: {:?}", analysis.class);
-    for (i, c) in analysis.cliques.iter().enumerate() {
-        let preds: Vec<String> = c.preds.iter().map(|p| p.to_string()).collect();
-        println!(
-            "clique {i}: {{{}}} next:{} flat:{} exit:{}{}",
-            preds.join(", "),
-            c.next_rules.len(),
-            c.flat_rules.len(),
-            c.exit_rules.len(),
-            if c.is_stage_clique {
-                if c.stage_stratified {
-                    if c.alternating {
-                        " [stage-stratified, alternating]"
+    let sm = read_sources(&opts.files)?;
+    let mut summary = Vec::new();
+    let diagnostics = match gbc_parser::parse_program(&sm.source()) {
+        Err(e) => vec![e.to_diagnostic()],
+        Ok(program) => {
+            let report = gbc_core::check_program(&program);
+            summary.push(format!("rules: {}", program.rules.len()));
+            summary.push(format!(
+                "facts: {}, proper rules: {}",
+                program.facts().count(),
+                program.proper_rules().count()
+            ));
+            summary.push(format!("class: {}", report.analysis.class.summary()));
+            for (i, c) in report.analysis.cliques.iter().enumerate() {
+                let preds: Vec<String> = c.preds.iter().map(|p| p.to_string()).collect();
+                summary.push(format!(
+                    "clique {i}: {{{}}} next:{} flat:{} exit:{}{}",
+                    preds.join(", "),
+                    c.next_rules.len(),
+                    c.flat_rules.len(),
+                    c.exit_rules.len(),
+                    if c.is_stage_clique {
+                        if c.stage_stratified {
+                            if c.alternating {
+                                " [stage-stratified, alternating]"
+                            } else {
+                                " [stage-stratified]"
+                            }
+                        } else {
+                            " [NOT stage-stratified]"
+                        }
                     } else {
-                        " [stage-stratified]"
+                        ""
                     }
-                } else {
-                    " [NOT stage-stratified]"
-                }
-            } else {
-                ""
+                ));
             }
-        );
-        for n in &c.notes {
-            println!("  note: {n}");
+            if report.errors() == 0 {
+                match compile(program) {
+                    Ok(compiled) => match compiled.plan_error() {
+                        None => summary.push("greedy plan: available (Section 6 executor)".into()),
+                        Some(e) => summary.push(format!("greedy plan: unavailable — {e}")),
+                    },
+                    Err(e) => summary.push(format!("greedy plan: unavailable — {e}")),
+                }
+            }
+            report.diagnostics
+        }
+    };
+
+    let rendered = render_all(&diagnostics, &sm);
+    if !rendered.is_empty() {
+        print!("{rendered}");
+    }
+    for line in &summary {
+        println!("{line}");
+    }
+    let errors = error_count(&diagnostics);
+    let warnings = warning_count(&diagnostics);
+    if errors > 0 || warnings > 0 {
+        println!("{errors} error(s), {warnings} warning(s)");
+    } else {
+        println!("no diagnostics");
+    }
+
+    if let Some(path) = &opts.diag_json {
+        let mut text = gbc_core::diagnostics_to_json(&diagnostics, &sm).pretty();
+        text.push('\n');
+        if path == "-" {
+            print!("{text}");
+        } else {
+            std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
         }
     }
-    let compiled = compile(program).map_err(|e| e.to_string())?;
-    match compiled.plan_error() {
-        None => println!("greedy plan: available (Section 6 executor)"),
-        Some(e) => println!("greedy plan: unavailable — {e}"),
+
+    if errors > 0 {
+        Err(format!("check failed with {errors} error(s)"))
+    } else if opts.deny_warnings && warnings > 0 {
+        Err(format!("check failed with {warnings} warning(s) (--deny-warnings)"))
+    } else {
+        Ok(())
     }
-    Ok(())
 }
 
 fn cmd_run(opts: &Options) -> Result<(), String> {

@@ -1,13 +1,118 @@
 //! Program classification: the compile-time recognition of
 //! stage-stratified programs (Section 4).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
-use gbc_ast::{Literal, Program, Rule, Symbol, Term};
+use gbc_ast::{Literal, Program, Rule, Symbol, Term, VarId};
 use gbc_engine::graph::DiGraph;
 
 use crate::analysis::constraints::Constraints;
-use crate::analysis::stage::{infer_stages, StageInfo};
+use crate::analysis::stage::{infer_stages, StageConflict, StageInfo};
+
+/// One way a stage clique fails the Section 4 stage-stratification
+/// conditions. Rule/literal fields are indices into `program.rules` and
+/// the rule's body, so the diagnostic renderer can point at the exact
+/// source span. Variants map 1:1 onto the `GBC011`–`GBC018` codes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StageViolation {
+    /// GBC011: a predicate was inferred with two distinct stage
+    /// positions (Kruskal's `comp`, Example 8).
+    StageConflict(StageConflict),
+    /// GBC012: a clique predicate has no stage argument at all.
+    NoStageArg { pred: Symbol },
+    /// GBC013: a predicate is defined by both next and flat recursive
+    /// rules; `rule` is the second-kind rule that exposed the mix.
+    MixedRuleKinds { pred: Symbol, rule: usize },
+    /// GBC014: a next rule whose head does not hold the stage variable
+    /// at the stage position.
+    NextRuleNoHeadStageVar { rule: usize },
+    /// GBC015: a next rule's body stage variable is not provably `<`
+    /// the head stage variable (strict stage stratification).
+    BodyStageNotLess { rule: usize, var: VarId, negated: bool },
+    /// GBC016: a next-rule extremum whose group is neither empty nor
+    /// the stage variable — the paper's `least(C, _)` counter-example.
+    BadNextExtremumGroup { rule: usize, literal: usize, least: bool },
+    /// GBC017: a flat rule's body stage variable is not provably `≤`
+    /// (`<` under negation) the head stage variable.
+    FlatStageNotOrdered { rule: usize, var: VarId, negated: bool },
+    /// GBC018: a flat rule applies an extremum over clique predicates
+    /// (the Kruskal situation, outside strict stage stratification).
+    ExtremumOverClique { rule: usize },
+}
+
+impl StageViolation {
+    /// The diagnostic code this violation renders under.
+    pub fn code(&self) -> &'static str {
+        match self {
+            StageViolation::StageConflict(_) => "GBC011",
+            StageViolation::NoStageArg { .. } => "GBC012",
+            StageViolation::MixedRuleKinds { .. } => "GBC013",
+            StageViolation::NextRuleNoHeadStageVar { .. } => "GBC014",
+            StageViolation::BodyStageNotLess { .. } => "GBC015",
+            StageViolation::BadNextExtremumGroup { .. } => "GBC016",
+            StageViolation::FlatStageNotOrdered { .. } => "GBC017",
+            StageViolation::ExtremumOverClique { .. } => "GBC018",
+        }
+    }
+
+    /// The index of the rule the violation is anchored to, when any.
+    pub fn rule(&self) -> Option<usize> {
+        match self {
+            StageViolation::StageConflict(_) | StageViolation::NoStageArg { .. } => None,
+            StageViolation::MixedRuleKinds { rule, .. }
+            | StageViolation::NextRuleNoHeadStageVar { rule }
+            | StageViolation::BodyStageNotLess { rule, .. }
+            | StageViolation::BadNextExtremumGroup { rule, .. }
+            | StageViolation::FlatStageNotOrdered { rule, .. }
+            | StageViolation::ExtremumOverClique { rule } => Some(*rule),
+        }
+    }
+
+    /// A one-line human-readable explanation (the old free-text note).
+    pub fn describe(&self, program: &Program) -> String {
+        let rule = |ri: &usize| &program.rules[*ri];
+        match self {
+            StageViolation::StageConflict(c) => c.to_string(),
+            StageViolation::NoStageArg { pred } => {
+                format!("clique predicate `{pred}` has no stage argument")
+            }
+            StageViolation::MixedRuleKinds { pred, .. } => {
+                format!("predicate `{pred}` is defined by both next and flat recursive rules")
+            }
+            StageViolation::NextRuleNoHeadStageVar { rule: ri } => {
+                format!("next rule `{}` has no head stage variable", rule(ri))
+            }
+            StageViolation::BodyStageNotLess { rule: ri, var, negated } => format!(
+                "next rule `{}`: body stage variable `{}`{} is not provably < the \
+                 head stage variable",
+                rule(ri),
+                rule(ri).var_name(*var),
+                if *negated { " (negated atom)" } else { "" },
+            ),
+            StageViolation::BadNextExtremumGroup { rule: ri, least, .. } => format!(
+                "next rule `{}`: the group of `{}` must be empty or the stage \
+                 variable (the paper's least(C, _) counter-example loses stage \
+                 stratification)",
+                rule(ri),
+                if *least { "least" } else { "most" },
+            ),
+            StageViolation::FlatStageNotOrdered { rule: ri, var, negated } => format!(
+                "flat rule `{}`: body stage variable `{}`{} is not provably {} the \
+                 head stage variable",
+                rule(ri),
+                rule(ri).var_name(*var),
+                if *negated { " (negated atom)" } else { "" },
+                if *negated { "<" } else { "≤" },
+            ),
+            StageViolation::ExtremumOverClique { rule: ri } => format!(
+                "flat rule `{}` applies an extremum over clique predicates \
+                 (the Kruskal situation — Example 8 is outside strict stage \
+                 stratification)",
+                rule(ri)
+            ),
+        }
+    }
+}
 
 /// The syntactic class of a program, per the paper's taxonomy.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -29,9 +134,37 @@ pub enum ProgramClass {
     /// Kruskal program (Example 8). Still evaluable by the generic
     /// choice fixpoint when locally stratified modulo choice, but
     /// outside the greedy executor's guarantees.
-    NotStageStratified { reason: String },
+    NotStageStratified { violations: Vec<StageViolation> },
     /// Negation/extrema through recursion without stage discipline.
-    Unstratified { reason: String },
+    /// `cycle` traces the offending dependency loop: it starts at the
+    /// rule head owning the negative/extrema dependency, and the edge
+    /// from the last predicate back to the first closes the loop.
+    Unstratified { cycle: Vec<Symbol> },
+}
+
+impl ProgramClass {
+    /// A compact one-line description (the `Debug` form of the failing
+    /// variants can be arbitrarily long).
+    pub fn summary(&self) -> String {
+        match self {
+            ProgramClass::Horn => "Horn".into(),
+            ProgramClass::Stratified => "Stratified".into(),
+            ProgramClass::Choice => "Choice".into(),
+            ProgramClass::StageStratified { alternating: true } => {
+                "StageStratified (alternating)".into()
+            }
+            ProgramClass::StageStratified { alternating: false } => {
+                "StageStratified (non-alternating)".into()
+            }
+            ProgramClass::NotStageStratified { violations } => {
+                format!("NotStageStratified ({} violation(s))", violations.len())
+            }
+            ProgramClass::Unstratified { cycle } => {
+                let trace: Vec<String> = cycle.iter().map(|p| p.to_string()).collect();
+                format!("Unstratified (cycle: {})", trace.join(" → "))
+            }
+        }
+    }
 }
 
 /// Analysis of one recursive clique.
@@ -51,8 +184,8 @@ pub struct CliqueInfo {
     pub stage_stratified: bool,
     /// Are the flat rules alone non-recursive (alternating evaluation)?
     pub alternating: bool,
-    /// Failure explanations, if any.
-    pub notes: Vec<String>,
+    /// Stage-stratification failures, if any.
+    pub violations: Vec<StageViolation>,
 }
 
 /// Full analysis result.
@@ -119,7 +252,7 @@ pub fn classify(program: &Program) -> Analysis {
         cliques.push(analyse_clique(program, &stages, &clique_preds));
     }
 
-    let class = overall_class(program, &stages, &cliques, &graph, &pred_ids, &comp_of);
+    let class = overall_class(program, &stages, &cliques, &graph, &preds, &pred_ids, &comp_of);
     Analysis { stages, cliques, class }
 }
 
@@ -139,7 +272,7 @@ fn analyse_clique(program: &Program, stages: &StageInfo, clique: &[Symbol]) -> C
         is_stage_clique: false,
         stage_stratified: true,
         alternating: true,
-        notes: Vec::new(),
+        violations: Vec::new(),
     };
 
     // Partition the clique's rules.
@@ -164,10 +297,8 @@ fn analyse_clique(program: &Program, stages: &StageInfo, clique: &[Symbol]) -> C
         match kind_by_pred.get(&rule.head.pred) {
             Some(&k) if k != rule.has_next() => {
                 info.stage_stratified = false;
-                info.notes.push(format!(
-                    "predicate `{}` is defined by both next and flat recursive rules",
-                    rule.head.pred
-                ));
+                info.violations
+                    .push(StageViolation::MixedRuleKinds { pred: rule.head.pred, rule: ri });
             }
             _ => {
                 kind_by_pred.insert(rule.head.pred, rule.has_next());
@@ -182,12 +313,12 @@ fn analyse_clique(program: &Program, stages: &StageInfo, clique: &[Symbol]) -> C
     for p in clique {
         if !stages.stage_arg.contains_key(p) {
             info.stage_stratified = false;
-            info.notes.push(format!("clique predicate `{p}` has no stage argument"));
+            info.violations.push(StageViolation::NoStageArg { pred: *p });
         }
         for c in &stages.conflicts {
-            if c.contains(&format!("`{p}`")) {
+            if c.pred == *p {
                 info.stage_stratified = false;
-                info.notes.push(c.clone());
+                info.violations.push(StageViolation::StageConflict(c.clone()));
             }
         }
     }
@@ -198,39 +329,38 @@ fn analyse_clique(program: &Program, stages: &StageInfo, clique: &[Symbol]) -> C
         let cons = Constraints::from_rule(rule);
         let Some(stage_var) = stages.head_stage_var(rule) else {
             info.stage_stratified = false;
-            info.notes.push(format!("next rule `{rule}` has no head stage variable"));
+            info.violations.push(StageViolation::NextRuleNoHeadStageVar { rule: ri });
             continue;
         };
         for (v, negated) in stages.body_stage_vars(rule) {
             if !cons.lt(v, stage_var) {
                 info.stage_stratified = false;
-                info.notes.push(format!(
-                    "next rule `{rule}`: body stage variable `{}`{} is not provably < the \
-                     head stage variable",
-                    rule.var_name(v),
-                    if negated { " (negated atom)" } else { "" },
-                ));
+                info.violations.push(StageViolation::BodyStageNotLess {
+                    rule: ri,
+                    var: v,
+                    negated,
+                });
             }
         }
         // Extremum groups: a next-rule extremum selects among the
         // current stage's candidates, so its group must be empty (the
         // implicit stage group) or exactly the stage variable. The
         // paper's warning case — least(C, _) — fails here.
-        for lit in &rule.body {
-            let (group, kw) = match lit {
-                Literal::Least { group, .. } => (group, "least"),
-                Literal::Most { group, .. } => (group, "most"),
+        for (li, lit) in rule.body.iter().enumerate() {
+            let (group, least) = match lit {
+                Literal::Least { group, .. } => (group, true),
+                Literal::Most { group, .. } => (group, false),
                 _ => continue,
             };
             let ok = group.is_empty()
                 || (group.len() == 1 && matches!(&group[0], Term::Var(v) if *v == stage_var));
             if !ok {
                 info.stage_stratified = false;
-                info.notes.push(format!(
-                    "next rule `{rule}`: the group of `{kw}` must be empty or the stage \
-                     variable (the paper's least(C, _) counter-example loses stage \
-                     stratification)"
-                ));
+                info.violations.push(StageViolation::BadNextExtremumGroup {
+                    rule: ri,
+                    literal: li,
+                    least,
+                });
             }
         }
     }
@@ -256,22 +386,16 @@ fn analyse_clique(program: &Program, stages: &StageInfo, clique: &[Symbol]) -> C
             };
             if !ok {
                 info.stage_stratified = false;
-                info.notes.push(format!(
-                    "flat rule `{rule}`: body stage variable `{}`{} is not provably {} the \
-                     head stage variable",
-                    rule.var_name(v),
-                    if negated { " (negated atom)" } else { "" },
-                    if negated { "<" } else { "≤" },
-                ));
+                info.violations.push(StageViolation::FlatStageNotOrdered {
+                    rule: ri,
+                    var: v,
+                    negated,
+                });
             }
         }
         if rule.has_extrema() && mentions_clique(rule, &info.preds) {
             info.stage_stratified = false;
-            info.notes.push(format!(
-                "flat rule `{rule}` applies an extremum over clique predicates \
-                 (the Kruskal situation — Example 8 is outside strict stage \
-                 stratification)"
-            ));
+            info.violations.push(StageViolation::ExtremumOverClique { rule: ri });
         }
     }
 
@@ -291,6 +415,56 @@ fn analyse_clique(program: &Program, stages: &StageInfo, clique: &[Symbol]) -> C
     info
 }
 
+/// The predicate trace of a negation/extrema cycle: `head` has the
+/// offending dependency on `from`, and `from` reaches `head` again
+/// inside their shared SCC. Returns `[head, from, …]` with the closing
+/// edge back to `head` implicit. BFS keeps the trace shortest.
+fn cycle_trace(
+    graph: &DiGraph,
+    preds: &[Symbol],
+    comp_of: &[usize],
+    from: usize,
+    head: usize,
+) -> Vec<Symbol> {
+    if from == head {
+        return vec![preds[head]];
+    }
+    let comp = comp_of[head];
+    let mut prev = vec![usize::MAX; graph.len()];
+    prev[from] = from;
+    let mut queue = VecDeque::from([from]);
+    'bfs: while let Some(v) = queue.pop_front() {
+        for &w in graph.successors(v) {
+            if comp_of[w] != comp || prev[w] != usize::MAX {
+                continue;
+            }
+            prev[w] = v;
+            if w == head {
+                break 'bfs;
+            }
+            queue.push_back(w);
+        }
+    }
+    if prev[head] == usize::MAX {
+        // No return path found (defensive: callers only ask within a
+        // recursive SCC, where one must exist).
+        return vec![preds[head], preds[from]];
+    }
+    let mut path = vec![head];
+    let mut cur = head;
+    while cur != from {
+        cur = prev[cur];
+        path.push(cur);
+    }
+    // path is head, …, from reversed; the cycle starts at head, takes
+    // the negative edge to from, then follows the path back (head
+    // itself closes the loop and is not repeated).
+    path.reverse();
+    let mut cycle = vec![preds[head]];
+    cycle.extend(path[..path.len() - 1].iter().map(|&i| preds[i]));
+    cycle
+}
+
 /// Cycle detection on the flat-rule subgraph (small: clique-sized).
 fn has_cycle(preds: &[Symbol], edges: &[(Symbol, Symbol)]) -> bool {
     let idx = |s: Symbol| preds.iter().position(|&p| p == s).expect("clique pred");
@@ -306,6 +480,7 @@ fn overall_class(
     _stages: &StageInfo,
     cliques: &[CliqueInfo],
     graph: &DiGraph,
+    preds: &[Symbol],
     pred_ids: &HashMap<Symbol, usize>,
     comp_of: &[usize],
 ) -> ProgramClass {
@@ -315,10 +490,13 @@ fn overall_class(
     let has_ext = program.rules.iter().any(Rule::has_extrema);
 
     if has_next {
-        for c in cliques {
-            if c.is_stage_clique && !c.stage_stratified {
-                return ProgramClass::NotStageStratified { reason: c.notes.join("; ") };
-            }
+        let violations: Vec<StageViolation> = cliques
+            .iter()
+            .filter(|c| c.is_stage_clique && !c.stage_stratified)
+            .flat_map(|c| c.violations.iter().cloned())
+            .collect();
+        if !violations.is_empty() {
+            return ProgramClass::NotStageStratified { violations };
         }
         let alternating = cliques.iter().filter(|c| c.is_stage_clique).all(|c| c.alternating);
         return ProgramClass::StageStratified { alternating };
@@ -344,13 +522,14 @@ fn overall_class(
                         let scc_recursive = comp_of.iter().filter(|&&c| c == h).count() > 1
                             || graph.has_edge(pred_ids[&r.head.pred], pred_ids[&r.head.pred]);
                         if scc_recursive {
-                            return ProgramClass::Unstratified {
-                                reason: format!(
-                                    "negative/extrema dependency from `{}` to `{p}` \
-                                     inside a recursive clique",
-                                    r.head.pred
-                                ),
-                            };
+                            let cycle = cycle_trace(
+                                graph,
+                                preds,
+                                comp_of,
+                                pred_ids[&p],
+                                pred_ids[&r.head.pred],
+                            );
+                            return ProgramClass::Unstratified { cycle };
                         }
                     }
                 }
@@ -379,7 +558,7 @@ mod tests {
         let clique = a.cliques.iter().find(|c| c.is_stage_clique).unwrap();
         assert_eq!(clique.next_rules.len(), 1);
         assert_eq!(clique.flat_rules.len(), 1);
-        assert!(clique.notes.is_empty(), "{:?}", clique.notes);
+        assert!(clique.violations.is_empty(), "{:?}", clique.violations);
     }
 
     #[test]

@@ -7,6 +7,6 @@ pub mod classify;
 pub mod constraints;
 pub mod stage;
 
-pub use classify::{classify, Analysis, CliqueInfo, ProgramClass};
+pub use classify::{classify, Analysis, CliqueInfo, ProgramClass, StageViolation};
 pub use constraints::Constraints;
-pub use stage::{infer_stages, StageInfo};
+pub use stage::{infer_stages, StageConflict, StageInfo};

@@ -10,18 +10,41 @@
 //! stage predicate at that position.
 
 use std::collections::HashMap;
+use std::fmt;
 
 use gbc_ast::term::{ArithOp, Expr};
 use gbc_ast::{CmpOp, Literal, Program, Rule, Symbol, Term, VarId};
+
+/// A predicate inferred with two distinct stage positions — e.g. `comp`
+/// in the paper's Kruskal program (Example 8), which receives component
+/// ids at one position and true stage numbers at another.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StageConflict {
+    /// The conflicted predicate.
+    pub pred: Symbol,
+    /// The stage position recorded first.
+    pub first: usize,
+    /// The later, disagreeing position.
+    pub second: usize,
+}
+
+impl fmt::Display for StageConflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "predicate `{}` inferred with stage arguments {} and {}",
+            self.pred, self.first, self.second
+        )
+    }
+}
 
 /// Inferred stage structure of a program.
 #[derive(Clone, Debug, Default)]
 pub struct StageInfo {
     /// Stage argument position per stage predicate.
     pub stage_arg: HashMap<Symbol, usize>,
-    /// Human-readable conflicts (a predicate inferred with two distinct
-    /// stage positions — e.g. `comp` in the paper's Kruskal program).
-    pub conflicts: Vec<String>,
+    /// Predicates inferred with two distinct stage positions.
+    pub conflicts: Vec<StageConflict>,
 }
 
 impl StageInfo {
@@ -165,9 +188,9 @@ pub fn infer_stages(program: &Program) -> StageInfo {
 fn record(info: &mut StageInfo, pred: Symbol, pos: usize) {
     match info.stage_arg.get(&pred) {
         Some(&old) if old != pos => {
-            let msg = format!("predicate `{pred}` inferred with stage arguments {old} and {pos}");
-            if !info.conflicts.contains(&msg) {
-                info.conflicts.push(msg);
+            let conflict = StageConflict { pred, first: old, second: pos };
+            if !info.conflicts.contains(&conflict) {
+                info.conflicts.push(conflict);
             }
         }
         Some(_) => {}

@@ -1,0 +1,561 @@
+//! The `gbc check` diagnostics engine.
+//!
+//! Turns every static check — validation (`GBC002`–`GBC006`), the
+//! stratification and stage-stratification analysis of Section 4
+//! (`GBC010`–`GBC018`) and a semantic lint pass (`GBC020`–`GBC025`) —
+//! into span-carrying [`Diagnostic`]s that the CLI renders rustc-style
+//! or serialises as JSON. The full code registry lives in
+//! [`gbc_ast::diag`].
+//!
+//! Severity policy: anything that makes the program unevaluable
+//! (validation failures, unstratified negation) is an **error**; the
+//! stage-stratification violations are **warnings**, because such
+//! programs are still evaluable by the generic choice fixpoint
+//! (Theorem 1) — they merely forfeit the greedy executor's complexity
+//! guarantees (Theorem 3). Lints are warnings.
+
+use std::collections::HashMap;
+
+use gbc_ast::{Diagnostic, Literal, Program, Rule, SourceMap, Symbol, Term, VarId};
+use gbc_telemetry::json::Json;
+
+use crate::analysis::classify::{Analysis, ProgramClass, StageViolation};
+use crate::analysis::stage::rule_stage_vars;
+use crate::classify;
+
+/// Everything `gbc check` needs: the diagnostics plus the analysis they
+/// were derived from (for the class/clique summary).
+#[derive(Clone, Debug)]
+pub struct CheckReport {
+    /// All diagnostics, in registry-code order of discovery; render
+    /// with [`gbc_ast::diag::render_all`] for source order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// The classification the diagnostics were derived from.
+    pub analysis: Analysis,
+}
+
+impl CheckReport {
+    /// Number of error-severity diagnostics.
+    pub fn errors(&self) -> usize {
+        gbc_ast::diag::error_count(&self.diagnostics)
+    }
+
+    /// Number of warning-severity diagnostics.
+    pub fn warnings(&self) -> usize {
+        gbc_ast::diag::warning_count(&self.diagnostics)
+    }
+}
+
+/// Run every static check over `program`.
+///
+/// The program need not be pre-validated: validation failures come back
+/// as diagnostics rather than errors, so a single `gbc check` pass
+/// reports everything at once.
+pub fn check_program(program: &Program) -> CheckReport {
+    let mut diagnostics = program.diagnostics();
+    let analysis = classify(program);
+
+    match &analysis.class {
+        ProgramClass::Unstratified { cycle } => {
+            diagnostics.push(unstratified_diag(program, cycle));
+        }
+        ProgramClass::NotStageStratified { violations } => {
+            for v in violations {
+                diagnostics.push(violation_diag(program, v));
+            }
+        }
+        ProgramClass::StageStratified { alternating: false } => {
+            diagnostics.push(non_alternating_diag(program, &analysis));
+        }
+        _ => {}
+    }
+
+    lint_choice_args(program, &mut diagnostics);
+    lint_extrema(program, &analysis, &mut diagnostics);
+    lint_dead_predicates(program, &mut diagnostics);
+    lint_singleton_vars(program, &mut diagnostics);
+
+    CheckReport { diagnostics, analysis }
+}
+
+/// Serialize diagnostics as a JSON array, in render (source) order —
+/// the `gbc check --diag-json` format. Each entry carries the code,
+/// severity, message, resolved labels (file/line/col/len), notes and
+/// helps; labels with dummy spans are dropped, like in the renderer.
+pub fn diagnostics_to_json(diags: &[Diagnostic], sm: &SourceMap) -> Json {
+    let mut order: Vec<&Diagnostic> = diags.iter().collect();
+    order.sort_by_key(|d| d.primary_span().map_or(u32::MAX, |s| s.start));
+    Json::Arr(
+        order
+            .into_iter()
+            .map(|d| {
+                let labels: Vec<Json> = d
+                    .labels
+                    .iter()
+                    .filter(|l| !l.span.is_dummy())
+                    .filter_map(|l| {
+                        let loc = sm.locate(l.span.start)?;
+                        Some(Json::obj(vec![
+                            ("file", Json::Str(loc.file)),
+                            ("line", Json::UInt(u64::from(loc.line))),
+                            ("col", Json::UInt(u64::from(loc.col))),
+                            ("len", Json::UInt(u64::from(l.span.end.saturating_sub(l.span.start)))),
+                            ("primary", Json::Bool(l.primary)),
+                            ("message", Json::Str(l.message.clone())),
+                        ]))
+                    })
+                    .collect();
+                Json::obj(vec![
+                    ("code", Json::Str(d.code.to_owned())),
+                    (
+                        "severity",
+                        Json::Str(
+                            match d.severity {
+                                gbc_ast::Severity::Error => "error",
+                                gbc_ast::Severity::Warning => "warning",
+                            }
+                            .to_owned(),
+                        ),
+                    ),
+                    ("message", Json::Str(d.message.clone())),
+                    ("labels", Json::Arr(labels)),
+                    ("notes", Json::Arr(d.notes.iter().map(|n| Json::Str(n.clone())).collect())),
+                    ("helps", Json::Arr(d.helps.iter().map(|h| Json::Str(h.clone())).collect())),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// The first rule whose head is `pred`, for anchoring predicate-level
+/// diagnostics.
+fn rule_defining(program: &Program, pred: Symbol) -> Option<&Rule> {
+    program.rules.iter().find(|r| r.head.pred == pred)
+}
+
+/// GBC010: unstratified negation/extrema, with the cycle as a
+/// predicate trace.
+fn unstratified_diag(program: &Program, cycle: &[Symbol]) -> Diagnostic {
+    let mut trace: Vec<String> = cycle.iter().map(|p| p.to_string()).collect();
+    if let Some(first) = trace.first().cloned() {
+        trace.push(first);
+    }
+    let mut d = Diagnostic::error(
+        "GBC010",
+        "negation or extrema through recursion without stage discipline",
+    )
+    .with_note(format!("dependency cycle: {}", trace.join(" → ")))
+    .with_help(
+        "break the cycle, or introduce a `next` stage so each round only \
+         negates the previous stage's facts (Section 4)",
+    );
+    // Anchor: the rule owning the offending dependency (head of the
+    // cycle with a negative or extremum edge into it).
+    if let Some(head) = cycle.first() {
+        let offending = program.rules.iter().find(|r| {
+            r.head.pred == *head
+                && (r.has_extrema() || r.negated_atoms().any(|a| cycle.contains(&a.pred)))
+        });
+        if let Some(r) = offending {
+            d = d.with_label(r.span(), format!("`{head}` depends on itself through this rule"));
+        }
+    }
+    d
+}
+
+/// GBC011–GBC018: one stage-stratification violation as a warning.
+fn violation_diag(program: &Program, v: &StageViolation) -> Diagnostic {
+    let mut d = Diagnostic::warning(v.code(), v.describe(program));
+    match v {
+        StageViolation::StageConflict(c) => {
+            if let Some(r) = rule_defining(program, c.pred) {
+                d = d.with_label(r.head_span(), format!("`{}` first defined here", c.pred));
+            }
+            d = d.with_note(
+                "a stage predicate must carry its stage number at a single, \
+                 consistent argument position (Section 4)",
+            );
+        }
+        StageViolation::NoStageArg { pred } => {
+            if let Some(r) = rule_defining(program, *pred) {
+                d = d.with_label(r.head_span(), "no argument position carries the stage");
+            }
+            d = d.with_note(
+                "every predicate of a stage clique must record the stage number \
+                 minted by `next` (Section 4)",
+            );
+        }
+        StageViolation::MixedRuleKinds { rule, .. } => {
+            let r = &program.rules[*rule];
+            d = d.with_label(r.span(), "second kind of recursive rule here").with_note(
+                "all recursive rules defining a predicate must agree: either all \
+                 mint stages via `next`, or none do (Section 4's next/flat split)",
+            );
+        }
+        StageViolation::NextRuleNoHeadStageVar { rule } => {
+            let r = &program.rules[*rule];
+            d = d.with_label(r.head_span(), "stage position holds no variable here").with_note(
+                "a next rule's head must hold the minted stage variable at the \
+                 predicate's stage position",
+            );
+        }
+        StageViolation::BodyStageNotLess { rule, var, .. } => {
+            let r = &program.rules[*rule];
+            d = d
+                .with_label(
+                    r.var_span(*var),
+                    format!("`{}` not provably below the new stage", r.var_name(*var)),
+                )
+                .with_note(
+                    "strict stage stratification: every body stage must be provably \
+                     `<` the minted stage — add a guard like `J < I` (Section 4)",
+                );
+        }
+        StageViolation::BadNextExtremumGroup { rule, literal, .. } => {
+            let r = &program.rules[*rule];
+            d = d
+                .with_label(r.literal_span(*literal), "group is not the stage variable")
+                .with_note(
+                    "grouping an extremum by a non-stage variable re-ranks earlier \
+                 stages — the paper's `least(C, _)` counter-example (Section 4)",
+                );
+        }
+        StageViolation::FlatStageNotOrdered { rule, var, negated } => {
+            let r = &program.rules[*rule];
+            d = d
+                .with_label(
+                    r.var_span(*var),
+                    format!(
+                        "`{}` not provably {} the head stage",
+                        r.var_name(*var),
+                        if *negated { "below" } else { "at or below" }
+                    ),
+                )
+                .with_note(
+                    "flat rules may read the current stage (`≤`) but may only negate \
+                     strictly earlier stages (`<`) — Section 4",
+                );
+        }
+        StageViolation::ExtremumOverClique { rule } => {
+            let r = &program.rules[*rule];
+            d = d.with_label(r.span(), "extremum ranges over the clique's own facts").with_note(
+                "an extremum inside a flat rule re-evaluates as stages accumulate — \
+                 the Kruskal situation of Example 8, outside strict stage \
+                 stratification",
+            );
+        }
+    }
+    d.with_help(
+        "the program still runs under the generic choice fixpoint (Theorem 1), \
+         but the greedy executor's guarantees (Theorem 3) do not apply",
+    )
+}
+
+/// GBC020: stage-stratified but with recursive flat rules, so each
+/// stage needs `Q^∞` (fixpoint) instead of one `Q` pass.
+fn non_alternating_diag(program: &Program, analysis: &Analysis) -> Diagnostic {
+    let mut d = Diagnostic::warning(
+        "GBC020",
+        "stage clique is not alternating: its flat rules are recursive",
+    );
+    for c in analysis.cliques.iter().filter(|c| c.is_stage_clique && !c.alternating) {
+        if let Some(&ri) = c.flat_rules.first() {
+            d = d.with_label(program.rules[ri].span(), "flat rules starting here form a cycle");
+            break;
+        }
+    }
+    d.with_note(
+        "each stage must run the flat rules to fixpoint (Q^∞) instead of a \
+         single pass (Section 4's alternating evaluation)",
+    )
+}
+
+/// GBC021: `choice` tuple elements must be variables. Constants or
+/// functor terms in a choice tuple make the functional dependency
+/// trivially satisfiable or accidentally over-specific.
+fn lint_choice_args(program: &Program, out: &mut Vec<Diagnostic>) {
+    for r in &program.rules {
+        for (li, lit) in r.body.iter().enumerate() {
+            let Literal::Choice { left, right } = lit else { continue };
+            for (ai, t) in left.iter().chain(right).enumerate() {
+                if !matches!(t, Term::Var(_)) {
+                    out.push(
+                        Diagnostic::warning(
+                            "GBC021",
+                            format!(
+                                "`choice` argument is not a variable in rule for `{}`",
+                                r.head.pred
+                            ),
+                        )
+                        .with_label(
+                            r.spans
+                                .as_ref()
+                                .map(|s| s.literal_arg(li, ai))
+                                .unwrap_or_else(|| r.literal_span(li)),
+                            "expected a variable",
+                        )
+                        .with_note(
+                            "choice((X), (Y)) declares the functional dependency X → Y \
+                             over body-bound variables (Section 2)",
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// GBC022 + GBC023: extremum lints. The cost of `least`/`most` must be
+/// a data value, not the stage variable itself (GBC022); grouping
+/// variables should be visible in the head, else the groups are
+/// projected away and the extremum silently collapses (GBC023).
+fn lint_extrema(program: &Program, analysis: &Analysis, out: &mut Vec<Diagnostic>) {
+    for r in &program.rules {
+        if !r.has_extrema() {
+            continue;
+        }
+        let stage_vars = rule_stage_vars(r, &analysis.stages);
+        let head_vars: Vec<VarId> = {
+            let mut hv = Vec::new();
+            for t in &r.head.args {
+                t.collect_vars(&mut hv);
+            }
+            hv
+        };
+        for (li, lit) in r.body.iter().enumerate() {
+            let (cost, group, kw) = match lit {
+                Literal::Least { cost, group } => (cost, group, "least"),
+                Literal::Most { cost, group } => (cost, group, "most"),
+                _ => continue,
+            };
+            if r.has_next() {
+                if let Term::Var(v) = cost {
+                    if stage_vars.contains(v) {
+                        out.push(
+                            Diagnostic::warning(
+                                "GBC022",
+                                format!(
+                                    "stage variable `{}` used as the cost of `{kw}`",
+                                    r.var_name(*v)
+                                ),
+                            )
+                            .with_label(
+                                r.spans
+                                    .as_ref()
+                                    .map(|s| s.literal_arg(li, 0))
+                                    .unwrap_or_else(|| r.literal_span(li)),
+                                "this is the stage counter, not a cost",
+                            )
+                            .with_note(
+                                "in a next rule each stage has a single stage value; \
+                                 ranking by it selects nothing",
+                            ),
+                        );
+                    }
+                }
+            }
+            for (gi, g) in group.iter().enumerate() {
+                let Term::Var(v) = g else { continue };
+                if !head_vars.contains(v) {
+                    out.push(
+                        Diagnostic::warning(
+                            "GBC023",
+                            format!(
+                                "`{kw}` groups by `{}`, which does not appear in the head",
+                                r.var_name(*v)
+                            ),
+                        )
+                        .with_label(
+                            r.spans
+                                .as_ref()
+                                .map(|s| s.literal_arg(li, 1 + gi))
+                                .unwrap_or_else(|| r.literal_span(li)),
+                            "group variable projected away",
+                        )
+                        .with_note(
+                            "per-group winners are indistinguishable in the result when \
+                             the group is not part of the head",
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// GBC024: a predicate defined only by plain (meta-free) proper rules
+/// that is never read by any rule body. Fact-only predicates are
+/// exempt (they are EDB-style inputs), as are heads of rules using
+/// `choice`/`next`/`least`/`most` (those are the program's answers).
+fn lint_dead_predicates(program: &Program, out: &mut Vec<Diagnostic>) {
+    let mut referenced: Vec<Symbol> = Vec::new();
+    for r in &program.rules {
+        for l in &r.body {
+            if let Literal::Pos(a) | Literal::Neg(a) = l {
+                if !referenced.contains(&a.pred) {
+                    referenced.push(a.pred);
+                }
+            }
+        }
+    }
+    // pred → (has proper rule, every defining proper rule is meta-free).
+    let mut defined: HashMap<Symbol, bool> = HashMap::new();
+    for r in program.proper_rules() {
+        let meta_free = !r.body.iter().any(Literal::is_meta);
+        defined
+            .entry(r.head.pred)
+            .and_modify(|all_plain| *all_plain &= meta_free)
+            .or_insert(meta_free);
+    }
+    let mut dead: Vec<Symbol> = defined
+        .into_iter()
+        .filter(|&(p, plain)| plain && !referenced.contains(&p))
+        .map(|(p, _)| p)
+        .collect();
+    dead.sort();
+    for p in dead {
+        let r = rule_defining(program, p).expect("defined predicate has a rule");
+        out.push(
+            Diagnostic::warning("GBC024", format!("predicate `{p}` is defined but never used"))
+                .with_label(r.head_span(), "defined here")
+                .with_help("remove the rule(s), or reference the predicate somewhere"),
+        );
+    }
+}
+
+/// GBC025: a named variable occurring exactly once in its rule. Usually
+/// a typo (`I1` vs `I`); write `_` when the position is intentionally
+/// unconstrained.
+fn lint_singleton_vars(program: &Program, out: &mut Vec<Diagnostic>) {
+    for r in &program.rules {
+        let mut occurrences: Vec<VarId> = Vec::new();
+        for t in &r.head.args {
+            t.collect_vars(&mut occurrences);
+        }
+        for l in &r.body {
+            l.collect_vars(&mut occurrences);
+        }
+        let mut counts: HashMap<VarId, usize> = HashMap::new();
+        for v in &occurrences {
+            *counts.entry(*v).or_insert(0) += 1;
+        }
+        let mut singles: Vec<VarId> = counts
+            .into_iter()
+            .filter(|&(v, n)| n == 1 && !r.var_name(v).starts_with('_'))
+            .map(|(v, _)| v)
+            .collect();
+        singles.sort_by_key(|v| v.index());
+        for v in singles {
+            out.push(
+                Diagnostic::warning(
+                    "GBC025",
+                    format!(
+                        "variable `{}` occurs only once in rule for `{}`",
+                        r.var_name(v),
+                        r.head.pred
+                    ),
+                )
+                .with_label(r.var_span(v), "appears only here")
+                .with_help("use `_` if the value is intentionally ignored"),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbc_parser::parse_program;
+
+    fn codes(src: &str) -> Vec<&'static str> {
+        let p = parse_program(src).unwrap();
+        let mut codes: Vec<&'static str> =
+            check_program(&p).diagnostics.iter().map(|d| d.code).collect();
+        codes.sort();
+        codes.dedup();
+        codes
+    }
+
+    #[test]
+    fn clean_programs_produce_no_diagnostics() {
+        let report = check_program(
+            &parse_program(
+                "prm(nil, a, 0, 0).
+                 prm(X, Y, C, I) <- next(I), new_g(X, Y, C, J), J < I, least(C, I), choice(Y, X).
+                 new_g(X, Y, C, J) <- prm(_, X, _, J), g(X, Y, C).",
+            )
+            .unwrap(),
+        );
+        assert!(report.diagnostics.is_empty(), "{:#?}", report.diagnostics);
+        assert_eq!(report.analysis.class, ProgramClass::StageStratified { alternating: true });
+    }
+
+    #[test]
+    fn unstratified_negation_is_gbc010_with_trace() {
+        let p = parse_program("win(X) <- move(X, Y), not win(Y).").unwrap();
+        let report = check_program(&p);
+        let d = report.diagnostics.iter().find(|d| d.code == "GBC010").expect("GBC010");
+        assert_eq!(d.severity, gbc_ast::Severity::Error);
+        assert!(d.notes.iter().any(|n| n.contains("win → win")), "{:?}", d.notes);
+    }
+
+    #[test]
+    fn missing_guard_warns_gbc015() {
+        assert!(codes(
+            "prm(nil, a, 0, 0).
+             prm(X, Y, C, I) <- next(I), new_g(X, Y, C, J), least(C, I), choice(Y, X).
+             new_g(X, Y, C, J) <- prm(_, X, _, J), g(X, Y, C)."
+        )
+        .contains(&"GBC015"));
+    }
+
+    #[test]
+    fn papers_least_underscore_counterexample_warns_gbc016() {
+        // least(C, X) groups by a non-stage variable.
+        assert!(codes(
+            "prm(nil, a, 0, 0).
+             prm(X, Y, C, I) <- next(I), new_g(X, Y, C, J), J < I, least(C, X), choice(Y, X).
+             new_g(X, Y, C, J) <- prm(_, X, _, J), g(X, Y, C)."
+        )
+        .contains(&"GBC016"));
+    }
+
+    #[test]
+    fn choice_over_constants_warns_gbc021() {
+        assert!(codes("p(X, I) <- next(I), q(X), choice(a, X).").contains(&"GBC021"));
+    }
+
+    #[test]
+    fn stage_cost_warns_gbc022() {
+        assert!(codes("sp(X, I) <- next(I), p(X), least(I).").contains(&"GBC022"));
+    }
+
+    #[test]
+    fn projected_group_warns_gbc023() {
+        assert!(codes("sp(C, I) <- next(I), p(X, C), least(C, (X, I)).").contains(&"GBC023"));
+    }
+
+    #[test]
+    fn dead_predicate_warns_gbc024_but_facts_are_exempt() {
+        let cs = codes("e(a, b).\ntc(X, Y) <- e(X, Y).");
+        assert!(cs.contains(&"GBC024"), "{cs:?}"); // tc unused
+        let clean = codes("e(a, b).\ntc(X, Y) <- e(X, Y), least(Y).");
+        assert!(!clean.contains(&"GBC024"), "{clean:?}"); // extremum head = answer
+    }
+
+    #[test]
+    fn singleton_variable_warns_gbc025() {
+        let cs = codes("p(X) <- q(X, Y), least(X).");
+        assert!(cs.contains(&"GBC025"), "{cs:?}");
+        let clean = codes("p(X) <- q(X, _), least(X).");
+        assert!(!clean.contains(&"GBC025"), "{clean:?}");
+    }
+
+    #[test]
+    fn validation_failures_are_collected_not_fatal() {
+        // Arity clash + unsafe variable in one pass.
+        let cs = codes("p(a).\np(a, b).\nq(X) <- r(Y).");
+        assert!(cs.contains(&"GBC002"), "{cs:?}");
+        assert!(cs.contains(&"GBC003"), "{cs:?}");
+    }
+}

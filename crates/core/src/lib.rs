@@ -40,12 +40,14 @@
 //! ```
 
 pub mod analysis;
+pub mod diag;
 pub mod error;
 pub mod exec;
 pub mod rewrite;
 pub mod verify;
 
-pub use analysis::{classify, Analysis, ProgramClass};
+pub use analysis::{classify, Analysis, ProgramClass, StageViolation};
+pub use diag::{check_program, diagnostics_to_json, CheckReport};
 pub use error::CoreError;
 pub use exec::{ChosenRecord, GreedyConfig, GreedyRun, GreedyStats};
 pub use rewrite::{rewrite_full, FullRewrite};
@@ -82,7 +84,7 @@ pub fn compile(program: Program) -> Result<Compiled, CoreError> {
                 Err(e) => (Vec::new(), Some(e.to_string())),
             }
         }
-        other => (Vec::new(), Some(format!("not stage-stratified (class {other:?})"))),
+        other => (Vec::new(), Some(format!("not stage-stratified (class {})", other.summary()))),
     };
     Ok(Compiled { program, expanded, analysis, plans, plan_error })
 }

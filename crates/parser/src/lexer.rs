@@ -66,12 +66,22 @@ impl fmt::Display for TokenKind {
     }
 }
 
-/// A token with its source position (1-based line and column).
+/// A token with its source position: 1-based line and column, plus the
+/// half-open byte range `[start, end)` it occupies in the source.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Token {
     pub kind: TokenKind,
     pub line: u32,
     pub col: u32,
+    pub start: u32,
+    pub end: u32,
+}
+
+impl Token {
+    /// The token's source span.
+    pub fn span(&self) -> gbc_ast::Span {
+        gbc_ast::Span::new(self.start, self.end)
+    }
 }
 
 /// Lexical error.
@@ -80,6 +90,15 @@ pub struct LexError {
     pub message: String,
     pub line: u32,
     pub col: u32,
+    /// Byte offset of the offending character.
+    pub offset: u32,
+}
+
+impl LexError {
+    /// The error's source span (one character wide).
+    pub fn span(&self) -> gbc_ast::Span {
+        gbc_ast::Span::new(self.offset, self.offset + 1)
+    }
 }
 
 impl fmt::Display for LexError {
@@ -94,11 +113,13 @@ struct Lexer<'a> {
     chars: std::iter::Peekable<std::str::Chars<'a>>,
     line: u32,
     col: u32,
+    /// Byte offset of the next character.
+    offset: u32,
 }
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { chars: src.chars().peekable(), line: 1, col: 1 }
+        Lexer { chars: src.chars().peekable(), line: 1, col: 1, offset: 0 }
     }
 
     fn peek(&mut self) -> Option<char> {
@@ -111,15 +132,19 @@ impl<'a> Lexer<'a> {
             Some('\n') => {
                 self.line += 1;
                 self.col = 1;
+                self.offset += 1;
             }
-            Some(_) => self.col += 1,
+            Some(c) => {
+                self.col += 1;
+                self.offset += c.len_utf8() as u32;
+            }
             None => {}
         }
         c
     }
 
     fn error(&self, message: impl Into<String>) -> LexError {
-        LexError { message: message.into(), line: self.line, col: self.col }
+        LexError { message: message.into(), line: self.line, col: self.col, offset: self.offset }
     }
 }
 
@@ -130,7 +155,11 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
 
     while let Some(c) = lx.peek() {
         let (tline, tcol) = (lx.line, lx.col);
-        let mut push = |kind: TokenKind| tokens.push(Token { kind, line: tline, col: tcol });
+        let tstart = lx.offset;
+        let before = tokens.len();
+        let mut push = |kind: TokenKind| {
+            tokens.push(Token { kind, line: tline, col: tcol, start: tstart, end: tstart })
+        };
 
         match c {
             ' ' | '\t' | '\r' | '\n' => {
@@ -281,9 +310,20 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
             }
             other => return Err(lx.error(format!("unexpected character `{other}`"))),
         }
+
+        // Each arm pushes at most one token; give it its end offset.
+        if tokens.len() > before {
+            tokens.last_mut().unwrap().end = lx.offset;
+        }
     }
 
-    tokens.push(Token { kind: TokenKind::Eof, line: lx.line, col: lx.col });
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line: lx.line,
+        col: lx.col,
+        start: lx.offset,
+        end: lx.offset,
+    });
     Ok(tokens)
 }
 
@@ -401,5 +441,34 @@ mod tests {
         // `Xy` starts at column 3.
         assert_eq!(toks[2].kind, TokenKind::Var("Xy".into()));
         assert_eq!((toks[2].line, toks[2].col), (1, 3));
+    }
+
+    #[test]
+    fn spans_cover_token_bytes() {
+        let toks = tokenize("p(Xy, 12)").unwrap();
+        // p ( Xy , 12 )
+        assert_eq!((toks[0].start, toks[0].end), (0, 1));
+        assert_eq!((toks[2].start, toks[2].end), (2, 4));
+        assert_eq!((toks[4].start, toks[4].end), (6, 8));
+        assert_eq!((toks[5].start, toks[5].end), (8, 9));
+        let eof = toks.last().unwrap();
+        assert_eq!((eof.start, eof.end), (9, 9));
+    }
+
+    #[test]
+    fn spans_skip_comments_and_whitespace() {
+        let src = "% hdr\n  p(X).";
+        let toks = tokenize(src).unwrap();
+        assert_eq!(toks[0].kind, TokenKind::Ident("p".into()));
+        assert_eq!(&src[toks[0].start as usize..toks[0].end as usize], "p");
+        assert_eq!(&src[toks[2].start as usize..toks[2].end as usize], "X");
+    }
+
+    #[test]
+    fn lex_error_carries_offset() {
+        let err = tokenize("p ! q").unwrap_err();
+        // `!` is bumped before the failed `=` check, so the error points
+        // just past it; the span is still inside the source.
+        assert!(err.offset >= 2 && err.offset <= 3);
     }
 }

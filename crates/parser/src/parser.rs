@@ -5,15 +5,25 @@ use std::fmt;
 
 use gbc_ast::term::{ArithOp, Expr};
 use gbc_ast::{Atom, CmpOp, Literal, Program, Rule, Symbol, Term, VarId};
+use gbc_ast::{Diagnostic, LiteralSpans, RuleSpans, Span};
 
 use crate::lexer::{tokenize, LexError, Token, TokenKind};
 
-/// Parse error with source position.
+/// Parse error with source position (1-based line/column plus the byte
+/// span of the offending token, for snippet rendering).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ParseError {
     pub message: String,
     pub line: u32,
     pub col: u32,
+    pub span: Span,
+}
+
+impl ParseError {
+    /// Render as a `GBC001` diagnostic pointing at the offending token.
+    pub fn to_diagnostic(&self) -> Diagnostic {
+        Diagnostic::error("GBC001", self.message.clone()).with_label(self.span, "here")
+    }
 }
 
 impl fmt::Display for ParseError {
@@ -26,7 +36,8 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { message: e.message, line: e.line, col: e.col }
+        let span = e.span();
+        ParseError { message: e.message, line: e.line, col: e.col, span }
     }
 }
 
@@ -88,9 +99,19 @@ impl Parser {
         matches!(self.peek(), TokenKind::Eof)
     }
 
+    /// Byte offset where the current token starts.
+    fn tok_start(&self) -> u32 {
+        self.tokens[self.pos].start
+    }
+
+    /// Byte offset where the previously consumed token ended.
+    fn prev_end(&self) -> u32 {
+        self.tokens[self.pos.saturating_sub(1)].end
+    }
+
     fn err_here(&self, msg: impl Into<String>) -> ParseError {
         let t = &self.tokens[self.pos];
-        ParseError { message: msg.into(), line: t.line, col: t.col }
+        ParseError { message: msg.into(), line: t.line, col: t.col, span: t.span() }
     }
 
     fn expect(&mut self, kind: TokenKind) -> Result<(), ParseError> {
@@ -159,58 +180,92 @@ impl Parser {
 
     fn clause(&mut self) -> Result<Rule, ParseError> {
         self.begin_clause();
-        let head = self.atom()?;
+        let rule_start = self.tok_start();
+        let (head, head_span, head_args) = self.atom()?;
         let mut body = Vec::new();
+        let mut literals = Vec::new();
         if self.eat(&TokenKind::Arrow) {
             loop {
-                body.push(self.literal()?);
+                let (lit, spans) = self.literal()?;
+                body.push(lit);
+                literals.push(spans);
                 if !self.eat(&TokenKind::Comma) {
                     break;
                 }
             }
         }
         self.expect(TokenKind::Dot)?;
+        let span = Span::new(rule_start, self.prev_end());
         let var_names = self.finalize_var_names();
-        Ok(Rule::new(head, body, var_names))
+        Ok(Rule::new(head, body, var_names).with_spans(RuleSpans {
+            span,
+            head: head_span,
+            head_args,
+            literals,
+        }))
     }
 
-    fn atom(&mut self) -> Result<Atom, ParseError> {
+    /// An atom with its span and the spans of its top-level arguments.
+    fn atom(&mut self) -> Result<(Atom, Span, Vec<Span>), ParseError> {
+        let start = self.tok_start();
         let name = match self.bump() {
             TokenKind::Ident(s) => s,
             other => return Err(self.err_here(format!("expected predicate name, found {other}"))),
         };
         let mut args = Vec::new();
+        let mut arg_spans = Vec::new();
         if self.eat(&TokenKind::LParen) && !self.eat(&TokenKind::RParen) {
             loop {
-                args.push(self.term()?);
+                let (t, s) = self.term_spanned()?;
+                args.push(t);
+                arg_spans.push(s);
                 if !self.eat(&TokenKind::Comma) {
                     break;
                 }
             }
             self.expect(TokenKind::RParen)?;
         }
-        Ok(Atom::new(Symbol::intern(&name), args))
+        let span = Span::new(start, self.prev_end());
+        Ok((Atom::new(Symbol::intern(&name), args), span, arg_spans))
     }
 
-    fn literal(&mut self) -> Result<Literal, ParseError> {
+    fn literal(&mut self) -> Result<(Literal, LiteralSpans), ParseError> {
+        let start = self.tok_start();
         if self.eat(&TokenKind::Not) {
-            let a = self.atom()?;
-            return Ok(Literal::Neg(a));
+            let (a, _, arg_spans) = self.atom()?;
+            let span = Span::new(start, self.prev_end());
+            return Ok((Literal::Neg(a), LiteralSpans { span, args: arg_spans }));
         }
         // Keyword goals: only when the identifier is immediately applied.
         if let TokenKind::Ident(name) = self.peek() {
             if matches!(self.peek2(), TokenKind::LParen) {
                 match name.as_str() {
-                    "choice" => return self.choice_goal(),
-                    "least" => return self.extremum_goal(true),
-                    "most" => return self.extremum_goal(false),
-                    "next" => return self.next_goal(),
+                    "choice" => return self.choice_goal(start),
+                    "least" => return self.extremum_goal(true, start),
+                    "most" => return self.extremum_goal(false, start),
+                    "next" => return self.next_goal(start),
                     _ => {}
                 }
             }
         }
-        // Otherwise: an expression, optionally followed by a comparison.
-        let lhs = self.expr()?;
+        // Positive-atom fast path: an applied identifier directly
+        // followed by `,` or `.` is a plain atom, parsed through
+        // `atom()` so its argument spans are recorded. When an operator
+        // follows instead, the atom re-enters the expression grammar as
+        // a functor term (`t(X, Y) = Z`, `f(X) + 1 < C`).
+        let lhs = if matches!(self.peek(), TokenKind::Ident(n)
+                if !matches!(n.as_str(), "max" | "min" | "nil"))
+            && matches!(self.peek2(), TokenKind::LParen)
+        {
+            let (a, span, arg_spans) = self.atom()?;
+            if matches!(self.peek(), TokenKind::Comma | TokenKind::Dot) {
+                return Ok((Literal::Pos(a), LiteralSpans { span, args: arg_spans }));
+            }
+            self.expr_from(Expr::Term(Term::Func(a.pred, a.args)))?
+        } else {
+            self.expr()?
+        };
+        let lhs_span = Span::new(start, self.prev_end());
         let op = match self.peek() {
             TokenKind::Eq => Some(CmpOp::Eq),
             TokenKind::Ne => Some(CmpOp::Ne),
@@ -222,72 +277,107 @@ impl Parser {
         };
         if let Some(op) = op {
             self.bump();
+            let rhs_start = self.tok_start();
             let rhs = self.expr()?;
-            return Ok(Literal::Compare { op, lhs, rhs });
+            let rhs_span = Span::new(rhs_start, self.prev_end());
+            let span = Span::new(start, self.prev_end());
+            return Ok((
+                Literal::Compare { op, lhs, rhs },
+                LiteralSpans { span, args: vec![lhs_span, rhs_span] },
+            ));
         }
         // Bare expression must be an atom.
-        match lhs {
-            Expr::Term(Term::Func(pred, args)) => Ok(Literal::Pos(Atom { pred, args })),
-            Expr::Term(Term::Const(gbc_ast::Value::Sym(pred))) => {
-                Ok(Literal::Pos(Atom { pred, args: Vec::new() }))
+        let atom = match lhs {
+            Expr::Term(Term::Func(pred, args)) => Atom { pred, args },
+            Expr::Term(Term::Const(gbc_ast::Value::Sym(pred))) => Atom { pred, args: Vec::new() },
+            Expr::Term(Term::Const(gbc_ast::Value::Func(pred, args))) => {
+                Atom { pred, args: args.iter().cloned().map(Term::Const).collect() }
             }
-            Expr::Term(Term::Const(gbc_ast::Value::Func(pred, args))) => Ok(Literal::Pos(Atom {
-                pred,
-                args: args.iter().cloned().map(Term::Const).collect(),
-            })),
-            _ => Err(self.err_here("expected an atom or a comparison")),
-        }
+            _ => return Err(self.err_here("expected an atom or a comparison")),
+        };
+        Ok((Literal::Pos(atom), LiteralSpans { span: lhs_span, args: Vec::new() }))
     }
 
-    fn choice_goal(&mut self) -> Result<Literal, ParseError> {
+    fn choice_goal(&mut self, start: u32) -> Result<(Literal, LiteralSpans), ParseError> {
         self.bump(); // `choice`
         self.expect(TokenKind::LParen)?;
-        let left = self.term_tuple()?;
+        let (left, mut args) = self.term_tuple()?;
         self.expect(TokenKind::Comma)?;
-        let right = self.term_tuple()?;
+        let (right, right_spans) = self.term_tuple()?;
+        args.extend(right_spans);
         self.expect(TokenKind::RParen)?;
-        Ok(Literal::Choice { left, right })
+        let span = Span::new(start, self.prev_end());
+        Ok((Literal::Choice { left, right }, LiteralSpans { span, args }))
     }
 
-    fn extremum_goal(&mut self, least: bool) -> Result<Literal, ParseError> {
+    fn extremum_goal(
+        &mut self,
+        least: bool,
+        start: u32,
+    ) -> Result<(Literal, LiteralSpans), ParseError> {
         self.bump(); // `least` / `most`
         self.expect(TokenKind::LParen)?;
-        let cost = self.term()?;
-        let group = if self.eat(&TokenKind::Comma) { self.term_tuple()? } else { Vec::new() };
+        let (cost, cost_span) = self.term_spanned()?;
+        let mut args = vec![cost_span];
+        let group = if self.eat(&TokenKind::Comma) {
+            let (g, gs) = self.term_tuple()?;
+            args.extend(gs);
+            g
+        } else {
+            Vec::new()
+        };
         self.expect(TokenKind::RParen)?;
-        Ok(if least { Literal::Least { cost, group } } else { Literal::Most { cost, group } })
+        let span = Span::new(start, self.prev_end());
+        let lit =
+            if least { Literal::Least { cost, group } } else { Literal::Most { cost, group } };
+        Ok((lit, LiteralSpans { span, args }))
     }
 
-    fn next_goal(&mut self) -> Result<Literal, ParseError> {
+    fn next_goal(&mut self, start: u32) -> Result<(Literal, LiteralSpans), ParseError> {
         self.bump(); // `next`
         self.expect(TokenKind::LParen)?;
+        let var_start = self.tok_start();
         let var = match self.bump() {
             TokenKind::Var(name) => self.var(&name),
             other => {
                 return Err(self.err_here(format!("next(…) takes a single variable, found {other}")))
             }
         };
+        let var_span = Span::new(var_start, self.prev_end());
         self.expect(TokenKind::RParen)?;
-        Ok(Literal::Next { var })
+        let span = Span::new(start, self.prev_end());
+        Ok((Literal::Next { var }, LiteralSpans { span, args: vec![var_span] }))
     }
 
     /// A term or a parenthesised term tuple; `()` is the empty tuple.
-    fn term_tuple(&mut self) -> Result<Vec<Term>, ParseError> {
+    /// Returns per-element spans alongside the terms.
+    fn term_tuple(&mut self) -> Result<(Vec<Term>, Vec<Span>), ParseError> {
         if self.eat(&TokenKind::LParen) {
             let mut ts = Vec::new();
+            let mut spans = Vec::new();
             if !self.eat(&TokenKind::RParen) {
                 loop {
-                    ts.push(self.term()?);
+                    let (t, s) = self.term_spanned()?;
+                    ts.push(t);
+                    spans.push(s);
                     if !self.eat(&TokenKind::Comma) {
                         break;
                     }
                 }
                 self.expect(TokenKind::RParen)?;
             }
-            Ok(ts)
+            Ok((ts, spans))
         } else {
-            Ok(vec![self.term()?])
+            let (t, s) = self.term_spanned()?;
+            Ok((vec![t], vec![s]))
         }
+    }
+
+    /// A term with the byte span it occupies.
+    fn term_spanned(&mut self) -> Result<(Term, Span), ParseError> {
+        let start = self.tok_start();
+        let t = self.term()?;
+        Ok((t, Span::new(start, self.prev_end())))
     }
 
     fn term(&mut self) -> Result<Term, ParseError> {
@@ -324,7 +414,18 @@ impl Parser {
     // Expressions: standard precedence climbing.
 
     fn expr(&mut self) -> Result<Expr, ParseError> {
-        let mut lhs = self.mul_expr()?;
+        let first = self.mul_expr()?;
+        self.expr_from_mul(first)
+    }
+
+    /// Continue the additive grammar from an already-parsed primary
+    /// (used by the positive-atom fast path in [`Parser::literal`]).
+    fn expr_from(&mut self, first: Expr) -> Result<Expr, ParseError> {
+        let first = self.mul_expr_from(first)?;
+        self.expr_from_mul(first)
+    }
+
+    fn expr_from_mul(&mut self, mut lhs: Expr) -> Result<Expr, ParseError> {
         loop {
             let op = match self.peek() {
                 TokenKind::Plus => ArithOp::Add,
@@ -339,7 +440,11 @@ impl Parser {
     }
 
     fn mul_expr(&mut self) -> Result<Expr, ParseError> {
-        let mut lhs = self.unary_expr()?;
+        let first = self.unary_expr()?;
+        self.mul_expr_from(first)
+    }
+
+    fn mul_expr_from(&mut self, mut lhs: Expr) -> Result<Expr, ParseError> {
         loop {
             let op = match self.peek() {
                 TokenKind::Star => ArithOp::Mul,
@@ -539,5 +644,81 @@ mod tests {
     fn most_parses_like_least() {
         let r = parse_rule("last_comp(X, J, I) <- comp(X, J, I1), I1 <= I, most(J, X).").unwrap();
         assert!(matches!(&r.body[2], Literal::Most { .. }));
+    }
+
+    fn snip(src: &str, span: gbc_ast::Span) -> &str {
+        &src[span.start as usize..span.end as usize]
+    }
+
+    #[test]
+    fn rule_spans_point_into_source() {
+        let src =
+            "prm(X, Y, C, I) <- next(I), new_g(X, Y, C, J), J < I, least(C, I), choice(Y, X).";
+        let r = parse_rule(src).unwrap();
+        let rs = r.spans.as_ref().expect("parsed rules carry spans");
+        assert_eq!(snip(src, rs.span), src);
+        assert_eq!(snip(src, rs.head), "prm(X, Y, C, I)");
+        assert_eq!(snip(src, rs.head_arg(0)), "X");
+        assert_eq!(snip(src, rs.head_arg(3)), "I");
+        assert_eq!(snip(src, rs.literal(0)), "next(I)");
+        assert_eq!(snip(src, rs.literal_arg(0, 0)), "I");
+        assert_eq!(snip(src, rs.literal(1)), "new_g(X, Y, C, J)");
+        assert_eq!(snip(src, rs.literal_arg(1, 3)), "J");
+        assert_eq!(snip(src, rs.literal(2)), "J < I");
+        assert_eq!(snip(src, rs.literal_arg(2, 0)), "J");
+        assert_eq!(snip(src, rs.literal_arg(2, 1)), "I");
+        assert_eq!(snip(src, rs.literal(3)), "least(C, I)");
+        assert_eq!(snip(src, rs.literal_arg(3, 1)), "I");
+        assert_eq!(snip(src, rs.literal(4)), "choice(Y, X)");
+        assert_eq!(snip(src, rs.literal_arg(4, 1)), "X");
+    }
+
+    #[test]
+    fn negated_literal_span_includes_not() {
+        let src = "p(X) <- q(X), not r(X, Y).";
+        let r = parse_rule(src).unwrap();
+        let rs = r.spans.as_ref().unwrap();
+        assert_eq!(snip(src, rs.literal(1)), "not r(X, Y)");
+        assert_eq!(snip(src, rs.literal_arg(1, 1)), "Y");
+    }
+
+    #[test]
+    fn functor_lhs_comparison_still_parses() {
+        // The positive-atom fast path must hand `t(X, Y)` back to the
+        // expression grammar when an operator follows.
+        let r = parse_rule("p(X, Y, Z) <- q(X, Y, Z), t(X, Y) = Z.").unwrap();
+        assert!(matches!(&r.body[1], Literal::Compare { op: CmpOp::Eq, .. }));
+        let src = "p(X, C) <- q(X, C), f(X) + 1 < C.";
+        let r2 = parse_rule(src).unwrap();
+        assert!(matches!(&r2.body[1], Literal::Compare { op: CmpOp::Lt, .. }));
+        let rs = r2.spans.as_ref().unwrap();
+        assert_eq!(snip(src, rs.literal(1)), "f(X) + 1 < C");
+        assert_eq!(snip(src, rs.literal_arg(1, 0)), "f(X) + 1");
+        assert_eq!(snip(src, rs.literal_arg(1, 1)), "C");
+    }
+
+    #[test]
+    fn spans_ignored_by_rule_equality() {
+        let a = parse_rule("p(X) <- q(X).").unwrap();
+        let mut b = parse_rule("p(X) <- q(X).").unwrap();
+        b.spans = None;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parse_error_carries_span() {
+        let src = "p(X) <- q(X)";
+        let e = parse_rule(src).unwrap_err();
+        // Points at EOF (offset 12).
+        assert_eq!(e.span.start, 12);
+    }
+
+    #[test]
+    fn multi_rule_spans_use_global_offsets() {
+        let src = "p(a).\nq(X) <- p(X).\n";
+        let p = parse_program(src).unwrap();
+        let rs = p.rules[1].spans.as_ref().unwrap();
+        assert_eq!(snip(src, rs.span), "q(X) <- p(X).");
+        assert_eq!(snip(src, rs.head), "q(X)");
     }
 }

@@ -1,0 +1,47 @@
+//! Theorem 1 outside the greedy class: a program with stage cliques
+//! that fail stage stratification still runs under the generic choice
+//! fixpoint, and the run is a stable model of the rewritten negative
+//! program. The greedy executor's complexity guarantees (Theorem 3) do
+//! not apply — `gbc check` reports that as warnings — but correctness
+//! does.
+
+use gbc_core::{check_program, compile, verify_stable_model, ProgramClass};
+use gbc_storage::Database;
+
+/// Prim without the `J < I` stage guard: not stage-stratified
+/// (GBC015), evaluated by the generic fixpoint.
+const NOT_STAGE_STRATIFIED: &str = "
+prm(nil, a, 0, 0).
+prm(X, Y, C, I) <- next(I), new_g(X, Y, C, J), least(C, I), choice(Y, X).
+new_g(X, Y, C, J) <- prm(_, X, _, J), g(X, Y, C).
+g(a, b, 10). g(b, a, 10).
+g(a, c, 30). g(c, a, 30).
+g(b, c, 20). g(c, b, 20).
+";
+
+#[test]
+fn generic_fixpoint_run_is_a_stable_model_outside_the_greedy_class() {
+    let program = gbc_parser::parse_program(NOT_STAGE_STRATIFIED).unwrap();
+
+    // The check pass classifies it out of the greedy class…
+    let report = check_program(&program);
+    assert!(
+        matches!(report.analysis.class, ProgramClass::NotStageStratified { .. }),
+        "{:?}",
+        report.analysis.class
+    );
+    assert!(report.diagnostics.iter().any(|d| d.code == "GBC015"));
+    assert_eq!(report.errors(), 0, "stage violations are warnings, not errors");
+
+    // …so compile() has no greedy plan and run() falls back to the
+    // generic choice fixpoint.
+    let compiled = compile(program.clone()).unwrap();
+    assert!(!compiled.has_greedy_plan());
+    let edb = Database::new();
+    let run = compiled.run_generic(&edb).unwrap();
+    assert!(!run.chosen.is_empty(), "choice rules fired");
+
+    // Theorem 1: the run is a stable model of the negative program.
+    let ok = verify_stable_model(&program, &edb, &run).unwrap();
+    assert!(ok, "generic choice fixpoint must produce a stable model");
+}
