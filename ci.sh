@@ -29,6 +29,41 @@ grep -q '"gamma_steps": 5' "$stats_json" || {
     exit 1
 }
 
+echo "== smoke: gbc run --profile and gbc explain over shipped programs =="
+# Every shipped program must survive a profiled run (the per-rule table
+# renders with an attribution line) and answer a provenance query over
+# its primary output predicate. Entries pair the README's file groups
+# with a wildcard query atom.
+obs_groups=(
+    "programs/prim.dl programs/graph_small.dl|prm(_, _, _, _)"
+    "programs/spanning.dl programs/graph_small.dl|st(_, _, _, _)"
+    "programs/kruskal.dl programs/graph_small.dl|kruskal(_, _, _, _)"
+    "programs/sort.dl|sp(_, _, _)"
+    "programs/matching.dl|matching(_, _, _, _)"
+    "programs/huffman.dl|pick(_, _, _)"
+    "programs/scheduling.dl|sched(_, _, _)"
+    "programs/tsp.dl|tsp_chain(_, _, _, _)"
+    "programs/assignment.dl|a_st(_, _, _)"
+)
+for entry in "${obs_groups[@]}"; do
+    files="${entry%%|*}"
+    atom="${entry##*|}"
+    # shellcheck disable=SC2086
+    ./target/release/gbc run $files --profile >/dev/null 2>"$diag_json" || {
+        echo "gbc run --profile failed for: $files" >&2
+        exit 1
+    }
+    grep -q 'attributed' "$diag_json" || {
+        echo "profile table missing attribution line for: $files" >&2
+        exit 1
+    }
+    # shellcheck disable=SC2086
+    ./target/release/gbc explain $files -- "$atom" >/dev/null || {
+        echo "gbc explain failed for: $files ($atom)" >&2
+        exit 1
+    }
+done
+
 echo "== check: shipped programs are diagnostic-clean =="
 # Every shipped program must pass the full static pipeline with zero
 # diagnostics, warnings included. Programs and their EDB files are

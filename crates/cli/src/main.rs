@@ -2,10 +2,12 @@
 //!
 //! ```text
 //! gbc check   FILE... [--deny-warnings] [--diag-json PATH]
-//! gbc run     FILE... [--generic] [--seed N] [--stats] [--trace] [--stats-json PATH]
+//! gbc run     FILE... [--generic] [--seed N] [--stats] [--trace] [--profile]
+//!                     [--stats-json PATH] [--trace-json PATH] [--journal-json PATH]
 //! gbc models  FILE... [--max N] [--stats] [--stats-json PATH]
 //! gbc rewrite FILE...            print the negative (rewritten) program
 //! gbc verify  FILE... [--stats] [--trace] [--stats-json PATH]
+//! gbc explain FILE... -- 'ATOM'  print why matching facts are in the model
 //! ```
 //!
 //! `gbc check` runs the full static pipeline — parse, validation,
@@ -27,21 +29,35 @@
 //! * `--stats` prints the counter registry and the phase-timer report
 //!   to stderr after the run;
 //! * `--trace` streams one line per γ event (stage commits, exit
-//!   commits, discards, flat rounds) to stderr as it happens — the
-//!   paper's tuple ↔ stage bijection made visible;
+//!   commits, discards, flat rounds, rule firings, choice audits) to
+//!   stderr as it happens — the paper's tuple ↔ stage bijection made
+//!   visible;
+//! * `--profile` prints a per-rule profile (firings, tuples derived,
+//!   cumulative time, plan-cache hits), keyed back to `file:line`;
 //! * `--stats-json PATH` writes the full telemetry report (counters,
-//!   per-round delta history, phase timings) as JSON to `PATH`.
+//!   per-round delta history, phase timings, per-rule profile, and —
+//!   with `--trace` — the structured event journal) as JSON to `PATH`;
+//! * `--trace-json PATH` writes the event stream in Chrome trace-event
+//!   format (load in Perfetto / `chrome://tracing`);
+//! * `--journal-json PATH` writes the event stream as JSON-lines;
+//! * `gbc explain FILE... -- 'atom'` re-runs the program with
+//!   provenance recording on and prints the derivation tree of every
+//!   fact matching the atom: the rule that fired it (cited by source
+//!   span), its γ step, the committed choice FDs, the rejected
+//!   `diffChoice` alternatives, and the parent facts, recursively.
 
 use std::process::ExitCode;
 use std::sync::Arc;
 
 use gbc_ast::diag::{error_count, render_all, warning_count};
-use gbc_ast::{Diagnostic, SourceMap};
+use gbc_ast::{Diagnostic, Program, SourceMap};
 use gbc_core::{compile, verify_stable_model};
 use gbc_engine::enumerate::{all_choice_models_with, EnumerateConfig};
 use gbc_engine::{ChoiceFixpoint, DeterministicFirst, SeededRandom};
-use gbc_storage::Database;
-use gbc_telemetry::{StderrTrace, Telemetry};
+use gbc_storage::{Database, ProvenanceArena};
+use gbc_telemetry::{
+    ChromeTrace, JournalBuffer, Json, StderrTrace, TeeTrace, Telemetry, TraceSink,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -59,11 +75,16 @@ struct Options {
     generic: bool,
     stats: bool,
     trace: bool,
+    profile: bool,
     stats_json: Option<String>,
+    trace_json: Option<String>,
+    journal_json: Option<String>,
     seed: Option<u64>,
     max_models: usize,
     deny_warnings: bool,
     diag_json: Option<String>,
+    /// The atom after `--` (for `gbc explain`).
+    query: Option<String>,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -72,11 +93,15 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         generic: false,
         stats: false,
         trace: false,
+        profile: false,
         stats_json: None,
+        trace_json: None,
+        journal_json: None,
         seed: None,
         max_models: 1000,
         deny_warnings: false,
         diag_json: None,
+        query: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -84,6 +109,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--generic" => opts.generic = true,
             "--stats" => opts.stats = true,
             "--trace" => opts.trace = true,
+            "--profile" => opts.profile = true,
             "--deny-warnings" => opts.deny_warnings = true,
             "--diag-json" => {
                 let v = it.next().ok_or("--diag-json needs a path (or `-` for stdout)")?;
@@ -93,6 +119,14 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 let v = it.next().ok_or("--stats-json needs a path")?;
                 opts.stats_json = Some(v.clone());
             }
+            "--trace-json" => {
+                let v = it.next().ok_or("--trace-json needs a path")?;
+                opts.trace_json = Some(v.clone());
+            }
+            "--journal-json" => {
+                let v = it.next().ok_or("--journal-json needs a path")?;
+                opts.journal_json = Some(v.clone());
+            }
             "--seed" => {
                 let v = it.next().ok_or("--seed needs a value")?;
                 opts.seed = Some(v.parse().map_err(|_| format!("bad seed `{v}`"))?);
@@ -100,6 +134,14 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--max" => {
                 let v = it.next().ok_or("--max needs a value")?;
                 opts.max_models = v.parse().map_err(|_| format!("bad max `{v}`"))?;
+            }
+            "--" => {
+                let rest: Vec<&str> = it.by_ref().map(String::as_str).collect();
+                let joined = rest.join(" ");
+                if joined.trim().is_empty() {
+                    return Err("`--` needs a query atom after it".into());
+                }
+                opts.query = Some(joined);
             }
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag `{other}`"));
@@ -113,25 +155,63 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     Ok(opts)
 }
 
+/// The structured sinks a run feeds, held so [`Options::report`] can
+/// write them out afterwards.
+struct Observers {
+    journal: Option<Arc<JournalBuffer>>,
+    chrome: Option<Arc<ChromeTrace>>,
+}
+
 impl Options {
     /// Build the telemetry bundle the flags ask for. Counters are always
-    /// on; `--stats`/`--stats-json` additionally enable phase timers and
-    /// the per-round delta history; `--trace` attaches a stderr sink.
-    fn telemetry(&self) -> Telemetry {
-        let tel = if self.stats || self.stats_json.is_some() {
+    /// on; `--stats`/`--stats-json`/`--profile` additionally enable
+    /// phase timers and the per-round delta history; `--profile` turns
+    /// on the per-rule profiler; `--trace` attaches a stderr sink;
+    /// `--trace-json`/`--journal-json` (and `--trace --stats-json`)
+    /// attach structured sinks, teed together when several are live.
+    fn telemetry(&self) -> (Telemetry, Observers) {
+        let mut tel = if self.stats || self.stats_json.is_some() || self.profile {
             Telemetry::enabled()
         } else {
             Telemetry::counters_only()
         };
-        if self.trace {
-            tel.with_trace(Arc::new(StderrTrace))
-        } else {
-            tel
+        if self.profile {
+            tel = tel.with_profiler();
         }
+        let mut sinks: Vec<Arc<dyn TraceSink>> = Vec::new();
+        if self.trace {
+            sinks.push(Arc::new(StderrTrace));
+        }
+        let journal = if self.journal_json.is_some() || (self.trace && self.stats_json.is_some()) {
+            let j = Arc::new(JournalBuffer::new());
+            sinks.push(j.clone());
+            Some(j)
+        } else {
+            None
+        };
+        let chrome = if self.trace_json.is_some() {
+            let c = Arc::new(ChromeTrace::new());
+            sinks.push(c.clone());
+            Some(c)
+        } else {
+            None
+        };
+        let tel = match sinks.len() {
+            0 => tel,
+            1 => tel.with_trace(sinks.pop().expect("one sink")),
+            _ => tel.with_trace(Arc::new(TeeTrace::new(sinks))),
+        };
+        (tel, Observers { journal, chrome })
     }
 
     /// Emit the post-run reports the flags ask for.
-    fn report(&self, tel: &Telemetry) -> Result<(), String> {
+    fn report(
+        &self,
+        tel: &Telemetry,
+        obs: &Observers,
+        program: &Program,
+        sm: &SourceMap,
+    ) -> Result<(), String> {
         if self.stats {
             eprint!("{}", tel.snapshot().render());
             let phases = tel.phases.render();
@@ -139,13 +219,78 @@ impl Options {
                 eprint!("{phases}");
             }
         }
+        if self.profile {
+            eprint!("{}", render_profile(tel, program, sm));
+        }
         if let Some(path) = &self.stats_json {
-            let mut text = tel.to_json().pretty();
+            let mut json = tel.to_json();
+            if let (Some(journal), Json::Obj(fields)) = (&obs.journal, &mut json) {
+                fields.push(("journal".to_owned(), journal.to_json()));
+            }
+            let mut text = json.pretty();
             text.push('\n');
             std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
         }
+        if let (Some(path), Some(chrome)) = (&self.trace_json, &obs.chrome) {
+            let mut text = chrome.to_json().pretty();
+            text.push('\n');
+            std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+        }
+        if let (Some(path), Some(journal)) = (&self.journal_json, &obs.journal) {
+            std::fs::write(path, journal.to_jsonl()).map_err(|e| format!("{path}: {e}"))?;
+        }
         Ok(())
     }
+}
+
+/// The `--profile` table: one line per rule that was profiled, sorted
+/// by cumulative time, keyed back to the rule's source location, with a
+/// closing line comparing attributed time against the whole `run`
+/// phase.
+fn render_profile(tel: &Telemetry, program: &Program, sm: &SourceMap) -> String {
+    let mut entries = tel.profiler.entries();
+    entries.sort_by(|a, b| b.1.nanos.cmp(&a.1.nanos).then(a.0.cmp(&b.0)));
+    let mut out = String::new();
+    out.push_str("per-rule profile:\n");
+    out.push_str(&format!(
+        "  {:<5} {:<14} {:<26} {:>9} {:>9} {:>11} {:>10}\n",
+        "rule", "head", "source", "firings", "tuples", "time", "plan hits"
+    ));
+    for (rule, p) in &entries {
+        let (head, site) = match program.rules.get(*rule) {
+            Some(r) => {
+                let site = match sm.locate(r.span().start) {
+                    Some(loc) => format!("{}:{}", loc.file, loc.line),
+                    None => "<no source>".to_owned(),
+                };
+                (r.head.pred.to_string(), site)
+            }
+            None => ("?".to_owned(), "<no source>".to_owned()),
+        };
+        out.push_str(&format!(
+            "  #{:<4} {:<14} {:<26} {:>9} {:>9} {:>10.6}s {:>10}\n",
+            rule,
+            head,
+            site,
+            p.firings,
+            p.tuples,
+            p.secs(),
+            p.plan_hits
+        ));
+    }
+    let attributed = tel.profiler.total_secs();
+    let run_secs =
+        tel.phases.entries().iter().find(|(name, _, _)| name == "run").map(|(_, secs, _)| *secs);
+    match run_secs {
+        Some(total) if total > 0.0 => out.push_str(&format!(
+            "  attributed {:.6}s of {:.6}s run time ({:.1}%)\n",
+            attributed,
+            total,
+            100.0 * attributed / total
+        )),
+        _ => out.push_str(&format!("  attributed {attributed:.6}s\n")),
+    }
+    out
 }
 
 /// Read every input file into one [`SourceMap`] (programs + facts mix
@@ -166,7 +311,7 @@ fn render_failure(diags: &[Diagnostic], sm: &SourceMap) -> String {
     format!("invalid program\n{}{} error(s) emitted", rendered, error_count(diags))
 }
 
-fn load(files: &[String]) -> Result<gbc_ast::Program, String> {
+fn load(files: &[String]) -> Result<(Program, SourceMap), String> {
     let sm = read_sources(files)?;
     let program = gbc_parser::parse_program(&sm.source())
         .map_err(|e| render_failure(&[e.to_diagnostic()], &sm))?;
@@ -174,7 +319,7 @@ fn load(files: &[String]) -> Result<gbc_ast::Program, String> {
     if error_count(&diags) > 0 {
         return Err(render_failure(&diags, &sm));
     }
-    Ok(program)
+    Ok((program, sm))
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -188,14 +333,16 @@ fn run(args: &[String]) -> Result<(), String> {
         "models" => cmd_models(&opts),
         "rewrite" => cmd_rewrite(&opts),
         "verify" => cmd_verify(&opts),
+        "explain" => cmd_explain(&opts),
         other => Err(format!("unknown command `{other}`\n{}", usage())),
     }
 }
 
 fn usage() -> String {
-    "usage: gbc <check|run|models|rewrite|verify> FILE... \
-     [--generic] [--seed N] [--stats] [--trace] [--stats-json PATH] [--max N] \
-     [--deny-warnings] [--diag-json PATH]"
+    "usage: gbc <check|run|models|rewrite|verify|explain> FILE... \
+     [--generic] [--seed N] [--stats] [--trace] [--profile] [--stats-json PATH] \
+     [--trace-json PATH] [--journal-json PATH] [--max N] \
+     [--deny-warnings] [--diag-json PATH] [-- 'atom']"
         .to_owned()
 }
 
@@ -284,16 +431,16 @@ fn cmd_check(opts: &Options) -> Result<(), String> {
 }
 
 fn cmd_run(opts: &Options) -> Result<(), String> {
-    let program = load(&opts.files)?;
-    let compiled = compile(program).map_err(|e| e.to_string())?;
+    let (program, sm) = load(&opts.files)?;
+    let compiled = compile(program.clone()).map_err(|e| e.to_string())?;
     let edb = Database::new();
-    let tel = opts.telemetry();
+    let (tel, obs) = opts.telemetry();
 
     let run = if opts.generic || !compiled.has_greedy_plan() || opts.seed.is_some() {
         // Seeded or generic: the engine fixpoint with the chosen policy.
         let mut fixpoint =
             ChoiceFixpoint::new(compiled.expanded(), &edb).map_err(|e| e.to_string())?;
-        fixpoint.set_metrics(Arc::clone(&tel.metrics));
+        fixpoint.set_telemetry(tel.clone());
         tel.phases
             .time("run", || match opts.seed {
                 Some(seed) => fixpoint.run(&mut SeededRandom::new(seed)),
@@ -314,16 +461,34 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
     };
 
     println!("{}", run.db.canonical_form());
-    opts.report(&tel)?;
+    opts.report(&tel, &obs, &program, &sm)?;
+    Ok(())
+}
+
+fn cmd_explain(opts: &Options) -> Result<(), String> {
+    let Some(atom) = &opts.query else {
+        return Err("explain needs a query: gbc explain FILE... -- 'pred(X, ...)'".into());
+    };
+    let (program, sm) = load(&opts.files)?;
+    let query = gbc_parser::parse_rule(&format!("query <- {}.", atom.trim().trim_end_matches('.')))
+        .map_err(|e| format!("bad query atom `{atom}`: {e}"))?;
+    let compiled = compile(program.clone()).map_err(|e| e.to_string())?;
+    let mut edb = Database::new();
+    let arena = ProvenanceArena::shared();
+    edb.set_provenance(Arc::clone(&arena));
+    let (tel, _obs) = opts.telemetry();
+    let run = compiled.run_telemetry(&edb, &tel).map_err(|e| e.to_string())?;
+    let out = gbc_core::explain::explain_atom(&program, &sm, &run.db, &arena, &query)?;
+    print!("{out}");
     Ok(())
 }
 
 fn cmd_models(opts: &Options) -> Result<(), String> {
-    let program = load(&opts.files)?;
+    let (program, sm) = load(&opts.files)?;
     // The enumerator needs a next-free program.
     let expanded = gbc_core::rewrite::next::expand_next(&program).map_err(|e| e.to_string())?;
     let config = EnumerateConfig { max_nodes: 1_000_000, max_models: opts.max_models };
-    let tel = opts.telemetry();
+    let (tel, obs) = opts.telemetry();
     let models = tel
         .phases
         .time("models", || all_choice_models_with(&expanded, &Database::new(), config))
@@ -333,29 +498,29 @@ fn cmd_models(opts: &Options) -> Result<(), String> {
         println!("--- model {}", i + 1);
         println!("{}", m.canonical_form());
     }
-    opts.report(&tel)?;
+    opts.report(&tel, &obs, &program, &sm)?;
     Ok(())
 }
 
 fn cmd_rewrite(opts: &Options) -> Result<(), String> {
-    let program = load(&opts.files)?;
+    let (program, _sm) = load(&opts.files)?;
     let fr = gbc_core::rewrite_full(&program).map_err(|e| e.to_string())?;
     print!("{}", fr.program);
     Ok(())
 }
 
 fn cmd_verify(opts: &Options) -> Result<(), String> {
-    let program = load(&opts.files)?;
+    let (program, sm) = load(&opts.files)?;
     let compiled = compile(program.clone()).map_err(|e| e.to_string())?;
     let edb = Database::new();
-    let tel = opts.telemetry();
+    let (tel, obs) = opts.telemetry();
     let run = compiled.run_telemetry(&edb, &tel).map_err(|e| e.to_string())?;
     let ok = verify_stable_model(&program, &edb, &run).map_err(|e| e.to_string())?;
     println!(
         "stable model check: {}",
         if ok { "PASS (Theorem 1 holds for this run)" } else { "FAIL" }
     );
-    opts.report(&tel)?;
+    opts.report(&tel, &obs, &program, &sm)?;
     if ok {
         Ok(())
     } else {

@@ -78,11 +78,24 @@ pub fn check_program(program: &Program) -> CheckReport {
     CheckReport { diagnostics, analysis }
 }
 
-/// Serialize diagnostics as a JSON array, in render (source) order —
-/// the `gbc check --diag-json` format. Each entry carries the code,
-/// severity, message, resolved labels (file/line/col/len), notes and
-/// helps; labels with dummy spans are dropped, like in the renderer.
+/// Version of the `--diag-json` payload schema. Bump when the shape of
+/// [`diagnostics_to_json`]'s output changes incompatibly; consumers
+/// should check it before parsing (see DESIGN.md, "JSON schemas").
+pub const DIAG_SCHEMA_VERSION: u64 = 1;
+
+/// Serialize diagnostics as the `gbc check --diag-json` payload: an
+/// object with `schema_version` and a `diagnostics` array in render
+/// (source) order. Each entry carries the code, severity, message,
+/// resolved labels (file/line/col/len), notes and helps; labels with
+/// dummy spans are dropped, like in the renderer.
 pub fn diagnostics_to_json(diags: &[Diagnostic], sm: &SourceMap) -> Json {
+    Json::obj(vec![
+        ("schema_version", Json::UInt(DIAG_SCHEMA_VERSION)),
+        ("diagnostics", diagnostics_array(diags, sm)),
+    ])
+}
+
+fn diagnostics_array(diags: &[Diagnostic], sm: &SourceMap) -> Json {
     let mut order: Vec<&Diagnostic> = diags.iter().collect();
     order.sort_by_key(|d| d.primary_span().map_or(u32::MAX, |s| s.start));
     Json::Arr(

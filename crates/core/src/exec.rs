@@ -34,11 +34,11 @@ use std::sync::Arc;
 
 use gbc_ast::{CmpOp, Literal, Program, Rule, Symbol, Term, Value, VarId};
 use gbc_engine::bindings::Bindings;
-use gbc_engine::eval::{eval_expr, eval_term, instantiate_head, match_term};
+use gbc_engine::eval::{eval_expr, eval_term, instantiate_head, match_term, parent_rows};
 use gbc_engine::extrema::{collect_matches_plan, filter_extrema};
 use gbc_engine::plan::PlanCache;
 use gbc_engine::seminaive::Seminaive;
-use gbc_storage::{Database, FxHashMap, FxHashSet, Row, Rql};
+use gbc_storage::{Database, FxHashMap, FxHashSet, Row, Rql, NO_GOAL};
 use gbc_telemetry::{DiscardReason, Snapshot, Telemetry, TraceEvent};
 
 use crate::analysis::stage::StageInfo;
@@ -386,6 +386,7 @@ impl GreedyExecutor {
     ) -> GreedyExecutor {
         let mut db = edb.clone();
         let mut flat_rules = Vec::new();
+        let mut flat_ids = Vec::new();
         let mut exits = Vec::new();
         let mut exit_memos = Vec::new();
         for (ri, r) in program.rules.iter().enumerate() {
@@ -405,6 +406,7 @@ impl GreedyExecutor {
                 exits.push((ri, r.clone()));
             } else {
                 flat_rules.push(r.clone());
+                flat_ids.push(ri);
             }
         }
         let nexts = plans
@@ -425,8 +427,10 @@ impl GreedyExecutor {
             .collect();
         let exit_stale = vec![None; exits.len()];
         let exit_plans = PlanCache::new(exits.len());
+        let mut flat = Seminaive::new(flat_rules);
+        flat.set_rule_ids(flat_ids);
         let mut ex = GreedyExecutor {
-            flat: Seminaive::new(flat_rules),
+            flat,
             nexts,
             exits,
             exit_plans,
@@ -454,6 +458,9 @@ impl GreedyExecutor {
         let m = Arc::clone(&self.tel.metrics);
         self.db.set_metrics(Arc::clone(&m));
         self.flat.set_metrics(Arc::clone(&m));
+        self.flat.set_trace(self.tel.trace.clone());
+        self.flat
+            .set_profiler(self.tel.profiler.is_enabled().then(|| Arc::clone(&self.tel.profiler)));
         for ns in &mut self.nexts {
             ns.rql.set_metrics(Arc::clone(&m));
         }
@@ -462,29 +469,58 @@ impl GreedyExecutor {
     /// Run to fixpoint.
     pub fn run(mut self) -> Result<GreedyRun, CoreError> {
         let tel = self.tel.clone();
+        // Phase and overhead accounting use *chained* timestamps: each
+        // boundary reads the clock once and every interval between two
+        // boundaries is charged somewhere (a phase, a rule, or the
+        // profiler's overhead bucket). That keeps the attribution gap —
+        // time the instrumentation itself cannot see — to the one
+        // accumulator update per boundary, which is what lets
+        // `--profile` account for nearly all of the run's wall time.
+        let clocked = tel.phases.is_enabled() || tel.profiler.is_enabled();
         let mut flat_round: u64 = 0;
         loop {
-            let new_facts = tel.phases.time("run/flat", || self.flat.saturate(&mut self.db))?;
+            let mut t_prev = clocked.then(std::time::Instant::now);
+            let new_facts = self.flat.saturate(&mut self.db)?;
+            if let Some(t0) = t_prev {
+                let t = std::time::Instant::now();
+                tel.phases.add("run/flat", t - t0);
+                t_prev = Some(t);
+            }
             self.stats.flat_new_facts += new_facts;
             flat_round += 1;
             tel.trace_with(|| TraceEvent::FlatRound { round: flat_round, new_facts });
-            if tel.phases.time("run/exit", || self.fire_exit_rule())? {
+            if let Some(t0) = t_prev {
+                let t = std::time::Instant::now();
+                tel.profiler.add_overhead(t - t0);
+                t_prev = Some(t);
+            }
+            let exited = self.fire_exit_rule()?;
+            if let Some(t0) = t_prev {
+                let t = std::time::Instant::now();
+                tel.phases.add("run/exit", t - t0);
+                t_prev = Some(t);
+            }
+            if exited {
                 continue;
             }
-            tel.phases.time("run/feed", || -> Result<(), CoreError> {
-                for i in 0..self.nexts.len() {
-                    self.feed(i)?;
+            for i in 0..self.nexts.len() {
+                self.feed(i)?;
+            }
+            if let Some(t0) = t_prev {
+                let t = std::time::Instant::now();
+                tel.phases.add("run/feed", t - t0);
+                t_prev = Some(t);
+            }
+            let mut fired = false;
+            for i in 0..self.nexts.len() {
+                if self.fire_next_rule(i)? {
+                    fired = true;
+                    break;
                 }
-                Ok(())
-            })?;
-            let fired = tel.phases.time("run/gamma", || -> Result<bool, CoreError> {
-                for i in 0..self.nexts.len() {
-                    if self.fire_next_rule(i)? {
-                        return Ok(true);
-                    }
-                }
-                Ok(false)
-            })?;
+            }
+            if let Some(t0) = t_prev {
+                tel.phases.add("run/gamma", t0.elapsed());
+            }
             if !fired {
                 break;
             }
@@ -509,20 +545,54 @@ impl GreedyExecutor {
             stats,
             ..
         } = self;
+        let prov = db.provenance().cloned();
         for (ei, (ri, rule)) in exits.iter().enumerate() {
             let body_size: usize = rule.positive_atoms().map(|a| db.count(a.pred)).sum();
             if exit_stale[ei] == Some(body_size) {
                 continue;
             }
+            let t0 = tel.profiler.start();
+            let cached = exit_plans.is_cached(ei);
             let plan = exit_plans
                 .get_or_compile(ei, rule, Some(&*tel.metrics))
                 .map_err(CoreError::Engine)?;
+            if cached {
+                tel.profiler.record_plan_hit(*ri);
+            }
             let frames = collect_matches_plan(db, rule, &plan, None)?;
+            let considered = frames.len() as u64;
+            tel.metrics.choice_candidates_considered.add(considered);
             let mut consistent = Vec::new();
+            let mut rejected: u64 = 0;
             for b in frames {
-                if fd_consistent(rule, &exit_memos[ei], &b)? {
-                    consistent.push(b);
+                match fd_first_conflict(rule, &exit_memos[ei], &b)? {
+                    None => consistent.push(b),
+                    Some((gi, left, attempted, committed)) => {
+                        rejected += 1;
+                        tel.metrics.diffchoice_rejections.inc();
+                        if let Some(arena) = &prov {
+                            let head = instantiate_head(rule, &b)?;
+                            arena.record_rejection(
+                                *ri,
+                                gi,
+                                "diffchoice",
+                                rule.head.pred,
+                                &head,
+                                left,
+                                attempted,
+                                committed,
+                            );
+                        }
+                    }
                 }
+            }
+            if considered > 0 {
+                tel.trace_with(|| TraceEvent::ChoiceAudit {
+                    rule: *ri,
+                    pred: rule.head.pred.to_string(),
+                    considered,
+                    rejected,
+                });
             }
             let minimal = filter_extrema(rule, consistent)?;
             // Deterministic pick: smallest (head, chosen-args).
@@ -541,6 +611,7 @@ impl GreedyExecutor {
             }
             let Some((head, args, b)) = best else {
                 exit_stale[ei] = Some(body_size);
+                tel.profiler.finish(t0, *ri, 0, 0);
                 continue;
             };
             let pairs = eval_goal_pairs(rule, &b)?;
@@ -548,6 +619,11 @@ impl GreedyExecutor {
                 pred: rule.head.pred.to_string(),
                 fact: head.to_string(),
             });
+            if let Some(arena) = &prov {
+                arena.advance_step();
+                arena.record_derivation(rule.head.pred, &head, *ri, &parent_rows(rule, &b));
+                arena.record_commit(*ri, rule.head.pred, &head, pairs.clone());
+            }
             db.insert(rule.head.pred, head);
             for (gi, (l, r)) in pairs.iter().enumerate() {
                 exit_memos[ei][gi].insert(l.clone(), r.clone());
@@ -555,6 +631,7 @@ impl GreedyExecutor {
             chosen.push(ChosenRecord { rule_idx: *ri, pairs, chosen_args: args });
             stats.gamma_steps += 1;
             tel.metrics.gamma_steps.inc();
+            tel.profiler.finish(t0, *ri, 1, 1);
             return Ok(true);
         }
         Ok(false)
@@ -563,8 +640,9 @@ impl GreedyExecutor {
     /// Push newly derived source facts of next rule `i` into its `Q_r`,
     /// and refresh the rule's stage high-water mark.
     fn feed(&mut self, i: usize) -> Result<(), CoreError> {
-        let GreedyExecutor { nexts, db, stats, .. } = self;
+        let GreedyExecutor { nexts, db, stats, tel, .. } = self;
         let ns = &mut nexts[i];
+        let t0 = tel.profiler.start();
         let plan = &ns.plan;
 
         // Track the head relation's max stage (exit rules seed it), and
@@ -625,12 +703,14 @@ impl GreedyExecutor {
             ns.rql.insert(key, cost, row.clone());
             stats.queue_peak = stats.queue_peak.max(ns.rql.queue_len());
         }
+        tel.profiler.finish(t0, ns.plan.rule_idx, 0, 0);
         Ok(())
     }
 
     /// γ for next rule `i`: pop candidates until one passes every check.
     fn fire_next_rule(&mut self, i: usize) -> Result<bool, CoreError> {
         let tel = self.tel.clone();
+        let prov = self.db.provenance().cloned();
         // Split the borrow: take what we need out of `self.nexts[i]`.
         let ns = &mut self.nexts[i];
         if ns.stage == i64::MIN {
@@ -646,12 +726,17 @@ impl GreedyExecutor {
             });
         }
         let next_stage = ns.stage.checked_add(1).ok_or(CoreError::StepLimit { steps: u64::MAX })?;
+        let t0 = tel.profiler.start();
 
         // One scratch frame for the whole retrieve-least loop: the trail
         // rewinds it between pops instead of reallocating per candidate.
         let mut b = Bindings::new(ns.plan.rule.num_vars());
         let mut trail: Vec<VarId> = Vec::new();
+        let mut pops: u64 = 0;
+        let mut rejected: u64 = 0;
         while let Some(popped) = ns.rql.pop_least() {
+            pops += 1;
+            tel.metrics.choice_candidates_considered.inc();
             for v in trail.drain(..) {
                 b.unbind(v);
             }
@@ -668,15 +753,43 @@ impl GreedyExecutor {
 
             let stage_ok = apply_comparisons(&plan.pre_checks, &mut b, &mut trail)?
                 && apply_comparisons(&plan.post_checks, &mut b, &mut trail)?;
-            let fd_ok =
-                stage_ok && fd_consistent_goals(&plan.choice_goals, &ns.memos, &plan.rule, &b)?;
-            if !fd_ok {
+            let conflict = if stage_ok {
+                fd_first_conflict_goals(&plan.choice_goals, &ns.memos, &plan.rule, &b)?
+            } else {
+                None
+            };
+            if !stage_ok || conflict.is_some() {
                 let reason = if stage_ok {
                     tel.metrics.diffchoice_rejections.inc();
                     DiscardReason::DiffChoice
                 } else {
                     DiscardReason::StaleStage
                 };
+                if let Some(arena) = &prov {
+                    match conflict {
+                        Some((gi, left, attempted, committed)) => arena.record_rejection(
+                            plan.rule_idx,
+                            gi,
+                            "diffchoice",
+                            plan.source_pred,
+                            &popped.row,
+                            left,
+                            attempted,
+                            committed,
+                        ),
+                        None => arena.record_rejection(
+                            plan.rule_idx,
+                            NO_GOAL,
+                            "stale-stage",
+                            plan.source_pred,
+                            &popped.row,
+                            Vec::new(),
+                            Vec::new(),
+                            Vec::new(),
+                        ),
+                    }
+                }
+                rejected += 1;
                 tel.metrics.discarded_pops.inc();
                 tel.trace_with(|| TraceEvent::Discard {
                     pred: plan.head_pred.to_string(),
@@ -696,6 +809,19 @@ impl GreedyExecutor {
                 .map(|(_, v)| v.clone())
                 .collect();
             if ns.w_used.contains(&w) {
+                if let Some(arena) = &prov {
+                    arena.record_rejection(
+                        plan.rule_idx,
+                        NO_GOAL,
+                        "stage-reuse",
+                        plan.head_pred,
+                        &popped.row,
+                        w.clone(),
+                        vec![Value::Int(next_stage)],
+                        Vec::new(),
+                    );
+                }
+                rejected += 1;
                 tel.metrics.stage_reuse_rejections.inc();
                 tel.metrics.discarded_pops.inc();
                 tel.trace_with(|| TraceEvent::Discard {
@@ -721,15 +847,41 @@ impl GreedyExecutor {
                 cost: if plan.cost.is_some() { popped.cost.to_string() } else { String::new() },
                 fact: head.to_string(),
             });
+            if let Some(arena) = &prov {
+                arena.advance_step();
+                arena.record_derivation(
+                    plan.head_pred,
+                    &head,
+                    plan.rule_idx,
+                    &[(plan.source_pred, popped.row.clone())],
+                );
+                arena.record_commit(plan.rule_idx, plan.head_pred, &head, pairs.clone());
+            }
             ns.rql.commit(popped);
             ns.stage = next_stage;
-            let rule_idx = plan.rule_idx;
+            let rule_idx = ns.plan.rule_idx;
+            tel.trace_with(|| TraceEvent::ChoiceAudit {
+                rule: rule_idx,
+                pred: ns.plan.head_pred.to_string(),
+                considered: pops,
+                rejected,
+            });
             self.db.insert(ns.plan.head_pred, head);
             self.chosen.push(ChosenRecord { rule_idx, pairs, chosen_args });
             self.stats.gamma_steps += 1;
             tel.metrics.gamma_steps.inc();
+            tel.profiler.finish(t0, rule_idx, 1, 1);
             return Ok(true);
         }
+        if pops > 0 {
+            tel.trace_with(|| TraceEvent::ChoiceAudit {
+                rule: ns.plan.rule_idx,
+                pred: ns.plan.head_pred.to_string(),
+                considered: pops,
+                rejected,
+            });
+        }
+        tel.profiler.finish(t0, ns.plan.rule_idx, 0, 0);
         Ok(false)
     }
 }
@@ -800,27 +952,35 @@ fn eval_tuple(rule: &Rule, terms: &[Term], b: &Bindings) -> Result<Vec<Value>, C
         .collect()
 }
 
-/// diffChoice on the fly, over explicit goal lists.
-fn fd_consistent_goals(
+/// The first conflicting `(goal, left, attempted, committed)` of the
+/// on-the-fly diffChoice test over explicit goal lists — `None` means
+/// the binding is FD-consistent.
+#[allow(clippy::type_complexity)]
+fn fd_first_conflict_goals(
     goals: &[(Vec<Term>, Vec<Term>)],
     memos: &[FdMap],
     rule: &Rule,
     b: &Bindings,
-) -> Result<bool, CoreError> {
+) -> Result<Option<(usize, Vec<Value>, Vec<Value>, Vec<Value>)>, CoreError> {
     for (gi, (l, r)) in goals.iter().enumerate() {
         let lv = eval_tuple(rule, l, b)?;
         let rv = eval_tuple(rule, r, b)?;
         if let Some(prev) = memos[gi].get(&lv) {
             if *prev != rv {
-                return Ok(false);
+                return Ok(Some((gi, lv, rv, prev.clone())));
             }
         }
     }
-    Ok(true)
+    Ok(None)
 }
 
-/// diffChoice over a rule's own choice literals.
-fn fd_consistent(rule: &Rule, memos: &[FdMap], b: &Bindings) -> Result<bool, CoreError> {
+/// [`fd_first_conflict_goals`] over a rule's own choice literals.
+#[allow(clippy::type_complexity)]
+fn fd_first_conflict(
+    rule: &Rule,
+    memos: &[FdMap],
+    b: &Bindings,
+) -> Result<Option<(usize, Vec<Value>, Vec<Value>, Vec<Value>)>, CoreError> {
     let goals: Vec<(Vec<Term>, Vec<Term>)> = rule
         .body
         .iter()
@@ -829,7 +989,7 @@ fn fd_consistent(rule: &Rule, memos: &[FdMap], b: &Bindings) -> Result<bool, Cor
             _ => None,
         })
         .collect();
-    fd_consistent_goals(&goals, memos, rule, b)
+    fd_first_conflict_goals(&goals, memos, rule, b)
 }
 
 fn all_pairs_present(rule: &Rule, memos: &[FdMap], b: &Bindings) -> Result<bool, CoreError> {

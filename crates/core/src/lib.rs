@@ -43,17 +43,16 @@ pub mod analysis;
 pub mod diag;
 pub mod error;
 pub mod exec;
+pub mod explain;
 pub mod rewrite;
 pub mod verify;
 
 pub use analysis::{classify, Analysis, ProgramClass, StageViolation};
-pub use diag::{check_program, diagnostics_to_json, CheckReport};
+pub use diag::{check_program, diagnostics_to_json, CheckReport, DIAG_SCHEMA_VERSION};
 pub use error::CoreError;
 pub use exec::{ChosenRecord, GreedyConfig, GreedyRun, GreedyStats};
 pub use rewrite::{rewrite_full, FullRewrite};
 pub use verify::verify_stable_model;
-
-use std::sync::Arc;
 
 use gbc_ast::Program;
 use gbc_engine::{ChoiceFixpoint, ChoiceFixpointConfig, DeterministicFirst};
@@ -174,7 +173,7 @@ impl Compiled {
     ) -> Result<GreedyRun, CoreError> {
         let mut fixpoint =
             ChoiceFixpoint::with_config(&self.expanded, edb, ChoiceFixpointConfig::default())?;
-        fixpoint.set_metrics(Arc::clone(&tel.metrics));
+        fixpoint.set_telemetry(tel.clone());
         tel.phases.time("run", || fixpoint.run(&mut DeterministicFirst).map(|_| ()))?;
         let chosen = verify::records_from_engine(&fixpoint, &self.expanded);
         let steps = fixpoint.gamma_steps();

@@ -22,12 +22,12 @@ use std::sync::Arc;
 
 use gbc_ast::{Literal, Program, Rule, Symbol, Term, Value};
 use gbc_storage::{Database, Row};
-use gbc_telemetry::Metrics;
+use gbc_telemetry::{Metrics, Telemetry, TraceEvent};
 
 use crate::bindings::Bindings;
 use crate::chooser::Chooser;
 use crate::error::EngineError;
-use crate::eval::{eval_term, instantiate_head};
+use crate::eval::{eval_term, instantiate_head, parent_rows};
 use crate::extrema::{collect_matches_plan, filter_extrema};
 use crate::plan::RulePlan;
 use crate::seminaive::Seminaive;
@@ -47,7 +47,7 @@ impl Default for ChoiceFixpointConfig {
 }
 
 /// One fireable instance of a choice rule.
-#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Clone, Debug)]
 pub struct Candidate {
     /// Index into the choice-rule list.
     pub rule: usize,
@@ -61,6 +61,41 @@ pub struct Candidate {
     /// program. Used by `gbc-core` to reconstruct `chosen_i` relations
     /// when validating Theorem 1.
     pub chosen_args: Vec<Value>,
+    /// The body rows this instantiation joined over. Only filled when a
+    /// provenance arena is attached; excluded from comparisons so the
+    /// candidate ordering (and hence γ) is identical with and without
+    /// provenance.
+    pub parents: Vec<(Symbol, Row)>,
+}
+
+/// The fields a [`Candidate`]'s identity and ordering are built from —
+/// everything except `parents`, which is observability-only.
+type CandidateKey<'a> = (usize, &'a Row, &'a [(Vec<Value>, Vec<Value>)], &'a [Value]);
+
+impl Candidate {
+    fn key(&self) -> CandidateKey<'_> {
+        (self.rule, &self.head, &self.choices, &self.chosen_args)
+    }
+}
+
+impl PartialEq for Candidate {
+    fn eq(&self, other: &Candidate) -> bool {
+        self.key() == other.key()
+    }
+}
+
+impl Eq for Candidate {}
+
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Candidate) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Candidate {
+    fn cmp(&self, other: &Candidate) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
 }
 
 /// The functional-dependency memo of one `choice` goal.
@@ -72,6 +107,9 @@ type FdMap = gbc_storage::FxHashMap<Vec<Value>, Vec<Value>>;
 #[derive(Debug, Clone)]
 pub struct ChoiceFixpoint {
     choice_rules: Vec<Rule>,
+    /// Original-program rule index per choice rule (for provenance,
+    /// profiling and audit events).
+    choice_rule_ids: Vec<usize>,
     /// Head predicate of each choice rule (cached).
     choice_heads: Vec<Symbol>,
     /// Join plans of the choice rules, compiled once at construction;
@@ -87,9 +125,10 @@ pub struct ChoiceFixpoint {
     steps: u64,
     /// Log of fired candidates, in firing order.
     committed: Vec<Candidate>,
-    /// Shared counter registry (γ steps; forwarded to the database and
-    /// the flat-rule saturator on attach).
-    metrics: Option<Arc<Metrics>>,
+    /// Instrumentation bundle: counters (γ steps), optional trace sink
+    /// (audit events) and optional per-rule profiler. Forwarded to the
+    /// database and the flat-rule saturator on attach.
+    tel: Telemetry,
 }
 
 impl ChoiceFixpoint {
@@ -109,8 +148,10 @@ impl ChoiceFixpoint {
         program.validate()?;
         let mut db = edb.clone();
         let mut choice_rules = Vec::new();
+        let mut choice_rule_ids = Vec::new();
         let mut flat_rules = Vec::new();
-        for r in &program.rules {
+        let mut flat_ids = Vec::new();
+        for (i, r) in program.rules.iter().enumerate() {
             if r.has_next() {
                 return Err(EngineError::UnexpandedNext { rule: r.to_string() });
             }
@@ -124,8 +165,10 @@ impl ChoiceFixpoint {
                 db.insert(r.head.pred, row);
             } else if r.has_choice() {
                 choice_rules.push(r.clone());
+                choice_rule_ids.push(i);
             } else {
                 flat_rules.push(r.clone());
+                flat_ids.push(i);
             }
         }
         let memos = choice_rules
@@ -140,17 +183,20 @@ impl ChoiceFixpoint {
             .iter()
             .map(|r| RulePlan::compile(r).map(Arc::new))
             .collect::<Result<_, _>>()?;
+        let mut flat = Seminaive::new(flat_rules);
+        flat.set_rule_ids(flat_ids);
         Ok(ChoiceFixpoint {
             choice_rules,
+            choice_rule_ids,
             choice_heads,
             choice_plans,
-            flat: Seminaive::new(flat_rules),
+            flat,
             memos,
             db,
             config,
             steps: 0,
             committed: Vec::new(),
-            metrics: None,
+            tel: Telemetry::counters_only(),
         })
     }
 
@@ -159,7 +205,18 @@ impl ChoiceFixpoint {
     pub fn set_metrics(&mut self, metrics: Arc<Metrics>) {
         self.db.set_metrics(Arc::clone(&metrics));
         self.flat.set_metrics(Arc::clone(&metrics));
-        self.metrics = Some(metrics);
+        self.tel.metrics = metrics;
+    }
+
+    /// Attach a full instrumentation bundle: counters, and — when
+    /// present — the trace sink (audit + rule-fired events) and the
+    /// per-rule profiler, forwarded to the flat-rule saturator.
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.db.set_metrics(Arc::clone(&tel.metrics));
+        self.flat.set_metrics(Arc::clone(&tel.metrics));
+        self.flat.set_trace(tel.trace.clone());
+        self.flat.set_profiler(tel.profiler.is_enabled().then(|| Arc::clone(&tel.profiler)));
+        self.tel = tel;
     }
 
     /// The current database.
@@ -203,28 +260,59 @@ impl ChoiceFixpoint {
     /// minimal, not-yet-fired instances of every choice rule, sorted
     /// and deduplicated.
     pub fn candidates(&self) -> Result<Vec<Candidate>, EngineError> {
+        let prov = self.db.provenance().cloned();
         let mut out = Vec::new();
         for (ri, rule) in self.choice_rules.iter().enumerate() {
-            if let Some(m) = &self.metrics {
-                m.plan_cache_hits.inc();
-            }
+            let rule_id = self.choice_rule_ids[ri];
+            let t0 = self.tel.profiler.start();
+            self.tel.metrics.plan_cache_hits.inc();
+            self.tel.profiler.record_plan_hit(rule_id);
             let frames = collect_matches_plan(&self.db, rule, &self.choice_plans[ri], None)?;
+            let considered = frames.len() as u64;
+            self.tel.metrics.choice_candidates_considered.add(considered);
             // diffChoice on the fly: drop frames contradicting a memo.
             let mut consistent = Vec::new();
+            let mut rejected: u64 = 0;
             for b in frames {
-                if self.fd_consistent(ri, rule, &b)? {
-                    consistent.push(b);
+                match self.fd_conflict(ri, rule, &b)? {
+                    None => consistent.push(b),
+                    Some((gi, left, attempted, committed)) => {
+                        rejected += 1;
+                        self.tel.metrics.diffchoice_rejections.inc();
+                        if let Some(arena) = &prov {
+                            let head = instantiate_head(rule, &b)?;
+                            arena.record_rejection(
+                                rule_id,
+                                gi,
+                                "diffchoice",
+                                rule.head.pred,
+                                &head,
+                                left,
+                                attempted,
+                                committed,
+                            );
+                        }
+                    }
                 }
+            }
+            if considered > 0 {
+                self.tel.trace_with(|| TraceEvent::ChoiceAudit {
+                    rule: rule_id,
+                    pred: rule.head.pred.to_string(),
+                    considered,
+                    rejected,
+                });
             }
             // least/most among the FD-consistent instantiations (the
             // rewriting order of Section 2: choice first, then least).
             let minimal = filter_extrema(rule, consistent)?;
             for b in &minimal {
-                let cand = self.make_candidate(ri, rule, b)?;
+                let cand = self.make_candidate(ri, rule, b, prov.is_some())?;
                 if self.is_new(&cand) {
                     out.push(cand);
                 }
             }
+            self.tel.profiler.finish(t0, rule_id, 0, 0);
         }
         out.sort();
         out.dedup();
@@ -233,15 +321,31 @@ impl ChoiceFixpoint {
 
     /// Fire one candidate: insert its head and commit its FD pairs.
     pub fn commit(&mut self, cand: &Candidate) {
+        let rule_id = self.choice_rule_ids[cand.rule];
+        let t0 = self.tel.profiler.start();
+        if let Some(arena) = self.db.provenance().cloned() {
+            arena.advance_step();
+            arena.record_derivation(
+                self.choice_heads[cand.rule],
+                &cand.head,
+                rule_id,
+                &cand.parents,
+            );
+            arena.record_commit(
+                rule_id,
+                self.choice_heads[cand.rule],
+                &cand.head,
+                cand.choices.clone(),
+            );
+        }
         self.db.insert(self.choice_heads[cand.rule], cand.head.clone());
         for (gi, (l, r)) in cand.choices.iter().enumerate() {
             self.memos[cand.rule][gi].insert(l.clone(), r.clone());
         }
         self.committed.push(cand.clone());
         self.steps += 1;
-        if let Some(m) = &self.metrics {
-            m.gamma_steps.inc();
-        }
+        self.tel.metrics.gamma_steps.inc();
+        self.tel.profiler.finish(t0, rule_id, 1, 1);
     }
 
     /// The fired candidates, in order. Index [`Candidate::rule`] refers
@@ -286,7 +390,16 @@ impl ChoiceFixpoint {
             .collect()
     }
 
-    fn fd_consistent(&self, ri: usize, rule: &Rule, b: &Bindings) -> Result<bool, EngineError> {
+    /// First `choice` goal whose memoised FD the binding contradicts,
+    /// as `(goal, left, attempted, committed)` — `None` means the
+    /// binding is diffChoice-consistent.
+    #[allow(clippy::type_complexity)]
+    fn fd_conflict(
+        &self,
+        ri: usize,
+        rule: &Rule,
+        b: &Bindings,
+    ) -> Result<Option<(usize, Vec<Value>, Vec<Value>, Vec<Value>)>, EngineError> {
         let mut gi = 0;
         for lit in &rule.body {
             let Literal::Choice { left, right } = lit else { continue };
@@ -294,12 +407,12 @@ impl ChoiceFixpoint {
             let r = self.eval_tuple(rule, right, b)?;
             if let Some(prev) = self.memos[ri][gi].get(&l) {
                 if *prev != r {
-                    return Ok(false);
+                    return Ok(Some((gi, l, r, prev.clone())));
                 }
             }
             gi += 1;
         }
-        Ok(true)
+        Ok(None)
     }
 
     fn make_candidate(
@@ -307,6 +420,7 @@ impl ChoiceFixpoint {
         ri: usize,
         rule: &Rule,
         b: &Bindings,
+        with_parents: bool,
     ) -> Result<Candidate, EngineError> {
         let head = instantiate_head(rule, b)?;
         let mut choices = Vec::new();
@@ -315,7 +429,8 @@ impl ChoiceFixpoint {
             choices.push((self.eval_tuple(rule, left, b)?, self.eval_tuple(rule, right, b)?));
         }
         let chosen_args = choice_var_values(rule, b)?;
-        Ok(Candidate { rule: ri, head, choices, chosen_args })
+        let parents = if with_parents { parent_rows(rule, b) } else { Vec::new() };
+        Ok(Candidate { rule: ri, head, choices, chosen_args, parents })
     }
 
     /// The variables of a rule's `choice` goals, in first-occurrence

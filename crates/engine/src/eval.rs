@@ -130,6 +130,18 @@ pub fn instantiate_head(rule: &Rule, b: &Bindings) -> Result<Row, EngineError> {
     }
 }
 
+/// The ground rows a complete body match joined over: one `(pred,
+/// row)` per positive body atom, instantiated under `b`. This is the
+/// parent set provenance records for a derived head row.
+pub fn parent_rows(rule: &Rule, b: &Bindings) -> Vec<(gbc_ast::Symbol, Row)> {
+    rule.positive_atoms()
+        .filter_map(|a| {
+            let vals: Option<Vec<Value>> = a.args.iter().map(|t| eval_term(t, b)).collect();
+            vals.map(|v| (a.pred, Row::new(v)))
+        })
+        .collect()
+}
+
 /// Enumerate all satisfying bindings of `rule`'s body. `on_match`
 /// receives the binding frame; returning `false` stops the enumeration
 /// early (used by existence checks).

@@ -453,6 +453,12 @@ impl PlanCache {
         PlanCache { slots: vec![None; n] }
     }
 
+    /// Is slot `i` already compiled? (The next `get_or_compile` on it
+    /// will be a cache hit.)
+    pub fn is_cached(&self, i: usize) -> bool {
+        self.slots.get(i).is_some_and(Option::is_some)
+    }
+
     /// The plan for slot `i`, compiling `rule` on first use.
     pub fn get_or_compile(
         &mut self,

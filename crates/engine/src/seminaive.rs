@@ -13,31 +13,55 @@
 //! alternation (Section 2) pays only for work caused by the facts the
 //! latest γ step introduced.
 
-use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 use gbc_ast::{Literal, Rule, Symbol};
-use gbc_storage::{Database, Row};
-use gbc_telemetry::Metrics;
+use gbc_storage::{Database, FxHashMap, Row};
+use gbc_telemetry::{Metrics, RuleProfiler, TraceEvent, TraceSink};
 
 use crate::error::EngineError;
-use crate::eval::{instantiate_head, Focus};
-use crate::extrema::eval_rule_with_extrema_plan;
+use crate::eval::{instantiate_head, parent_rows, Focus};
+use crate::extrema::{eval_rule_with_extrema_plan, eval_rule_with_extrema_plan_traced};
 use crate::plan::{for_each_match_plan, PlanCache};
 
+/// Rows joined over per derived head row — recorded for provenance.
+type ParentSets = Vec<Vec<(Symbol, Row)>>;
+
 /// Persistent seminaive driver. See the module docs.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Seminaive {
     rules: Vec<Rule>,
+    /// Original-program rule index per driven rule — the id reported
+    /// to provenance, the profiler and `rule_fired` trace events.
+    /// Defaults to the identity (driven rules ARE the program).
+    rule_ids: Vec<usize>,
     /// Compiled join plans, one slot per rule, filled on first use and
     /// reused for every subsequent round and saturation call.
     plans: PlanCache,
+    /// The distinct predicates appearing positively in rule bodies,
+    /// computed once — each round snapshots exactly these counts.
+    preds: Vec<Symbol>,
     /// Per-predicate count of rows already used as deltas.
-    marks: HashMap<Symbol, usize>,
+    marks: FxHashMap<Symbol, usize>,
     /// Rules already given their initial full evaluation.
     evaluated_once: Vec<bool>,
     /// Per-round delta sizes report here when attached.
     metrics: Option<Arc<Metrics>>,
+    /// `rule_fired` events go here when attached.
+    trace: Option<Arc<dyn TraceSink>>,
+    /// Per-rule timing reports here when attached.
+    profiler: Option<Arc<RuleProfiler>>,
+}
+
+impl std::fmt::Debug for Seminaive {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Seminaive")
+            .field("rules", &self.rules.len())
+            .field("marks", &self.marks)
+            .field("trace", &self.trace.is_some())
+            .finish()
+    }
 }
 
 impl Seminaive {
@@ -46,12 +70,24 @@ impl Seminaive {
     /// evaluation time by the matcher.
     pub fn new(rules: Vec<Rule>) -> Seminaive {
         let n = rules.len();
+        let mut preds = Vec::new();
+        for rule in &rules {
+            for a in rule.positive_atoms() {
+                if !preds.contains(&a.pred) {
+                    preds.push(a.pred);
+                }
+            }
+        }
         Seminaive {
             rules,
+            rule_ids: (0..n).collect(),
             plans: PlanCache::new(n),
-            marks: HashMap::new(),
+            preds,
+            marks: FxHashMap::default(),
             evaluated_once: vec![false; n],
             metrics: None,
+            trace: None,
+            profiler: None,
         }
     }
 
@@ -62,6 +98,25 @@ impl Seminaive {
         self.metrics = Some(metrics);
     }
 
+    /// Override the original-program rule index per driven rule. Owners
+    /// driving a *subset* of a program (the choice fixpoint's flat
+    /// rules, the greedy executor) call this so observability reports
+    /// cite program positions, not subset positions.
+    pub fn set_rule_ids(&mut self, ids: Vec<usize>) {
+        assert_eq!(ids.len(), self.rules.len(), "one id per driven rule");
+        self.rule_ids = ids;
+    }
+
+    /// Attach (or detach) a trace sink for `rule_fired` events.
+    pub fn set_trace(&mut self, trace: Option<Arc<dyn TraceSink>>) {
+        self.trace = trace;
+    }
+
+    /// Attach (or detach) a per-rule profiler.
+    pub fn set_profiler(&mut self, profiler: Option<Arc<RuleProfiler>>) {
+        self.profiler = profiler;
+    }
+
     /// The rules driven by this instance.
     pub fn rules(&self) -> &[Rule] {
         &self.rules
@@ -69,30 +124,70 @@ impl Seminaive {
 
     /// Run rounds until fixpoint. Returns the number of new facts.
     pub fn saturate(&mut self, db: &mut Database) -> Result<u64, EngineError> {
-        let Seminaive { rules, plans, marks, evaluated_once, metrics } = self;
+        let Seminaive {
+            rules,
+            rule_ids,
+            plans,
+            preds,
+            marks,
+            evaluated_once,
+            metrics,
+            trace,
+            profiler,
+        } = self;
+        // Owned handle: recording happens while `db` is mutably
+        // borrowed by the insert loop.
+        let prov = db.provenance().cloned();
         let mut total: u64 = 0;
         loop {
-            // Snapshot lengths at round start: rows at or beyond these
-            // positions belong to the *next* round's deltas.
-            let mut start_lens: HashMap<Symbol, usize> = HashMap::new();
-            for rule in rules.iter() {
-                for a in rule.positive_atoms() {
-                    start_lens.insert(a.pred, db.count(a.pred));
-                }
+            // The round runs on a *chained* clock: one `Instant::now`
+            // per boundary, with every interval charged either to the
+            // rule that just evaluated or to the profiler's overhead
+            // bucket (round snapshots, mark advances). Chaining — as
+            // opposed to independent start/stop pairs per rule — leaves
+            // no gap between intervals, so the clock reads themselves
+            // cannot leak unattributed time.
+            let mut t_prev = profiler.as_ref().and_then(|p| p.start());
+            let start_lens: Vec<(Symbol, usize)> =
+                preds.iter().map(|&p| (p, db.count(p))).collect();
+            if let (Some(p), Some(t0)) = (profiler.as_ref(), t_prev) {
+                let t = Instant::now();
+                p.add_overhead(t - t0);
+                t_prev = Some(t);
             }
 
             let mut new_facts: u64 = 0;
             for (ri, rule) in rules.iter().enumerate() {
                 let head = rule.head.pred;
+                let rule_id = rule_ids[ri];
+                let cached = plans.is_cached(ri);
                 let plan = plans.get_or_compile(ri, rule, metrics.as_deref())?;
+                if cached {
+                    if let Some(p) = profiler {
+                        p.record_plan_hit(rule_id);
+                    }
+                }
+                // `parents` stays index-aligned with `derived`; it is
+                // only filled when an arena is attached.
+                let mut parents: ParentSets = Vec::new();
                 let derived: Vec<Row> = if !evaluated_once[ri] {
                     evaluated_once[ri] = true;
                     if rule.has_extrema() {
-                        eval_rule_with_extrema_plan(db, rule, &plan)?
+                        if prov.is_some() {
+                            let (rows, frames) =
+                                eval_rule_with_extrema_plan_traced(db, rule, &plan)?;
+                            parents = frames.iter().map(|b| parent_rows(rule, b)).collect();
+                            rows
+                        } else {
+                            eval_rule_with_extrema_plan(db, rule, &plan)?
+                        }
                     } else {
                         let mut derived = Vec::new();
                         for_each_match_plan(db, None, rule, &plan, None, &mut |b| {
                             derived.push(instantiate_head(rule, b)?);
+                            if prov.is_some() {
+                                parents.push(parent_rows(rule, b));
+                            }
                             Ok(true)
                         })?;
                         derived
@@ -102,9 +197,20 @@ impl Seminaive {
                         .positive_atoms()
                         .any(|a| marks.get(&a.pred).copied().unwrap_or(0) < db.count(a.pred));
                     if !grown {
+                        if let (Some(p), Some(t0)) = (profiler.as_ref(), t_prev) {
+                            let t = Instant::now();
+                            p.record(rule_id, 0, 0, t - t0);
+                            t_prev = Some(t);
+                        }
                         continue;
                     }
-                    eval_rule_with_extrema_plan(db, rule, &plan)?
+                    if prov.is_some() {
+                        let (rows, frames) = eval_rule_with_extrema_plan_traced(db, rule, &plan)?;
+                        parents = frames.iter().map(|b| parent_rows(rule, b)).collect();
+                        rows
+                    } else {
+                        eval_rule_with_extrema_plan(db, rule, &plan)?
+                    }
                 } else {
                     let mut derived = Vec::new();
                     for (li, lit) in rule.body.iter().enumerate() {
@@ -124,16 +230,45 @@ impl Seminaive {
                             Some(Focus { literal: li, rows }),
                             &mut |b| {
                                 derived.push(instantiate_head(rule, b)?);
+                                if prov.is_some() {
+                                    parents.push(parent_rows(rule, b));
+                                }
                                 Ok(true)
                             },
                         )?;
                     }
                     derived
                 };
-                for row in derived {
-                    if db.insert(head, row) {
-                        new_facts += 1;
+                let mut inserted: u64 = 0;
+                if let Some(arena) = &prov {
+                    for (i, row) in derived.into_iter().enumerate() {
+                        if db.insert(head, row.clone()) {
+                            inserted += 1;
+                            let par = parents.get(i).map_or(&[][..], Vec::as_slice);
+                            arena.record_derivation(head, &row, rule_id, par);
+                        }
                     }
+                } else {
+                    for row in derived {
+                        if db.insert(head, row) {
+                            inserted += 1;
+                        }
+                    }
+                }
+                new_facts += inserted;
+                if inserted > 0 {
+                    if let Some(t) = trace {
+                        t.event(&TraceEvent::RuleFired {
+                            rule: rule_id,
+                            pred: head.to_string(),
+                            new_facts: inserted,
+                        });
+                    }
+                }
+                if let (Some(p), Some(t0)) = (profiler.as_ref(), t_prev) {
+                    let t = Instant::now();
+                    p.record(rule_id, 1, inserted, t - t0);
+                    t_prev = Some(t);
                 }
             }
 
@@ -145,6 +280,9 @@ impl Seminaive {
 
             if let Some(m) = metrics {
                 m.record_delta(new_facts);
+            }
+            if let (Some(p), Some(t0)) = (profiler.as_ref(), t_prev) {
+                p.add_overhead(t0.elapsed());
             }
             total += new_facts;
             if new_facts == 0 {

@@ -6,6 +6,7 @@ use std::sync::Arc;
 use gbc_ast::{Symbol, Value};
 use gbc_telemetry::Metrics;
 
+use crate::provenance::ProvenanceArena;
 use crate::relation::Relation;
 use crate::tuple::Row;
 
@@ -20,6 +21,9 @@ pub struct Database {
     empty: Relation,
     /// Counter registry handed to every relation (existing and future).
     metrics: Option<Arc<Metrics>>,
+    /// Derivation recorder. Clones share it, so attaching an arena to
+    /// the EDB before a run flows into every executor-cloned database.
+    provenance: Option<Arc<ProvenanceArena>>,
 }
 
 impl Database {
@@ -35,6 +39,17 @@ impl Database {
             rel.set_metrics(Arc::clone(&metrics));
         }
         self.metrics = Some(metrics);
+    }
+
+    /// Attach a provenance arena. The executors consult
+    /// [`Database::provenance`] and record derivations when present.
+    pub fn set_provenance(&mut self, arena: Arc<ProvenanceArena>) {
+        self.provenance = Some(arena);
+    }
+
+    /// The attached provenance arena, if any.
+    pub fn provenance(&self) -> Option<&Arc<ProvenanceArena>> {
+        self.provenance.as_ref()
     }
 
     fn fresh_relation(metrics: &Option<Arc<Metrics>>) -> Relation {

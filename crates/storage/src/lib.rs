@@ -14,12 +14,16 @@
 //! * [`rql::Rql`] — the paper's **D_r = (R_r, Q_r, L_r)** structure: a
 //!   priority queue of candidate facts with one representative per
 //!   *r-congruence* class, the used set `L_r`, and the redundant set
-//!   `R_r`. Insertion and retrieve-least are `O(log |Q|)`.
+//!   `R_r`. Insertion and retrieve-least are `O(log |Q|)`;
+//! * [`provenance::ProvenanceArena`] — an optional derivation record
+//!   (rule id, γ step, parent rows, choice commits and rejections) the
+//!   executors populate when one is attached to the [`Database`].
 
 pub mod database;
 pub mod fx;
 pub mod heap;
 pub mod index;
+pub mod provenance;
 pub mod relation;
 pub mod rql;
 pub mod tuple;
@@ -27,6 +31,7 @@ pub mod tuple;
 pub use database::Database;
 pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use heap::{Handle, IndexedHeap};
+pub use provenance::{ChoiceCommit, ChoiceRejection, Derivation, ProvenanceArena, NO_GOAL};
 pub use relation::Relation;
 pub use rql::{Rql, RqlOutcome};
 pub use tuple::Row;

@@ -1,0 +1,328 @@
+//! Derivation provenance: why is this tuple in the model?
+//!
+//! A [`ProvenanceArena`] interns `(predicate, row)` pairs into dense
+//! `u32` ids on demand and records, per derived row, the rule that
+//! fired it, the γ step at which it appeared, and the parent rows the
+//! firing joined over. For choice rules it additionally records the
+//! committed functional-dependency pairs and every *rejected*
+//! candidate together with the `diffChoice` (or stage-guard) reason —
+//! the raw material for `gbc explain`'s derivation trees.
+//!
+//! The arena is attached to a [`crate::Database`] as an
+//! `Option<Arc<_>>`; when absent (the default), the executors skip
+//! recording entirely, so the hot path pays one pointer-null test.
+//! Interning is on demand, so relations themselves are untouched.
+
+use std::sync::{Arc, Mutex};
+
+use gbc_ast::{Symbol, Value};
+
+use crate::fx::{FxHashMap, FxHashSet};
+use crate::tuple::Row;
+
+/// How one row was derived.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Derivation {
+    /// Index into the original program's rule list.
+    pub rule: usize,
+    /// γ step counter at recording time (0 for pre-γ flat facts).
+    pub step: u64,
+    /// Arena ids of the rows the rule's body matched.
+    pub parents: Vec<u32>,
+}
+
+/// One committed choice: the FD pairs a γ step locked in.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChoiceCommit {
+    /// Index into the original program's rule list.
+    pub rule: usize,
+    /// γ step counter at commit time.
+    pub step: u64,
+    /// Arena id of the committed head row.
+    pub row: u32,
+    /// `(left, right)` tuples per choice goal, in goal order.
+    pub pairs: Vec<(Vec<Value>, Vec<Value>)>,
+}
+
+/// Goal index marking a rejection not tied to one choice goal
+/// (stage guards, stage reuse).
+pub const NO_GOAL: usize = usize::MAX;
+
+/// One rejected choice candidate and why it fell.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChoiceRejection {
+    /// Index into the original program's rule list.
+    pub rule: usize,
+    /// Which choice goal failed ([`NO_GOAL`] for non-FD reasons).
+    pub goal: usize,
+    /// γ step counter at rejection time.
+    pub step: u64,
+    /// Stable reason label (`"diffchoice"`, `"stale-stage"`,
+    /// `"stage-reuse"`).
+    pub reason: &'static str,
+    /// Arena id of the candidate row (head or popped source row).
+    pub row: u32,
+    /// The FD key (left tuple) of the failing goal.
+    pub left: Vec<Value>,
+    /// The right tuple the candidate wanted.
+    pub attempted: Vec<Value>,
+    /// The right tuple an earlier commit already bound `left` to.
+    pub committed: Vec<Value>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    ids: FxHashMap<(Symbol, Row), u32>,
+    rows: Vec<(Symbol, Row)>,
+    derivations: FxHashMap<u32, Derivation>,
+    commits: Vec<ChoiceCommit>,
+    rejections: Vec<ChoiceRejection>,
+    /// Dedup key for rejections: a losing candidate is re-popped or
+    /// re-matched every γ round after it loses; record it once.
+    rejection_keys: FxHashSet<(usize, usize, Vec<Value>, Vec<Value>)>,
+    step: u64,
+}
+
+/// The provenance store. Shared via `Arc`; all methods take `&self`.
+#[derive(Debug, Default)]
+pub struct ProvenanceArena {
+    inner: Mutex<Inner>,
+}
+
+impl ProvenanceArena {
+    /// Empty arena.
+    pub fn new() -> ProvenanceArena {
+        ProvenanceArena::default()
+    }
+
+    /// Convenience: an `Arc`-wrapped empty arena, ready to attach to a
+    /// [`crate::Database`].
+    pub fn shared() -> Arc<ProvenanceArena> {
+        Arc::new(ProvenanceArena::new())
+    }
+
+    fn intern_locked(inner: &mut Inner, pred: Symbol, row: &Row) -> u32 {
+        if let Some(&id) = inner.ids.get(&(pred, row.clone())) {
+            return id;
+        }
+        let id = inner.rows.len() as u32;
+        inner.rows.push((pred, row.clone()));
+        inner.ids.insert((pred, row.clone()), id);
+        id
+    }
+
+    /// The id for `pred(row)`, interning it if new.
+    pub fn intern(&self, pred: Symbol, row: &Row) -> u32 {
+        let mut inner = self.inner.lock().expect("provenance lock");
+        ProvenanceArena::intern_locked(&mut inner, pred, row)
+    }
+
+    /// The id for `pred(row)` if it has been interned.
+    pub fn lookup(&self, pred: Symbol, row: &Row) -> Option<u32> {
+        self.inner.lock().expect("provenance lock").ids.get(&(pred, row.clone())).copied()
+    }
+
+    /// The `(pred, row)` pair behind an id.
+    pub fn row(&self, id: u32) -> Option<(Symbol, Row)> {
+        self.inner.lock().expect("provenance lock").rows.get(id as usize).cloned()
+    }
+
+    /// Record how `pred(row)` was derived. First write wins: seminaive
+    /// re-derivations of an already-explained fact keep the original
+    /// justification.
+    pub fn record_derivation(
+        &self,
+        pred: Symbol,
+        row: &Row,
+        rule: usize,
+        parents: &[(Symbol, Row)],
+    ) {
+        let mut inner = self.inner.lock().expect("provenance lock");
+        let id = ProvenanceArena::intern_locked(&mut inner, pred, row);
+        if inner.derivations.contains_key(&id) {
+            return;
+        }
+        let parent_ids: Vec<u32> = parents
+            .iter()
+            .map(|(p, r)| ProvenanceArena::intern_locked(&mut inner, *p, r))
+            .collect();
+        let step = inner.step;
+        inner.derivations.insert(id, Derivation { rule, step, parents: parent_ids });
+    }
+
+    /// The derivation record for an id, if any (EDB and program facts
+    /// have none).
+    pub fn derivation(&self, id: u32) -> Option<Derivation> {
+        self.inner.lock().expect("provenance lock").derivations.get(&id).cloned()
+    }
+
+    /// Record a committed choice.
+    pub fn record_commit(
+        &self,
+        rule: usize,
+        pred: Symbol,
+        row: &Row,
+        pairs: Vec<(Vec<Value>, Vec<Value>)>,
+    ) {
+        let mut inner = self.inner.lock().expect("provenance lock");
+        let id = ProvenanceArena::intern_locked(&mut inner, pred, row);
+        let step = inner.step;
+        inner.commits.push(ChoiceCommit { rule, step, row: id, pairs });
+    }
+
+    /// Record a rejected choice candidate. Deduplicated on
+    /// `(rule, goal, left, attempted)` — a losing candidate is weighed
+    /// again every subsequent γ round, but one rejection record
+    /// explains them all.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_rejection(
+        &self,
+        rule: usize,
+        goal: usize,
+        reason: &'static str,
+        pred: Symbol,
+        row: &Row,
+        left: Vec<Value>,
+        attempted: Vec<Value>,
+        committed: Vec<Value>,
+    ) {
+        let mut inner = self.inner.lock().expect("provenance lock");
+        let key = (rule, goal, left.clone(), attempted.clone());
+        if !inner.rejection_keys.insert(key) {
+            return;
+        }
+        let id = ProvenanceArena::intern_locked(&mut inner, pred, row);
+        let step = inner.step;
+        inner.rejections.push(ChoiceRejection {
+            rule,
+            goal,
+            step,
+            reason,
+            row: id,
+            left,
+            attempted,
+            committed,
+        });
+    }
+
+    /// All commits, in order.
+    pub fn commits(&self) -> Vec<ChoiceCommit> {
+        self.inner.lock().expect("provenance lock").commits.clone()
+    }
+
+    /// All (deduplicated) rejections, in order.
+    pub fn rejections(&self) -> Vec<ChoiceRejection> {
+        self.inner.lock().expect("provenance lock").rejections.clone()
+    }
+
+    /// Interned row count.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("provenance lock").rows.len()
+    }
+
+    /// Nothing interned yet?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Advance the γ step counter, returning the new value. Executors
+    /// call this once per committed γ step so derivations and commits
+    /// carry the step at which they happened.
+    pub fn advance_step(&self) -> u64 {
+        let mut inner = self.inner.lock().expect("provenance lock");
+        inner.step += 1;
+        inner.step
+    }
+
+    /// The current γ step counter.
+    pub fn current_step(&self) -> u64 {
+        self.inner.lock().expect("provenance lock").step
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(vals: &[i64]) -> Row {
+        Row::new(vals.iter().map(|&v| Value::int(v)).collect())
+    }
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = ProvenanceArena::new();
+        let p = Symbol::intern("p");
+        let id0 = a.intern(p, &row(&[1]));
+        let id1 = a.intern(p, &row(&[2]));
+        assert_eq!(a.intern(p, &row(&[1])), id0);
+        assert_ne!(id0, id1);
+        assert_eq!(a.row(id1), Some((p, row(&[2]))));
+        assert_eq!(a.lookup(p, &row(&[1])), Some(id0));
+        assert_eq!(a.lookup(p, &row(&[3])), None);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn first_derivation_wins() {
+        let a = ProvenanceArena::new();
+        let p = Symbol::intern("p");
+        let q = Symbol::intern("q");
+        a.record_derivation(p, &row(&[1]), 3, &[(q, row(&[5]))]);
+        a.record_derivation(p, &row(&[1]), 9, &[]);
+        let id = a.lookup(p, &row(&[1])).unwrap();
+        let d = a.derivation(id).unwrap();
+        assert_eq!(d.rule, 3);
+        assert_eq!(d.parents.len(), 1);
+        assert_eq!(a.row(d.parents[0]), Some((q, row(&[5]))));
+    }
+
+    #[test]
+    fn steps_stamp_commits_and_derivations() {
+        let a = ProvenanceArena::new();
+        let p = Symbol::intern("p");
+        assert_eq!(a.current_step(), 0);
+        assert_eq!(a.advance_step(), 1);
+        a.record_derivation(p, &row(&[1]), 0, &[]);
+        a.record_commit(0, p, &row(&[1]), vec![(vec![], vec![Value::int(1)])]);
+        let id = a.lookup(p, &row(&[1])).unwrap();
+        assert_eq!(a.derivation(id).unwrap().step, 1);
+        let commits = a.commits();
+        assert_eq!(commits.len(), 1);
+        assert_eq!(commits[0].step, 1);
+        assert_eq!(commits[0].row, id);
+    }
+
+    #[test]
+    fn rejections_deduplicate_by_candidate() {
+        let a = ProvenanceArena::new();
+        let p = Symbol::intern("p");
+        for _ in 0..3 {
+            a.record_rejection(
+                2,
+                0,
+                "diffchoice",
+                p,
+                &row(&[7]),
+                vec![Value::int(1)],
+                vec![Value::int(7)],
+                vec![Value::int(4)],
+            );
+        }
+        // A different attempted tuple is a distinct rejection.
+        a.record_rejection(
+            2,
+            0,
+            "diffchoice",
+            p,
+            &row(&[8]),
+            vec![Value::int(1)],
+            vec![Value::int(8)],
+            vec![Value::int(4)],
+        );
+        let rejs = a.rejections();
+        assert_eq!(rejs.len(), 2);
+        assert_eq!(rejs[0].attempted, vec![Value::int(7)]);
+        assert_eq!(rejs[0].committed, vec![Value::int(4)]);
+        assert_eq!(rejs[1].attempted, vec![Value::int(8)]);
+    }
+}

@@ -9,7 +9,13 @@
 //!   report (flat-rule saturation, γ choice, per-stage totals);
 //! * [`trace`] — a [`trace::TraceSink`] trait with a human-readable
 //!   one-line-per-event mode mirroring the paper's tuple ↔ stage
-//!   bijection (Section 3);
+//!   bijection (Section 3), plus a structured JSON form per event;
+//! * [`journal`] — structured sinks over the same event stream: an
+//!   in-memory JSON journal (embeddable in `--stats-json`, exportable
+//!   as JSON-lines) and a Chrome trace-event writer for Perfetto;
+//! * [`profiler`] — a per-rule wall-clock profiler (firings, tuples,
+//!   cumulative time, plan-cache hits) behind the same zero-cost-when-
+//!   disabled discipline as the phase timers;
 //! * [`json`] — a hand-rolled JSON value writer (no serde) for
 //!   `--stats-json` trajectories;
 //! * [`rng`] — a seeded SplitMix64 / xoshiro256** PRNG replacing the
@@ -24,19 +30,28 @@
 //! shared [`metrics::Metrics`] registry, a [`span::Phases`] timer, and
 //! an optional trace sink, passed down through `exec`/`eval`.
 
+pub mod journal;
 pub mod json;
 pub mod metrics;
+pub mod profiler;
 pub mod rng;
 pub mod span;
 pub mod trace;
 
 use std::sync::Arc;
 
+pub use journal::{ChromeTrace, JournalBuffer, TeeTrace};
 pub use json::Json;
 pub use metrics::{Counter, MaxGauge, Metrics, Snapshot};
+pub use profiler::{RuleProf, RuleProfiler};
 pub use rng::{Rng, SplitMix64};
 pub use span::Phases;
 pub use trace::{BufferTrace, DiscardReason, StderrTrace, TraceEvent, TraceSink};
+
+/// Version of the `--stats-json` payload schema ([`Telemetry::to_json`]).
+/// Bump when the report shape changes incompatibly; consumers should
+/// check it before parsing (see DESIGN.md, "JSON schemas").
+pub const STATS_SCHEMA_VERSION: u64 = 1;
 
 /// The instrumentation bundle threaded through the executors.
 ///
@@ -53,6 +68,9 @@ pub struct Telemetry {
     pub phases: Arc<Phases>,
     /// Trace sink, absent unless `--trace`-style observation is on.
     pub trace: Option<Arc<dyn TraceSink>>,
+    /// Per-rule profiler. Disabled by default — recording methods then
+    /// return without touching the clock or any lock.
+    pub profiler: Arc<RuleProfiler>,
 }
 
 impl Telemetry {
@@ -70,12 +88,19 @@ impl Telemetry {
             metrics: Arc::new(Metrics::with_history()),
             phases: Arc::new(Phases::enabled()),
             trace: None,
+            profiler: Arc::default(),
         }
     }
 
     /// Attach a trace sink.
     pub fn with_trace(mut self, sink: Arc<dyn TraceSink>) -> Telemetry {
         self.trace = Some(sink);
+        self
+    }
+
+    /// Turn on per-rule profiling.
+    pub fn with_profiler(mut self) -> Telemetry {
+        self.profiler = Arc::new(RuleProfiler::enabled());
         self
     }
 
@@ -93,12 +118,18 @@ impl Telemetry {
         self.metrics.snapshot()
     }
 
-    /// The full report — counters plus phase timings — as JSON.
+    /// The full report — counters plus phase timings, and the per-rule
+    /// profile when profiling is on — as JSON.
     pub fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut fields = vec![
+            ("schema_version", Json::UInt(STATS_SCHEMA_VERSION)),
             ("counters", self.metrics.snapshot().to_json()),
             ("phases", self.phases.to_json()),
-        ])
+        ];
+        if self.profiler.is_enabled() {
+            fields.push(("profile", self.profiler.to_json()));
+        }
+        Json::obj(fields)
     }
 }
 
@@ -108,6 +139,7 @@ impl std::fmt::Debug for Telemetry {
             .field("metrics", &self.metrics.snapshot())
             .field("phases", &self.phases)
             .field("trace", &self.trace.is_some())
+            .field("profiler", &self.profiler.is_enabled())
             .finish()
     }
 }

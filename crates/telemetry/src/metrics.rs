@@ -102,6 +102,10 @@ pub struct Metrics {
     /// Discards caused by the next-expansion's `choice(W, I)` goal
     /// (the tuple ↔ stage bijection of Section 3).
     pub stage_reuse_rejections: Counter,
+    /// Choice candidates weighed at γ decision points: heap pops on
+    /// the greedy path, matched frames per choice rule on the generic
+    /// and exit paths.
+    pub choice_candidates_considered: Counter,
     // -- history --
     /// Per-round seminaive delta sizes, recorded only when built with
     /// [`Metrics::with_history`] (unbounded growth otherwise).
@@ -149,6 +153,7 @@ impl Metrics {
             discarded_pops: self.discarded_pops.get(),
             diffchoice_rejections: self.diffchoice_rejections.get(),
             stage_reuse_rejections: self.stage_reuse_rejections.get(),
+            choice_candidates_considered: self.choice_candidates_considered.get(),
             delta_history: self.delta_history.lock().expect("delta history lock").clone(),
         }
     }
@@ -175,6 +180,7 @@ pub struct Snapshot {
     pub discarded_pops: u64,
     pub diffchoice_rejections: u64,
     pub stage_reuse_rejections: u64,
+    pub choice_candidates_considered: u64,
     pub delta_history: Vec<u64>,
 }
 
@@ -195,6 +201,7 @@ impl Snapshot {
             ("discarded_pops", self.discarded_pops),
             ("diffchoice_rejections", self.diffchoice_rejections),
             ("stage_reuse_rejections", self.stage_reuse_rejections),
+            ("choice_candidates_considered", self.choice_candidates_considered),
             ("index_builds", self.index_builds),
             ("index_probes", self.index_probes),
             ("rows_cloned", self.rows_cloned),

@@ -161,6 +161,51 @@ mod tests {
     }
 
     #[test]
+    fn report_indents_by_nesting_depth() {
+        let p = Phases::enabled();
+        p.add("run", Duration::from_millis(8));
+        p.add("run/flat", Duration::from_millis(5));
+        p.add("run/flat/delta", Duration::from_millis(2));
+        let r = p.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("run "), "{r}");
+        assert!(lines[1].starts_with("  flat"), "{r}");
+        assert!(lines[2].starts_with("    delta"), "{r}");
+        // Leaf labels drop the parent path prefix.
+        assert!(!lines[2].contains("run/flat/delta"), "{r}");
+    }
+
+    #[test]
+    fn percentages_split_across_top_level_phases_only() {
+        let p = Phases::enabled();
+        p.add("load", Duration::from_millis(25));
+        p.add("run", Duration::from_millis(75));
+        p.add("run/gamma", Duration::from_millis(75));
+        let r = p.render();
+        let lines: Vec<&str> = r.lines().collect();
+        // Top-level shares are taken against the top-level sum (100 ms).
+        assert!(lines[0].contains(" 25.0%"), "{r}");
+        assert!(lines[1].contains(" 75.0%"), "{r}");
+        // Children never get a percentage column, even at 100% of their
+        // parent.
+        assert!(!lines[2].contains('%'), "{r}");
+    }
+
+    #[test]
+    fn disabled_phases_render_empty_and_skip_the_clock() {
+        let p = Phases::disabled();
+        assert!(!p.is_enabled());
+        // The closure still runs (and its value is returned)...
+        let mut ran = false;
+        p.time("x", || ran = true);
+        assert!(ran);
+        // ...but nothing is recorded, so the report and JSON are empty.
+        assert_eq!(p.render(), "");
+        assert_eq!(p.to_json().to_string(), "[]");
+    }
+
+    #[test]
     fn time_measures_something() {
         let p = Phases::enabled();
         p.time("spin", || std::hint::black_box((0..1000).sum::<u64>()));

@@ -7,6 +7,8 @@
 
 use std::sync::Mutex;
 
+use crate::json::Json;
+
 /// Why a popped candidate was discarded to `R_r`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DiscardReason {
@@ -62,6 +64,28 @@ pub enum TraceEvent {
         /// Facts derived by the call.
         new_facts: u64,
     },
+    /// A flat rule derived new facts during a saturation round.
+    RuleFired {
+        /// Rule id — index into the original program's rule list.
+        rule: usize,
+        /// Head predicate of the firing rule.
+        pred: String,
+        /// Fresh facts the firing inserted (post-deduplication).
+        new_facts: u64,
+    },
+    /// One γ decision point audited its candidate pool: how many
+    /// candidates were weighed and how many fell to `diffChoice` (or a
+    /// stage guard) before the commit.
+    ChoiceAudit {
+        /// Rule id — index into the original program's rule list.
+        rule: usize,
+        /// Head predicate of the choice rule.
+        pred: String,
+        /// Candidates considered at this decision point.
+        considered: u64,
+        /// Candidates rejected before (or instead of) a commit.
+        rejected: u64,
+    },
 }
 
 impl TraceEvent {
@@ -82,6 +106,69 @@ impl TraceEvent {
             TraceEvent::FlatRound { round, new_facts } => {
                 format!("Q∞ round {round:>4}: +{new_facts} facts")
             }
+            TraceEvent::RuleFired { rule, pred, new_facts } => {
+                format!("  rule #{rule} {pred}: +{new_facts} facts")
+            }
+            TraceEvent::ChoiceAudit { rule, pred, considered, rejected } => {
+                format!("γ audit rule #{rule} {pred}: {considered} considered, {rejected} rejected")
+            }
+        }
+    }
+
+    /// Stable snake_case event name (the `name` of journal entries and
+    /// Chrome trace events).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::StageCommit { .. } => "stage_commit",
+            TraceEvent::Discard { .. } => "discard",
+            TraceEvent::ExitCommit { .. } => "exit_commit",
+            TraceEvent::FlatRound { .. } => "flat_round",
+            TraceEvent::RuleFired { .. } => "rule_fired",
+            TraceEvent::ChoiceAudit { .. } => "choice_audit",
+        }
+    }
+
+    /// Structured JSON form: every variant is an object tagged with a
+    /// `"type"` field equal to [`TraceEvent::kind`].
+    pub fn to_json(&self) -> Json {
+        let tag = ("type", Json::Str(self.kind().to_owned()));
+        match self {
+            TraceEvent::StageCommit { pred, stage, cost, fact } => Json::obj(vec![
+                tag,
+                ("pred", Json::Str(pred.clone())),
+                ("stage", Json::Int(*stage)),
+                ("cost", Json::Str(cost.clone())),
+                ("fact", Json::Str(fact.clone())),
+            ]),
+            TraceEvent::Discard { pred, reason, row } => Json::obj(vec![
+                tag,
+                ("pred", Json::Str(pred.clone())),
+                ("reason", Json::Str(reason.label().to_owned())),
+                ("row", Json::Str(row.clone())),
+            ]),
+            TraceEvent::ExitCommit { pred, fact } => Json::obj(vec![
+                tag,
+                ("pred", Json::Str(pred.clone())),
+                ("fact", Json::Str(fact.clone())),
+            ]),
+            TraceEvent::FlatRound { round, new_facts } => Json::obj(vec![
+                tag,
+                ("round", Json::UInt(*round)),
+                ("new_facts", Json::UInt(*new_facts)),
+            ]),
+            TraceEvent::RuleFired { rule, pred, new_facts } => Json::obj(vec![
+                tag,
+                ("rule", Json::UInt(*rule as u64)),
+                ("pred", Json::Str(pred.clone())),
+                ("new_facts", Json::UInt(*new_facts)),
+            ]),
+            TraceEvent::ChoiceAudit { rule, pred, considered, rejected } => Json::obj(vec![
+                tag,
+                ("rule", Json::UInt(*rule as u64)),
+                ("pred", Json::Str(pred.clone())),
+                ("considered", Json::UInt(*considered)),
+                ("rejected", Json::UInt(*rejected)),
+            ]),
         }
     }
 }
@@ -153,6 +240,41 @@ mod tests {
             row: "(1, 2, 9)".into(),
         };
         assert!(ev.render().contains("[diffchoice]"));
+    }
+
+    #[test]
+    fn every_event_serializes_with_a_type_tag() {
+        let events = [
+            TraceEvent::StageCommit {
+                pred: "prm".into(),
+                stage: 1,
+                cost: String::new(),
+                fact: "(0, 1, 2, 1)".into(),
+            },
+            TraceEvent::Discard {
+                pred: "prm".into(),
+                reason: DiscardReason::StaleStage,
+                row: "(1, 2)".into(),
+            },
+            TraceEvent::ExitCommit { pred: "mst".into(), fact: "(0, 1)".into() },
+            TraceEvent::FlatRound { round: 3, new_facts: 0 },
+            TraceEvent::RuleFired { rule: 4, pred: "comp".into(), new_facts: 2 },
+            TraceEvent::ChoiceAudit { rule: 0, pred: "kruskal".into(), considered: 7, rejected: 3 },
+        ];
+        for ev in &events {
+            let s = ev.to_json().to_string();
+            assert!(s.contains(&format!("\"type\":\"{}\"", ev.kind())), "missing type tag in {s}");
+        }
+    }
+
+    #[test]
+    fn audit_lines_report_both_counts() {
+        let ev =
+            TraceEvent::ChoiceAudit { rule: 2, pred: "kruskal".into(), considered: 9, rejected: 4 };
+        let line = ev.render();
+        assert!(line.contains("9 considered"));
+        assert!(line.contains("4 rejected"));
+        assert!(line.contains("rule #2"));
     }
 
     #[test]

@@ -12,9 +12,11 @@
 
 use std::sync::Arc;
 
+use gbc_ast::Value;
 use gbc_core::GreedyConfig;
 use gbc_greedy::{prim, workload};
-use gbc_telemetry::{BufferTrace, Telemetry};
+use gbc_storage::{Database, ProvenanceArena};
+use gbc_telemetry::{BufferTrace, JournalBuffer, Telemetry};
 
 /// The fixed workload: 64 nodes, 192 extra edges, costs ≤ 1000, seed 42.
 fn fixed_graph() -> gbc_greedy::graph::Graph {
@@ -104,6 +106,95 @@ const GOLDEN_SORT_HEAP_POPS: u64 = 256;
 const GOLDEN_SORT_DISCARDED_POPS: u64 = 0;
 const GOLDEN_SORT_QUEUE_PEAK: u64 = 256;
 const GOLDEN_SORT_TUPLES_DERIVED: u64 = 0;
+
+/// The sort workload's choice audit, pinned: with the event journal
+/// attached, the greedy executor reports exactly one `choice_audit`
+/// event per γ commit, each having considered exactly one candidate
+/// (the paper's "no wasted pops" property restated over the audit
+/// trail), and the `diffChoice` counter stays at zero — sorting has a
+/// fresh congruence class per item, so nothing ever conflicts.
+#[test]
+fn sort_choice_audit_is_golden() {
+    let items = gbc_greedy::workload::random_items(256, 42);
+    let compiled = gbc_greedy::sorting::compiled();
+    let edb = gbc_greedy::sorting::edb(&items);
+    let journal = Arc::new(JournalBuffer::new());
+    let tel = Telemetry::enabled().with_trace(journal.clone());
+    let run = compiled.run_greedy_telemetry(&edb, GreedyConfig::default(), &tel).unwrap();
+    let snap = &run.snapshot;
+
+    assert_eq!(snap.choice_candidates_considered, GOLDEN_SORT_CANDIDATES_CONSIDERED);
+    assert_eq!(snap.diffchoice_rejections, 0);
+    let audits = journal
+        .events()
+        .iter()
+        .filter(|e| e.to_string().contains("\"type\":\"choice_audit\""))
+        .count();
+    assert_eq!(audits, GOLDEN_SORT_CHOICE_AUDITS);
+}
+
+const GOLDEN_SORT_CANDIDATES_CONSIDERED: u64 = 256;
+const GOLDEN_SORT_CHOICE_AUDITS: usize = 256;
+
+/// Example 8 (Kruskal) on the small shipped graph, under the generic
+/// Choice Fixpoint with provenance recording on. The program is *not*
+/// stage-stratified (the paper's point), so this pins the γ audit of
+/// the fallback path: candidate counts, `diffChoice` rejections — both
+/// as counters and as recorded provenance — and the journal's
+/// `choice_audit` event count.
+#[test]
+fn kruskal_choice_audit_is_golden() {
+    let (compiled, mut edb) = kruskal_small();
+    assert!(!compiled.has_greedy_plan(), "Example 8 must take the generic path");
+    let arena = ProvenanceArena::shared();
+    edb.set_provenance(Arc::clone(&arena));
+    let journal = Arc::new(JournalBuffer::new());
+    let tel = Telemetry::enabled().with_trace(journal.clone());
+    let run = compiled.run_telemetry(&edb, &tel).unwrap();
+    let snap = &run.snapshot;
+
+    assert_eq!(snap.choice_candidates_considered, GOLDEN_KRUSKAL_CANDIDATES_CONSIDERED);
+    assert_eq!(snap.diffchoice_rejections, GOLDEN_KRUSKAL_DIFFCHOICE_REJECTIONS);
+    let recorded = arena.rejections().iter().filter(|r| r.reason == "diffchoice").count();
+    assert_eq!(recorded as u64, GOLDEN_KRUSKAL_DIFFCHOICE_RECORDED);
+    let audits = journal
+        .events()
+        .iter()
+        .filter(|e| e.to_string().contains("\"type\":\"choice_audit\""))
+        .count();
+    assert_eq!(audits, GOLDEN_KRUSKAL_CHOICE_AUDITS);
+    assert!(
+        run.db.count(gbc_ast::Symbol::intern("kruskal")) >= 5,
+        "a spanning forest's worth of accepted edges"
+    );
+}
+
+// 724 candidate instantiations across 33 γ decision points; 563 of
+// them lose a `diffChoice` comparison (the counter sees every loss,
+// the arena dedups repeats of the same (rule, goal, left, attempted)
+// conflict down to 136 distinct rejections).
+const GOLDEN_KRUSKAL_CANDIDATES_CONSIDERED: u64 = 724;
+const GOLDEN_KRUSKAL_DIFFCHOICE_REJECTIONS: u64 = 563;
+const GOLDEN_KRUSKAL_DIFFCHOICE_RECORDED: u64 = 136;
+const GOLDEN_KRUSKAL_CHOICE_AUDITS: usize = 33;
+
+/// Example 8's rules over the shipped `graph_small.dl` facts.
+fn kruskal_small() -> (gbc_core::Compiled, Database) {
+    let program = gbc_parser::parse_program(gbc_greedy::kruskal::PROGRAM).unwrap();
+    let compiled = gbc_core::compile(program).unwrap();
+    let mut edb = Database::new();
+    let edges =
+        [(0, 1, 4), (0, 2, 3), (1, 2, 1), (1, 3, 2), (2, 3, 4), (3, 4, 2), (4, 5, 6), (2, 5, 5)];
+    for (x, y, c) in edges {
+        for (a, b) in [(x, y), (y, x)] {
+            edb.insert_values("g", vec![Value::int(a), Value::int(b), Value::int(c)]);
+        }
+    }
+    for n in 0..6 {
+        edb.insert_values("node", vec![Value::int(n)]);
+    }
+    (compiled, edb)
+}
 
 /// Two identical runs produce byte-identical counter reports and
 /// byte-identical traces.
