@@ -103,6 +103,26 @@ cargo test --test diagnostics_golden)" >&2
     }
 done
 
+echo "== ci-par: parallel saturation equivalence =="
+# The determinism contract (DESIGN.md §9): every thread count produces
+# byte-identical relations and semantic counters. The in-process sweep
+# covers threads {1,2,4,8}; the CLI pass re-runs every shipped program
+# profiled at 4 workers, which must succeed and keep its attribution
+# line just like the serial profile above.
+cargo test -q --offline -p gbc-bench --test parallel_equivalence
+for entry in "${obs_groups[@]}"; do
+    files="${entry%%|*}"
+    # shellcheck disable=SC2086
+    ./target/release/gbc run $files --threads 4 --profile >/dev/null 2>"$diag_json" || {
+        echo "gbc run --threads 4 --profile failed for: $files" >&2
+        exit 1
+    }
+    grep -q 'attributed' "$diag_json" || {
+        echo "parallel profile missing attribution line for: $files" >&2
+        exit 1
+    }
+done
+
 echo "== bench: machine-readable experiment record =="
 # Quick (0-warmup, median-of-3) run of the paper experiments; appends a
 # labelled run to BENCH_experiments.json so every CI pass leaves a

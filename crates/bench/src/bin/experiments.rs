@@ -3,7 +3,7 @@
 //! ```text
 //! experiments [prim|sort|matching|kruskal|models|huffman|tsp|spanning|
 //!              scheduling|ablation|seminaive|all]...
-//!             [--quick] [--json <path>] [--label <name>]
+//!             [--quick] [--json <path>] [--label <name>] [--threads LIST]
 //! ```
 //!
 //! Each experiment prints problem sizes, wall-clock medians (in-tree
@@ -18,7 +18,14 @@
 //! `--json <path>` appends a machine-readable run (per-row median
 //! nanoseconds plus the certificate counters for E1–E4) to `<path>`,
 //! creating `{"runs": [...]}` on first use — the repo's perf
-//! trajectory, kept in `BENCH_experiments.json` by `ci.sh`.
+//! trajectory, kept in `BENCH_experiments.json` by `ci.sh`. Each run
+//! carries a `meta` block (core count, OS/arch) so numbers from
+//! different machines are never compared blind.
+//!
+//! `--threads LIST` (comma-separated, default `1`) re-runs the prim and
+//! sort rows at each worker count — the parallel flat-rule saturation
+//! scaling table. Counters must be identical across the list (the
+//! engine's determinism contract, DESIGN.md §9); only wall-clock moves.
 
 use gbc_baselines::huffman::{huffman_tree, weighted_path_length as wpl_base};
 use gbc_baselines::kruskal::{kruskal_mst, kruskal_relabel};
@@ -36,6 +43,7 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let mut json_path: Option<String> = None;
     let mut label = "run".to_owned();
+    let mut threads: Vec<usize> = vec![1];
     let mut names: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -43,6 +51,18 @@ fn main() {
             "--quick" => {}
             "--json" => json_path = Some(it.next().expect("--json needs a path").clone()),
             "--label" => label = it.next().expect("--label needs a value").clone(),
+            "--threads" => {
+                let list = it.next().expect("--threads needs a comma-separated list");
+                threads = list
+                    .split(',')
+                    .map(|t| {
+                        t.trim().parse::<usize>().ok().filter(|&n| n >= 1).unwrap_or_else(|| {
+                            eprintln!("bad thread count `{t}` in --threads");
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect();
+            }
             flag if flag.starts_with("--") => {
                 eprintln!("unknown flag: {flag}");
                 std::process::exit(2);
@@ -57,10 +77,10 @@ fn main() {
     let run = |name: &str| names.iter().any(|n| n == "all" || n == name);
     let mut rec = Recorder::default();
     if run("prim") {
-        e1_prim(quick, &mut rec);
+        e1_prim(quick, &threads, &mut rec);
     }
     if run("sort") {
-        e2_sort(quick, &mut rec);
+        e2_sort(quick, &threads, &mut rec);
     }
     if run("matching") {
         e3_matching(quick, &mut rec);
@@ -114,6 +134,7 @@ impl Recorder {
     fn into_run(self, label: &str) -> Json {
         Json::obj(vec![
             ("label", Json::Str(label.to_owned())),
+            ("meta", run_meta()),
             (
                 "experiments",
                 Json::Arr(
@@ -132,6 +153,17 @@ impl Recorder {
 /// Median seconds → integer nanoseconds for the JSON artifact.
 fn ns(secs: f64) -> Json {
     Json::UInt((secs * 1e9).round() as u64)
+}
+
+/// The hardware/OS context a run was measured on. Timings from records
+/// with different `meta` blocks are not comparable; counters are.
+fn run_meta() -> Json {
+    let cores = std::thread::available_parallelism().map(|n| n.get() as u64).unwrap_or(0);
+    Json::obj(vec![
+        ("cores", Json::UInt(cores)),
+        ("os", Json::Str(std::env::consts::OS.to_owned())),
+        ("arch", Json::Str(std::env::consts::ARCH.to_owned())),
+    ])
 }
 
 /// Append one run object to the `{"runs": [...]}` array at `path`,
@@ -169,7 +201,7 @@ fn secs(s: f64) -> String {
     format!("{:.4}", s)
 }
 
-fn e1_prim(quick: bool, rec: &mut Recorder) {
+fn e1_prim(quick: bool, threads: &[usize], rec: &mut Recorder) {
     println!("\n== E1  Prim (Example 4): declarative O(e log e) vs classical O(e log n) ==");
     let sizes: &[usize] = if quick { &[128, 256, 512] } else { &[128, 256, 512, 1024, 2048] };
     let h = harness(quick);
@@ -180,45 +212,62 @@ fn e1_prim(quick: bool, rec: &mut Recorder) {
         let g = workload::connected_graph(n, 3 * n, 1_000_000, 42);
         let e = g.num_edges();
         let (compiled, edb) = prim::prepared(&g, 0);
-        let (run, t_decl) = h.run(|| compiled.run_greedy(&edb).unwrap());
         let (base, t_base) = h.run(|| prim_mst(g.n, &g.edges, 0));
-        let decl_edges = prim::decode(&run);
-        assert_eq!(total_cost(&decl_edges), total_cost(&base), "MST costs must agree");
-        // Machine-independent certificate of O(e log e): total heap
-        // operations per e·log₂e stay flat as e grows.
-        let heap_ops = run.snapshot.heap_ops();
-        let elog = e as f64 * (e as f64).log2();
-        decl_samples.push(Sample { size: e as u64, secs: t_decl.median_secs });
-        base_samples.push(Sample { size: e as u64, secs: t_base.median_secs });
-        rec.push(
-            "prim",
-            vec![
-                ("n", Json::UInt(n as u64)),
-                ("e", Json::UInt(e as u64)),
-                ("decl_ns", ns(t_decl.median_secs)),
-                ("classical_ns", ns(t_base.median_secs)),
-                ("mst_cost", Json::Int(total_cost(&decl_edges))),
-                ("heap_ops", Json::UInt(heap_ops)),
-                ("gamma_steps", Json::UInt(run.snapshot.gamma_steps)),
-                ("discarded_pops", Json::UInt(run.snapshot.discarded_pops)),
-                ("tuples_derived", Json::UInt(run.snapshot.tuples_derived)),
-                ("rows_cloned", Json::UInt(run.snapshot.rows_cloned)),
-                ("plan_cache_hits", Json::UInt(run.snapshot.plan_cache_hits)),
-            ],
-        );
-        rows.push(vec![
-            n.to_string(),
-            e.to_string(),
-            secs(t_decl.median_secs),
-            secs(t_base.median_secs),
-            format!("{:.1}", t_decl.median_secs / t_base.median_secs.max(1e-9)),
-            total_cost(&decl_edges).to_string(),
-            heap_ops.to_string(),
-            format!("{:.3}", heap_ops as f64 / elog),
-            run.snapshot.discarded_pops.to_string(),
-            run.snapshot.rows_cloned.to_string(),
-            run.snapshot.plan_cache_hits.to_string(),
-        ]);
+        let mut serial_snapshot = None;
+        for &t in threads {
+            let config = gbc_core::GreedyConfig::with_threads(t);
+            let (run, t_decl) = h.run(|| compiled.run_greedy_with(&edb, config).unwrap());
+            let decl_edges = prim::decode(&run);
+            assert_eq!(total_cost(&decl_edges), total_cost(&base), "MST costs must agree");
+            // Determinism contract (DESIGN.md §9): every thread count
+            // derives the same tuples through the same operations.
+            match &serial_snapshot {
+                None => serial_snapshot = Some(run.snapshot.clone()),
+                Some(s) => assert_eq!(s, &run.snapshot, "counters drift at {t} threads"),
+            }
+            // Machine-independent certificate of O(e log e): total heap
+            // operations per e·log₂e stay flat as e grows.
+            let heap_ops = run.snapshot.heap_ops();
+            let elog = e as f64 * (e as f64).log2();
+            if t == threads[0] {
+                decl_samples.push(Sample { size: e as u64, secs: t_decl.median_secs });
+                base_samples.push(Sample { size: e as u64, secs: t_base.median_secs });
+            }
+            rec.push(
+                "prim",
+                vec![
+                    ("n", Json::UInt(n as u64)),
+                    ("e", Json::UInt(e as u64)),
+                    ("threads", Json::UInt(t as u64)),
+                    ("decl_ns", ns(t_decl.median_secs)),
+                    ("classical_ns", ns(t_base.median_secs)),
+                    ("mst_cost", Json::Int(total_cost(&decl_edges))),
+                    ("heap_ops", Json::UInt(heap_ops)),
+                    ("gamma_steps", Json::UInt(run.snapshot.gamma_steps)),
+                    ("flat_rounds", Json::UInt(run.snapshot.flat_rounds)),
+                    ("discarded_pops", Json::UInt(run.snapshot.discarded_pops)),
+                    ("diffchoice_rejections", Json::UInt(run.snapshot.diffchoice_rejections)),
+                    ("tuples_derived", Json::UInt(run.snapshot.tuples_derived)),
+                    ("rows_cloned", Json::UInt(run.snapshot.rows_cloned)),
+                    ("plan_cache_hits", Json::UInt(run.snapshot.plan_cache_hits)),
+                ],
+            );
+            rows.push(vec![
+                n.to_string(),
+                e.to_string(),
+                t.to_string(),
+                secs(t_decl.median_secs),
+                secs(t_base.median_secs),
+                format!("{:.1}", t_decl.median_secs / t_base.median_secs.max(1e-9)),
+                total_cost(&decl_edges).to_string(),
+                heap_ops.to_string(),
+                format!("{:.3}", heap_ops as f64 / elog),
+                run.snapshot.flat_rounds.to_string(),
+                run.snapshot.discarded_pops.to_string(),
+                run.snapshot.diffchoice_rejections.to_string(),
+                run.snapshot.plan_cache_hits.to_string(),
+            ]);
+        }
     }
     println!(
         "{}",
@@ -226,14 +275,16 @@ fn e1_prim(quick: bool, rec: &mut Recorder) {
             &[
                 "n",
                 "e",
+                "thr",
                 "decl_s",
                 "classical_s",
                 "ratio",
                 "mst_cost",
                 "heap_ops",
                 "ops/(e·lg e)",
+                "flat_rounds",
                 "discarded",
-                "rows_cloned",
+                "diffchoice",
                 "plan_hits",
             ],
             &rows
@@ -247,7 +298,7 @@ fn e1_prim(quick: bool, rec: &mut Recorder) {
     );
 }
 
-fn e2_sort(quick: bool, rec: &mut Recorder) {
+fn e2_sort(quick: bool, threads: &[usize], rec: &mut Recorder) {
     println!("\n== E2  Sorting (Example 5): the fixpoint runs heap-sort, O(n log n) ==");
     let sizes: &[usize] = if quick { &[512, 1024, 2048] } else { &[512, 1024, 2048, 4096, 8192] };
     let h = harness(quick);
@@ -257,8 +308,6 @@ fn e2_sort(quick: bool, rec: &mut Recorder) {
         let items = workload::random_items(n, 42);
         let compiled = sorting::compiled();
         let edb = sorting::edb(&items);
-        let (run, t_decl) = h.run(|| compiled.run_greedy(&edb).unwrap());
-        assert_eq!(run.stats.gamma_steps as usize, n);
         let (_, t_heap) = h.run(|| {
             let mut v: Vec<(i64, i64)> = items.iter().map(|&(x, c)| (c, x)).collect();
             heapsort(&mut v);
@@ -269,44 +318,63 @@ fn e2_sort(quick: bool, rec: &mut Recorder) {
             insertion_sort(&mut v);
             v
         });
-        decl_s.push(Sample { size: n as u64, secs: t_decl.median_secs });
-        heap_s.push(Sample { size: n as u64, secs: t_heap.median_secs });
-        ins_s.push(Sample { size: n as u64, secs: t_ins.median_secs });
-        rec.push(
-            "sort",
-            vec![
-                ("n", Json::UInt(n as u64)),
-                ("decl_ns", ns(t_decl.median_secs)),
-                ("heapsort_ns", ns(t_heap.median_secs)),
-                ("insertion_ns", ns(t_ins.median_secs)),
-                ("heap_ops", Json::UInt(run.snapshot.heap_ops())),
-                ("gamma_steps", Json::UInt(run.snapshot.gamma_steps)),
-                ("rows_cloned", Json::UInt(run.snapshot.rows_cloned)),
-                ("plan_cache_hits", Json::UInt(run.snapshot.plan_cache_hits)),
-            ],
-        );
-        rows.push(vec![
-            n.to_string(),
-            secs(t_decl.median_secs),
-            secs(t_heap.median_secs),
-            secs(t_ins.median_secs),
-            run.snapshot.heap_ops().to_string(),
-            run.snapshot.gamma_steps.to_string(),
-            run.snapshot.rows_cloned.to_string(),
-            run.snapshot.plan_cache_hits.to_string(),
-        ]);
+        let mut serial_snapshot = None;
+        for &t in threads {
+            let config = gbc_core::GreedyConfig::with_threads(t);
+            let (run, t_decl) = h.run(|| compiled.run_greedy_with(&edb, config).unwrap());
+            assert_eq!(run.stats.gamma_steps as usize, n);
+            match &serial_snapshot {
+                None => serial_snapshot = Some(run.snapshot.clone()),
+                Some(s) => assert_eq!(s, &run.snapshot, "counters drift at {t} threads"),
+            }
+            if t == threads[0] {
+                decl_s.push(Sample { size: n as u64, secs: t_decl.median_secs });
+                heap_s.push(Sample { size: n as u64, secs: t_heap.median_secs });
+                ins_s.push(Sample { size: n as u64, secs: t_ins.median_secs });
+            }
+            rec.push(
+                "sort",
+                vec![
+                    ("n", Json::UInt(n as u64)),
+                    ("threads", Json::UInt(t as u64)),
+                    ("decl_ns", ns(t_decl.median_secs)),
+                    ("heapsort_ns", ns(t_heap.median_secs)),
+                    ("insertion_ns", ns(t_ins.median_secs)),
+                    ("heap_ops", Json::UInt(run.snapshot.heap_ops())),
+                    ("gamma_steps", Json::UInt(run.snapshot.gamma_steps)),
+                    ("flat_rounds", Json::UInt(run.snapshot.flat_rounds)),
+                    ("diffchoice_rejections", Json::UInt(run.snapshot.diffchoice_rejections)),
+                    ("rows_cloned", Json::UInt(run.snapshot.rows_cloned)),
+                    ("plan_cache_hits", Json::UInt(run.snapshot.plan_cache_hits)),
+                ],
+            );
+            rows.push(vec![
+                n.to_string(),
+                t.to_string(),
+                secs(t_decl.median_secs),
+                secs(t_heap.median_secs),
+                secs(t_ins.median_secs),
+                run.snapshot.heap_ops().to_string(),
+                run.snapshot.gamma_steps.to_string(),
+                run.snapshot.flat_rounds.to_string(),
+                run.snapshot.diffchoice_rejections.to_string(),
+                run.snapshot.plan_cache_hits.to_string(),
+            ]);
+        }
     }
     println!(
         "{}",
         render_table(
             &[
                 "n",
+                "thr",
                 "decl_s",
                 "heapsort_s",
                 "insertion_s",
                 "heap_ops",
                 "γ_steps",
-                "rows_cloned",
+                "flat_rounds",
+                "diffchoice",
                 "plan_hits",
             ],
             &rows

@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! gbc check   FILE... [--deny-warnings] [--diag-json PATH]
-//! gbc run     FILE... [--generic] [--seed N] [--stats] [--trace] [--profile]
-//!                     [--stats-json PATH] [--trace-json PATH] [--journal-json PATH]
+//! gbc run     FILE... [--generic] [--seed N] [--threads N] [--stats] [--trace]
+//!                     [--profile] [--stats-json PATH] [--trace-json PATH]
+//!                     [--journal-json PATH]
 //! gbc models  FILE... [--max N] [--stats] [--stats-json PATH]
 //! gbc rewrite FILE...            print the negative (rewritten) program
 //! gbc verify  FILE... [--stats] [--trace] [--stats-json PATH]
@@ -33,7 +34,13 @@
 //!   stderr as it happens — the paper's tuple ↔ stage bijection made
 //!   visible;
 //! * `--profile` prints a per-rule profile (firings, tuples derived,
-//!   cumulative time, plan-cache hits), keyed back to `file:line`;
+//!   cumulative time, plan-cache hits), keyed back to `file:line`; on a
+//!   parallel run (`--threads N`) it adds per-worker busy lanes and the
+//!   merge bucket;
+//! * `--threads N` fans flat-rule saturation out over an in-tree worker
+//!   pool (γ-steps and choice commits stay sequential); output is
+//!   byte-identical at any thread count. Defaults to `GBC_THREADS` or
+//!   the machine's available parallelism;
 //! * `--stats-json PATH` writes the full telemetry report (counters,
 //!   per-round delta history, phase timings, per-rule profile, and —
 //!   with `--trace` — the structured event journal) as JSON to `PATH`;
@@ -83,6 +90,10 @@ struct Options {
     max_models: usize,
     deny_warnings: bool,
     diag_json: Option<String>,
+    /// Worker threads for flat-rule saturation (`gbc run --threads N`).
+    /// `None` falls back to `GBC_THREADS`, then to
+    /// `available_parallelism()` — see [`gbc_engine::pool::default_threads`].
+    threads: Option<usize>,
     /// The atom after `--` (for `gbc explain`).
     query: Option<String>,
 }
@@ -101,6 +112,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         max_models: 1000,
         deny_warnings: false,
         diag_json: None,
+        threads: None,
         query: None,
     };
     let mut it = args.iter();
@@ -135,6 +147,14 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 let v = it.next().ok_or("--max needs a value")?;
                 opts.max_models = v.parse().map_err(|_| format!("bad max `{v}`"))?;
             }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad thread count `{v}`"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                opts.threads = Some(n);
+            }
             "--" => {
                 let rest: Vec<&str> = it.by_ref().map(String::as_str).collect();
                 let joined = rest.join(" ");
@@ -163,6 +183,15 @@ struct Observers {
 }
 
 impl Options {
+    /// Worker-thread count for flat-rule saturation: the `--threads`
+    /// flag when given, else `GBC_THREADS`, else
+    /// `available_parallelism()`. Any count produces byte-identical
+    /// output (DESIGN.md §9); the count only changes how saturation
+    /// rounds are scheduled.
+    fn resolve_threads(&self) -> usize {
+        self.threads.unwrap_or_else(gbc_engine::pool::default_threads)
+    }
+
     /// Build the telemetry bundle the flags ask for. Counters are always
     /// on; `--stats`/`--stats-json`/`--profile` additionally enable
     /// phase timers and the per-round delta history; `--profile` turns
@@ -278,6 +307,13 @@ fn render_profile(tel: &Telemetry, program: &Program, sm: &SourceMap) -> String 
             p.plan_hits
         ));
     }
+    let lanes = tel.profiler.lane_secs();
+    if lanes.iter().any(|&s| s > 0.0) {
+        for (w, busy) in lanes.iter().enumerate() {
+            out.push_str(&format!("  worker {w}: {busy:.6}s busy\n"));
+        }
+        out.push_str(&format!("  parallel merge: {:.6}s\n", tel.profiler.merge_secs()));
+    }
     let attributed = tel.profiler.total_secs();
     let run_secs =
         tel.phases.entries().iter().find(|(name, _, _)| name == "run").map(|(_, secs, _)| *secs);
@@ -340,8 +376,8 @@ fn run(args: &[String]) -> Result<(), String> {
 
 fn usage() -> String {
     "usage: gbc <check|run|models|rewrite|verify|explain> FILE... \
-     [--generic] [--seed N] [--stats] [--trace] [--profile] [--stats-json PATH] \
-     [--trace-json PATH] [--journal-json PATH] [--max N] \
+     [--generic] [--seed N] [--threads N] [--stats] [--trace] [--profile] \
+     [--stats-json PATH] [--trace-json PATH] [--journal-json PATH] [--max N] \
      [--deny-warnings] [--diag-json PATH] [-- 'atom']"
         .to_owned()
 }
@@ -455,9 +491,8 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
             snapshot: tel.snapshot(),
         }
     } else {
-        compiled
-            .run_greedy_telemetry(&edb, gbc_core::GreedyConfig::default(), &tel)
-            .map_err(|e| e.to_string())?
+        let config = gbc_core::GreedyConfig::with_threads(opts.resolve_threads());
+        compiled.run_greedy_telemetry(&edb, config, &tel).map_err(|e| e.to_string())?
     };
 
     println!("{}", run.db.canonical_form());

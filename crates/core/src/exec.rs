@@ -50,11 +50,24 @@ use crate::rewrite::choice::choice_vars;
 pub struct GreedyConfig {
     /// γ-step budget.
     pub max_steps: u64,
+    /// Worker threads for flat-rule saturation. `1` (the default) runs
+    /// the exact serial engine; higher counts fan saturation rounds out
+    /// over `gbc_engine::pool` with byte-identical results — γ-steps,
+    /// choice commits and `(R,Q,L)` heap maintenance stay sequential
+    /// regardless (see DESIGN.md §9).
+    pub threads: usize,
 }
 
 impl Default for GreedyConfig {
     fn default() -> Self {
-        GreedyConfig { max_steps: 100_000_000 }
+        GreedyConfig { max_steps: 100_000_000, threads: 1 }
+    }
+}
+
+impl GreedyConfig {
+    /// The default configuration with `threads` workers.
+    pub fn with_threads(threads: usize) -> GreedyConfig {
+        GreedyConfig { threads, ..GreedyConfig::default() }
     }
 }
 
@@ -429,6 +442,7 @@ impl GreedyExecutor {
         let exit_plans = PlanCache::new(exits.len());
         let mut flat = Seminaive::new(flat_rules);
         flat.set_rule_ids(flat_ids);
+        flat.set_threads(config.threads);
         let mut ex = GreedyExecutor {
             flat,
             nexts,

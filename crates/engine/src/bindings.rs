@@ -5,7 +5,7 @@ use gbc_ast::{Value, VarId};
 /// A flat binding frame indexed by [`VarId`]. Bind/unbind pairs follow a
 /// trail discipline inside the matcher, so the frame is reused across
 /// the whole enumeration of a rule body without allocation churn.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Bindings {
     slots: Vec<Option<Value>>,
 }

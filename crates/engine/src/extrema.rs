@@ -17,11 +17,13 @@
 
 use gbc_ast::{Literal, Rule, Term, Value};
 use gbc_storage::{Database, Row};
+use gbc_telemetry::RuleProfiler;
 
 use crate::bindings::Bindings;
 use crate::error::EngineError;
 use crate::eval::{eval_term, for_each_match, instantiate_head, Focus};
-use crate::plan::{for_each_match_plan, RulePlan};
+use crate::plan::{execute_base_chunked, for_each_match_plan, RulePlan};
+use crate::pool::WorkerPool;
 
 /// Collect the binding frames of every body match (cloned snapshots).
 pub fn collect_matches(
@@ -51,6 +53,30 @@ pub fn collect_matches_plan(
         Ok(true)
     })?;
     Ok(frames)
+}
+
+/// [`collect_matches_plan`] with the base plan's first scan fanned out
+/// over `pool` (see [`execute_base_chunked`]): workers collect frames
+/// into per-chunk buffers, merged in chunk order, so the result is
+/// identical to the serial collection. Extrema evaluation is always
+/// unfocused, which is what makes this fan-out applicable. Falls back
+/// to the serial path when the plan has no scan to split.
+pub fn collect_matches_plan_pooled(
+    db: &Database,
+    rule: &Rule,
+    plan: &RulePlan,
+    pool: &WorkerPool,
+    profiler: Option<&RuleProfiler>,
+) -> Result<Vec<Bindings>, EngineError> {
+    let chunked =
+        execute_base_chunked::<Vec<Bindings>>(db, rule, plan, pool, profiler, &|b, acc| {
+            acc.push(b.clone());
+            Ok(())
+        })?;
+    match chunked {
+        Some(chunks) => Ok(chunks.into_iter().flatten().collect()),
+        None => collect_matches_plan(db, rule, plan, None),
+    }
 }
 
 fn eval_ground(t: &Term, b: &Bindings, rule: &Rule) -> Result<Value, EngineError> {
@@ -127,6 +153,38 @@ pub fn eval_rule_with_extrema_plan_traced(
     plan: &RulePlan,
 ) -> Result<(Vec<Row>, Vec<Bindings>), EngineError> {
     let frames = collect_matches_plan(db, rule, plan, None)?;
+    let frames = filter_extrema(rule, frames)?;
+    let rows: Vec<Row> =
+        frames.iter().map(|b| instantiate_head(rule, b)).collect::<Result<_, _>>()?;
+    Ok((rows, frames))
+}
+
+/// [`eval_rule_with_extrema_plan`] with the match collection fanned
+/// out over `pool`. The extrema filter and head instantiation stay on
+/// the calling thread — they are group-global and cheap next to the
+/// join.
+pub fn eval_rule_with_extrema_plan_pooled(
+    db: &Database,
+    rule: &Rule,
+    plan: &RulePlan,
+    pool: &WorkerPool,
+    profiler: Option<&RuleProfiler>,
+) -> Result<Vec<Row>, EngineError> {
+    let frames = collect_matches_plan_pooled(db, rule, plan, pool, profiler)?;
+    let frames = filter_extrema(rule, frames)?;
+    frames.iter().map(|b| instantiate_head(rule, b)).collect()
+}
+
+/// [`eval_rule_with_extrema_plan_traced`] with the match collection
+/// fanned out over `pool`.
+pub fn eval_rule_with_extrema_plan_traced_pooled(
+    db: &Database,
+    rule: &Rule,
+    plan: &RulePlan,
+    pool: &WorkerPool,
+    profiler: Option<&RuleProfiler>,
+) -> Result<(Vec<Row>, Vec<Bindings>), EngineError> {
+    let frames = collect_matches_plan_pooled(db, rule, plan, pool, profiler)?;
     let frames = filter_extrema(rule, frames)?;
     let rows: Vec<Row> =
         frames.iter().map(|b| instantiate_head(rule, b)).collect::<Result<_, _>>()?;
@@ -229,6 +287,43 @@ mod tests {
         let rows = eval_rule_with_extrema(&takes_db(), &rule).unwrap();
         // Per-course minima are engl→2, math→2; both tie at the most step.
         assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn pooled_extrema_matches_serial_at_any_thread_count() {
+        // least(G, Crs) over a db large enough to cross the chunking
+        // threshold; the pooled result (order included) must equal the
+        // serial plan evaluation at every thread count.
+        let rule = Rule::new(
+            Atom::new("bttm_st", vec![Term::var(0), Term::var(1), Term::var(2)]),
+            vec![
+                Literal::pos("takes", vec![Term::var(0), Term::var(1), Term::var(2)]),
+                Literal::Least { cost: Term::var(2), group: vec![Term::var(1)] },
+            ],
+            vec!["St".into(), "Crs".into(), "G".into()],
+        );
+        let mut db = Database::new();
+        for i in 0..500i64 {
+            db.insert_values(
+                "takes",
+                vec![Value::int(i), Value::int(i % 23), Value::int((i * 7) % 31)],
+            );
+        }
+        let plan = RulePlan::compile(&rule).unwrap();
+        let serial = eval_rule_with_extrema_plan(&db, &rule, &plan).unwrap();
+        let (serial_rows, serial_frames) =
+            eval_rule_with_extrema_plan_traced(&db, &rule, &plan).unwrap();
+        assert_eq!(serial_rows, serial);
+        for threads in [1usize, 2, 4, 8] {
+            let pool = WorkerPool::new(threads);
+            let pooled =
+                eval_rule_with_extrema_plan_pooled(&db, &rule, &plan, &pool, None).unwrap();
+            assert_eq!(pooled, serial, "threads {threads}");
+            let (rows, frames) =
+                eval_rule_with_extrema_plan_traced_pooled(&db, &rule, &plan, &pool, None).unwrap();
+            assert_eq!(rows, serial, "traced rows, threads {threads}");
+            assert_eq!(frames, serial_frames, "traced frames, threads {threads}");
+        }
     }
 
     #[test]

@@ -6,7 +6,10 @@
 //!   joins, arithmetic, comparisons and negation-as-lookup;
 //! * [`extrema`] — in-rule `least`/`most` evaluation (group-by minimum /
 //!   maximum over the body's satisfying bindings);
-//! * [`seminaive`] — delta-driven saturation of a rule set;
+//! * [`seminaive`] — delta-driven saturation of a rule set, optionally
+//!   fanning each round's joins out over [`pool`] — an in-tree scoped
+//!   worker pool with a deterministic chunk-order merge, so results
+//!   and counters are identical at any thread count;
 //! * [`stratified`] — perfect-model evaluation of stratified programs
 //!   (dependency graph → SCC condensation → stratum-by-stratum
 //!   saturation);
@@ -36,6 +39,7 @@ pub mod eval;
 pub mod extrema;
 pub mod graph;
 pub mod plan;
+pub mod pool;
 pub mod seminaive;
 pub mod stable;
 pub mod stratified;
@@ -44,5 +48,6 @@ pub use bindings::Bindings;
 pub use choice::{ChoiceFixpoint, ChoiceFixpointConfig};
 pub use chooser::{Chooser, DeterministicFirst, SeededRandom};
 pub use error::EngineError;
+pub use pool::{default_threads, WorkerPool};
 pub use stable::is_stable_model;
 pub use stratified::evaluate_stratified;

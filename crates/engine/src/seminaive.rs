@@ -14,16 +14,21 @@
 //! latest γ step introduced.
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use gbc_ast::{Literal, Rule, Symbol};
 use gbc_storage::{Database, FxHashMap, Row};
 use gbc_telemetry::{Metrics, RuleProfiler, TraceEvent, TraceSink};
 
+use crate::bindings::Bindings;
 use crate::error::EngineError;
 use crate::eval::{instantiate_head, parent_rows, Focus};
-use crate::extrema::{eval_rule_with_extrema_plan, eval_rule_with_extrema_plan_traced};
-use crate::plan::{for_each_match_plan, PlanCache};
+use crate::extrema::{
+    eval_rule_with_extrema_plan, eval_rule_with_extrema_plan_pooled,
+    eval_rule_with_extrema_plan_traced, eval_rule_with_extrema_plan_traced_pooled,
+};
+use crate::plan::{execute_base_chunked, for_each_match_plan, PlanCache, RulePlan};
+use crate::pool::WorkerPool;
 
 /// Rows joined over per derived head row — recorded for provenance.
 type ParentSets = Vec<Vec<(Symbol, Row)>>;
@@ -52,6 +57,10 @@ pub struct Seminaive {
     trace: Option<Arc<dyn TraceSink>>,
     /// Per-rule timing reports here when attached.
     profiler: Option<Arc<RuleProfiler>>,
+    /// Worker pool for the parallel evaluation paths. Serial by
+    /// default; results are byte-identical at any thread count (see
+    /// DESIGN.md §9).
+    pool: WorkerPool,
 }
 
 impl std::fmt::Debug for Seminaive {
@@ -88,6 +97,7 @@ impl Seminaive {
             metrics: None,
             trace: None,
             profiler: None,
+            pool: WorkerPool::serial(),
         }
     }
 
@@ -117,6 +127,19 @@ impl Seminaive {
         self.profiler = profiler;
     }
 
+    /// Set the worker-thread count for flat-rule evaluation. `1` (the
+    /// default) keeps every path on the exact serial code; higher
+    /// counts fan big rounds out over [`crate::pool`], producing
+    /// byte-identical relation contents and counters.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.pool = WorkerPool::new(threads);
+    }
+
+    /// The configured worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
     /// The rules driven by this instance.
     pub fn rules(&self) -> &[Rule] {
         &self.rules
@@ -134,10 +157,14 @@ impl Seminaive {
             metrics,
             trace,
             profiler,
+            pool,
         } = self;
+        let pool = *pool;
+        let parallel = pool.is_parallel();
         // Owned handle: recording happens while `db` is mutably
         // borrowed by the insert loop.
         let prov = db.provenance().cloned();
+        let want_prov = prov.is_some();
         let mut total: u64 = 0;
         loop {
             // The round runs on a *chained* clock: one `Instant::now`
@@ -173,24 +200,14 @@ impl Seminaive {
                 let derived: Vec<Row> = if !evaluated_once[ri] {
                     evaluated_once[ri] = true;
                     if rule.has_extrema() {
-                        if prov.is_some() {
-                            let (rows, frames) =
-                                eval_rule_with_extrema_plan_traced(db, rule, &plan)?;
+                        let (rows, frames) =
+                            eval_extrema_full(db, rule, &plan, pool, profiler, want_prov)?;
+                        if let Some(frames) = frames {
                             parents = frames.iter().map(|b| parent_rows(rule, b)).collect();
-                            rows
-                        } else {
-                            eval_rule_with_extrema_plan(db, rule, &plan)?
                         }
+                        rows
                     } else {
-                        let mut derived = Vec::new();
-                        for_each_match_plan(db, None, rule, &plan, None, &mut |b| {
-                            derived.push(instantiate_head(rule, b)?);
-                            if prov.is_some() {
-                                parents.push(parent_rows(rule, b));
-                            }
-                            Ok(true)
-                        })?;
-                        derived
+                        eval_full(db, rule, &plan, pool, profiler, want_prov, &mut parents)?
                     }
                 } else if rule.has_extrema() {
                     let grown = rule
@@ -204,13 +221,12 @@ impl Seminaive {
                         }
                         continue;
                     }
-                    if prov.is_some() {
-                        let (rows, frames) = eval_rule_with_extrema_plan_traced(db, rule, &plan)?;
+                    let (rows, frames) =
+                        eval_extrema_full(db, rule, &plan, pool, profiler, want_prov)?;
+                    if let Some(frames) = frames {
                         parents = frames.iter().map(|b| parent_rows(rule, b)).collect();
-                        rows
-                    } else {
-                        eval_rule_with_extrema_plan(db, rule, &plan)?
                     }
+                    rows
                 } else {
                     let mut derived = Vec::new();
                     for (li, lit) in rule.body.iter().enumerate() {
@@ -222,23 +238,79 @@ impl Seminaive {
                         // The delta rows are borrowed in place from the
                         // relation's arena — no per-round copy.
                         let rows = db.relation(a.pred).since(from);
-                        for_each_match_plan(
-                            db,
-                            None,
-                            rule,
-                            &plan,
-                            Some(Focus { literal: li, rows }),
-                            &mut |b| {
-                                derived.push(instantiate_head(rule, b)?);
-                                if prov.is_some() {
-                                    parents.push(parent_rows(rule, b));
+                        let ranges = pool.chunk_ranges(rows.len());
+                        if ranges.len() > 1 {
+                            // Fan out: each worker runs the same
+                            // focused variant over a contiguous chunk
+                            // of the delta with its own scratch frame,
+                            // trail and buffers, reading the arena and
+                            // indices immutably. Merging the per-chunk
+                            // buffers in chunk order reproduces the
+                            // serial enumeration exactly.
+                            let dbr: &Database = db;
+                            let prof = profiler.as_deref();
+                            let results = pool.run(ranges.len(), |ci, worker| {
+                                let t0 = prof.and_then(RuleProfiler::lane_start);
+                                let (lo, hi) = ranges[ci];
+                                let mut out: Vec<Row> = Vec::new();
+                                let mut par: ParentSets = Vec::new();
+                                let res = for_each_match_plan(
+                                    dbr,
+                                    None,
+                                    rule,
+                                    &plan,
+                                    Some(Focus { literal: li, rows: &rows[lo..hi] }),
+                                    &mut |b| {
+                                        out.push(instantiate_head(rule, b)?);
+                                        if want_prov {
+                                            par.push(parent_rows(rule, b));
+                                        }
+                                        Ok(true)
+                                    },
+                                );
+                                if let (Some(p), Some(t0)) = (prof, t0) {
+                                    p.record_lane(worker, t0.elapsed());
                                 }
-                                Ok(true)
-                            },
-                        )?;
+                                res.map(|()| (out, par))
+                            });
+                            // Errors surface from the earliest chunk —
+                            // the one a serial run would fail in first.
+                            for r in results {
+                                let (out, par) = r?;
+                                derived.extend(out);
+                                parents.extend(par);
+                            }
+                        } else {
+                            for_each_match_plan(
+                                db,
+                                None,
+                                rule,
+                                &plan,
+                                Some(Focus { literal: li, rows }),
+                                &mut |b| {
+                                    derived.push(instantiate_head(rule, b)?);
+                                    if want_prov {
+                                        parents.push(parent_rows(rule, b));
+                                    }
+                                    Ok(true)
+                                },
+                            )?;
+                        }
                     }
                     derived
                 };
+                // Parallel rounds split the rule's chained interval at
+                // this boundary: everything up to here (dispatch, join,
+                // barrier) is charged to the rule; the merge/insert
+                // sweep below goes to the profiler's merge bucket.
+                // Serial rounds keep the single-interval accounting.
+                if parallel {
+                    if let (Some(p), Some(t0)) = (profiler.as_ref(), t_prev) {
+                        let t = Instant::now();
+                        p.record(rule_id, 0, 0, t - t0);
+                        t_prev = Some(t);
+                    }
+                }
                 let mut inserted: u64 = 0;
                 if let Some(arena) = &prov {
                     for (i, row) in derived.into_iter().enumerate() {
@@ -267,7 +339,12 @@ impl Seminaive {
                 }
                 if let (Some(p), Some(t0)) = (profiler.as_ref(), t_prev) {
                     let t = Instant::now();
-                    p.record(rule_id, 1, inserted, t - t0);
+                    if parallel {
+                        p.add_merge(t - t0);
+                        p.record(rule_id, 1, inserted, Duration::ZERO);
+                    } else {
+                        p.record(rule_id, 1, inserted, t - t0);
+                    }
                     t_prev = Some(t);
                 }
             }
@@ -290,6 +367,82 @@ impl Seminaive {
             }
         }
     }
+}
+
+/// Full (unfocused) evaluation of an extrema rule, fanning the match
+/// collection out over `pool` when it is parallel. Returns the
+/// surviving binding frames too when `want_frames` (the provenance
+/// path needs them to reconstruct parent rows).
+fn eval_extrema_full(
+    db: &Database,
+    rule: &Rule,
+    plan: &RulePlan,
+    pool: WorkerPool,
+    profiler: &Option<Arc<RuleProfiler>>,
+    want_frames: bool,
+) -> Result<(Vec<Row>, Option<Vec<Bindings>>), EngineError> {
+    let prof = profiler.as_deref();
+    if want_frames {
+        let (rows, frames) = if pool.is_parallel() {
+            eval_rule_with_extrema_plan_traced_pooled(db, rule, plan, &pool, prof)?
+        } else {
+            eval_rule_with_extrema_plan_traced(db, rule, plan)?
+        };
+        Ok((rows, Some(frames)))
+    } else if pool.is_parallel() {
+        Ok((eval_rule_with_extrema_plan_pooled(db, rule, plan, &pool, prof)?, None))
+    } else {
+        Ok((eval_rule_with_extrema_plan(db, rule, plan)?, None))
+    }
+}
+
+/// Full (unfocused) first evaluation of a plain rule: derived rows plus
+/// — when `want_prov` — the parent rows per derivation appended to
+/// `parents`. Parallel pools fan the base plan's first scan out over
+/// chunks ([`execute_base_chunked`]); the serial pool, and plans with
+/// no scan to split, take the exact serial path.
+fn eval_full(
+    db: &Database,
+    rule: &Rule,
+    plan: &RulePlan,
+    pool: WorkerPool,
+    profiler: &Option<Arc<RuleProfiler>>,
+    want_prov: bool,
+    parents: &mut ParentSets,
+) -> Result<Vec<Row>, EngineError> {
+    if pool.is_parallel() {
+        let chunked = execute_base_chunked::<(Vec<Row>, ParentSets)>(
+            db,
+            rule,
+            plan,
+            &pool,
+            profiler.as_deref(),
+            &|b, acc| {
+                acc.0.push(instantiate_head(rule, b)?);
+                if want_prov {
+                    acc.1.push(parent_rows(rule, b));
+                }
+                Ok(())
+            },
+        )?;
+        if let Some(chunks) = chunked {
+            let mut derived = Vec::new();
+            for (rows, par) in chunks {
+                derived.extend(rows);
+                parents.extend(par);
+            }
+            return Ok(derived);
+        }
+    }
+    let mut derived = Vec::new();
+    for_each_match_plan(db, None, rule, plan, None, &mut |b| {
+        derived.push(instantiate_head(rule, b)?);
+        if want_prov {
+            parents.push(parent_rows(rule, b));
+        }
+        Ok(true)
+    })?;
+    Ok(derived)
 }
 
 #[cfg(test)]
@@ -364,6 +517,35 @@ mod tests {
         let mut sn = Seminaive::new(tc_rules());
         sn.saturate(&mut db).unwrap();
         assert_eq!(db.count(Symbol::intern("tc")), 9);
+    }
+
+    #[test]
+    fn parallel_saturation_matches_serial_arena_order() {
+        // A chain long enough that both the first full evaluation and
+        // the per-round deltas cross the chunking threshold. The
+        // determinism contract is *insertion order*, not just set
+        // equality — later `since(mark)` slices and downstream choice
+        // heaps depend on it — so compare the arenas directly.
+        let n = 300;
+        let tc = Symbol::intern("tc");
+        let (serial_total, serial_db) = {
+            let mut db = chain_db(n);
+            let total = Seminaive::new(tc_rules()).saturate(&mut db).unwrap();
+            (total, db)
+        };
+        for threads in [2usize, 4, 8] {
+            let mut db = chain_db(n);
+            let mut sn = Seminaive::new(tc_rules());
+            sn.set_threads(threads);
+            assert_eq!(sn.threads(), threads);
+            let total = sn.saturate(&mut db).unwrap();
+            assert_eq!(total, serial_total, "threads {threads}");
+            assert_eq!(
+                db.relation(tc).arena(),
+                serial_db.relation(tc).arena(),
+                "threads {threads}"
+            );
+        }
     }
 
     #[test]

@@ -1,7 +1,6 @@
 //! Duplicate-free, insertion-ordered relations with cached indices.
 
-use std::cell::RefCell;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 use gbc_ast::Value;
 use gbc_telemetry::Metrics;
@@ -18,16 +17,22 @@ use crate::tuple::Row;
 /// to rows by `u32` position in it ([`Relation::arena`],
 /// [`Relation::select_ids_into`]), so the join path never has to clone
 /// rows out of storage. Indices on column subsets are created lazily
-/// behind a `RefCell` — the engine reads relations through `&Relation`
+/// behind an `RwLock` — the engine reads relations through `&Relation`
 /// while staging derived tuples elsewhere, so interior mutability
-/// confines itself to the index cache.
+/// confines itself to the index cache; the lock (rather than a
+/// `RefCell`) makes `Relation` `Sync`, which is what lets the parallel
+/// seminaive workers share `&Database` across threads. Probes take the
+/// read lock; a miss upgrades to the write lock with a double-check, so
+/// concurrent first probes of the same column set still build the index
+/// exactly once and the `index_builds` counter stays identical to a
+/// serial run.
 #[derive(Debug, Default)]
 pub struct Relation {
     order: Vec<Row>,
     set: FxHashSet<Row>,
     /// Cached indices, keyed by their column bitmask (bit i ⇒ column i
     /// participates, in ascending column order).
-    indices: RefCell<Vec<(u64, Index)>>,
+    indices: RwLock<Vec<(u64, Index)>>,
     /// Shared counter registry; index builds/probes are reported here
     /// when attached.
     metrics: Option<Arc<Metrics>>,
@@ -41,7 +46,7 @@ impl Clone for Relation {
         Relation {
             order: self.order.clone(),
             set: self.set.clone(),
-            indices: RefCell::new(self.indices.borrow().clone()),
+            indices: RwLock::new(self.indices.read().expect("index cache lock").clone()),
             metrics: self.metrics.clone(),
         }
     }
@@ -88,7 +93,7 @@ impl Relation {
             return false;
         }
         let id = self.order.len() as u32;
-        for (_, idx) in self.indices.get_mut().iter_mut() {
+        for (_, idx) in self.indices.get_mut().expect("index cache lock").iter_mut() {
             idx.insert(&row, id);
         }
         self.order.push(row);
@@ -157,7 +162,17 @@ impl Relation {
             }
             return;
         };
-        let mut cache = self.indices.borrow_mut();
+        {
+            let cache = self.indices.read().expect("index cache lock");
+            if let Some((_, idx)) = cache.iter().find(|(m, _)| *m == mask) {
+                out.extend_from_slice(idx.get(key));
+                return;
+            }
+        }
+        let mut cache = self.indices.write().expect("index cache lock");
+        // Double-check under the write lock: a concurrent worker may
+        // have built the same index while we waited, and the build must
+        // happen (and be counted) exactly once.
         if let Some((_, idx)) = cache.iter().find(|(m, _)| *m == mask) {
             out.extend_from_slice(idx.get(key));
             return;
@@ -194,12 +209,12 @@ impl Relation {
 
     /// Drop all cached indices (tests / memory pressure).
     pub fn clear_indices(&self) {
-        self.indices.borrow_mut().clear();
+        self.indices.write().expect("index cache lock").clear();
     }
 
     /// Number of cached indices (for tests).
     pub fn num_indices(&self) -> usize {
-        self.indices.borrow().len()
+        self.indices.read().expect("index cache lock").len()
     }
 }
 
@@ -229,6 +244,14 @@ mod tests {
 
     fn row(vals: &[i64]) -> Row {
         Row::new(vals.iter().map(|&v| Value::int(v)).collect())
+    }
+
+    /// The parallel seminaive workers share `&Relation` across scoped
+    /// threads; the index cache must therefore be `Sync`.
+    #[test]
+    fn relation_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Relation>();
     }
 
     #[test]

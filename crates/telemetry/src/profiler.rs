@@ -50,6 +50,17 @@ pub struct RuleProfiler {
     /// nanoseconds — so the profile accounts for run time the per-rule
     /// rows cannot claim.
     overhead_nanos: AtomicU64,
+    /// Per-worker busy time of the parallel evaluation lanes (slot per
+    /// worker id), in nanoseconds. Lanes measure work done *inside* the
+    /// coordinator's per-rule wall-clock intervals, so they are
+    /// reported alongside the rules rather than added to
+    /// [`RuleProfiler::total_secs`] — summing both would double-count.
+    lane_nanos: Mutex<Vec<u64>>,
+    /// Coordinator time spent merging per-worker buffers and inserting
+    /// the merged rows after a parallel round barrier, in nanoseconds.
+    /// Counted toward [`RuleProfiler::total_secs`] like the overhead
+    /// bucket; stays 0 on serial runs.
+    merge_nanos: AtomicU64,
 }
 
 impl RuleProfiler {
@@ -60,11 +71,7 @@ impl RuleProfiler {
 
     /// An enabled profiler.
     pub fn enabled() -> RuleProfiler {
-        RuleProfiler {
-            enabled: true,
-            rules: Mutex::new(Vec::new()),
-            overhead_nanos: AtomicU64::new(0),
-        }
+        RuleProfiler { enabled: true, ..RuleProfiler::default() }
     }
 
     /// Is profiling on?
@@ -138,6 +145,50 @@ impl RuleProfiler {
         self.overhead_nanos.load(Ordering::Relaxed) as f64 / 1e9
     }
 
+    /// Begin a worker-lane interval. Like [`RuleProfiler::start`] but
+    /// intended for use *on* a pool worker; pair with
+    /// [`RuleProfiler::record_lane`].
+    #[inline]
+    pub fn lane_start(&self) -> Option<Instant> {
+        self.enabled.then(Instant::now)
+    }
+
+    /// Charge `dur` of busy time to `worker`'s lane. Lanes are
+    /// informational (they show how evenly a parallel round spread) and
+    /// do not feed [`RuleProfiler::total_secs`] — the coordinator's
+    /// per-rule intervals already cover the same wall-clock span.
+    pub fn record_lane(&self, worker: usize, dur: Duration) {
+        if !self.enabled {
+            return;
+        }
+        let mut lanes = self.lane_nanos.lock().expect("profiler lock");
+        if lanes.len() <= worker {
+            lanes.resize(worker + 1, 0);
+        }
+        lanes[worker] += dur.as_nanos() as u64;
+    }
+
+    /// Per-worker lane busy time in seconds, indexed by worker id.
+    /// Empty unless a parallel round ran with profiling on.
+    pub fn lane_secs(&self) -> Vec<f64> {
+        self.lane_nanos.lock().expect("profiler lock").iter().map(|&n| n as f64 / 1e9).collect()
+    }
+
+    /// Charge `dur` to the parallel merge bucket (coordinator time
+    /// spent concatenating per-worker buffers and inserting the merged
+    /// rows after a round barrier).
+    #[inline]
+    pub fn add_merge(&self, dur: Duration) {
+        if self.enabled {
+            self.merge_nanos.fetch_add(dur.as_nanos() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Parallel merge/insert time, in seconds. 0 on serial runs.
+    pub fn merge_secs(&self) -> f64 {
+        self.merge_nanos.load(Ordering::Relaxed) as f64 / 1e9
+    }
+
     /// `(rule_id, profile)` pairs for every rule with recorded
     /// activity, in rule-id order.
     pub fn entries(&self) -> Vec<(usize, RuleProf)> {
@@ -158,13 +209,16 @@ impl RuleProfiler {
     }
 
     /// Everything the profile accounts for: per-rule time plus the
-    /// executor-overhead bucket, in seconds.
+    /// executor-overhead and parallel-merge buckets, in seconds. Worker
+    /// lanes are excluded — they overlap the per-rule intervals.
     pub fn total_secs(&self) -> f64 {
-        self.rules_secs() + self.overhead_secs()
+        self.rules_secs() + self.overhead_secs() + self.merge_secs()
     }
 
     /// `{rules: [{rule, firings, tuples, secs, plan_hits}, …],
-    /// overhead_secs}`.
+    /// overhead_secs}`, plus `workers`/`merge_secs` fields when a
+    /// parallel round recorded lane or merge time (serial output is
+    /// unchanged byte for byte).
     pub fn to_json(&self) -> Json {
         let rules = Json::Arr(
             self.entries()
@@ -180,7 +234,26 @@ impl RuleProfiler {
                 })
                 .collect(),
         );
-        Json::obj(vec![("rules", rules), ("overhead_secs", Json::Float(self.overhead_secs()))])
+        let mut fields =
+            vec![("rules", rules), ("overhead_secs", Json::Float(self.overhead_secs()))];
+        let lanes = self.lane_secs();
+        if lanes.iter().any(|&s| s > 0.0) {
+            let workers = lanes
+                .into_iter()
+                .enumerate()
+                .map(|(w, busy)| {
+                    Json::obj(vec![
+                        ("worker", Json::UInt(w as u64)),
+                        ("busy_secs", Json::Float(busy)),
+                    ])
+                })
+                .collect();
+            fields.push(("workers", Json::Arr(workers)));
+        }
+        if self.merge_nanos.load(Ordering::Relaxed) > 0 {
+            fields.push(("merge_secs", Json::Float(self.merge_secs())));
+        }
+        Json::obj(fields)
     }
 }
 
@@ -236,6 +309,35 @@ mod tests {
         assert!(p.overhead_secs() > 0.0);
         assert!(p.total_secs() > p.rules_secs());
         assert!(p.to_json().to_string().contains("\"overhead_secs\":"));
+    }
+
+    #[test]
+    fn lanes_and_merge_stay_silent_on_serial_runs() {
+        let p = RuleProfiler::enabled();
+        p.record(0, 1, 1, Duration::from_millis(1));
+        let s = p.to_json().to_string();
+        assert!(!s.contains("\"workers\""), "no lanes recorded: {s}");
+        assert!(!s.contains("\"merge_secs\""), "no merge recorded: {s}");
+
+        p.record_lane(1, Duration::from_millis(2));
+        p.add_merge(Duration::from_millis(3));
+        let s = p.to_json().to_string();
+        assert!(s.contains("\"workers\""));
+        assert!(s.contains("\"busy_secs\""));
+        assert!(s.contains("\"merge_secs\""));
+        assert_eq!(p.lane_secs().len(), 2);
+        // Merge counts toward the accounted total; lanes do not.
+        assert!((p.total_secs() - 0.004).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disabled_profiler_ignores_lanes_and_merge() {
+        let p = RuleProfiler::disabled();
+        assert!(p.lane_start().is_none());
+        p.record_lane(0, Duration::from_millis(1));
+        p.add_merge(Duration::from_millis(1));
+        assert!(p.lane_secs().is_empty());
+        assert_eq!(p.merge_secs(), 0.0);
     }
 
     #[test]
