@@ -134,4 +134,22 @@ grep -q '"label": "ci-quick"' BENCH_experiments.json || {
     exit 1
 }
 
+echo "== ci-load: serve-load smoke + regression gate =="
+# A small multi-tenant closed-loop load run (2 sessions × 2 workers,
+# quick request count), appended to the bench trail, then gated
+# against the committed serve-baseline record: semantic counters must
+# match exactly; timing columns only warn (75% tolerance — shared CI
+# boxes cannot hard-gate wall-clock).
+./target/release/experiments --serve-load 2x2 --quick \
+    --json BENCH_experiments.json --label "ci-load" >/dev/null
+grep -q '"label": "ci-load"' BENCH_experiments.json || {
+    echo "serve-load run did not land in BENCH_experiments.json" >&2
+    exit 1
+}
+./target/release/experiments --compare serve-baseline \
+    --json BENCH_experiments.json --tolerance 75 || {
+    echo "serve-load regression gate failed against serve-baseline" >&2
+    exit 1
+}
+
 echo "CI OK"

@@ -4,6 +4,8 @@
 //! experiments [prim|sort|matching|kruskal|models|huffman|tsp|spanning|
 //!              scheduling|ablation|seminaive|all]...
 //!             [--quick] [--json <path>] [--label <name>] [--threads LIST]
+//!             [--serve-load SESSIONSxTHREADS] [--compare LABEL]
+//!             [--tolerance PCT]
 //! ```
 //!
 //! Each experiment prints problem sizes, wall-clock medians (in-tree
@@ -26,6 +28,17 @@
 //! sort rows at each worker count — the parallel flat-rule saturation
 //! scaling table. Counters must be identical across the list (the
 //! engine's determinism contract, DESIGN.md §9); only wall-clock moves.
+//!
+//! `--serve-load SESSIONSxTHREADS` (also accepts `×`) runs the
+//! multi-tenant closed-loop harness from `gbc_bench::serve`: concurrent
+//! sessions over shared plan-compiled programs, per-request latency in
+//! mergeable histograms, p50/p90/p99 and requests-per-second columns.
+//!
+//! `--compare LABEL` diffs the **newest** run in the `--json` file
+//! against the most recent *earlier* run labelled `LABEL`. Semantic
+//! counters must match exactly (hard failure, exit 1); timing columns
+//! (`*_ns`, `req_per_sec`) only warn beyond `--tolerance PCT` (default
+//! 25), because 1-CPU CI boxes cannot hard-gate wall-clock.
 
 use gbc_baselines::huffman::{huffman_tree, weighted_path_length as wpl_base};
 use gbc_baselines::kruskal::{kruskal_mst, kruskal_relabel};
@@ -34,9 +47,42 @@ use gbc_baselines::prim::prim_mst;
 use gbc_baselines::sorts::{heapsort, insertion_sort};
 use gbc_baselines::total_cost;
 use gbc_baselines::tsp::{greedy_chain, is_hamiltonian_path, nearest_neighbour};
-use gbc_bench::{fit_exponent, render_table, Harness, Sample};
+use gbc_bench::{fit_exponent, render_table, serve_load, standard_tenants, Harness, Sample};
 use gbc_greedy::{huffman, kruskal, matching, prim, sorting, spanning, student, tsp, workload};
 use gbc_telemetry::Json;
+
+/// Print the full usage text plus `err` and exit 2 — every malformed
+/// flag lands here instead of a panic backtrace.
+fn usage(err: &str) -> ! {
+    eprintln!("error: {err}");
+    eprintln!();
+    eprintln!(
+        "usage: experiments [prim|sort|matching|kruskal|models|huffman|tsp|spanning|\n\
+         \u{20}                   scheduling|ablation|seminaive|all]...\n\
+         \u{20}                  [--quick] [--json <path>] [--label <name>] [--threads LIST]\n\
+         \u{20}                  [--serve-load SESSIONSxTHREADS] [--compare LABEL]\n\
+         \u{20}                  [--tolerance PCT]"
+    );
+    std::process::exit(2);
+}
+
+/// The next argument after `flag`, or usage-and-exit when it is missing.
+fn require_value(it: &mut std::slice::Iter<'_, String>, flag: &str, what: &str) -> String {
+    it.next().cloned().unwrap_or_else(|| usage(&format!("{flag} needs {what}")))
+}
+
+/// `SESSIONSxTHREADS` → `(sessions, threads)`; accepts `x` or `×`.
+fn parse_serve_spec(spec: &str) -> (usize, usize) {
+    let parts: Vec<&str> = spec.split(['x', '×']).collect();
+    let both = match parts.as_slice() {
+        [s, t] => s.trim().parse::<usize>().ok().zip(t.trim().parse::<usize>().ok()),
+        _ => None,
+    };
+    match both {
+        Some((s, t)) if s >= 1 && t >= 1 => (s, t),
+        _ => usage(&format!("bad --serve-load spec `{spec}` (want e.g. 8x4)")),
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -44,33 +90,50 @@ fn main() {
     let mut json_path: Option<String> = None;
     let mut label = "run".to_owned();
     let mut threads: Vec<usize> = vec![1];
+    let mut serve: Option<(usize, usize)> = None;
+    let mut compare: Option<String> = None;
+    let mut tolerance = 25.0f64;
     let mut names: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => {}
-            "--json" => json_path = Some(it.next().expect("--json needs a path").clone()),
-            "--label" => label = it.next().expect("--label needs a value").clone(),
+            "--json" => json_path = Some(require_value(&mut it, "--json", "a path")),
+            "--label" => label = require_value(&mut it, "--label", "a run label"),
             "--threads" => {
-                let list = it.next().expect("--threads needs a comma-separated list");
+                let list = require_value(&mut it, "--threads", "a comma-separated list");
                 threads = list
                     .split(',')
                     .map(|t| {
                         t.trim().parse::<usize>().ok().filter(|&n| n >= 1).unwrap_or_else(|| {
-                            eprintln!("bad thread count `{t}` in --threads");
-                            std::process::exit(2);
+                            usage(&format!("bad thread count `{t}` in --threads"))
                         })
                     })
                     .collect();
             }
-            flag if flag.starts_with("--") => {
-                eprintln!("unknown flag: {flag}");
-                std::process::exit(2);
+            "--serve-load" => {
+                let spec = require_value(&mut it, "--serve-load", "SESSIONSxTHREADS (e.g. 8x4)");
+                serve = Some(parse_serve_spec(&spec));
             }
+            "--compare" => compare = Some(require_value(&mut it, "--compare", "a baseline label")),
+            "--tolerance" => {
+                let pct = require_value(&mut it, "--tolerance", "a percentage");
+                tolerance =
+                    pct.parse::<f64>().ok().filter(|p| p.is_finite() && *p >= 0.0).unwrap_or_else(
+                        || usage(&format!("bad percentage `{pct}` in --tolerance")),
+                    );
+            }
+            flag if flag.starts_with("--") => usage(&format!("unknown flag: {flag}")),
             name => names.push(name.to_owned()),
         }
     }
-    if names.is_empty() {
+
+    if let Some(baseline) = compare {
+        let Some(path) = json_path else { usage("--compare needs --json <path>") };
+        std::process::exit(compare_runs(&path, &baseline, tolerance));
+    }
+
+    if names.is_empty() && serve.is_none() {
         names.push("all".to_owned());
     }
 
@@ -109,6 +172,9 @@ fn main() {
     if run("seminaive") {
         a2_seminaive(quick);
     }
+    if let Some((sessions, workers)) = serve {
+        sl_serve_load(quick, sessions, workers, &mut rec);
+    }
 
     if let Some(path) = json_path {
         append_run(&path, rec.into_run(&label));
@@ -133,6 +199,10 @@ impl Recorder {
 
     fn into_run(self, label: &str) -> Json {
         Json::obj(vec![
+            // v2: serve-load rows (p50_ns/p90_ns/p99_ns/req_per_sec) may
+            // appear; v1 rows are unchanged, so readers only need the
+            // version to know which columns can exist.
+            ("schema_version", Json::UInt(2)),
             ("label", Json::Str(label.to_owned())),
             ("meta", run_meta()),
             (
@@ -753,4 +823,221 @@ fn a2_seminaive(quick: bool) {
         fit_exponent(&semi_s),
         fit_exponent(&naive_s)
     );
+}
+
+fn sl_serve_load(quick: bool, sessions: usize, workers: usize, rec: &mut Recorder) {
+    println!(
+        "\n== SL  Serve-load: {sessions} sessions × {workers} workers, multi-tenant closed loop =="
+    );
+    let requests: u64 = if quick { 4 } else { 25 };
+    let tenants = standard_tenants();
+    let report = serve_load(&tenants, sessions, workers, requests);
+    let mut rows = Vec::new();
+    for t in &report.tenants {
+        // With fewer sessions than tenants, the tail tenants serve none;
+        // skip them so baseline and CI rows always line up.
+        if t.requests == 0 {
+            continue;
+        }
+        rec.push(
+            "serve_load",
+            vec![
+                ("tenant", Json::Str(t.name.to_owned())),
+                ("sessions", Json::UInt(t.sessions as u64)),
+                ("threads", Json::UInt(workers as u64)),
+                ("requests", Json::UInt(t.requests)),
+                ("gamma_steps", Json::UInt(t.per_request.gamma_steps)),
+                ("heap_ops", Json::UInt(t.per_request.heap_ops())),
+                ("tuples_derived", Json::UInt(t.per_request.tuples_derived)),
+                ("p50_ns", Json::UInt(t.latency.p50())),
+                ("p90_ns", Json::UInt(t.latency.p90())),
+                ("p99_ns", Json::UInt(t.latency.p99())),
+            ],
+        );
+        rows.push(vec![
+            t.name.to_owned(),
+            t.sessions.to_string(),
+            t.requests.to_string(),
+            (t.latency.p50() / 1_000).to_string(),
+            (t.latency.p90() / 1_000).to_string(),
+            (t.latency.p99() / 1_000).to_string(),
+            t.per_request.gamma_steps.to_string(),
+            t.per_request.heap_ops().to_string(),
+            t.per_request.tuples_derived.to_string(),
+        ]);
+    }
+    let all = report.merged_latency();
+    rec.push(
+        "serve_load",
+        vec![
+            ("tenant", Json::Str("all".to_owned())),
+            ("sessions", Json::UInt(report.sessions as u64)),
+            ("threads", Json::UInt(report.threads as u64)),
+            ("requests", Json::UInt(report.total_requests())),
+            ("p50_ns", Json::UInt(all.p50())),
+            ("p90_ns", Json::UInt(all.p90())),
+            ("p99_ns", Json::UInt(all.p99())),
+            ("wall_ns", ns(report.wall_secs)),
+            ("req_per_sec", Json::Float((report.req_per_sec() * 10.0).round() / 10.0)),
+        ],
+    );
+    println!(
+        "{}",
+        render_table(
+            &[
+                "tenant",
+                "sessions",
+                "requests",
+                "p50_µs",
+                "p90_µs",
+                "p99_µs",
+                "γ_steps/req",
+                "heap_ops/req",
+                "tuples/req",
+            ],
+            &rows
+        )
+    );
+    println!(
+        "aggregate: {} requests in {:.3}s = {:.1} req/s (p50 {}µs, p99 {}µs); counter columns \
+         are per-request constants, asserted identical within and across sessions",
+        report.total_requests(),
+        report.wall_secs,
+        report.req_per_sec(),
+        all.p50() / 1_000,
+        all.p99() / 1_000,
+    );
+}
+
+// ---------------------------------------------------------------------
+// `--compare`: the perf-regression gate.
+// ---------------------------------------------------------------------
+
+/// Fields that identify a row within an experiment. Everything else in
+/// the row is a measurement and gets compared.
+const KEY_FIELDS: &[&str] = &["n", "e", "threads", "tenant", "sessions", "requests", "seed"];
+
+/// Timing columns move with the machine and load; they warn instead of
+/// failing. Everything else is a machine-independent semantic counter.
+fn is_timing_field(name: &str) -> bool {
+    name.ends_with("_ns") || name == "req_per_sec"
+}
+
+/// Human-readable identity of a row, built from whichever key fields it
+/// carries.
+fn row_key(row: &Json) -> String {
+    let parts: Vec<String> =
+        KEY_FIELDS.iter().filter_map(|k| row.get(k).map(|v| format!("{k}={v}"))).collect();
+    parts.join(" ")
+}
+
+/// Diff the newest run in `path` against the latest *earlier* run
+/// labelled `baseline_label`. Returns the process exit code: 0 when all
+/// semantic counters match, 1 on counter drift or missing rows, 2 on a
+/// malformed file. Timing drift beyond `tolerance` percent only warns.
+fn compare_runs(path: &str, baseline_label: &str, tolerance: f64) -> i32 {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let doc = Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(2);
+    });
+    let Some(runs) = doc.get("runs").and_then(|r| r.as_arr()) else {
+        eprintln!("{path}: no \"runs\" array — not a bench-run file");
+        std::process::exit(2);
+    };
+    let Some(newest) = runs.last() else {
+        eprintln!("{path}: empty runs array");
+        std::process::exit(2);
+    };
+    let Some(baseline) = runs[..runs.len() - 1]
+        .iter()
+        .rev()
+        .find(|r| r.get("label").and_then(|l| l.as_str()) == Some(baseline_label))
+    else {
+        eprintln!("{path}: no run labelled \"{baseline_label}\" older than the newest run");
+        std::process::exit(2);
+    };
+    let newest_label = newest.get("label").and_then(|l| l.as_str()).unwrap_or("?");
+    println!("comparing newest run \"{newest_label}\" against baseline \"{baseline_label}\" (tolerance {tolerance}%)");
+
+    let (mut checked, mut failures, mut warnings) = (0u64, 0u64, 0u64);
+    let empty: [Json; 0] = [];
+    let base_exps = baseline.get("experiments").and_then(|e| e.as_arr()).unwrap_or(&empty);
+    for exp in base_exps {
+        let name = exp.get("name").and_then(|n| n.as_str()).unwrap_or("?");
+        let base_rows = exp.get("rows").and_then(|r| r.as_arr()).unwrap_or(&empty);
+        let new_rows = newest
+            .get("experiments")
+            .and_then(|e| e.as_arr())
+            .and_then(|exps| {
+                exps.iter().find(|e| e.get("name").and_then(|n| n.as_str()) == Some(name))
+            })
+            .and_then(|e| e.get("rows"))
+            .and_then(|r| r.as_arr());
+        let Some(new_rows) = new_rows else {
+            eprintln!("FAIL [{name}] experiment missing from the newest run");
+            failures += 1;
+            continue;
+        };
+        for base_row in base_rows {
+            let key = row_key(base_row);
+            let matches_key = |row: &&Json| {
+                KEY_FIELDS.iter().all(|k| match (base_row.get(k), row.get(k)) {
+                    (None, None) => true,
+                    (Some(a), Some(b)) => a.to_string() == b.to_string(),
+                    _ => false,
+                })
+            };
+            let Some(new_row) = new_rows.iter().find(matches_key) else {
+                eprintln!("FAIL [{name}] row {{{key}}} missing from the newest run");
+                failures += 1;
+                continue;
+            };
+            let Json::Obj(fields) = base_row else { continue };
+            for (field, base_val) in fields {
+                if KEY_FIELDS.contains(&field.as_str()) {
+                    continue;
+                }
+                checked += 1;
+                let Some(new_val) = new_row.get(field) else {
+                    eprintln!("FAIL [{name}] {{{key}}}: field `{field}` missing");
+                    failures += 1;
+                    continue;
+                };
+                if is_timing_field(field) {
+                    let (Some(b), Some(n)) = (base_val.as_f64(), new_val.as_f64()) else {
+                        eprintln!("FAIL [{name}] {{{key}}}: `{field}` is not numeric");
+                        failures += 1;
+                        continue;
+                    };
+                    // Sub-microsecond nanosecond baselines are noise; 1µs floor.
+                    let floor = if field.ends_with("_ns") { 1_000.0 } else { 1e-9 };
+                    let pct = (n - b).abs() / b.abs().max(floor) * 100.0;
+                    if pct > tolerance {
+                        eprintln!(
+                            "warn [{name}] {{{key}}}: `{field}` drifted {pct:.1}% ({b} → {n})"
+                        );
+                        warnings += 1;
+                    }
+                } else if base_val.to_string() != new_val.to_string() {
+                    eprintln!(
+                        "FAIL [{name}] {{{key}}}: `{field}` changed {base_val} → {new_val} \
+                         (semantic counter — exact match required)"
+                    );
+                    failures += 1;
+                }
+            }
+        }
+    }
+    println!(
+        "compare: {checked} fields checked, {failures} hard failure(s), {warnings} timing warning(s)"
+    );
+    if failures > 0 {
+        1
+    } else {
+        0
+    }
 }

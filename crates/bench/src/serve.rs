@@ -1,0 +1,217 @@
+//! Multi-tenant closed-loop load harness — the `gbc serve` dress
+//! rehearsal.
+//!
+//! ROADMAP item 1 wants a long-lived server answering evaluation
+//! requests over compiled programs; its stated prerequisite is sharing
+//! a plan-compiled [`Compiled`] and its EDB across threads (`Send +
+//! Sync`). This module exercises exactly that shape without the
+//! network: a fixed set of **tenants** (program + EDB pairs, compiled
+//! once), a pool of concurrent **sessions** that each issue a fixed
+//! number of back-to-back evaluation requests against their tenant, and
+//! per-request latency recorded into mergeable histograms
+//! ([`gbc_telemetry::Histogram`]).
+//!
+//! The loop is *closed*: each session performs `requests` evaluations
+//! and stops. That makes the semantic work of a load run — γ-steps,
+//! heap operations, tuples derived per request — a machine-independent
+//! constant, which is what lets `experiments --compare` hard-gate those
+//! counters in CI while treating the timing columns as informational.
+//!
+//! Sessions are scheduled over the same in-tree [`WorkerPool`] the
+//! engine uses for saturation fan-out; each request itself runs the
+//! serial engine (`threads = 1`), so the measured concurrency is
+//! request-level, not intra-query.
+
+use std::time::Instant;
+
+use gbc_core::{Compiled, GreedyConfig};
+use gbc_engine::WorkerPool;
+use gbc_greedy::{matching, prim, sorting, workload};
+use gbc_storage::Database;
+use gbc_telemetry::{Histogram, Snapshot};
+
+/// One shareable workload: a compiled program and the EDB its requests
+/// evaluate against.
+pub struct Tenant {
+    /// Stable name (the `tenant` column of the bench rows).
+    pub name: &'static str,
+    /// The plan-compiled program, shared read-only by every session.
+    pub compiled: Compiled,
+    /// The extensional database, shared read-only by every session.
+    pub edb: Database,
+}
+
+/// The standard three-tenant mix: Prim's MST (graph workload, seeded),
+/// sorting (the paper's heap-sort-by-choice), and greedy matching (two
+/// choice FDs). Seeds are fixed so every run — local or CI — evaluates
+/// the same requests.
+pub fn standard_tenants() -> Vec<Tenant> {
+    let g = workload::connected_graph(64, 3 * 64, 1000, 42);
+    let (prim_c, prim_edb) = prim::prepared(&g, 0);
+    let items = workload::random_items(256, 42);
+    let arcs = workload::random_arcs(64, 256, 42);
+    vec![
+        Tenant { name: "prim", compiled: prim_c, edb: prim_edb },
+        Tenant { name: "sort", compiled: sorting::compiled(), edb: sorting::edb(&items) },
+        Tenant { name: "matching", compiled: matching::compiled(), edb: arcs.to_edb() },
+    ]
+}
+
+/// Per-tenant aggregate of a load run.
+pub struct TenantReport {
+    /// Tenant name.
+    pub name: &'static str,
+    /// Sessions that ran against this tenant.
+    pub sessions: usize,
+    /// Total requests completed.
+    pub requests: u64,
+    /// Merged per-request latency histogram (nanoseconds).
+    pub latency: Histogram,
+    /// Counter snapshot of ONE request — every request against a tenant
+    /// performs identical semantic work, asserted during the run.
+    pub per_request: Snapshot,
+}
+
+/// The outcome of one load run.
+pub struct LoadReport {
+    /// Per-tenant aggregates, in tenant order.
+    pub tenants: Vec<TenantReport>,
+    /// Concurrent sessions.
+    pub sessions: usize,
+    /// Worker threads the sessions were scheduled over.
+    pub threads: usize,
+    /// Requests per session.
+    pub requests_per_session: u64,
+    /// Wall-clock of the whole run, in seconds.
+    pub wall_secs: f64,
+}
+
+impl LoadReport {
+    /// Total requests completed across tenants.
+    pub fn total_requests(&self) -> u64 {
+        self.tenants.iter().map(|t| t.requests).sum()
+    }
+
+    /// Aggregate throughput in requests per second.
+    pub fn req_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.total_requests() as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// All tenants' latency histograms merged (exact — shared grid).
+    pub fn merged_latency(&self) -> Histogram {
+        let mut all = Histogram::default();
+        for t in &self.tenants {
+            all.merge(&t.latency);
+        }
+        all
+    }
+}
+
+/// Run `sessions` concurrent closed-loop sessions over `threads`
+/// workers, each issuing `requests_per_session` evaluation requests.
+/// Session `s` talks to tenant `s % tenants.len()`, so every tenant
+/// serves a deterministic share of the sessions.
+///
+/// # Panics
+/// When a request fails to evaluate, or when two requests against the
+/// same tenant disagree on their semantic counters — either would mean
+/// the shared-database contract is broken, which is precisely what this
+/// harness exists to catch.
+pub fn serve_load(
+    tenants: &[Tenant],
+    sessions: usize,
+    threads: usize,
+    requests_per_session: u64,
+) -> LoadReport {
+    assert!(!tenants.is_empty() && sessions > 0 && requests_per_session > 0);
+    let pool = WorkerPool::new(threads);
+    let t_run = Instant::now();
+    // One result per session: (latency histogram, per-request snapshot).
+    let per_session: Vec<(Histogram, Snapshot)> = pool.run(sessions, |s, _worker| {
+        let tenant = &tenants[s % tenants.len()];
+        let mut latency = Histogram::default();
+        let mut snapshot: Option<Snapshot> = None;
+        for _ in 0..requests_per_session {
+            let t0 = Instant::now();
+            let run = tenant
+                .compiled
+                .run_greedy_with(&tenant.edb, GreedyConfig::default())
+                .unwrap_or_else(|e| panic!("tenant `{}` request failed: {e}", tenant.name));
+            latency.record(t0.elapsed().as_nanos() as u64);
+            match &snapshot {
+                None => snapshot = Some(run.snapshot),
+                Some(first) => assert_eq!(
+                    *first, run.snapshot,
+                    "tenant `{}`: request counters drifted within a session",
+                    tenant.name
+                ),
+            }
+        }
+        (latency, snapshot.expect("at least one request"))
+    });
+    let wall_secs = t_run.elapsed().as_secs_f64();
+
+    let mut reports: Vec<TenantReport> = tenants
+        .iter()
+        .map(|t| TenantReport {
+            name: t.name,
+            sessions: 0,
+            requests: 0,
+            latency: Histogram::default(),
+            per_request: Snapshot::default(),
+        })
+        .collect();
+    for (s, (latency, snapshot)) in per_session.into_iter().enumerate() {
+        let report = &mut reports[s % tenants.len()];
+        if report.sessions == 0 {
+            report.per_request = snapshot;
+        } else {
+            assert_eq!(
+                report.per_request, snapshot,
+                "tenant `{}`: request counters drifted across sessions",
+                report.name
+            );
+        }
+        report.sessions += 1;
+        report.requests += requests_per_session;
+        report.latency.merge(&latency);
+    }
+    LoadReport { tenants: reports, sessions, threads, requests_per_session, wall_secs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_run_counts_every_request() {
+        let tenants = standard_tenants();
+        let report = serve_load(&tenants, 3, 2, 2);
+        assert_eq!(report.total_requests(), 6);
+        assert_eq!(report.tenants.len(), 3);
+        for t in &report.tenants {
+            assert_eq!(t.sessions, 1);
+            assert_eq!(t.latency.count(), t.requests);
+            assert!(t.per_request.gamma_steps > 0, "tenant `{}` did no γ work", t.name);
+        }
+        assert!(report.req_per_sec() > 0.0);
+        assert_eq!(report.merged_latency().count(), 6);
+    }
+
+    #[test]
+    fn session_fanout_is_deterministic_in_counters() {
+        // Same tenants, different concurrency: per-request counters must
+        // be identical — only timings may differ.
+        let tenants = standard_tenants();
+        let serial = serve_load(&tenants, 3, 1, 1);
+        let parallel = serve_load(&tenants, 6, 4, 2);
+        for (a, b) in serial.tenants.iter().zip(parallel.tenants.iter()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.per_request, b.per_request, "tenant `{}` drifted", a.name);
+        }
+    }
+}

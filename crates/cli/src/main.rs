@@ -207,6 +207,13 @@ impl Options {
         if self.profile {
             tel = tel.with_profiler();
         }
+        if self.stats_json.is_some() {
+            // Per-round latency histogram for the stats report's
+            // `latency` object. Kept out of `Telemetry::to_json` (its
+            // bucket counts are timing-dependent); embedded below in
+            // `report`, like the journal.
+            tel = tel.with_round_latency();
+        }
         let mut sinks: Vec<Arc<dyn TraceSink>> = Vec::new();
         if self.trace {
             sinks.push(Arc::new(StderrTrace));
@@ -253,6 +260,15 @@ impl Options {
         }
         if let Some(path) = &self.stats_json {
             let mut json = tel.to_json();
+            if let (Some(hist), Json::Obj(fields)) = (tel.round_latency(), &mut json) {
+                fields.push((
+                    "latency".to_owned(),
+                    Json::obj(vec![
+                        ("threads", Json::UInt(self.resolve_threads() as u64)),
+                        ("rounds", hist.to_json()),
+                    ]),
+                ));
+            }
             if let (Some(journal), Json::Obj(fields)) = (&obs.journal, &mut json) {
                 fields.push(("journal".to_owned(), journal.to_json()));
             }
@@ -489,6 +505,7 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
             chosen,
             stats: gbc_core::GreedyStats::default(),
             snapshot: tel.snapshot(),
+            pool: None,
         }
     } else {
         let config = gbc_core::GreedyConfig::with_threads(opts.resolve_threads());
@@ -497,7 +514,50 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
 
     println!("{}", run.db.canonical_form());
     opts.report(&tel, &obs, &program, &sm)?;
+    if opts.profile {
+        if let Some(pool) = &run.pool {
+            eprint!("{}", render_pool(pool));
+        }
+    }
     Ok(())
+}
+
+/// The `--profile` pool-utilization summary: one lane per worker with
+/// busy/idle split, task and steal counts, plus the chunk-size
+/// distribution and the serial merge cost.
+fn render_pool(report: &gbc_engine::PoolReport) -> String {
+    let mut out = String::new();
+    out.push_str("pool utilization:\n");
+    for (w, lane) in report.workers.iter().enumerate() {
+        let busy = lane.busy_nanos as f64 / 1e9;
+        let idle = lane.idle_nanos as f64 / 1e9;
+        let occupancy = if lane.busy_nanos + lane.idle_nanos > 0 {
+            100.0 * lane.busy_nanos as f64 / (lane.busy_nanos + lane.idle_nanos) as f64
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "  worker {w}: {busy:.6}s busy, {idle:.6}s idle ({occupancy:.1}% occupied), \
+             {} tasks, {} steals\n",
+            lane.tasks, lane.steals
+        ));
+    }
+    let chunks = &report.chunks;
+    if !chunks.is_empty() {
+        out.push_str(&format!(
+            "  chunks: {} fanned out, {}/{}/{} rows (p50/p99/max)\n",
+            chunks.count(),
+            chunks.p50(),
+            chunks.p99(),
+            chunks.max()
+        ));
+    }
+    out.push_str(&format!(
+        "  merge: {:.6}s serial, {:.1}% mean occupancy\n",
+        report.merge_nanos as f64 / 1e9,
+        100.0 * report.utilization()
+    ));
+    out
 }
 
 fn cmd_explain(opts: &Options) -> Result<(), String> {

@@ -37,6 +37,7 @@ use gbc_engine::bindings::Bindings;
 use gbc_engine::eval::{eval_expr, eval_term, instantiate_head, match_term, parent_rows};
 use gbc_engine::extrema::{collect_matches_plan, filter_extrema};
 use gbc_engine::plan::PlanCache;
+use gbc_engine::pool::{PoolReport, PoolStats};
 use gbc_engine::seminaive::Seminaive;
 use gbc_storage::{Database, FxHashMap, FxHashSet, Row, Rql, NO_GOAL};
 use gbc_telemetry::{DiscardReason, Snapshot, Telemetry, TraceEvent};
@@ -108,6 +109,10 @@ pub struct GreedyRun {
     pub stats: GreedyStats,
     /// The full telemetry counter snapshot of the run.
     pub snapshot: Snapshot,
+    /// Worker-pool occupancy report (busy/idle/steal lanes, chunk-size
+    /// histogram, merge time). `None` for serial runs — the pool never
+    /// spins up, so there is nothing to report.
+    pub pool: Option<PoolReport>,
 }
 
 /// The compiled plan for one next rule.
@@ -385,6 +390,8 @@ pub struct GreedyExecutor {
     chosen: Vec<ChosenRecord>,
     stats: GreedyStats,
     tel: Telemetry,
+    /// Pool occupancy accumulator, allocated only for parallel runs.
+    pool_stats: Option<Arc<PoolStats>>,
 }
 
 impl GreedyExecutor {
@@ -443,6 +450,8 @@ impl GreedyExecutor {
         let mut flat = Seminaive::new(flat_rules);
         flat.set_rule_ids(flat_ids);
         flat.set_threads(config.threads);
+        let pool_stats = (config.threads > 1).then(|| Arc::new(PoolStats::new(config.threads)));
+        flat.set_pool_stats(pool_stats.clone());
         let mut ex = GreedyExecutor {
             flat,
             nexts,
@@ -455,6 +464,7 @@ impl GreedyExecutor {
             chosen: Vec::new(),
             stats: GreedyStats::default(),
             tel: Telemetry::default(),
+            pool_stats,
         };
         ex.attach_telemetry();
         ex
@@ -491,8 +501,13 @@ impl GreedyExecutor {
         // accumulator update per boundary, which is what lets
         // `--profile` account for nearly all of the run's wall time.
         let clocked = tel.phases.is_enabled() || tel.profiler.is_enabled();
+        // Per-round latency, recorded only when the handle asked for it
+        // (`--stats-json`). A "round" is one full trip around this loop:
+        // saturation plus the γ (or exit) decision it enables.
+        let rounds_on = tel.rounds.is_some();
         let mut flat_round: u64 = 0;
         loop {
+            let t_round = rounds_on.then(std::time::Instant::now);
             let mut t_prev = clocked.then(std::time::Instant::now);
             let new_facts = self.flat.saturate(&mut self.db)?;
             if let Some(t0) = t_prev {
@@ -515,6 +530,9 @@ impl GreedyExecutor {
                 t_prev = Some(t);
             }
             if exited {
+                if let Some(t0) = t_round {
+                    tel.record_round_nanos(t0.elapsed().as_nanos() as u64);
+                }
                 continue;
             }
             for i in 0..self.nexts.len() {
@@ -535,6 +553,9 @@ impl GreedyExecutor {
             if let Some(t0) = t_prev {
                 tel.phases.add("run/gamma", t0.elapsed());
             }
+            if let Some(t0) = t_round {
+                tel.record_round_nanos(t0.elapsed().as_nanos() as u64);
+            }
             if !fired {
                 break;
             }
@@ -543,7 +564,8 @@ impl GreedyExecutor {
             }
         }
         let snapshot = self.tel.metrics.snapshot();
-        Ok(GreedyRun { db: self.db, chosen: self.chosen, stats: self.stats, snapshot })
+        let pool = self.pool_stats.as_ref().map(|s| s.report());
+        Ok(GreedyRun { db: self.db, chosen: self.chosen, stats: self.stats, snapshot, pool })
     }
 
     /// Fire one exit choice rule instance, generic-candidate style.

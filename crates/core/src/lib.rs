@@ -182,6 +182,7 @@ impl Compiled {
             chosen,
             stats: GreedyStats { gamma_steps: steps, ..GreedyStats::default() },
             snapshot: tel.metrics.snapshot(),
+            pool: None,
         })
     }
 

@@ -17,13 +17,12 @@
 
 use gbc_ast::{Literal, Rule, Term, Value};
 use gbc_storage::{Database, Row};
-use gbc_telemetry::RuleProfiler;
 
 use crate::bindings::Bindings;
 use crate::error::EngineError;
 use crate::eval::{eval_term, for_each_match, instantiate_head, Focus};
 use crate::plan::{execute_base_chunked, for_each_match_plan, RulePlan};
-use crate::pool::WorkerPool;
+use crate::pool::{FanoutObs, WorkerPool};
 
 /// Collect the binding frames of every body match (cloned snapshots).
 pub fn collect_matches(
@@ -66,13 +65,12 @@ pub fn collect_matches_plan_pooled(
     rule: &Rule,
     plan: &RulePlan,
     pool: &WorkerPool,
-    profiler: Option<&RuleProfiler>,
+    obs: FanoutObs<'_>,
 ) -> Result<Vec<Bindings>, EngineError> {
-    let chunked =
-        execute_base_chunked::<Vec<Bindings>>(db, rule, plan, pool, profiler, &|b, acc| {
-            acc.push(b.clone());
-            Ok(())
-        })?;
+    let chunked = execute_base_chunked::<Vec<Bindings>>(db, rule, plan, pool, obs, &|b, acc| {
+        acc.push(b.clone());
+        Ok(())
+    })?;
     match chunked {
         Some(chunks) => Ok(chunks.into_iter().flatten().collect()),
         None => collect_matches_plan(db, rule, plan, None),
@@ -168,9 +166,9 @@ pub fn eval_rule_with_extrema_plan_pooled(
     rule: &Rule,
     plan: &RulePlan,
     pool: &WorkerPool,
-    profiler: Option<&RuleProfiler>,
+    obs: FanoutObs<'_>,
 ) -> Result<Vec<Row>, EngineError> {
-    let frames = collect_matches_plan_pooled(db, rule, plan, pool, profiler)?;
+    let frames = collect_matches_plan_pooled(db, rule, plan, pool, obs)?;
     let frames = filter_extrema(rule, frames)?;
     frames.iter().map(|b| instantiate_head(rule, b)).collect()
 }
@@ -182,9 +180,9 @@ pub fn eval_rule_with_extrema_plan_traced_pooled(
     rule: &Rule,
     plan: &RulePlan,
     pool: &WorkerPool,
-    profiler: Option<&RuleProfiler>,
+    obs: FanoutObs<'_>,
 ) -> Result<(Vec<Row>, Vec<Bindings>), EngineError> {
-    let frames = collect_matches_plan_pooled(db, rule, plan, pool, profiler)?;
+    let frames = collect_matches_plan_pooled(db, rule, plan, pool, obs)?;
     let frames = filter_extrema(rule, frames)?;
     let rows: Vec<Row> =
         frames.iter().map(|b| instantiate_head(rule, b)).collect::<Result<_, _>>()?;
@@ -317,10 +315,17 @@ mod tests {
         for threads in [1usize, 2, 4, 8] {
             let pool = WorkerPool::new(threads);
             let pooled =
-                eval_rule_with_extrema_plan_pooled(&db, &rule, &plan, &pool, None).unwrap();
+                eval_rule_with_extrema_plan_pooled(&db, &rule, &plan, &pool, FanoutObs::default())
+                    .unwrap();
             assert_eq!(pooled, serial, "threads {threads}");
-            let (rows, frames) =
-                eval_rule_with_extrema_plan_traced_pooled(&db, &rule, &plan, &pool, None).unwrap();
+            let (rows, frames) = eval_rule_with_extrema_plan_traced_pooled(
+                &db,
+                &rule,
+                &plan,
+                &pool,
+                FanoutObs::default(),
+            )
+            .unwrap();
             assert_eq!(rows, serial, "traced rows, threads {threads}");
             assert_eq!(frames, serial_frames, "traced frames, threads {threads}");
         }

@@ -48,6 +48,6 @@ pub use bindings::Bindings;
 pub use choice::{ChoiceFixpoint, ChoiceFixpointConfig};
 pub use chooser::{Chooser, DeterministicFirst, SeededRandom};
 pub use error::EngineError;
-pub use pool::{default_threads, WorkerPool};
+pub use pool::{default_threads, LaneReport, PoolReport, PoolStats, WorkerPool};
 pub use stable::is_stable_model;
 pub use stratified::evaluate_stratified;

@@ -26,6 +26,7 @@
 //! counting reuse in the `plan_cache_hits` metric.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use gbc_ast::{CmpOp, Expr, Literal, Rule, Term, Value, VarId};
 use gbc_storage::{Database, Row};
@@ -34,7 +35,7 @@ use gbc_telemetry::{Metrics, RuleProfiler};
 use crate::bindings::Bindings;
 use crate::error::EngineError;
 use crate::eval::{eval_expr, eval_term, match_term, Focus};
-use crate::pool::WorkerPool;
+use crate::pool::{FanoutObs, WorkerPool};
 
 /// One ingredient of a scan's index key, resolved at compile time.
 #[derive(Clone, Debug)]
@@ -593,7 +594,7 @@ pub(crate) fn execute_base_chunked<A>(
     rule: &Rule,
     plan: &RulePlan,
     pool: &WorkerPool,
-    profiler: Option<&RuleProfiler>,
+    obs: FanoutObs<'_>,
     fold: &(dyn Fn(&Bindings, &mut A) -> Result<(), EngineError> + Sync),
 ) -> Result<Option<Vec<A>>, EngineError>
 where
@@ -606,19 +607,34 @@ where
         FirstScan::Split { step, ids } => (step, ids),
     };
     let ranges = pool.chunk_ranges(ids.len());
-    let results = pool.run(ranges.len(), |ci, worker| {
-        let t0 = profiler.and_then(RuleProfiler::lane_start);
-        let (lo, hi) = ranges[ci];
-        let mut acc = A::default();
-        let res = execute_preselected(db, rule, variant, step, &ids[lo..hi], &mut |b| {
-            fold(b, &mut acc)?;
-            Ok(true)
-        });
-        if let (Some(p), Some(t0)) = (profiler, t0) {
-            p.record_lane(worker, t0.elapsed());
+    let profiler = obs.profiler;
+    if let Some(st) = obs.stats {
+        if ranges.len() > 1 {
+            for &(lo, hi) in &ranges {
+                st.record_chunk((hi - lo) as u64);
+            }
         }
-        res.map(|()| acc)
-    });
+    }
+    let results =
+        pool.run_stats(ranges.len(), obs.stats.filter(|_| ranges.len() > 1), |ci, worker| {
+            let t0 = profiler.and_then(RuleProfiler::lane_start);
+            let t_chunk = obs.trace.map(|_| Instant::now());
+            let (lo, hi) = ranges[ci];
+            let mut acc = A::default();
+            let res = execute_preselected(db, rule, variant, step, &ids[lo..hi], &mut |b| {
+                fold(b, &mut acc)?;
+                Ok(true)
+            });
+            if let (Some(p), Some(t0)) = (profiler, t0) {
+                p.record_lane(worker, t0.elapsed());
+            }
+            if let Some(t0) = t_chunk {
+                if ranges.len() > 1 {
+                    obs.chunk_event(worker, (hi - lo) as u64, t0.elapsed().as_micros() as u64);
+                }
+            }
+            res.map(|()| acc)
+        });
     let mut out = Vec::with_capacity(results.len());
     for r in results {
         out.push(r?);
@@ -804,13 +820,19 @@ mod tests {
         .unwrap();
         for threads in [1usize, 2, 4, 8] {
             let pool = WorkerPool::new(threads);
-            let chunks =
-                execute_base_chunked::<Vec<Row>>(&db, &rule, &plan, &pool, None, &|b, acc| {
+            let chunks = execute_base_chunked::<Vec<Row>>(
+                &db,
+                &rule,
+                &plan,
+                &pool,
+                FanoutObs::default(),
+                &|b, acc| {
                     acc.push(instantiate_head(&rule, b)?);
                     Ok(())
-                })
-                .unwrap()
-                .expect("chain rule starts with a scan");
+                },
+            )
+            .unwrap()
+            .expect("chain rule starts with a scan");
             let merged: Vec<Row> = chunks.into_iter().flatten().collect();
             assert_eq!(merged, serial, "threads {threads}");
         }
@@ -834,10 +856,17 @@ mod tests {
             FirstScan::Dead
         ));
         let pool = WorkerPool::new(4);
-        let chunks = execute_base_chunked::<Vec<Row>>(&db, &dead, &plan, &pool, None, &|b, acc| {
-            acc.push(instantiate_head(&dead, b)?);
-            Ok(())
-        })
+        let chunks = execute_base_chunked::<Vec<Row>>(
+            &db,
+            &dead,
+            &plan,
+            &pool,
+            FanoutObs::default(),
+            &|b, acc| {
+                acc.push(instantiate_head(&dead, b)?);
+                Ok(())
+            },
+        )
         .unwrap()
         .expect("dead plans still split");
         assert!(chunks.is_empty());

@@ -20,8 +20,11 @@
 //! saturation round does; all inserts happen on the calling thread
 //! after the merge.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
+
+use gbc_telemetry::{Histogram, RuleProfiler, TraceEvent, TraceSink};
 
 /// The smallest slice of delta rows (or first-scan ids) worth handing
 /// to a worker. Rounds below `2 * MIN_CHUNK` run inline on the calling
@@ -48,6 +51,145 @@ pub fn default_threads() -> usize {
         }
     }
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Per-worker occupancy counters, updated with relaxed atomics from the
+/// worker thread itself (single writer per lane — the atomics only make
+/// the cross-thread read at report time sound).
+#[derive(Debug, Default)]
+pub struct LaneStats {
+    /// Nanoseconds spent executing tasks.
+    busy_nanos: AtomicU64,
+    /// Nanoseconds inside the pool but not executing (queue contention,
+    /// waiting for the scope to wind down).
+    idle_nanos: AtomicU64,
+    /// Tasks this lane executed.
+    tasks: AtomicU64,
+    /// Tasks claimed outside the lane's fair contiguous share — the
+    /// work-stealing traffic that evens out skewed chunks.
+    steals: AtomicU64,
+}
+
+/// Shared accumulator for pool-level observability: per-worker lanes,
+/// the serial merge cost, and a histogram of chunk sizes. One instance
+/// lives for a whole run and is attached to the saturation driver; the
+/// CLI snapshots it via [`PoolStats::report`] at the end.
+#[derive(Debug)]
+pub struct PoolStats {
+    lanes: Vec<LaneStats>,
+    merge_nanos: AtomicU64,
+    chunk_items: Mutex<Histogram>,
+}
+
+impl PoolStats {
+    /// Fresh counters for a pool of `threads` workers.
+    pub fn new(threads: usize) -> PoolStats {
+        PoolStats {
+            lanes: (0..threads.max(1)).map(|_| LaneStats::default()).collect(),
+            merge_nanos: AtomicU64::new(0),
+            chunk_items: Mutex::new(Histogram::default()),
+        }
+    }
+
+    /// Charge serial merge time (concatenating worker buffers on the
+    /// calling thread).
+    pub fn record_merge(&self, nanos: u64) {
+        self.merge_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Record the size of one fanned-out chunk.
+    pub fn record_chunk(&self, items: u64) {
+        self.chunk_items.lock().expect("pool stats lock").record(items);
+    }
+
+    /// A plain snapshot of everything recorded so far.
+    pub fn report(&self) -> PoolReport {
+        PoolReport {
+            workers: self
+                .lanes
+                .iter()
+                .map(|l| LaneReport {
+                    busy_nanos: l.busy_nanos.load(Ordering::Relaxed),
+                    idle_nanos: l.idle_nanos.load(Ordering::Relaxed),
+                    tasks: l.tasks.load(Ordering::Relaxed),
+                    steals: l.steals.load(Ordering::Relaxed),
+                })
+                .collect(),
+            merge_nanos: self.merge_nanos.load(Ordering::Relaxed),
+            chunks: self.chunk_items.lock().expect("pool stats lock").clone(),
+        }
+    }
+}
+
+/// Observability hooks carried into a parallel fan-out: the per-rule
+/// profiler's lane clocks, the pool occupancy accumulator, and the
+/// trace sink (tagged with the id of the rule being fanned out, so
+/// chunk events land on the right rule). All optional and borrowed —
+/// `FanoutObs::default()` is the "no observers" case and costs nothing.
+#[derive(Clone, Copy, Default)]
+pub struct FanoutObs<'a> {
+    /// Per-rule profiler; fan-outs charge each chunk's wall time to the
+    /// executing worker's lane.
+    pub profiler: Option<&'a RuleProfiler>,
+    /// Pool occupancy accumulator ([`PoolStats`]); fan-outs record
+    /// chunk sizes and per-lane busy/idle time into it.
+    pub stats: Option<&'a PoolStats>,
+    /// Trace sink plus the rule id chunk events are attributed to.
+    pub trace: Option<(&'a dyn TraceSink, usize)>,
+}
+
+impl<'a> FanoutObs<'a> {
+    /// Emit one `worker_chunk` trace event, when a sink is attached.
+    pub fn chunk_event(&self, worker: usize, items: u64, dur_us: u64) {
+        if let Some((sink, rule)) = self.trace {
+            sink.event(&TraceEvent::WorkerChunk { worker, rule, items, dur_us });
+        }
+    }
+}
+
+/// Snapshot of one worker lane (see [`PoolStats::report`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LaneReport {
+    /// Nanoseconds the lane spent executing tasks.
+    pub busy_nanos: u64,
+    /// Nanoseconds the lane spent in the pool without a task.
+    pub idle_nanos: u64,
+    /// Tasks the lane executed.
+    pub tasks: u64,
+    /// Tasks the lane claimed outside its fair contiguous share.
+    pub steals: u64,
+}
+
+/// Snapshot of a run's pool activity.
+#[derive(Clone, Debug)]
+pub struct PoolReport {
+    /// One entry per worker lane.
+    pub workers: Vec<LaneReport>,
+    /// Serial merge time on the calling thread, in nanoseconds.
+    pub merge_nanos: u64,
+    /// Distribution of fanned-out chunk sizes (delta rows per chunk).
+    pub chunks: Histogram,
+}
+
+impl PoolReport {
+    /// Total busy time across lanes, in seconds.
+    pub fn busy_secs(&self) -> f64 {
+        self.workers.iter().map(|w| w.busy_nanos).sum::<u64>() as f64 / 1e9
+    }
+
+    /// Mean busy fraction across lanes that saw any pool time.
+    pub fn utilization(&self) -> f64 {
+        let (mut busy, mut total) = (0u64, 0u64);
+        for w in &self.workers {
+            busy += w.busy_nanos;
+            total += w.busy_nanos + w.idle_nanos;
+        }
+        if total == 0 {
+            0.0
+        } else {
+            busy as f64 / total as f64
+        }
+    }
 }
 
 /// A fixed-width scoped worker pool. Copyable configuration — threads
@@ -116,22 +258,71 @@ impl WorkerPool {
         T: Send,
         F: Fn(usize, usize) -> T + Sync,
     {
+        self.run_stats(n_tasks, None, task)
+    }
+
+    /// [`WorkerPool::run`] with per-lane occupancy accounting. When
+    /// `stats` is given, every worker charges its busy/idle time, task
+    /// count and steal count to its lane. A *steal* is a task index
+    /// outside the worker's fair contiguous share of `0..n_tasks` —
+    /// with the shared-counter queue that means the worker outran its
+    /// proportional allotment and is draining a slower lane's work.
+    /// Identical results to `run` in every other respect.
+    pub fn run_stats<T, F>(&self, n_tasks: usize, stats: Option<&PoolStats>, task: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, usize) -> T + Sync,
+    {
         if !self.is_parallel() || n_tasks <= 1 {
-            return (0..n_tasks).map(|i| task(i, 0)).collect();
+            return (0..n_tasks)
+                .map(|i| {
+                    let t0 = stats.map(|_| Instant::now());
+                    let out = task(i, 0);
+                    if let (Some(stats), Some(t0)) = (stats, t0) {
+                        if let Some(lane) = stats.lanes.first() {
+                            lane.busy_nanos
+                                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                            lane.tasks.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    out
+                })
+                .collect();
         }
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<T>>> = (0..n_tasks).map(|_| Mutex::new(None)).collect();
         let workers = self.threads.min(n_tasks);
+        // Fair contiguous share per worker, for steal attribution.
+        let share = n_tasks.div_ceil(workers);
         std::thread::scope(|s| {
             let (next, slots, task) = (&next, &slots, &task);
             for w in 0..workers {
-                s.spawn(move || loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n_tasks {
-                        break;
+                let lane = stats.and_then(|st| st.lanes.get(w));
+                s.spawn(move || {
+                    let entered = Instant::now();
+                    let mut busy = 0u64;
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n_tasks {
+                            break;
+                        }
+                        let t0 = Instant::now();
+                        let out = task(i, w);
+                        *slots[i].lock().expect("pool slot lock") = Some(out);
+                        if let Some(lane) = lane {
+                            let nanos = t0.elapsed().as_nanos() as u64;
+                            busy += nanos;
+                            lane.busy_nanos.fetch_add(nanos, Ordering::Relaxed);
+                            lane.tasks.fetch_add(1, Ordering::Relaxed);
+                            if i / share != w {
+                                lane.steals.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
                     }
-                    let out = task(i, w);
-                    *slots[i].lock().expect("pool slot lock") = Some(out);
+                    if let Some(lane) = lane {
+                        let lifetime = entered.elapsed().as_nanos() as u64;
+                        lane.idle_nanos.fetch_add(lifetime.saturating_sub(busy), Ordering::Relaxed);
+                    }
                 });
             }
         });
@@ -204,6 +395,56 @@ mod tests {
             data[lo..hi].iter().sum::<u64>()
         });
         assert_eq!(sums.iter().sum::<u64>(), data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn run_stats_accounts_every_task_to_a_lane() {
+        let pool = WorkerPool::new(4);
+        let stats = PoolStats::new(pool.threads());
+        let out = pool.run_stats(40, Some(&stats), |i, _| {
+            // Make the tasks non-trivially long so busy time registers.
+            (0..1000u64).fold(i as u64, |a, b| a.wrapping_mul(31).wrapping_add(b))
+        });
+        assert_eq!(out.len(), 40);
+        let report = stats.report();
+        assert_eq!(report.workers.len(), 4);
+        assert_eq!(report.workers.iter().map(|w| w.tasks).sum::<u64>(), 40);
+        assert!(report.workers.iter().map(|w| w.busy_nanos).sum::<u64>() > 0);
+        assert!(report.utilization() > 0.0 && report.utilization() <= 1.0);
+    }
+
+    #[test]
+    fn run_stats_matches_run_results() {
+        let pool = WorkerPool::new(3);
+        let stats = PoolStats::new(pool.threads());
+        let a = pool.run(25, |i, _| i * 7);
+        let b = pool.run_stats(25, Some(&stats), |i, _| i * 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn serial_stats_land_on_lane_zero() {
+        let pool = WorkerPool::serial();
+        let stats = PoolStats::new(1);
+        pool.run_stats(5, Some(&stats), |i, _| i);
+        let report = stats.report();
+        assert_eq!(report.workers.len(), 1);
+        assert_eq!(report.workers[0].tasks, 5);
+        assert_eq!(report.workers[0].steals, 0);
+    }
+
+    #[test]
+    fn chunk_histogram_and_merge_time_accumulate() {
+        let stats = PoolStats::new(2);
+        stats.record_chunk(100);
+        stats.record_chunk(300);
+        stats.record_merge(5_000);
+        stats.record_merge(7_000);
+        let report = stats.report();
+        assert_eq!(report.chunks.count(), 2);
+        assert_eq!(report.chunks.min(), 100);
+        assert_eq!(report.merge_nanos, 12_000);
+        assert_eq!(report.busy_secs(), 0.0);
     }
 
     #[test]

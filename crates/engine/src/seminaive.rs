@@ -28,7 +28,7 @@ use crate::extrema::{
     eval_rule_with_extrema_plan_traced, eval_rule_with_extrema_plan_traced_pooled,
 };
 use crate::plan::{execute_base_chunked, for_each_match_plan, PlanCache, RulePlan};
-use crate::pool::WorkerPool;
+use crate::pool::{FanoutObs, PoolStats, WorkerPool};
 
 /// Rows joined over per derived head row — recorded for provenance.
 type ParentSets = Vec<Vec<(Symbol, Row)>>;
@@ -61,6 +61,10 @@ pub struct Seminaive {
     /// default; results are byte-identical at any thread count (see
     /// DESIGN.md §9).
     pool: WorkerPool,
+    /// Pool-level occupancy accumulator (busy/idle/steal lanes, chunk
+    /// sizes, merge time). Purely observational — never consulted by
+    /// the evaluation itself.
+    pool_stats: Option<Arc<PoolStats>>,
 }
 
 impl std::fmt::Debug for Seminaive {
@@ -98,6 +102,7 @@ impl Seminaive {
             trace: None,
             profiler: None,
             pool: WorkerPool::serial(),
+            pool_stats: None,
         }
     }
 
@@ -140,6 +145,12 @@ impl Seminaive {
         self.pool.threads()
     }
 
+    /// Attach a pool-occupancy accumulator. Parallel fan-outs then
+    /// charge per-lane busy time, chunk sizes and merge time to it.
+    pub fn set_pool_stats(&mut self, stats: Option<Arc<PoolStats>>) {
+        self.pool_stats = stats;
+    }
+
     /// The rules driven by this instance.
     pub fn rules(&self) -> &[Rule] {
         &self.rules
@@ -158,6 +169,7 @@ impl Seminaive {
             trace,
             profiler,
             pool,
+            pool_stats,
         } = self;
         let pool = *pool;
         let parallel = pool.is_parallel();
@@ -197,17 +209,25 @@ impl Seminaive {
                 // `parents` stays index-aligned with `derived`; it is
                 // only filled when an arena is attached.
                 let mut parents: ParentSets = Vec::new();
+                // Fan-out observers for this rule: profiler lanes, pool
+                // occupancy, and worker_chunk trace events tagged with
+                // the rule id.
+                let obs = FanoutObs {
+                    profiler: profiler.as_deref(),
+                    stats: pool_stats.as_deref(),
+                    trace: trace.as_deref().map(|t| (t, rule_id)),
+                };
                 let derived: Vec<Row> = if !evaluated_once[ri] {
                     evaluated_once[ri] = true;
                     if rule.has_extrema() {
                         let (rows, frames) =
-                            eval_extrema_full(db, rule, &plan, pool, profiler, want_prov)?;
+                            eval_extrema_full(db, rule, &plan, pool, obs, want_prov)?;
                         if let Some(frames) = frames {
                             parents = frames.iter().map(|b| parent_rows(rule, b)).collect();
                         }
                         rows
                     } else {
-                        eval_full(db, rule, &plan, pool, profiler, want_prov, &mut parents)?
+                        eval_full(db, rule, &plan, pool, obs, want_prov, &mut parents)?
                     }
                 } else if rule.has_extrema() {
                     let grown = rule
@@ -221,8 +241,7 @@ impl Seminaive {
                         }
                         continue;
                     }
-                    let (rows, frames) =
-                        eval_extrema_full(db, rule, &plan, pool, profiler, want_prov)?;
+                    let (rows, frames) = eval_extrema_full(db, rule, &plan, pool, obs, want_prov)?;
                     if let Some(frames) = frames {
                         parents = frames.iter().map(|b| parent_rows(rule, b)).collect();
                     }
@@ -249,8 +268,16 @@ impl Seminaive {
                             // serial enumeration exactly.
                             let dbr: &Database = db;
                             let prof = profiler.as_deref();
-                            let results = pool.run(ranges.len(), |ci, worker| {
+                            let stats = pool_stats.as_deref();
+                            let tr = trace.as_deref();
+                            if let Some(st) = stats {
+                                for &(lo, hi) in &ranges {
+                                    st.record_chunk((hi - lo) as u64);
+                                }
+                            }
+                            let results = pool.run_stats(ranges.len(), stats, |ci, worker| {
                                 let t0 = prof.and_then(RuleProfiler::lane_start);
+                                let t_chunk = tr.map(|_| Instant::now());
                                 let (lo, hi) = ranges[ci];
                                 let mut out: Vec<Row> = Vec::new();
                                 let mut par: ParentSets = Vec::new();
@@ -271,14 +298,26 @@ impl Seminaive {
                                 if let (Some(p), Some(t0)) = (prof, t0) {
                                     p.record_lane(worker, t0.elapsed());
                                 }
+                                if let (Some(t), Some(t0)) = (tr, t_chunk) {
+                                    t.event(&TraceEvent::WorkerChunk {
+                                        worker,
+                                        rule: rule_id,
+                                        items: (hi - lo) as u64,
+                                        dur_us: t0.elapsed().as_micros() as u64,
+                                    });
+                                }
                                 res.map(|()| (out, par))
                             });
                             // Errors surface from the earliest chunk —
                             // the one a serial run would fail in first.
+                            let t_merge = stats.map(|_| Instant::now());
                             for r in results {
                                 let (out, par) = r?;
                                 derived.extend(out);
                                 parents.extend(par);
+                            }
+                            if let (Some(st), Some(t0)) = (stats, t_merge) {
+                                st.record_merge(t0.elapsed().as_nanos() as u64);
                             }
                         } else {
                             for_each_match_plan(
@@ -378,19 +417,18 @@ fn eval_extrema_full(
     rule: &Rule,
     plan: &RulePlan,
     pool: WorkerPool,
-    profiler: &Option<Arc<RuleProfiler>>,
+    obs: FanoutObs<'_>,
     want_frames: bool,
 ) -> Result<(Vec<Row>, Option<Vec<Bindings>>), EngineError> {
-    let prof = profiler.as_deref();
     if want_frames {
         let (rows, frames) = if pool.is_parallel() {
-            eval_rule_with_extrema_plan_traced_pooled(db, rule, plan, &pool, prof)?
+            eval_rule_with_extrema_plan_traced_pooled(db, rule, plan, &pool, obs)?
         } else {
             eval_rule_with_extrema_plan_traced(db, rule, plan)?
         };
         Ok((rows, Some(frames)))
     } else if pool.is_parallel() {
-        Ok((eval_rule_with_extrema_plan_pooled(db, rule, plan, &pool, prof)?, None))
+        Ok((eval_rule_with_extrema_plan_pooled(db, rule, plan, &pool, obs)?, None))
     } else {
         Ok((eval_rule_with_extrema_plan(db, rule, plan)?, None))
     }
@@ -406,7 +444,7 @@ fn eval_full(
     rule: &Rule,
     plan: &RulePlan,
     pool: WorkerPool,
-    profiler: &Option<Arc<RuleProfiler>>,
+    obs: FanoutObs<'_>,
     want_prov: bool,
     parents: &mut ParentSets,
 ) -> Result<Vec<Row>, EngineError> {
@@ -416,7 +454,7 @@ fn eval_full(
             rule,
             plan,
             &pool,
-            profiler.as_deref(),
+            obs,
             &|b, acc| {
                 acc.0.push(instantiate_head(rule, b)?);
                 if want_prov {

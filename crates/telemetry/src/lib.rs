@@ -30,6 +30,7 @@
 //! shared [`metrics::Metrics`] registry, a [`span::Phases`] timer, and
 //! an optional trace sink, passed down through `exec`/`eval`.
 
+pub mod hist;
 pub mod journal;
 pub mod json;
 pub mod metrics;
@@ -38,8 +39,9 @@ pub mod rng;
 pub mod span;
 pub mod trace;
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
+pub use hist::Histogram;
 pub use journal::{ChromeTrace, JournalBuffer, TeeTrace};
 pub use json::Json;
 pub use metrics::{Counter, MaxGauge, Metrics, Snapshot};
@@ -71,6 +73,12 @@ pub struct Telemetry {
     /// Per-rule profiler. Disabled by default — recording methods then
     /// return without touching the clock or any lock.
     pub profiler: Arc<RuleProfiler>,
+    /// Per-round wall-time latency histogram, absent unless requested.
+    /// Deliberately NOT part of [`Telemetry::to_json`]: bucket counts
+    /// are timing-dependent integers and would break the thread-count
+    /// invariance of the stats report (DESIGN.md §9) — the CLI embeds
+    /// the summary into `--stats-json` itself, like the journal.
+    pub rounds: Option<Arc<Mutex<Histogram>>>,
 }
 
 impl Telemetry {
@@ -89,6 +97,7 @@ impl Telemetry {
             phases: Arc::new(Phases::enabled()),
             trace: None,
             profiler: Arc::default(),
+            rounds: None,
         }
     }
 
@@ -102,6 +111,25 @@ impl Telemetry {
     pub fn with_profiler(mut self) -> Telemetry {
         self.profiler = Arc::new(RuleProfiler::enabled());
         self
+    }
+
+    /// Record per-γ-round wall-time latency into a histogram
+    /// (retrieved via [`Telemetry::round_latency`]).
+    pub fn with_round_latency(mut self) -> Telemetry {
+        self.rounds = Some(Arc::new(Mutex::new(Histogram::default())));
+        self
+    }
+
+    /// Record one γ-round duration, if round-latency tracking is on.
+    pub fn record_round_nanos(&self, nanos: u64) {
+        if let Some(cell) = &self.rounds {
+            cell.lock().unwrap().record(nanos);
+        }
+    }
+
+    /// Snapshot of the per-round latency histogram, when tracking is on.
+    pub fn round_latency(&self) -> Option<Histogram> {
+        self.rounds.as_ref().map(|cell| cell.lock().unwrap().clone())
     }
 
     /// Emit a trace event. The closure only runs when a sink is
@@ -140,6 +168,7 @@ impl std::fmt::Debug for Telemetry {
             .field("phases", &self.phases)
             .field("trace", &self.trace.is_some())
             .field("profiler", &self.profiler.is_enabled())
+            .field("rounds", &self.rounds.is_some())
             .finish()
     }
 }

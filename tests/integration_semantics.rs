@@ -145,6 +145,7 @@ fn v2_every_enumerated_model_is_stable() {
                 chosen,
                 stats: gbc_core::GreedyStats::default(),
                 snapshot: gbc_telemetry::Snapshot::default(),
+                pool: None,
             };
             assert!(verify_stable_model(&program, &edb, &run).unwrap(), "scripted picks ({a},{b})");
             seen.insert(run.db.canonical_form());

@@ -1,0 +1,76 @@
+//! Integration contract of the multi-tenant serve-load harness
+//! (`gbc_bench::serve`) — the `gbc serve` dress rehearsal:
+//!
+//! * every tenant's compiled program and EDB are shared across
+//!   concurrent sessions, and every request performs identical semantic
+//!   work (the `Send + Sync` shared-database contract);
+//! * per-request latency lands in mergeable histograms whose counts
+//!   reconcile exactly with the number of requests issued;
+//! * concurrency changes throughput only — the per-request counter
+//!   snapshot is byte-identical at any sessions × threads shape.
+
+use gbc_bench::{serve_load, standard_tenants};
+use gbc_telemetry::Histogram;
+
+#[test]
+fn every_tenant_round_robin_share_is_served() {
+    let tenants = standard_tenants();
+    // 7 sessions over 3 tenants: shares of 3, 2, 2 sessions.
+    let report = serve_load(&tenants, 7, 2, 3);
+    assert_eq!(report.sessions, 7);
+    assert_eq!(report.threads, 2);
+    assert_eq!(report.requests_per_session, 3);
+    assert_eq!(report.total_requests(), 21);
+    let shares: Vec<usize> = report.tenants.iter().map(|t| t.sessions).collect();
+    assert_eq!(shares, vec![3, 2, 2]);
+    for t in &report.tenants {
+        assert_eq!(t.requests, t.sessions as u64 * 3);
+        assert_eq!(t.latency.count(), t.requests, "tenant `{}` lost a latency sample", t.name);
+        assert!(t.latency.min() > 0, "a request cannot take zero time");
+    }
+}
+
+#[test]
+fn merged_latency_equals_the_sum_of_tenant_histograms() {
+    let tenants = standard_tenants();
+    let report = serve_load(&tenants, 6, 3, 2);
+    let merged = report.merged_latency();
+    assert_eq!(merged.count(), report.total_requests());
+    // Rebuild the merge by hand; bucket-level merging is exact, so the
+    // two must be equal as values, not just close.
+    let mut manual = Histogram::default();
+    for t in &report.tenants {
+        manual.merge(&t.latency);
+    }
+    assert_eq!(manual, merged);
+    assert!(merged.p50() <= merged.p99());
+    assert!(merged.p99() <= merged.max());
+}
+
+#[test]
+fn per_request_counters_are_identical_across_concurrency_shapes() {
+    let tenants = standard_tenants();
+    let serial = serve_load(&tenants, 3, 1, 1);
+    let wide = serve_load(&tenants, 9, 4, 2);
+    for (a, b) in serial.tenants.iter().zip(wide.tenants.iter()) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(
+            a.per_request, b.per_request,
+            "tenant `{}`: semantic counters must not depend on load shape",
+            a.name
+        );
+        assert!(a.per_request.gamma_steps > 0, "tenant `{}` did no γ work", a.name);
+    }
+}
+
+#[test]
+fn throughput_is_reported_from_completed_requests() {
+    let tenants = standard_tenants();
+    let report = serve_load(&tenants, 2, 2, 2);
+    assert!(report.wall_secs > 0.0);
+    assert!(report.req_per_sec() > 0.0);
+    // 2 sessions over 3 tenants: the third tenant serves nothing.
+    assert_eq!(report.tenants[2].requests, 0);
+    assert_eq!(report.tenants[2].latency.count(), 0);
+    assert_eq!(report.total_requests(), 4);
+}
