@@ -123,16 +123,33 @@ for entry in "${obs_groups[@]}"; do
     }
 done
 
-echo "== bench: machine-readable experiment record =="
+echo "== bench: machine-readable experiment record + ratio gate =="
 # Quick (0-warmup, median-of-3) run of the paper experiments; appends a
 # labelled run to BENCH_experiments.json so every CI pass leaves a
 # timing + counter trail next to the committed pre/post-PR records.
-./target/release/experiments prim sort --quick \
-    --json BENCH_experiments.json --label "ci-quick" >/dev/null
+# --ratio-gate fails the build when the n-max declarative/classical
+# wall-clock ratio breaches the ceilings committed in experiments.rs.
+./target/release/experiments prim sort --quick --ratio-gate \
+    --json BENCH_experiments.json --label "ci-quick" >/dev/null || {
+    echo "declarative/classical ratio gate failed (see experiments.rs ceilings)" >&2
+    exit 1
+}
 grep -q '"label": "ci-quick"' BENCH_experiments.json || {
     echo "experiments run did not land in BENCH_experiments.json" >&2
     exit 1
 }
+# The committed post-PR7 record must exist and carry the dictionary
+# counter columns introduced with the columnar storage layer.
+grep -q '"label": "post-PR7"' BENCH_experiments.json || {
+    echo "BENCH_experiments.json is missing the committed post-PR7 run" >&2
+    exit 1
+}
+for col in dict_entries encode_hits decode_calls; do
+    grep -q "\"$col\"" BENCH_experiments.json || {
+        echo "BENCH_experiments.json rows lack dictionary column: $col" >&2
+        exit 1
+    }
+done
 
 echo "== ci-load: serve-load smoke + regression gate =="
 # A small multi-tenant closed-loop load run (2 sessions × 2 workers,

@@ -5,7 +5,7 @@
 //!              scheduling|ablation|seminaive|all]...
 //!             [--quick] [--json <path>] [--label <name>] [--threads LIST]
 //!             [--serve-load SESSIONSxTHREADS] [--compare LABEL]
-//!             [--tolerance PCT]
+//!             [--tolerance PCT] [--ratio-gate]
 //! ```
 //!
 //! Each experiment prints problem sizes, wall-clock medians (in-tree
@@ -39,6 +39,17 @@
 //! counters must match exactly (hard failure, exit 1); timing columns
 //! (`*_ns`, `req_per_sec`) only warn beyond `--tolerance PCT` (default
 //! 25), because 1-CPU CI boxes cannot hard-gate wall-clock.
+//!
+//! `--ratio-gate` checks the freshly measured n-max rows of E1/E2:
+//! declarative wall-clock over classical (`classical_ns` for prim,
+//! `heapsort_ns` for sort) must stay under the committed ceilings
+//! ([`PRIM_MAX_RATIO`], [`SORT_MAX_RATIO`]). Exit 1 on breach, after
+//! the `--json` record is appended so the evidence lands.
+//!
+//! E1/E2 rows also carry the value-dictionary movement of one dedicated
+//! run (`dict_entries`/`encode_hits`/`decode_calls`): deterministic
+//! columns certifying that interning work scales with the workload's
+//! distinct values, not with rows scanned.
 
 use gbc_baselines::huffman::{huffman_tree, weighted_path_length as wpl_base};
 use gbc_baselines::kruskal::{kruskal_mst, kruskal_relabel};
@@ -61,7 +72,7 @@ fn usage(err: &str) -> ! {
          \u{20}                   scheduling|ablation|seminaive|all]...\n\
          \u{20}                  [--quick] [--json <path>] [--label <name>] [--threads LIST]\n\
          \u{20}                  [--serve-load SESSIONSxTHREADS] [--compare LABEL]\n\
-         \u{20}                  [--tolerance PCT]"
+         \u{20}                  [--tolerance PCT] [--ratio-gate]"
     );
     std::process::exit(2);
 }
@@ -93,11 +104,13 @@ fn main() {
     let mut serve: Option<(usize, usize)> = None;
     let mut compare: Option<String> = None;
     let mut tolerance = 25.0f64;
+    let mut gate = false;
     let mut names: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => {}
+            "--ratio-gate" => gate = true,
             "--json" => json_path = Some(require_value(&mut it, "--json", "a path")),
             "--label" => label = require_value(&mut it, "--label", "a run label"),
             "--threads" => {
@@ -176,9 +189,15 @@ fn main() {
         sl_serve_load(quick, sessions, workers, &mut rec);
     }
 
+    // Gate before the record is consumed, exit after it is appended:
+    // a breached ceiling still lands in the JSON history for forensics.
+    let gate_exit = if gate { ratio_gate(&rec) } else { 0 };
     if let Some(path) = json_path {
         append_run(&path, rec.into_run(&label));
         println!("\nappended run \"{label}\" to {path}");
+    }
+    if gate_exit != 0 {
+        std::process::exit(gate_exit);
     }
 }
 
@@ -223,6 +242,68 @@ impl Recorder {
 /// Median seconds → integer nanoseconds for the JSON artifact.
 fn ns(secs: f64) -> Json {
     Json::UInt((secs * 1e9).round() as u64)
+}
+
+/// Runs `f` once and returns the dictionary-counter movement it caused.
+/// The dictionary is process-global, so callers must already have
+/// interned the workload's values (the timed repetitions before this
+/// call do) for the delta to be a deterministic per-run figure.
+fn dict_delta(f: impl FnOnce()) -> gbc_storage::DictStats {
+    let before = gbc_storage::dict_stats();
+    f();
+    gbc_storage::dict_stats().since(&before)
+}
+
+/// Committed wall-clock ceilings on declarative/classical at the
+/// largest problem size, enforced by `--ratio-gate` (ci-quick runs it).
+/// Measured on the columnar dictionary-encoded build with headroom for
+/// CI noise; ratchet these down as the interpreter closes the gap.
+const PRIM_MAX_RATIO: f64 = 40.0;
+const SORT_MAX_RATIO: f64 = 35.0;
+
+/// Checks the recorded n-max rows of E1/E2 against the committed
+/// declarative/classical ceilings. Returns the process exit code.
+fn ratio_gate(rec: &Recorder) -> i32 {
+    let mut failures = 0;
+    for (exp, base_field, limit) in
+        [("prim", "classical_ns", PRIM_MAX_RATIO), ("sort", "heapsort_ns", SORT_MAX_RATIO)]
+    {
+        let rows = rec.experiments.iter().find(|(name, _)| name == exp).map(|(_, r)| r.as_slice());
+        let Some(rows) = rows else {
+            eprintln!("ratio-gate FAIL: experiment \"{exp}\" was not run");
+            failures += 1;
+            continue;
+        };
+        let n_of = |r: &Json| r.get("n").and_then(Json::as_u64).unwrap_or(0);
+        let n_max = rows.iter().map(n_of).max().unwrap_or(0);
+        // Rows are pushed threads[0]-first, so the first n-max row is
+        // the canonical serial lane.
+        let Some(row) = rows.iter().find(|r| n_of(r) == n_max) else {
+            eprintln!("ratio-gate FAIL: experiment \"{exp}\" recorded no rows");
+            failures += 1;
+            continue;
+        };
+        let decl = row.get("decl_ns").and_then(Json::as_f64).unwrap_or(f64::NAN);
+        let base = row.get(base_field).and_then(Json::as_f64).unwrap_or(f64::NAN);
+        let ratio = decl / base.max(1.0);
+        let thr = row.get("threads").and_then(Json::as_u64).unwrap_or(0);
+        let what = base_field.trim_end_matches("_ns");
+        if ratio <= limit {
+            println!(
+                "ratio-gate ok:   {exp} n={n_max} thr={thr} decl/{what} = {ratio:.1} <= {limit}"
+            );
+        } else {
+            eprintln!(
+                "ratio-gate FAIL: {exp} n={n_max} thr={thr} decl/{what} = {ratio:.1} > {limit}"
+            );
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        1
+    } else {
+        0
+    }
 }
 
 /// The hardware/OS context a run was measured on. Timings from records
@@ -303,6 +384,13 @@ fn e1_prim(quick: bool, threads: &[usize], rec: &mut Recorder) {
                 decl_samples.push(Sample { size: e as u64, secs: t_decl.median_secs });
                 base_samples.push(Sample { size: e as u64, secs: t_base.median_secs });
             }
+            // Dictionary-counter movement of one dedicated run: the
+            // timed repetitions above interned every value this workload
+            // can produce, so the delta is the per-run interning
+            // overhead (hits and boundary decodes; zero new entries).
+            let dict = dict_delta(|| {
+                compiled.run_greedy_with(&edb, config).unwrap();
+            });
             rec.push(
                 "prim",
                 vec![
@@ -320,6 +408,9 @@ fn e1_prim(quick: bool, threads: &[usize], rec: &mut Recorder) {
                     ("tuples_derived", Json::UInt(run.snapshot.tuples_derived)),
                     ("rows_cloned", Json::UInt(run.snapshot.rows_cloned)),
                     ("plan_cache_hits", Json::UInt(run.snapshot.plan_cache_hits)),
+                    ("dict_entries", Json::UInt(dict.dict_entries)),
+                    ("encode_hits", Json::UInt(dict.encode_hits)),
+                    ("decode_calls", Json::UInt(dict.decode_calls)),
                 ],
             );
             rows.push(vec![
@@ -402,6 +493,9 @@ fn e2_sort(quick: bool, threads: &[usize], rec: &mut Recorder) {
                 heap_s.push(Sample { size: n as u64, secs: t_heap.median_secs });
                 ins_s.push(Sample { size: n as u64, secs: t_ins.median_secs });
             }
+            let dict = dict_delta(|| {
+                compiled.run_greedy_with(&edb, config).unwrap();
+            });
             rec.push(
                 "sort",
                 vec![
@@ -416,6 +510,9 @@ fn e2_sort(quick: bool, threads: &[usize], rec: &mut Recorder) {
                     ("diffchoice_rejections", Json::UInt(run.snapshot.diffchoice_rejections)),
                     ("rows_cloned", Json::UInt(run.snapshot.rows_cloned)),
                     ("plan_cache_hits", Json::UInt(run.snapshot.plan_cache_hits)),
+                    ("dict_entries", Json::UInt(dict.dict_entries)),
+                    ("encode_hits", Json::UInt(dict.encode_hits)),
+                    ("decode_calls", Json::UInt(dict.decode_calls)),
                 ],
             );
             rows.push(vec![

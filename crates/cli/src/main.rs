@@ -61,7 +61,7 @@ use gbc_ast::{Diagnostic, Program, SourceMap};
 use gbc_core::{compile, verify_stable_model};
 use gbc_engine::enumerate::{all_choice_models_with, EnumerateConfig};
 use gbc_engine::{ChoiceFixpoint, DeterministicFirst, SeededRandom};
-use gbc_storage::{Database, ProvenanceArena};
+use gbc_storage::{dict_stats, Database, DictStats, ProvenanceArena};
 use gbc_telemetry::{
     ChromeTrace, JournalBuffer, Json, StderrTrace, TeeTrace, Telemetry, TraceSink,
 };
@@ -240,13 +240,17 @@ impl Options {
         (tel, Observers { journal, chrome })
     }
 
-    /// Emit the post-run reports the flags ask for.
+    /// Emit the post-run reports the flags ask for. `dict_base` is the
+    /// dictionary counter snapshot taken when the command started: the
+    /// value dictionary is process-global, so the report shows this
+    /// command's movement, not the process totals.
     fn report(
         &self,
         tel: &Telemetry,
         obs: &Observers,
         program: &Program,
         sm: &SourceMap,
+        dict_base: &DictStats,
     ) -> Result<(), String> {
         if self.stats {
             eprint!("{}", tel.snapshot().render());
@@ -266,6 +270,17 @@ impl Options {
                     Json::obj(vec![
                         ("threads", Json::UInt(self.resolve_threads() as u64)),
                         ("rounds", hist.to_json()),
+                    ]),
+                ));
+            }
+            if let Json::Obj(fields) = &mut json {
+                let d = dict_stats().since(dict_base);
+                fields.push((
+                    "dictionary".to_owned(),
+                    Json::obj(vec![
+                        ("dict_entries", Json::UInt(d.dict_entries)),
+                        ("encode_hits", Json::UInt(d.encode_hits)),
+                        ("decode_calls", Json::UInt(d.decode_calls)),
                     ]),
                 ));
             }
@@ -483,6 +498,7 @@ fn cmd_check(opts: &Options) -> Result<(), String> {
 }
 
 fn cmd_run(opts: &Options) -> Result<(), String> {
+    let dict_base = dict_stats();
     let (program, sm) = load(&opts.files)?;
     let compiled = compile(program.clone()).map_err(|e| e.to_string())?;
     let edb = Database::new();
@@ -513,7 +529,7 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
     };
 
     println!("{}", run.db.canonical_form());
-    opts.report(&tel, &obs, &program, &sm)?;
+    opts.report(&tel, &obs, &program, &sm, &dict_base)?;
     if opts.profile {
         if let Some(pool) = &run.pool {
             eprint!("{}", render_pool(pool));
@@ -579,6 +595,7 @@ fn cmd_explain(opts: &Options) -> Result<(), String> {
 }
 
 fn cmd_models(opts: &Options) -> Result<(), String> {
+    let dict_base = dict_stats();
     let (program, sm) = load(&opts.files)?;
     // The enumerator needs a next-free program.
     let expanded = gbc_core::rewrite::next::expand_next(&program).map_err(|e| e.to_string())?;
@@ -593,7 +610,7 @@ fn cmd_models(opts: &Options) -> Result<(), String> {
         println!("--- model {}", i + 1);
         println!("{}", m.canonical_form());
     }
-    opts.report(&tel, &obs, &program, &sm)?;
+    opts.report(&tel, &obs, &program, &sm, &dict_base)?;
     Ok(())
 }
 
@@ -605,6 +622,7 @@ fn cmd_rewrite(opts: &Options) -> Result<(), String> {
 }
 
 fn cmd_verify(opts: &Options) -> Result<(), String> {
+    let dict_base = dict_stats();
     let (program, sm) = load(&opts.files)?;
     let compiled = compile(program.clone()).map_err(|e| e.to_string())?;
     let edb = Database::new();
@@ -615,7 +633,7 @@ fn cmd_verify(opts: &Options) -> Result<(), String> {
         "stable model check: {}",
         if ok { "PASS (Theorem 1 holds for this run)" } else { "FAIL" }
     );
-    opts.report(&tel, &obs, &program, &sm)?;
+    opts.report(&tel, &obs, &program, &sm, &dict_base)?;
     if ok {
         Ok(())
     } else {

@@ -34,12 +34,15 @@ use std::sync::Arc;
 
 use gbc_ast::{CmpOp, Literal, Program, Rule, Symbol, Term, Value, VarId};
 use gbc_engine::bindings::Bindings;
-use gbc_engine::eval::{eval_expr, eval_term, instantiate_head, match_term, parent_rows};
+use gbc_engine::eval::{
+    eval_expr, eval_term, instantiate_head, match_term, match_term_id, parent_rows,
+};
 use gbc_engine::extrema::{collect_matches_plan, filter_extrema};
 use gbc_engine::plan::PlanCache;
 use gbc_engine::pool::{PoolReport, PoolStats};
 use gbc_engine::seminaive::Seminaive;
-use gbc_storage::{Database, FxHashMap, FxHashSet, Row, Rql, NO_GOAL};
+use gbc_storage::dictionary::{self, decode_ref};
+use gbc_storage::{Database, FxHashMap, FxHashSet, Row, Rql, DICT_MISS, NO_GOAL};
 use gbc_telemetry::{DiscardReason, Snapshot, Telemetry, TraceEvent};
 
 use crate::analysis::stage::StageInfo;
@@ -370,7 +373,8 @@ struct NextState {
     /// tuple `W` is committed at exactly one stage. Without this check
     /// a chain-mode program can re-commit the same tuple at every new
     /// stage (the head differs only in `I`) and never terminate.
-    w_used: FxHashSet<Vec<Value>>,
+    /// Projections are stored as dictionary ids.
+    w_used: FxHashSet<Vec<u32>>,
 }
 
 /// The executor. Create with [`GreedyExecutor::new`], then [`GreedyExecutor::run`].
@@ -688,43 +692,44 @@ impl GreedyExecutor {
         // cover facts produced by exit rules, or a chain program can
         // re-commit an exit tuple at a fresh stage forever.
         let head_rel = db.relation(plan.head_pred);
-        let mut new_w: Vec<Vec<Value>> = Vec::new();
-        for row in head_rel.since(ns.head_mark) {
-            match row.get(plan.stage_pos) {
+        let head_rows = head_rel.since(ns.head_mark);
+        let mut new_w: Vec<Vec<u32>> = Vec::new();
+        for r in 0..head_rows.len() {
+            match head_rows.try_cell(r, plan.stage_pos).map(decode_ref) {
                 Some(Value::Int(s)) => ns.stage = ns.stage.max(*s),
                 Some(other) => return Err(CoreError::NonIntegerStage { found: other.to_string() }),
                 None => {}
             }
             new_w.push(
-                row.iter()
-                    .enumerate()
-                    .filter(|&(i, _)| i != plan.stage_pos)
-                    .map(|(_, v)| v.clone())
+                (0..head_rows.arity())
+                    .filter(|&c| c != plan.stage_pos)
+                    .map(|c| head_rows.cell(r, c))
                     .collect(),
             );
         }
         ns.head_mark = head_rel.len();
         ns.w_used.extend(new_w);
 
-        // The new rows are borrowed in place from the relation's arena;
-        // the only copy made is the Arc bump when a row enters `Q_r`.
+        // The new rows are read in place from the relation's column
+        // arenas; the only copy made is the id row that enters `Q_r`.
         let src_rel = db.relation(plan.source_pred);
         let rows = src_rel.since(ns.src_mark);
         ns.src_mark = src_rel.len();
 
         let Literal::Pos(source) = &plan.rule.body[plan.source_lit] else { unreachable!() };
+        let nil_cost = dictionary::encode(&Value::Nil);
         let mut b = Bindings::new(plan.rule.num_vars());
         let mut trail: Vec<VarId> = Vec::new();
-        for row in rows {
+        for r in 0..rows.len() {
             for v in trail.drain(..) {
                 b.unbind(v);
             }
-            let matched = row.arity() == source.args.len()
+            let matched = rows.arity() == source.args.len()
                 && source
                     .args
                     .iter()
-                    .zip(row.iter())
-                    .all(|(t, v)| match_term(t, v, &mut b, &mut trail));
+                    .enumerate()
+                    .all(|(c, t)| match_term_id(t, rows.cell(r, c), &mut b, &mut trail));
             if !matched {
                 continue;
             }
@@ -732,11 +737,19 @@ impl GreedyExecutor {
                 continue;
             }
             let cost = match plan.cost {
-                Some((cv, _)) => b.get(cv).cloned().expect("cost variable bound by source match"),
-                None => Value::Nil,
+                Some((cv, _)) => {
+                    let id = b.id_of(cv);
+                    if id != DICT_MISS {
+                        id
+                    } else {
+                        let v = b.get(cv).expect("cost variable bound by source match");
+                        dictionary::encode(v)
+                    }
+                }
+                None => nil_cost,
             };
-            let key = row.project(&plan.cong_cols);
-            ns.rql.insert(key, cost, row.clone());
+            let key: Vec<u32> = plan.cong_cols.iter().map(|&c| rows.cell(r, c)).collect();
+            ns.rql.insert(key, cost, rows.id_row(r));
             stats.queue_peak = stats.queue_peak.max(ns.rql.queue_len());
         }
         tel.profiler.finish(t0, ns.plan.rule_idx, 0, 0);
@@ -782,7 +795,7 @@ impl GreedyExecutor {
                 .args
                 .iter()
                 .zip(popped.row.iter())
-                .all(|(t, v)| match_term(t, v, &mut b, &mut trail));
+                .all(|(t, &id)| match_term_id(t, id, &mut b, &mut trail));
             debug_assert!(ok, "queued row must re-match its source atom");
             b.bind(plan.stage_var, Value::Int(next_stage));
             trail.push(plan.stage_var);
@@ -802,13 +815,14 @@ impl GreedyExecutor {
                     DiscardReason::StaleStage
                 };
                 if let Some(arena) = &prov {
+                    let src_row = dictionary::decode_row(&popped.row);
                     match conflict {
                         Some((gi, left, attempted, committed)) => arena.record_rejection(
                             plan.rule_idx,
                             gi,
                             "diffchoice",
                             plan.source_pred,
-                            &popped.row,
+                            &src_row,
                             left,
                             attempted,
                             committed,
@@ -818,7 +832,7 @@ impl GreedyExecutor {
                             NO_GOAL,
                             "stale-stage",
                             plan.source_pred,
-                            &popped.row,
+                            &src_row,
                             Vec::new(),
                             Vec::new(),
                             Vec::new(),
@@ -830,29 +844,37 @@ impl GreedyExecutor {
                 tel.trace_with(|| TraceEvent::Discard {
                     pred: plan.head_pred.to_string(),
                     reason,
-                    row: popped.row.to_string(),
+                    row: dictionary::decode_row(&popped.row).to_string(),
                 });
                 ns.rql.discard(popped);
                 self.stats.discarded += 1;
                 continue;
             }
             let head = instantiate_head(&plan.rule, &b)?;
-            // The next-expansion's choice(W, I): one stage per W.
-            let w: Vec<Value> = head
+            // The next-expansion's choice(W, I): one stage per W. The
+            // projection is interned here (on the coordinator) so the
+            // membership test is an id-row comparison.
+            let w: Vec<u32> = head
                 .iter()
                 .enumerate()
                 .filter(|&(i, _)| i != plan.stage_pos)
-                .map(|(_, v)| v.clone())
+                .map(|(_, v)| dictionary::encode(v))
                 .collect();
             if ns.w_used.contains(&w) {
                 if let Some(arena) = &prov {
+                    let w_vals: Vec<Value> = head
+                        .iter()
+                        .enumerate()
+                        .filter(|&(i, _)| i != plan.stage_pos)
+                        .map(|(_, v)| v.clone())
+                        .collect();
                     arena.record_rejection(
                         plan.rule_idx,
                         NO_GOAL,
                         "stage-reuse",
                         plan.head_pred,
-                        &popped.row,
-                        w.clone(),
+                        &dictionary::decode_row(&popped.row),
+                        w_vals,
                         vec![Value::Int(next_stage)],
                         Vec::new(),
                     );
@@ -863,7 +885,7 @@ impl GreedyExecutor {
                 tel.trace_with(|| TraceEvent::Discard {
                     pred: plan.head_pred.to_string(),
                     reason: DiscardReason::StageReuse,
-                    row: popped.row.to_string(),
+                    row: dictionary::decode_row(&popped.row).to_string(),
                 });
                 ns.rql.discard(popped);
                 self.stats.discarded += 1;
@@ -880,7 +902,11 @@ impl GreedyExecutor {
             tel.trace_with(|| TraceEvent::StageCommit {
                 pred: plan.head_pred.to_string(),
                 stage: next_stage,
-                cost: if plan.cost.is_some() { popped.cost.to_string() } else { String::new() },
+                cost: if plan.cost.is_some() {
+                    decode_ref(popped.cost).to_string()
+                } else {
+                    String::new()
+                },
                 fact: head.to_string(),
             });
             if let Some(arena) = &prov {
@@ -889,7 +915,7 @@ impl GreedyExecutor {
                     plan.head_pred,
                     &head,
                     plan.rule_idx,
-                    &[(plan.source_pred, popped.row.clone())],
+                    &[(plan.source_pred, dictionary::decode_row(&popped.row))],
                 );
                 arena.record_commit(plan.rule_idx, plan.head_pred, &head, pairs.clone());
             }

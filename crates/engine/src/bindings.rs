@@ -1,19 +1,36 @@
 //! Binding frames: variable assignments during rule-body matching.
 
 use gbc_ast::{Value, VarId};
+use gbc_storage::DICT_MISS;
 
 /// A flat binding frame indexed by [`VarId`]. Bind/unbind pairs follow a
 /// trail discipline inside the matcher, so the frame is reused across
 /// the whole enumeration of a rule body without allocation churn.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+///
+/// Alongside each value slot the frame carries the value's dictionary
+/// id when the binder knew it ([`Bindings::bind_encoded`] — the id-space
+/// matcher always does). Scans read [`Bindings::id_of`] to build index
+/// keys and compare repeated variables as plain `u32`s; a slot bound
+/// through the value-level path ([`Bindings::bind`], e.g. arithmetic
+/// assignments) carries [`DICT_MISS`] and falls back to value
+/// comparison. Equality of frames is defined over the **values** only:
+/// whether a binder happened to know an id is bookkeeping, not content.
+#[derive(Clone, Debug, Default, Eq)]
 pub struct Bindings {
     slots: Vec<Option<Value>>,
+    ids: Vec<u32>,
+}
+
+impl PartialEq for Bindings {
+    fn eq(&self, other: &Self) -> bool {
+        self.slots == other.slots
+    }
 }
 
 impl Bindings {
     /// A frame with room for `n` variables, all unbound.
     pub fn new(n: usize) -> Bindings {
-        Bindings { slots: vec![None; n] }
+        Bindings { slots: vec![None; n], ids: vec![DICT_MISS; n] }
     }
 
     /// The value bound to `v`, if any.
@@ -21,12 +38,18 @@ impl Bindings {
         self.slots.get(v.index()).and_then(Option::as_ref)
     }
 
+    /// The dictionary id bound to `v`, or [`DICT_MISS`] when `v` is
+    /// unbound or was bound without a known id.
+    pub fn id_of(&self, v: VarId) -> u32 {
+        self.ids.get(v.index()).copied().unwrap_or(DICT_MISS)
+    }
+
     /// True when `v` is bound.
     pub fn is_bound(&self, v: VarId) -> bool {
         self.get(v).is_some()
     }
 
-    /// Bind `v` to `val`.
+    /// Bind `v` to `val` (id unknown).
     ///
     /// # Panics
     /// Debug-asserts that `v` was unbound — the matcher must check-and-
@@ -36,9 +59,17 @@ impl Bindings {
         self.slots[v.index()] = Some(val);
     }
 
+    /// Bind `v` to `val` whose dictionary id is `id`.
+    pub fn bind_encoded(&mut self, v: VarId, val: Value, id: u32) {
+        debug_assert!(self.slots[v.index()].is_none(), "rebinding {v:?}");
+        self.slots[v.index()] = Some(val);
+        self.ids[v.index()] = id;
+    }
+
     /// Remove the binding of `v` (trail rollback).
     pub fn unbind(&mut self, v: VarId) {
         self.slots[v.index()] = None;
+        self.ids[v.index()] = DICT_MISS;
     }
 
     /// Number of slots.
@@ -67,14 +98,39 @@ mod tests {
         assert!(!b.is_bound(VarId(1)));
         b.bind(VarId(1), Value::int(42));
         assert_eq!(b.get(VarId(1)), Some(&Value::int(42)));
+        assert_eq!(b.id_of(VarId(1)), DICT_MISS, "value-level bind carries no id");
         b.unbind(VarId(1));
         assert!(!b.is_bound(VarId(1)));
+    }
+
+    #[test]
+    fn bind_encoded_carries_the_id() {
+        let mut b = Bindings::new(2);
+        let v = Value::int(7);
+        let id = gbc_storage::dictionary::encode(&v);
+        b.bind_encoded(VarId(0), v.clone(), id);
+        assert_eq!(b.get(VarId(0)), Some(&v));
+        assert_eq!(b.id_of(VarId(0)), id);
+        b.unbind(VarId(0));
+        assert_eq!(b.id_of(VarId(0)), DICT_MISS);
+    }
+
+    #[test]
+    fn equality_ignores_id_knowledge() {
+        let v = Value::int(9);
+        let id = gbc_storage::dictionary::encode(&v);
+        let mut a = Bindings::new(1);
+        let mut b = Bindings::new(1);
+        a.bind(VarId(0), v.clone());
+        b.bind_encoded(VarId(0), v, id);
+        assert_eq!(a, b);
     }
 
     #[test]
     fn out_of_range_get_is_none() {
         let b = Bindings::new(1);
         assert_eq!(b.get(VarId(9)), None);
+        assert_eq!(b.id_of(VarId(9)), DICT_MISS);
     }
 
     #[test]

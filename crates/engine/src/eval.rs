@@ -17,19 +17,22 @@
 
 use gbc_ast::term::{ArithOp, Expr};
 use gbc_ast::{Rule, Term, Value, VarId};
-use gbc_storage::{Database, Row};
+use gbc_storage::dictionary::{decode_ref, func_parts};
+use gbc_storage::{Database, Row, RowsView, DICT_MISS};
 
 use crate::bindings::Bindings;
 use crate::error::EngineError;
 
 /// Restricts one positive body literal to a fixed set of rows — the
-/// delta mechanism of seminaive evaluation.
+/// delta mechanism of seminaive evaluation. The rows are a columnar
+/// view (dictionary ids), typically a [`gbc_storage::Relation::since`]
+/// suffix.
 #[derive(Clone, Copy)]
 pub struct Focus<'a> {
     /// Index into `rule.body` of the focused positive literal.
     pub literal: usize,
     /// The rows that occurrence may range over.
-    pub rows: &'a [Row],
+    pub rows: RowsView<'a>,
 }
 
 /// Evaluate a ground-able term under `b`. `None` if a variable is unbound.
@@ -115,6 +118,42 @@ pub fn match_term(t: &Term, v: &Value, b: &mut Bindings, trail: &mut Vec<VarId>)
         Term::Func(f, args) => match v {
             Value::Func(g, vals) if f == g && args.len() == vals.len() => {
                 args.iter().zip(vals.iter()).all(|(t2, v2)| match_term(t2, v2, b, trail))
+            }
+            _ => false,
+        },
+    }
+}
+
+/// Unify a term against a **dictionary id** without decoding on the
+/// fast paths — the columnar scan loop's counterpart of [`match_term`]:
+///
+/// * a variable bound with a known id compares two `u32`s;
+/// * a fresh variable binds the decoded value *and* the id (a borrow
+///   from the global dictionary — no clone of nested structure beyond
+///   the `Value`'s own cheap refcount bump);
+/// * constants compare against the decoded borrow;
+/// * functor patterns destructure via [`func_parts`] and recurse in id
+///   space.
+pub fn match_term_id(t: &Term, id: u32, b: &mut Bindings, trail: &mut Vec<VarId>) -> bool {
+    match t {
+        Term::Var(var) => {
+            let known = b.id_of(*var);
+            if known != DICT_MISS {
+                return known == id;
+            }
+            match b.get(*var) {
+                Some(bound) => bound == decode_ref(id),
+                None => {
+                    b.bind_encoded(*var, decode_ref(id).clone(), id);
+                    trail.push(*var);
+                    true
+                }
+            }
+        }
+        Term::Const(c) => c == decode_ref(id),
+        Term::Func(f, args) => match func_parts(id) {
+            Some((g, ids)) if *f == g && args.len() == ids.len() => {
+                args.iter().zip(ids.iter()).all(|(t2, &i2)| match_term_id(t2, i2, b, trail))
             }
             _ => false,
         },
@@ -278,8 +317,10 @@ mod tests {
             vec!["X".into(), "Y".into(), "Z".into(), "_".into(), "_2".into()],
         );
         let db = db_edges(&[("a", "b", 1), ("b", "c", 2), ("c", "d", 3)]);
-        let delta = vec![Row::new(vec![Value::sym("b"), Value::sym("c"), Value::int(2)])];
-        let rows = eval_rule_plain(&db, &rule, Some(Focus { literal: 0, rows: &delta })).unwrap();
+        let mut delta = gbc_storage::ColumnBuf::new();
+        delta.push_values(&[Value::sym("b"), Value::sym("c"), Value::int(2)]);
+        let rows =
+            eval_rule_plain(&db, &rule, Some(Focus { literal: 0, rows: delta.view() })).unwrap();
         assert_eq!(rows, vec![Row::new(vec![Value::sym("b"), Value::sym("d")])]);
     }
 

@@ -28,27 +28,52 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use gbc_ast::{CmpOp, Expr, Literal, Rule, Term, Value, VarId};
-use gbc_storage::{Database, Row};
+use gbc_ast::{Atom, CmpOp, Expr, Literal, Rule, Term, Value, VarId};
+use gbc_storage::{dictionary, Database, RowsView, DICT_MISS};
 use gbc_telemetry::{Metrics, RuleProfiler};
 
 use crate::bindings::Bindings;
 use crate::error::EngineError;
-use crate::eval::{eval_expr, eval_term, match_term, Focus};
+use crate::eval::{eval_expr, eval_term, match_term, match_term_id, Focus};
 use crate::pool::{FanoutObs, WorkerPool};
 
 /// One ingredient of a scan's index key, resolved at compile time.
 #[derive(Clone, Debug)]
 enum KeyPart {
-    /// The argument is a ground term; its value is precomputed (this is
-    /// the constant-prefilter case — the index does the filtering).
-    Const(Value),
+    /// The argument is a ground term; its dictionary id is interned
+    /// **once, at plan-compile time** (this is the constant-prefilter
+    /// case — the index does the filtering, and no per-row or per-call
+    /// re-encoding ever happens).
+    Const(u32),
     /// The argument is a variable that is bound by the time this scan
-    /// runs; read it straight out of the binding slots.
+    /// runs; read its id straight out of the binding slots.
     Var(VarId),
     /// A compound term whose variables are all bound: evaluate
     /// `args[col]` against the bindings at run time.
     Eval(usize),
+}
+
+/// Resolve one key ingredient to a dictionary id. Values reached
+/// through the value-level side (arithmetic assignments, evaluated
+/// compound terms) use a lookup-only encode: a value the dictionary has
+/// never seen cannot be stored in any relation, so the [`DICT_MISS`]
+/// key probes normally and matches nothing — exactly the old
+/// value-keyed behaviour, counter for counter.
+fn key_id(part: &KeyPart, a: &Atom, b: &Bindings) -> u32 {
+    match part {
+        KeyPart::Const(id) => *id,
+        KeyPart::Var(var) => {
+            let id = b.id_of(*var);
+            if id != DICT_MISS {
+                id
+            } else {
+                dictionary::try_encode(b.get(*var).expect("compiled as bound"))
+            }
+        }
+        KeyPart::Eval(col) => {
+            dictionary::try_encode(&eval_term(&a.args[*col], b).expect("compiled as ground"))
+        }
+    }
 }
 
 /// One step of a compiled plan, in execution order.
@@ -180,9 +205,9 @@ impl JoinPlan {
                             key_cols.push(col);
                             key.push(match t {
                                 Term::Var(v) => KeyPart::Var(*v),
-                                Term::Const(c) => KeyPart::Const(c.clone()),
+                                Term::Const(c) => KeyPart::Const(dictionary::encode(c)),
                                 Term::Func(..) => match t.as_value() {
-                                    Some(v) => KeyPart::Const(v),
+                                    Some(v) => KeyPart::Const(dictionary::encode(&v)),
                                     None => KeyPart::Eval(col),
                                 },
                             });
@@ -271,20 +296,20 @@ pub fn for_each_match_plan(
 
 /// Execute one plan variant. `variant` must have been compiled from
 /// `rule` with the same focus literal as `focus`.
-pub(crate) fn execute(
-    db: &Database,
-    neg_db: Option<&Database>,
-    rule: &Rule,
-    variant: &JoinPlan,
-    focus: Option<Focus<'_>>,
-    on_match: &mut dyn FnMut(&Bindings) -> Result<bool, EngineError>,
+pub(crate) fn execute<'a>(
+    db: &'a Database,
+    neg_db: Option<&'a Database>,
+    rule: &'a Rule,
+    variant: &'a JoinPlan,
+    focus: Option<Focus<'a>>,
+    on_match: &'a mut dyn FnMut(&Bindings) -> Result<bool, EngineError>,
 ) -> Result<(), EngineError> {
     let mut exec = Exec {
         db,
         neg_db: neg_db.unwrap_or(db),
         rule,
         steps: &variant.steps,
-        focus_rows: focus.map(|f| f.rows).unwrap_or(&[]),
+        focus_rows: focus.map_or(RowsView::empty(), |f| f.rows),
         preselected: None,
         bindings: Bindings::new(rule.num_vars()),
         trail: Vec::new(),
@@ -302,7 +327,7 @@ struct Exec<'a> {
     neg_db: &'a Database,
     rule: &'a Rule,
     steps: &'a [PlanStep],
-    focus_rows: &'a [Row],
+    focus_rows: RowsView<'a>,
     /// `(step, ids)` when a coordinator already keyed and probed the
     /// scan at `step` (see [`split_first_scan`]): the scan iterates
     /// this id chunk instead of probing again.
@@ -311,8 +336,9 @@ struct Exec<'a> {
     /// Variables bound since the enclosing choice point, unwound by
     /// `rollback`.
     trail: Vec<VarId>,
-    /// Scratch for index keys; filled and drained within one scan step.
-    key_buf: Vec<Value>,
+    /// Scratch for encoded index keys; filled and drained within one
+    /// scan step.
+    key_buf: Vec<u32>,
     /// Scratch for ground negation tuples.
     val_buf: Vec<Value>,
     /// Per-step id buffers: scans reuse their own buffer across the
@@ -384,21 +410,24 @@ impl Exec<'_> {
                 };
                 if *focused {
                     let rows = self.focus_rows;
-                    for row in rows {
-                        if row.arity() != a.args.len() {
-                            continue;
-                        }
-                        let mark = self.trail.len();
-                        let ok =
-                            a.args.iter().zip(row.iter()).all(|(t, v)| {
-                                match_term(t, v, &mut self.bindings, &mut self.trail)
+                    if rows.arity() == a.args.len() {
+                        for i in 0..rows.len() {
+                            let mark = self.trail.len();
+                            let ok = a.args.iter().enumerate().all(|(c, t)| {
+                                match_term_id(
+                                    t,
+                                    rows.cell(i, c),
+                                    &mut self.bindings,
+                                    &mut self.trail,
+                                )
                             });
-                        if ok {
-                            self.run_step(d + 1)?;
-                        }
-                        self.rollback(mark);
-                        if self.stopped {
-                            break;
+                            if ok {
+                                self.run_step(d + 1)?;
+                            }
+                            self.rollback(mark);
+                            if self.stopped {
+                                break;
+                            }
                         }
                     }
                 } else {
@@ -413,37 +442,32 @@ impl Exec<'_> {
                         _ => {
                             debug_assert!(self.key_buf.is_empty());
                             for part in key {
-                                let v = match part {
-                                    KeyPart::Const(c) => c.clone(),
-                                    KeyPart::Var(var) => {
-                                        self.bindings.get(*var).expect("compiled as bound").clone()
-                                    }
-                                    KeyPart::Eval(col) => eval_term(&a.args[*col], &self.bindings)
-                                        .expect("compiled as ground"),
-                                };
-                                self.key_buf.push(v);
+                                self.key_buf.push(key_id(part, a, &self.bindings));
                             }
                             rel.select_ids_into(key_cols, &self.key_buf, &mut ids_buf);
                             self.key_buf.clear();
                             &ids_buf
                         }
                     };
-                    let arena = rel.arena();
-                    for &id in ids {
-                        let row = &arena[id as usize];
-                        if row.arity() != a.args.len() {
-                            continue;
-                        }
-                        let mark = self.trail.len();
-                        let ok = match_cols.iter().all(|&c| {
-                            match_term(&a.args[c], &row[c], &mut self.bindings, &mut self.trail)
-                        });
-                        if ok {
-                            self.run_step(d + 1)?;
-                        }
-                        self.rollback(mark);
-                        if self.stopped {
-                            break;
+                    let view = rel.rows();
+                    if view.arity() == a.args.len() {
+                        for &id in ids {
+                            let mark = self.trail.len();
+                            let ok = match_cols.iter().all(|&c| {
+                                match_term_id(
+                                    &a.args[c],
+                                    view.cell(id as usize, c),
+                                    &mut self.bindings,
+                                    &mut self.trail,
+                                )
+                            });
+                            if ok {
+                                self.run_step(d + 1)?;
+                            }
+                            self.rollback(mark);
+                            if self.stopped {
+                                break;
+                            }
                         }
                     }
                     ids_buf.clear();
@@ -527,18 +551,9 @@ pub(crate) fn split_first_scan(
                 let Literal::Pos(a) = &rule.body[*lit] else {
                     unreachable!("Scan step on non-positive literal");
                 };
-                let mut key_vals = Vec::with_capacity(key.len());
-                for part in key {
-                    key_vals.push(match part {
-                        KeyPart::Const(c) => c.clone(),
-                        KeyPart::Var(var) => bindings.get(*var).expect("compiled as bound").clone(),
-                        KeyPart::Eval(col) => {
-                            eval_term(&a.args[*col], &bindings).expect("compiled as ground")
-                        }
-                    });
-                }
+                let key_ids: Vec<u32> = key.iter().map(|part| key_id(part, a, &bindings)).collect();
                 let mut ids = Vec::new();
-                db.relation(a.pred).select_ids_into(key_cols, &key_vals, &mut ids);
+                db.relation(a.pred).select_ids_into(key_cols, &key_ids, &mut ids);
                 return Ok(FirstScan::Split { step: d, ids });
             }
         }
@@ -564,7 +579,7 @@ pub(crate) fn execute_preselected(
         neg_db: db,
         rule,
         steps: &variant.steps,
-        focus_rows: &[],
+        focus_rows: RowsView::empty(),
         preselected: Some((step, ids)),
         bindings: Bindings::new(rule.num_vars()),
         trail: Vec::new(),
@@ -617,6 +632,11 @@ where
     }
     let results =
         pool.run_stats(ranges.len(), obs.stats.filter(|_| ranges.len() > 1), |ci, worker| {
+            if ranges.len() > 1 {
+                // Fan-out workers collect frames only; interning stays
+                // on the coordinator (debug-only determinism guard).
+                gbc_storage::dictionary::forbid_intern_on_this_thread(true);
+            }
             let t0 = profiler.and_then(RuleProfiler::lane_start);
             let t_chunk = obs.trace.map(|_| Instant::now());
             let (lo, hi) = ranges[ci];
@@ -692,6 +712,7 @@ mod tests {
     use crate::eval::{eval_rule_plain, instantiate_head};
     use gbc_ast::term::ArithOp;
     use gbc_ast::Atom;
+    use gbc_storage::Row;
 
     fn db_edges(edges: &[(&str, &str, i64)]) -> Database {
         let mut db = Database::new();
@@ -732,7 +753,8 @@ mod tests {
         let rule = chain_rule();
         let db = db_edges(&[("a", "b", 1), ("b", "c", 2), ("c", "d", 3)]);
         let plan = RulePlan::compile(&rule).unwrap();
-        let delta = vec![Row::new(vec![Value::sym("b"), Value::sym("c"), Value::int(2)])];
+        let mut delta = gbc_storage::ColumnBuf::new();
+        delta.push_values(&[Value::sym("b"), Value::sym("c"), Value::int(2)]);
         let mut out = Vec::new();
         for (li, expect) in [(0, vec![("b", "d")]), (1, vec![("a", "c")])] {
             out.clear();
@@ -741,7 +763,7 @@ mod tests {
                 None,
                 &rule,
                 &plan,
-                Some(Focus { literal: li, rows: &delta }),
+                Some(Focus { literal: li, rows: delta.view() }),
                 &mut |b| {
                     out.push(instantiate_head(&rule, b).unwrap());
                     Ok(true)

@@ -276,6 +276,13 @@ impl Seminaive {
                                 }
                             }
                             let results = pool.run_stats(ranges.len(), stats, |ci, worker| {
+                                // Saturation workers read the dictionary
+                                // lock-free but must never grow it: head
+                                // rows stay as values and the coordinator
+                                // encodes them at merge time, keeping id
+                                // assignment deterministic across thread
+                                // counts (debug-only guard).
+                                gbc_storage::dictionary::forbid_intern_on_this_thread(true);
                                 let t0 = prof.and_then(RuleProfiler::lane_start);
                                 let t_chunk = tr.map(|_| Instant::now());
                                 let (lo, hi) = ranges[ci];
@@ -286,7 +293,7 @@ impl Seminaive {
                                     None,
                                     rule,
                                     &plan,
-                                    Some(Focus { literal: li, rows: &rows[lo..hi] }),
+                                    Some(Focus { literal: li, rows: rows.slice(lo, hi) }),
                                     &mut |b| {
                                         out.push(instantiate_head(rule, b)?);
                                         if want_prov {
@@ -578,11 +585,7 @@ mod tests {
             assert_eq!(sn.threads(), threads);
             let total = sn.saturate(&mut db).unwrap();
             assert_eq!(total, serial_total, "threads {threads}");
-            assert_eq!(
-                db.relation(tc).arena(),
-                serial_db.relation(tc).arena(),
-                "threads {threads}"
-            );
+            assert_eq!(db.relation(tc).rows(), serial_db.relation(tc).rows(), "threads {threads}");
         }
     }
 

@@ -53,7 +53,7 @@ pub fn is_stable_model(
     }
     // EDB must be inside M as well.
     for (pred, row) in edb.iter_all() {
-        if !m.contains(pred, row) {
+        if !m.contains(pred, &row) {
             return Ok(false);
         }
     }

@@ -19,7 +19,7 @@
 
 use gbc_ast::{Symbol, Value};
 use gbc_baselines::Edge;
-use gbc_storage::{Database, Rql};
+use gbc_storage::{dictionary, Database, Rql};
 
 use crate::graph::{decode_edges, Graph};
 
@@ -70,21 +70,22 @@ pub fn run_stage_views(graph: &Graph) -> KruskalRun {
     // considers every edge once).
     let mut q = Rql::new();
     for e in &graph.edges {
-        let row = gbc_storage::Row::new(vec![
+        let row = dictionary::encode_row(&[
             Value::int(i64::from(e.from)),
             Value::int(i64::from(e.to)),
             Value::int(e.cost),
         ]);
-        q.insert(row.to_vec(), Value::int(e.cost), row);
+        q.insert(row.clone(), row[2], row);
     }
 
+    let int_of = |id: u32| dictionary::decode_ref(id).as_int().expect("int edge field");
     let mut tree = Vec::new();
     let mut redundant = 0u64;
     let mut stage = 0i64;
     while let Some(popped) = q.pop_least() {
-        let x = popped.row[0].as_int().expect("int node") as usize;
-        let y = popped.row[1].as_int().expect("int node") as usize;
-        let c = popped.row[2].as_int().expect("int cost");
+        let x = int_of(popped.row[0]) as usize;
+        let y = int_of(popped.row[1]) as usize;
+        let c = int_of(popped.row[2]);
         let (j, k) = (comp[x], comp[y]);
         if j == k {
             // Same component: redundant, the paper's move into R.

@@ -102,14 +102,15 @@ impl Database {
         self.relations.values().map(Relation::len).sum()
     }
 
-    /// All facts of one predicate as `(pred, row)` pairs — convenience
-    /// for model comparison in tests.
+    /// All facts of one predicate as decoded rows — convenience for
+    /// model comparison in tests.
     pub fn facts_of(&self, pred: Symbol) -> Vec<Row> {
-        self.relation(pred).iter().cloned().collect()
+        self.relation(pred).iter().collect()
     }
 
-    /// Iterate over every fact in the database.
-    pub fn iter_all(&self) -> impl Iterator<Item = (Symbol, &Row)> + '_ {
+    /// Iterate over every fact in the database, decoded (a boundary
+    /// operation — storage holds dictionary ids).
+    pub fn iter_all(&self) -> impl Iterator<Item = (Symbol, Row)> + '_ {
         self.relations.iter().flat_map(|(&p, rel)| rel.iter().map(move |r| (p, r)))
     }
 
@@ -118,7 +119,7 @@ impl Database {
     pub fn canonical_form(&self) -> String {
         let mut lines: Vec<String> = Vec::with_capacity(self.total_facts());
         for (p, rel) in &self.relations {
-            let mut rows: Vec<&Row> = rel.iter().collect();
+            let mut rows: Vec<Row> = rel.iter().collect();
             rows.sort();
             for r in rows {
                 if r.arity() == 0 {

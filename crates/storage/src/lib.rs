@@ -20,6 +20,7 @@
 //!   executors populate when one is attached to the [`Database`].
 
 pub mod database;
+pub mod dictionary;
 pub mod fx;
 pub mod heap;
 pub mod index;
@@ -29,9 +30,10 @@ pub mod rql;
 pub mod tuple;
 
 pub use database::Database;
+pub use dictionary::{dict_stats, DictStats, Dictionary, DictionaryFull, DICT_MISS};
 pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use heap::{Handle, IndexedHeap};
 pub use provenance::{ChoiceCommit, ChoiceRejection, Derivation, ProvenanceArena, NO_GOAL};
-pub use relation::Relation;
+pub use relation::{ColumnBuf, Relation, RowsView};
 pub use rql::{Rql, RqlOutcome};
 pub use tuple::Row;

@@ -1,21 +1,174 @@
-//! Duplicate-free, insertion-ordered relations with cached indices.
+//! Duplicate-free, insertion-ordered **columnar** relations with cached
+//! indices.
+//!
+//! Since the dictionary-encoding rework (DESIGN.md §11), a relation
+//! stores one flat `Vec<u32>` per attribute instead of a vector of
+//! boxed value rows: cell `(i, c)` of the relation is `cols[c][i]`, a
+//! dense dictionary id (see [`crate::dictionary`]). Scans and joins
+//! walk these contiguous id arrays and compare plain integers; values
+//! are only decoded at output boundaries.
 
 use std::sync::{Arc, RwLock};
 
 use gbc_ast::Value;
 use gbc_telemetry::Metrics;
 
+use crate::dictionary::{self, DICT_MISS};
 use crate::fx::FxHashSet;
 use crate::index::Index;
 use crate::tuple::Row;
 
-/// A relation: an insertion-ordered set of [`Row`]s.
+/// A borrowed window of contiguous rows in a columnar arena: columns
+/// `cols`, row positions `start..end`. This is what the engine hands
+/// around instead of `&[Row]` — `Copy`, two words of range plus a
+/// column slice, no decoding.
+///
+/// Row indices passed to [`RowsView::cell`] are **relative to the
+/// view** (`0..len()`); a full-relation view ([`Relation::rows`])
+/// therefore addresses rows by their arena id directly.
+#[derive(Clone, Copy, Debug)]
+pub struct RowsView<'a> {
+    cols: &'a [Vec<u32>],
+    start: usize,
+    end: usize,
+}
+
+impl<'a> RowsView<'a> {
+    /// A view over an explicit column slice (row range `start..end`).
+    pub fn new(cols: &'a [Vec<u32>], start: usize, end: usize) -> RowsView<'a> {
+        RowsView { cols, start, end }
+    }
+
+    /// An empty view with no columns.
+    pub fn empty() -> RowsView<'static> {
+        RowsView { cols: &[], start: 0, end: 0 }
+    }
+
+    /// Number of rows in the view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the view holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// The id in cell `(row, col)`; `row` is view-relative.
+    pub fn cell(&self, row: usize, col: usize) -> u32 {
+        self.cols[col][self.start + row]
+    }
+
+    /// [`RowsView::cell`] for possibly out-of-range columns.
+    pub fn try_cell(&self, row: usize, col: usize) -> Option<u32> {
+        self.cols.get(col).map(|c| c[self.start + row])
+    }
+
+    /// A sub-view of rows `lo..hi` (view-relative).
+    pub fn slice(&self, lo: usize, hi: usize) -> RowsView<'a> {
+        debug_assert!(lo <= hi && self.start + hi <= self.end);
+        RowsView { cols: self.cols, start: self.start + lo, end: self.start + hi }
+    }
+
+    /// The id row at view-relative position `row`, copied out.
+    pub fn id_row(&self, row: usize) -> Vec<u32> {
+        self.cols.iter().map(|c| c[self.start + row]).collect()
+    }
+
+    /// Decode the row at view-relative position `row` to a boundary
+    /// [`Row`] (one counted decode per cell).
+    pub fn decode_row(&self, row: usize) -> Row {
+        let ids = self.id_row(row);
+        dictionary::decode_row(&ids)
+    }
+}
+
+/// Cell-wise id equality. Sound as a *value* equality: the global
+/// dictionary makes id equality equivalent to value equality within a
+/// process.
+impl PartialEq for RowsView<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        if self.arity() != other.arity() || self.len() != other.len() {
+            return false;
+        }
+        (0..self.len()).all(|i| (0..self.arity()).all(|c| self.cell(i, c) == other.cell(i, c)))
+    }
+}
+
+impl Eq for RowsView<'_> {}
+
+/// An owned columnar row buffer — the ad-hoc counterpart of a
+/// relation's arena, used for scratch deltas (tests, focused-variant
+/// drivers) that need a [`RowsView`] without a full [`Relation`].
+#[derive(Clone, Debug, Default)]
+pub struct ColumnBuf {
+    cols: Vec<Vec<u32>>,
+    n_rows: usize,
+}
+
+impl ColumnBuf {
+    /// Empty buffer; arity is fixed by the first pushed row.
+    pub fn new() -> ColumnBuf {
+        ColumnBuf::default()
+    }
+
+    /// Append a row of pre-encoded ids.
+    pub fn push_ids(&mut self, ids: &[u32]) {
+        if self.n_rows == 0 && self.cols.is_empty() {
+            self.cols = vec![Vec::new(); ids.len()];
+        }
+        assert_eq!(ids.len(), self.cols.len(), "ColumnBuf rows must share an arity");
+        for (col, &id) in self.cols.iter_mut().zip(ids) {
+            col.push(id);
+        }
+        self.n_rows += 1;
+    }
+
+    /// Encode and append a row of values.
+    pub fn push_values(&mut self, values: &[Value]) {
+        let ids = dictionary::encode_row(values);
+        self.push_ids(&ids);
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.n_rows
+    }
+
+    /// True when no rows were pushed.
+    pub fn is_empty(&self) -> bool {
+        self.n_rows == 0
+    }
+
+    /// A view over all buffered rows.
+    pub fn view(&self) -> RowsView<'_> {
+        RowsView { cols: &self.cols, start: 0, end: self.n_rows }
+    }
+}
+
+impl FromIterator<Row> for ColumnBuf {
+    fn from_iter<T: IntoIterator<Item = Row>>(iter: T) -> ColumnBuf {
+        let mut buf = ColumnBuf::new();
+        for row in iter {
+            buf.push_values(&row);
+        }
+        buf
+    }
+}
+
+/// A relation: an insertion-ordered set of dictionary-encoded rows in
+/// columnar arenas.
 ///
 /// Insertion order is exposed so that evaluation is fully deterministic
 /// (given a deterministic chooser) regardless of hash seeds. The
-/// ordered vector doubles as the **arena**: indices and callers refer
-/// to rows by `u32` position in it ([`Relation::arena`],
-/// [`Relation::select_ids_into`]), so the join path never has to clone
+/// column vectors double as the **arena**: indices and callers refer
+/// to rows by `u32` position ([`Relation::rows`],
+/// [`Relation::select_ids_into`]), so the join path never materialises
 /// rows out of storage. Indices on column subsets are created lazily
 /// behind an `RwLock` — the engine reads relations through `&Relation`
 /// while staging derived tuples elsewhere, so interior mutability
@@ -28,8 +181,15 @@ use crate::tuple::Row;
 /// serial run.
 #[derive(Debug, Default)]
 pub struct Relation {
-    order: Vec<Row>,
-    set: FxHashSet<Row>,
+    /// One `Vec<u32>` per attribute; all the same length.
+    cols: Vec<Vec<u32>>,
+    /// Row count, tracked separately so zero-arity relations (no
+    /// columns) still count their single row.
+    n_rows: usize,
+    /// Arity, fixed by the first inserted row.
+    arity: Option<usize>,
+    /// Dedup set over encoded rows.
+    set: FxHashSet<Vec<u32>>,
     /// Cached indices, keyed by their column bitmask (bit i ⇒ column i
     /// participates, in ascending column order).
     indices: RwLock<Vec<(u64, Index)>>,
@@ -41,10 +201,12 @@ pub struct Relation {
 impl Clone for Relation {
     fn clone(&self) -> Self {
         // Indices survive the clone: they hold arena positions, and the
-        // arena (`order`) is copied verbatim, so every stored row id
-        // still points at the same row in the copy.
+        // arenas are copied verbatim, so every stored row id still
+        // points at the same row in the copy.
         Relation {
-            order: self.order.clone(),
+            cols: self.cols.clone(),
+            n_rows: self.n_rows,
+            arity: self.arity,
             set: self.set.clone(),
             indices: RwLock::new(self.indices.read().expect("index cache lock").clone()),
             metrics: self.metrics.clone(),
@@ -79,84 +241,140 @@ impl Relation {
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.order.len()
+        self.n_rows
     }
 
     /// True when empty.
     pub fn is_empty(&self) -> bool {
-        self.order.is_empty()
+        self.n_rows == 0
     }
 
-    /// Insert a row; returns `false` if it was already present.
+    /// Arity, once the first row fixed it.
+    pub fn arity(&self) -> Option<usize> {
+        self.arity
+    }
+
+    /// Insert a row, interning its values; returns `false` if it was
+    /// already present.
     pub fn insert(&mut self, row: Row) -> bool {
-        if !self.set.insert(row.clone()) {
+        let ids = dictionary::encode_row(&row);
+        self.insert_ids(ids)
+    }
+
+    /// Insert a pre-encoded row; returns `false` on duplicate.
+    ///
+    /// # Panics
+    /// Panics when the row's arity differs from the relation's.
+    pub fn insert_ids(&mut self, ids: Vec<u32>) -> bool {
+        match self.arity {
+            None => {
+                self.arity = Some(ids.len());
+                self.cols = vec![Vec::new(); ids.len()];
+            }
+            Some(a) => {
+                assert_eq!(a, ids.len(), "relation rows must share an arity");
+            }
+        }
+        if self.set.contains(ids.as_slice()) {
             return false;
         }
-        let id = self.order.len() as u32;
+        let id = self.n_rows as u32;
         for (_, idx) in self.indices.get_mut().expect("index cache lock").iter_mut() {
-            idx.insert(&row, id);
+            idx.insert_row(&ids, id);
         }
-        self.order.push(row);
+        for (col, &cell) in self.cols.iter_mut().zip(&ids) {
+            col.push(cell);
+        }
+        self.n_rows += 1;
+        self.set.insert(ids);
         true
     }
 
     /// Membership test.
     pub fn contains(&self, row: &Row) -> bool {
-        self.set.contains(row)
+        self.contains_values(row)
     }
 
     /// Membership test from a value slice, without materialising a
-    /// `Row` (the negation check of the compiled join path).
+    /// `Row` (the negation check of the compiled join path). A value
+    /// the dictionary has never seen cannot be stored anywhere, so a
+    /// lookup-only encode suffices.
     pub fn contains_values(&self, values: &[Value]) -> bool {
-        self.set.contains(values)
+        if self.arity != Some(values.len()) {
+            return false;
+        }
+        let mut key = Vec::with_capacity(values.len());
+        for v in values {
+            let id = dictionary::try_encode(v);
+            if id == DICT_MISS {
+                return false;
+            }
+            key.push(id);
+        }
+        self.set.contains(key.as_slice())
     }
 
-    /// Rows in insertion order.
-    pub fn iter(&self) -> std::slice::Iter<'_, Row> {
-        self.order.iter()
+    /// Membership test over pre-encoded ids.
+    pub fn contains_ids(&self, ids: &[u32]) -> bool {
+        self.set.contains(ids)
     }
 
-    /// The `i`-th row in insertion order.
-    pub fn get(&self, i: usize) -> Option<&Row> {
-        self.order.get(i)
+    /// Rows in insertion order, decoded (boundary use only — hot paths
+    /// should read [`Relation::rows`] in id space).
+    pub fn iter(&self) -> impl Iterator<Item = Row> + '_ {
+        let view = self.rows();
+        (0..view.len()).map(move |i| view.decode_row(i))
     }
 
-    /// The insertion-ordered row arena. Row ids produced by
-    /// [`Relation::select_ids_into`] index into this slice.
-    pub fn arena(&self) -> &[Row] {
-        &self.order
+    /// The `i`-th row in insertion order, decoded.
+    pub fn get(&self, i: usize) -> Option<Row> {
+        (i < self.n_rows).then(|| self.rows().decode_row(i))
+    }
+
+    /// The insertion-ordered columnar arena. Row ids produced by
+    /// [`Relation::select_ids_into`] index into this view.
+    pub fn rows(&self) -> RowsView<'_> {
+        RowsView { cols: &self.cols, start: 0, end: self.n_rows }
     }
 
     /// Rows inserted at or after position `from` (used for deltas).
-    pub fn since(&self, from: usize) -> &[Row] {
-        &self.order[from.min(self.order.len())..]
+    pub fn since(&self, from: usize) -> RowsView<'_> {
+        RowsView { cols: &self.cols, start: from.min(self.n_rows), end: self.n_rows }
     }
 
     /// Collect into `out` the arena ids of rows whose projection on
-    /// `cols` (ascending column order) equals `key`; `out` is cleared
-    /// first. Builds and caches an index for `cols` on first use;
-    /// subsequent inserts maintain it. Column sets reaching past
-    /// column 63 cannot be masked into the index cache key and fall
-    /// back to an unindexed linear scan.
+    /// `cols` (ascending column order) equals the encoded `key`; `out`
+    /// is cleared first. Builds and caches an index for `cols` on
+    /// first use; subsequent inserts maintain it. Column sets reaching
+    /// past column 63 cannot be masked into the index cache key and
+    /// fall back to an unindexed linear scan.
+    ///
+    /// A key containing [`DICT_MISS`] (a constant the dictionary has
+    /// never seen) probes normally and matches nothing — stored rows
+    /// only ever hold real ids.
     ///
     /// Ids are copied out (rather than returned as a borrow) so the
     /// internal index cache is not kept borrowed while the caller
     /// iterates — a nested probe of the same relation (self-join) would
     /// otherwise conflict with it.
-    pub fn select_ids_into(&self, cols: &[usize], key: &[Value], out: &mut Vec<u32>) {
+    pub fn select_ids_into(&self, cols: &[usize], key: &[u32], out: &mut Vec<u32>) {
         debug_assert!(cols.windows(2).all(|w| w[0] < w[1]), "cols must be sorted");
         debug_assert_eq!(cols.len(), key.len());
         out.clear();
         if cols.is_empty() {
-            out.extend(0..self.order.len() as u32);
+            out.extend(0..self.n_rows as u32);
             return;
         }
         if let Some(m) = &self.metrics {
             m.index_probes.inc();
         }
         let Some(mask) = mask_of(cols) else {
-            for (i, row) in self.order.iter().enumerate() {
-                if cols.iter().zip(key).all(|(&c, k)| row.get(c) == Some(k)) {
+            for i in 0..self.n_rows {
+                if cols
+                    .iter()
+                    .zip(key)
+                    .all(|(&c, &k)| self.cols.get(c).map(|col| col[i]) == Some(k))
+                {
                     out.push(i as u32);
                 }
             }
@@ -180,31 +398,33 @@ impl Relation {
         if let Some(m) = &self.metrics {
             m.index_builds.inc();
         }
-        let idx = Index::build(cols.to_vec(), &self.order);
+        let idx = Index::build(cols.to_vec(), self.rows());
         out.extend_from_slice(idx.get(key));
         cache.push((mask, idx));
     }
 
     /// Rows whose projection on `cols` (ascending column order) equals
-    /// `key`, cloned out of the arena. Compatibility wrapper over
+    /// `key`, decoded out of the arena. Compatibility wrapper over
     /// [`Relation::select_ids_into`] — hot callers should use the id
-    /// form and read the arena in place; every row this clones is
+    /// form and read the arena in place; every row this decodes is
     /// counted in the `rows_cloned` metric.
     ///
     /// `key` must list values in the same ascending-column order.
     pub fn select(&self, cols: &[usize], key: &[Value]) -> Vec<Row> {
         if cols.is_empty() {
             if let Some(m) = &self.metrics {
-                m.rows_cloned.add(self.order.len() as u64);
+                m.rows_cloned.add(self.n_rows as u64);
             }
-            return self.order.clone();
+            return self.iter().collect();
         }
+        let encoded: Vec<u32> = key.iter().map(dictionary::try_encode).collect();
         let mut ids = Vec::new();
-        self.select_ids_into(cols, key, &mut ids);
+        self.select_ids_into(cols, &encoded, &mut ids);
         if let Some(m) = &self.metrics {
             m.rows_cloned.add(ids.len() as u64);
         }
-        ids.iter().map(|&i| self.order[i as usize].clone()).collect()
+        let view = self.rows();
+        ids.iter().map(|&i| view.decode_row(i as usize)).collect()
     }
 
     /// Drop all cached indices (tests / memory pressure).
@@ -215,15 +435,6 @@ impl Relation {
     /// Number of cached indices (for tests).
     pub fn num_indices(&self) -> usize {
         self.indices.read().expect("index cache lock").len()
-    }
-}
-
-impl<'a> IntoIterator for &'a Relation {
-    type Item = &'a Row;
-    type IntoIter = std::slice::Iter<'a, Row>;
-
-    fn into_iter(self) -> Self::IntoIter {
-        self.iter()
     }
 }
 
@@ -244,6 +455,10 @@ mod tests {
 
     fn row(vals: &[i64]) -> Row {
         Row::new(vals.iter().map(|&v| Value::int(v)).collect())
+    }
+
+    fn id(v: i64) -> u32 {
+        dictionary::encode(&Value::int(v))
     }
 
     /// The parallel seminaive workers share `&Relation` across scoped
@@ -300,9 +515,19 @@ mod tests {
         r.insert(row(&[2, 20]));
         r.insert(row(&[1, 30]));
         let mut ids = Vec::new();
-        r.select_ids_into(&[0], &[Value::int(1)], &mut ids);
+        r.select_ids_into(&[0], &[id(1)], &mut ids);
         assert_eq!(ids, vec![0, 2]);
-        assert_eq!(r.arena()[ids[1] as usize], row(&[1, 30]));
+        assert_eq!(r.rows().decode_row(ids[1] as usize), row(&[1, 30]));
+    }
+
+    #[test]
+    fn unseen_key_probes_but_matches_nothing() {
+        let mut r = Relation::new();
+        r.insert(row(&[1, 10]));
+        let mut ids = vec![99];
+        r.select_ids_into(&[0], &[DICT_MISS], &mut ids);
+        assert!(ids.is_empty());
+        assert_eq!(r.num_indices(), 1, "a miss key still probes (and builds) normally");
     }
 
     #[test]
@@ -312,9 +537,40 @@ mod tests {
         let mark = r.len();
         r.insert(row(&[2]));
         r.insert(row(&[3]));
-        let delta: Vec<i64> = r.since(mark).iter().map(|t| t[0].as_int().unwrap()).collect();
-        assert_eq!(delta, vec![2, 3]);
+        let view = r.since(mark);
+        let delta: Vec<Row> = (0..view.len()).map(|i| view.decode_row(i)).collect();
+        assert_eq!(delta, vec![row(&[2]), row(&[3])]);
         assert!(r.since(100).is_empty());
+    }
+
+    #[test]
+    fn rows_view_slices_and_compares() {
+        let mut r = Relation::new();
+        for k in 0..5 {
+            r.insert(row(&[k, k * 10]));
+        }
+        let all = r.rows();
+        assert_eq!(all.len(), 5);
+        assert_eq!(all.arity(), 2);
+        let mid = all.slice(1, 4);
+        assert_eq!(mid.len(), 3);
+        assert_eq!(mid.cell(0, 0), id(1));
+        assert_eq!(mid.id_row(2), vec![id(3), id(30)]);
+        assert_eq!(mid, r.since(1).slice(0, 3));
+        assert_ne!(mid, all.slice(0, 3));
+        assert_eq!(all.try_cell(0, 7), None);
+    }
+
+    #[test]
+    fn column_buf_matches_relation_views() {
+        let mut r = Relation::new();
+        r.insert(row(&[4, 5]));
+        r.insert(row(&[6, 7]));
+        let mut buf = ColumnBuf::new();
+        buf.push_values(&[Value::int(4), Value::int(5)]);
+        buf.push_ids(&[id(6), id(7)]);
+        assert_eq!(buf.view(), r.rows());
+        assert_eq!(buf.len(), 2);
     }
 
     #[test]
@@ -327,7 +583,7 @@ mod tests {
         r.select(&[0], &[Value::int(1)]); // probe only, clones 1 row
         r.select(&[], &[]); // full scan: clones, but neither probe nor build
         let mut ids = Vec::new();
-        r.select_ids_into(&[0], &[Value::int(1)], &mut ids); // probe, no clone
+        r.select_ids_into(&[0], &[id(1)], &mut ids); // probe, no clone
         let s = m.snapshot();
         assert_eq!(s.index_builds, 1);
         assert_eq!(s.index_probes, 3);
@@ -367,6 +623,19 @@ mod tests {
         assert!(r.contains_values(&[Value::int(4), Value::int(5)]));
         assert!(!r.contains_values(&[Value::int(5), Value::int(4)]));
         assert!(!r.contains_values(&[Value::int(4)]));
+        // A value the dictionary never saw short-circuits to false.
+        assert!(!r.contains_values(&[Value::int(4), Value::sym("never-stored-anywhere")]));
+    }
+
+    #[test]
+    fn zero_arity_relations_count_their_single_row() {
+        let mut r = Relation::new();
+        assert!(r.insert(Row::new(vec![])));
+        assert!(!r.insert(Row::new(vec![])));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.arity(), Some(0));
+        assert_eq!(r.rows().len(), 1);
+        assert_eq!(r.get(0), Some(Row::new(vec![])));
     }
 
     /// Columns ≥ 64 can't participate in the index-cache bitmask; the
@@ -405,15 +674,15 @@ mod tests {
                     // Probe mid-stream so the cached index exists early
                     // and is maintained across subsequent inserts.
                     let mut ids = Vec::new();
-                    r.select_ids_into(&[0], &[Value::int(rng.range_i64(0, 7))], &mut ids);
+                    r.select_ids_into(&[0], &[id(rng.range_i64(0, 7))], &mut ids);
                 }
             }
             for key_col in [0usize, 1] {
                 for k in 0..8 {
-                    let key = [Value::int(k)];
+                    let key = [id(k)];
                     let mut cached = Vec::new();
                     r.select_ids_into(&[key_col], &key, &mut cached);
-                    let fresh = Index::build(vec![key_col], r.arena());
+                    let fresh = Index::build(vec![key_col], r.rows());
                     assert_eq!(cached, fresh.get(&key), "case {case} col {key_col} key {k}");
                 }
             }

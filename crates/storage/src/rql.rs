@@ -17,6 +17,13 @@
 //! verbatim; both insertion and retrieve-least are `O(log |Q|)` thanks
 //! to the handle-indexed heap.
 //!
+//! Since the columnar rework, keys, costs and rows are **dictionary
+//! ids** (`u32` / `Vec<u32>`): heap maintenance hashes and moves dense
+//! integers, and the ordering contract is [`dictionary::cmp_ids`] —
+//! ids order by their *decoded* value, so pop order is byte-identical
+//! to the pre-columnar value representation, including non-integer
+//! (symbolic) costs.
+//!
 //! The structure is agnostic about how congruence keys and costs are
 //! derived from facts — the executor in `gbc-core` projects them out of
 //! rows — which keeps this module reusable for all of the paper's
@@ -24,16 +31,15 @@
 
 use std::sync::Arc;
 
-use gbc_ast::Value;
 use gbc_telemetry::Metrics;
 
+use crate::dictionary::{self, cmp_id_rows, cmp_ids};
 use crate::fx::FxHashMap;
 use crate::heap::{Handle, IndexedHeap};
-use crate::tuple::Row;
 
 /// Congruence-class key: the projection of a fact onto the arguments
-/// that are neither stage, nor cost, nor choice-determined.
-pub type CongKey = Vec<Value>;
+/// that are neither stage, nor cost, nor choice-determined. Encoded.
+pub type CongKey = Vec<u32>;
 
 /// Result of an [`Rql::insert`], mirroring the paper's case analysis.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -57,29 +63,26 @@ pub enum RqlOutcome {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Popped {
     pub key: CongKey,
-    pub cost: Value,
-    pub row: Row,
+    /// Encoded cost id.
+    pub cost: u32,
+    /// Encoded fact row.
+    pub row: Vec<u32>,
 }
 
 /// Heap cost wrapper: ascending for `least`, descending for `most`
 /// (the paper's dual — `retrieve least` becomes `retrieve most`). A
-/// single [`Rql`] instance never mixes the two.
+/// single [`Rql`] instance never mixes the two. Ordering goes through
+/// the dictionary ([`cmp_ids`]), never by id magnitude.
 #[derive(Clone, Debug, PartialEq, Eq)]
 enum HeapCost {
-    Asc(Value),
-    Desc(Value),
+    Asc(u32),
+    Desc(u32),
 }
 
 impl HeapCost {
-    fn value(&self) -> &Value {
+    fn id(&self) -> u32 {
         match self {
-            HeapCost::Asc(v) | HeapCost::Desc(v) => v,
-        }
-    }
-
-    fn into_value(self) -> Value {
-        match self {
-            HeapCost::Asc(v) | HeapCost::Desc(v) => v,
+            HeapCost::Asc(v) | HeapCost::Desc(v) => *v,
         }
     }
 }
@@ -87,8 +90,8 @@ impl HeapCost {
 impl Ord for HeapCost {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         match (self, other) {
-            (HeapCost::Asc(a), HeapCost::Asc(b)) => a.cmp(b),
-            (HeapCost::Desc(a), HeapCost::Desc(b)) => b.cmp(a),
+            (HeapCost::Asc(a), HeapCost::Asc(b)) => cmp_ids(*a, *b),
+            (HeapCost::Desc(a), HeapCost::Desc(b)) => cmp_ids(*b, *a),
             // Mixed variants cannot occur within one structure; order
             // arbitrarily but consistently.
             (HeapCost::Asc(_), HeapCost::Desc(_)) => std::cmp::Ordering::Less,
@@ -103,23 +106,41 @@ impl PartialOrd for HeapCost {
     }
 }
 
+/// An encoded row ordered by its decoded values ([`cmp_id_rows`]) —
+/// the row tiebreak of the heap's `(cost, row)` composite key, exactly
+/// the `Ord` the pre-columnar `Row` had.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct OrdRow(Vec<u32>);
+
+impl Ord for OrdRow {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        cmp_id_rows(&self.0, &other.0)
+    }
+}
+
+impl PartialOrd for OrdRow {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
 /// The (R,Q,L) structure. See the module docs.
 #[derive(Debug, Default)]
 pub struct Rql {
     /// Descending (max-first) retrieval for `most` rules.
     descending: bool,
-    heap: IndexedHeap<(HeapCost, Row)>,
+    heap: IndexedHeap<(HeapCost, OrdRow)>,
     /// `Q_r` membership: congruence key → heap handle.
     queued: FxHashMap<CongKey, Handle>,
     /// Inverse of `queued`, needed when popping.
     key_of: FxHashMap<Handle, CongKey>,
     /// `L_r`: congruence keys (with their winning row) that fired the rule.
-    used: FxHashMap<CongKey, Row>,
+    used: FxHashMap<CongKey, Vec<u32>>,
     /// |R_r|. The paper keeps `R_r` only to argue redundant tuples are
     /// never revisited; a count suffices operationally.
     redundant: u64,
     /// Optional audit copy of `R_r` for tests.
-    audit: Option<Vec<Row>>,
+    audit: Option<Vec<Vec<u32>>>,
     /// Shared counter registry; heap/congruence traffic is reported
     /// here when attached.
     metrics: Option<Arc<Metrics>>,
@@ -151,7 +172,7 @@ impl Rql {
         self.metrics = Some(metrics);
     }
 
-    fn wrap(&self, cost: Value) -> HeapCost {
+    fn wrap(&self, cost: u32) -> HeapCost {
         if self.descending {
             HeapCost::Desc(cost)
         } else {
@@ -159,8 +180,8 @@ impl Rql {
         }
     }
 
-    /// The paper's insertion operation.
-    pub fn insert(&mut self, key: CongKey, cost: Value, row: Row) -> RqlOutcome {
+    /// The paper's insertion operation, over encoded ids.
+    pub fn insert(&mut self, key: CongKey, cost: u32, row: Vec<u32>) -> RqlOutcome {
         let outcome = self.insert_inner(key, cost, row);
         if let Some(m) = &self.metrics {
             match outcome {
@@ -177,20 +198,21 @@ impl Rql {
         outcome
     }
 
-    fn insert_inner(&mut self, key: CongKey, cost: Value, row: Row) -> RqlOutcome {
+    fn insert_inner(&mut self, key: CongKey, cost: u32, row: Vec<u32>) -> RqlOutcome {
         if self.used.contains_key(&key) {
             self.mark_redundant(row);
             return RqlOutcome::CongruentUsed;
         }
         let cost = self.wrap(cost);
+        let row = OrdRow(row);
         if let Some(&h) = self.queued.get(&key) {
             let old = self.heap.get(h).expect("queued handle is live");
             if (&cost, &row) < (&old.0, &old.1) {
                 let (_, old_row) = self.heap.update(h, (cost, row)).expect("handle just probed");
-                self.mark_redundant(old_row);
+                self.mark_redundant(old_row.0);
                 RqlOutcome::ReplacedQueued
             } else {
-                self.mark_redundant(row);
+                self.mark_redundant(row.0);
                 RqlOutcome::DominatedInQueue
             }
         } else {
@@ -212,12 +234,12 @@ impl Rql {
         }
         let key = self.key_of.remove(&h).expect("popped handle has a key");
         self.queued.remove(&key);
-        Some(Popped { key, cost: cost.into_value(), row })
+        Some(Popped { key, cost: cost.id(), row: row.0 })
     }
 
     /// Peek at the best candidate without removing it.
-    pub fn peek_least(&self) -> Option<(&Value, &Row)> {
-        self.heap.peek_min().map(|(_, (c, r))| (c.value(), r))
+    pub fn peek_least(&self) -> Option<(u32, &[u32])> {
+        self.heap.peek_min().map(|(_, (c, r))| (c.id(), r.0.as_slice()))
     }
 
     /// Record a popped entry as *chosen*: it moves to `L_r`, blocking
@@ -232,7 +254,7 @@ impl Rql {
         self.mark_redundant(popped.row);
     }
 
-    fn mark_redundant(&mut self, row: Row) {
+    fn mark_redundant(&mut self, row: Vec<u32>) {
         self.redundant += 1;
         if let Some(audit) = &mut self.audit {
             audit.push(row);
@@ -260,49 +282,60 @@ impl Rql {
     }
 
     /// Is a congruent fact already in `L_r`?
-    pub fn key_used(&self, key: &[Value]) -> bool {
+    pub fn key_used(&self, key: &[u32]) -> bool {
         self.used.contains_key(key)
     }
 
-    /// The audit copy of `R_r`, if enabled.
-    pub fn redundant_rows(&self) -> Option<&[Row]> {
+    /// The audit copy of `R_r`, if enabled (encoded rows).
+    pub fn redundant_rows(&self) -> Option<&[Vec<u32>]> {
         self.audit.as_deref()
     }
+}
+
+/// Encode a value-level cost for insertion — convenience for callers
+/// that sit on the value side of the boundary.
+pub fn encode_cost(v: &gbc_ast::Value) -> u32 {
+    dictionary::encode(v)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gbc_ast::Value;
 
-    fn row(vals: &[i64]) -> Row {
-        Row::new(vals.iter().map(|&v| Value::int(v)).collect())
+    fn row(vals: &[i64]) -> Vec<u32> {
+        vals.iter().map(|&v| dictionary::encode(&Value::int(v))).collect()
     }
 
     fn key(vals: &[i64]) -> CongKey {
-        vals.iter().map(|&v| Value::int(v)).collect()
+        row(vals)
+    }
+
+    fn cost(v: i64) -> u32 {
+        dictionary::encode(&Value::int(v))
     }
 
     #[test]
     fn keeps_one_representative_per_congruence_class() {
         let mut d = Rql::new();
         // Two facts congruent on key [7]: the cheaper survives in Q.
-        assert_eq!(d.insert(key(&[7]), Value::int(10), row(&[7, 10])), RqlOutcome::Queued);
-        assert_eq!(d.insert(key(&[7]), Value::int(3), row(&[7, 3])), RqlOutcome::ReplacedQueued);
-        assert_eq!(d.insert(key(&[7]), Value::int(5), row(&[7, 5])), RqlOutcome::DominatedInQueue);
+        assert_eq!(d.insert(key(&[7]), cost(10), row(&[7, 10])), RqlOutcome::Queued);
+        assert_eq!(d.insert(key(&[7]), cost(3), row(&[7, 3])), RqlOutcome::ReplacedQueued);
+        assert_eq!(d.insert(key(&[7]), cost(5), row(&[7, 5])), RqlOutcome::DominatedInQueue);
         assert_eq!(d.queue_len(), 1);
         assert_eq!(d.redundant_count(), 2);
         let p = d.pop_least().unwrap();
-        assert_eq!(p.cost, Value::int(3));
+        assert_eq!(p.cost, cost(3));
     }
 
     #[test]
     fn used_class_blocks_future_inserts() {
         let mut d = Rql::new();
-        d.insert(key(&[1]), Value::int(4), row(&[1, 4]));
+        d.insert(key(&[1]), cost(4), row(&[1, 4]));
         let p = d.pop_least().unwrap();
         d.commit(p);
         assert!(d.key_used(&key(&[1])));
-        assert_eq!(d.insert(key(&[1]), Value::int(1), row(&[1, 1])), RqlOutcome::CongruentUsed);
+        assert_eq!(d.insert(key(&[1]), cost(1), row(&[1, 1])), RqlOutcome::CongruentUsed);
         assert_eq!(d.queue_len(), 0);
         assert_eq!(d.used_len(), 1);
     }
@@ -310,28 +343,28 @@ mod tests {
     #[test]
     fn discarded_class_can_requeue() {
         let mut d = Rql::new();
-        d.insert(key(&[2]), Value::int(9), row(&[2, 9]));
+        d.insert(key(&[2]), cost(9), row(&[2, 9]));
         let p = d.pop_least().unwrap();
         d.discard(p);
         // Not used — a congruent fact can enter the queue again.
-        assert_eq!(d.insert(key(&[2]), Value::int(8), row(&[2, 8])), RqlOutcome::Queued);
+        assert_eq!(d.insert(key(&[2]), cost(8), row(&[2, 8])), RqlOutcome::Queued);
         assert_eq!(d.redundant_count(), 1);
     }
 
     #[test]
     fn pop_order_is_by_cost_then_row() {
         let mut d = Rql::new();
-        d.insert(key(&[1]), Value::int(5), row(&[1, 5]));
-        d.insert(key(&[2]), Value::int(3), row(&[2, 3]));
-        d.insert(key(&[3]), Value::int(5), row(&[0, 5])); // same cost as class 1
-        let costs: Vec<(Value, Row)> =
+        d.insert(key(&[1]), cost(5), row(&[1, 5]));
+        d.insert(key(&[2]), cost(3), row(&[2, 3]));
+        d.insert(key(&[3]), cost(5), row(&[0, 5])); // same cost as class 1
+        let costs: Vec<(u32, Vec<u32>)> =
             std::iter::from_fn(|| d.pop_least()).map(|p| (p.cost, p.row)).collect();
         assert_eq!(
             costs,
             vec![
-                (Value::int(3), row(&[2, 3])),
-                (Value::int(5), row(&[0, 5])), // row tiebreak: (0,5) < (1,5)
-                (Value::int(5), row(&[1, 5])),
+                (cost(3), row(&[2, 3])),
+                (cost(5), row(&[0, 5])), // row tiebreak: (0,5) < (1,5)
+                (cost(5), row(&[1, 5])),
             ]
         );
     }
@@ -339,27 +372,27 @@ mod tests {
     #[test]
     fn audit_mode_records_redundant_rows() {
         let mut d = Rql::with_audit();
-        d.insert(key(&[1]), Value::int(2), row(&[1, 2]));
-        d.insert(key(&[1]), Value::int(1), row(&[1, 1])); // replaces; (1,2) redundant
+        d.insert(key(&[1]), cost(2), row(&[1, 2]));
+        d.insert(key(&[1]), cost(1), row(&[1, 1])); // replaces; (1,2) redundant
         assert_eq!(d.redundant_rows().unwrap(), &[row(&[1, 2])]);
     }
 
     #[test]
     fn descending_mode_pops_maxima_and_keeps_class_maxima() {
         let mut d = Rql::new_descending();
-        d.insert(key(&[1]), Value::int(5), row(&[1, 5]));
+        d.insert(key(&[1]), cost(5), row(&[1, 5]));
         assert_eq!(
-            d.insert(key(&[1]), Value::int(9), row(&[1, 9])),
+            d.insert(key(&[1]), cost(9), row(&[1, 9])),
             RqlOutcome::ReplacedQueued,
             "larger cost replaces in descending mode"
         );
-        assert_eq!(d.insert(key(&[1]), Value::int(7), row(&[1, 7])), RqlOutcome::DominatedInQueue);
-        d.insert(key(&[2]), Value::int(8), row(&[2, 8]));
+        assert_eq!(d.insert(key(&[1]), cost(7), row(&[1, 7])), RqlOutcome::DominatedInQueue);
+        d.insert(key(&[2]), cost(8), row(&[2, 8]));
         let p1 = d.pop_least().unwrap();
-        assert_eq!(p1.cost, Value::int(9));
+        assert_eq!(p1.cost, cost(9));
         d.commit(p1);
         let p2 = d.pop_least().unwrap();
-        assert_eq!(p2.cost, Value::int(8));
+        assert_eq!(p2.cost, cost(8));
     }
 
     #[test]
@@ -367,13 +400,13 @@ mod tests {
         let m = Arc::new(Metrics::new());
         let mut d = Rql::new();
         d.set_metrics(Arc::clone(&m));
-        d.insert(key(&[1]), Value::int(5), row(&[1, 5])); // queued
-        d.insert(key(&[1]), Value::int(3), row(&[1, 3])); // replaces
-        d.insert(key(&[1]), Value::int(4), row(&[1, 4])); // dominated
-        d.insert(key(&[2]), Value::int(8), row(&[2, 8])); // queued
+        d.insert(key(&[1]), cost(5), row(&[1, 5])); // queued
+        d.insert(key(&[1]), cost(3), row(&[1, 3])); // replaces
+        d.insert(key(&[1]), cost(4), row(&[1, 4])); // dominated
+        d.insert(key(&[2]), cost(8), row(&[2, 8])); // queued
         let p = d.pop_least().unwrap();
         d.commit(p);
-        d.insert(key(&[1]), Value::int(1), row(&[1, 1])); // used-blocked
+        d.insert(key(&[1]), cost(1), row(&[1, 1])); // used-blocked
         let s = m.snapshot();
         assert_eq!(s.heap_inserts, 2);
         assert_eq!(s.heap_replaces, 1);
@@ -386,11 +419,15 @@ mod tests {
 
     #[test]
     fn costs_need_not_be_integers() {
-        // Symbolic costs order lexicographically — exercised by sorting
-        // relations on symbolic keys.
+        // Symbolic costs order lexicographically (via the dictionary's
+        // decoded ordering, not id magnitude) — exercised by sorting
+        // relations on symbolic keys. Interning "zebra" first gives it
+        // the *smaller id*, so this also proves ids don't order the heap.
         let mut d = Rql::new();
-        d.insert(key(&[1]), Value::sym("zebra"), row(&[1]));
-        d.insert(key(&[2]), Value::sym("ant"), row(&[2]));
-        assert_eq!(d.pop_least().unwrap().cost, Value::sym("ant"));
+        let zebra = dictionary::encode(&Value::sym("zebra"));
+        let ant = dictionary::encode(&Value::sym("ant"));
+        d.insert(key(&[1]), zebra, row(&[1]));
+        d.insert(key(&[2]), ant, row(&[2]));
+        assert_eq!(d.pop_least().unwrap().cost, ant);
     }
 }

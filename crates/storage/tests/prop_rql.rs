@@ -5,8 +5,9 @@
 //! from the in-tree deterministic PRNG, so failures reproduce exactly.
 
 use gbc_ast::Value;
+use gbc_storage::dictionary::{decode_ref, encode};
 use gbc_storage::rql::RqlOutcome;
-use gbc_storage::{Row, Rql};
+use gbc_storage::Rql;
 use gbc_telemetry::rng::Rng;
 
 #[derive(Clone, Debug)]
@@ -27,8 +28,16 @@ fn random_op(rng: &mut Rng) -> Op {
     }
 }
 
-fn row(class: u8, cost: i64, payload: u8) -> Row {
-    Row::new(vec![Value::int(i64::from(class)), Value::int(cost), Value::int(i64::from(payload))])
+fn id(v: i64) -> u32 {
+    encode(&Value::int(v))
+}
+
+fn as_int(id: u32) -> i64 {
+    decode_ref(id).as_int().expect("encoded int")
+}
+
+fn row(class: u8, cost: i64, payload: u8) -> Vec<u32> {
+    vec![id(i64::from(class)), id(cost), id(i64::from(payload))]
 }
 
 #[test]
@@ -47,8 +56,8 @@ fn rql_invariants_hold() {
             match op {
                 Op::Insert(class, cost, payload) => {
                     inserted += 1;
-                    let key = vec![Value::int(i64::from(class))];
-                    let outcome = rql.insert(key, Value::int(cost), row(class, cost, payload));
+                    let key = vec![id(i64::from(class))];
+                    let outcome = rql.insert(key, id(cost), row(class, cost, payload));
                     if used_classes.contains(&class) {
                         assert_eq!(outcome, RqlOutcome::CongruentUsed, "case {case}");
                     }
@@ -57,7 +66,7 @@ fn rql_invariants_hold() {
                     if let Some(p) = rql.pop_least() {
                         // Every queued class is unique: the popped class
                         // cannot already be used.
-                        let class = p.key[0].as_int().unwrap() as u8;
+                        let class = as_int(p.key[0]) as u8;
                         assert!(!used_classes.contains(&class), "case {case}");
                         used_classes.push(class);
                         popped_committed += 1;
@@ -99,15 +108,15 @@ fn drain_order_is_sorted_and_class_unique() {
         let mut rql = Rql::new();
         let mut best: std::collections::HashMap<u8, i64> = std::collections::HashMap::new();
         for (i, &(class, cost)) in items.iter().enumerate() {
-            let key = vec![Value::int(i64::from(class))];
-            rql.insert(key, Value::int(cost), row(class, cost, i as u8));
+            let key = vec![id(i64::from(class))];
+            rql.insert(key, id(cost), row(class, cost, i as u8));
             best.entry(class).and_modify(|b| *b = (*b).min(cost)).or_insert(cost);
         }
         let mut prev = i64::MIN;
         let mut seen = Vec::new();
         while let Some(p) = rql.pop_least() {
-            let class = p.key[0].as_int().unwrap() as u8;
-            let cost = p.cost.as_int().unwrap();
+            let class = as_int(p.key[0]) as u8;
+            let cost = as_int(p.cost);
             assert!(cost >= prev, "pop order must be non-decreasing (case {case})");
             prev = cost;
             assert!(!seen.contains(&class), "case {case}");

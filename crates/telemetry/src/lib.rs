@@ -53,7 +53,8 @@ pub use trace::{BufferTrace, DiscardReason, StderrTrace, TraceEvent, TraceSink};
 /// Version of the `--stats-json` payload schema ([`Telemetry::to_json`]).
 /// Bump when the report shape changes incompatibly; consumers should
 /// check it before parsing (see DESIGN.md, "JSON schemas").
-pub const STATS_SCHEMA_VERSION: u64 = 1;
+/// v2 added the `dictionary` block (value-interning counters).
+pub const STATS_SCHEMA_VERSION: u64 = 2;
 
 /// The instrumentation bundle threaded through the executors.
 ///

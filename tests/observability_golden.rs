@@ -10,9 +10,11 @@
 //! the executor's operational behaviour changed, which is precisely
 //! what this test is here to catch.
 
+use std::fs;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use gbc_ast::Value;
+use gbc_ast::{SourceMap, Value};
 use gbc_core::GreedyConfig;
 use gbc_greedy::{prim, workload};
 use gbc_storage::{Database, ProvenanceArena};
@@ -182,6 +184,11 @@ const GOLDEN_KRUSKAL_CHOICE_AUDITS: usize = 33;
 fn kruskal_small() -> (gbc_core::Compiled, Database) {
     let program = gbc_parser::parse_program(gbc_greedy::kruskal::PROGRAM).unwrap();
     let compiled = gbc_core::compile(program).unwrap();
+    (compiled, kruskal_edb())
+}
+
+/// The small 6-node / 8-edge graph the audit and surface goldens share.
+fn kruskal_edb() -> Database {
     let mut edb = Database::new();
     let edges =
         [(0, 1, 4), (0, 2, 3), (1, 2, 1), (1, 3, 2), (2, 3, 4), (3, 4, 2), (4, 5, 6), (2, 5, 5)];
@@ -193,7 +200,114 @@ fn kruskal_small() -> (gbc_core::Compiled, Database) {
     for n in 0..6 {
         edb.insert_values("node", vec![Value::int(n)]);
     }
-    (compiled, edb)
+    edb
+}
+
+// ---------------------------------------------------------------------------
+// Decoded-surface goldens (pre-PR7 snapshots).
+//
+// `gbc run` model output, `gbc explain` trees and the choice-audit
+// journal must render *surface* values — symbols, integers, functor
+// terms — never storage-internal ids. The snapshots under
+// `tests/goldens/` were captured before the columnar dictionary
+// encoding landed (PR 7) and pin the decode boundary byte-for-byte.
+//
+// Regenerate (only for a deliberate surface-format change) with:
+//
+// ```text
+// GBC_BLESS=1 cargo test --test observability_golden
+// ```
+// ---------------------------------------------------------------------------
+
+fn goldens_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench; goldens live at the repo root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .unwrap()
+        .parent()
+        .unwrap()
+        .join("tests")
+        .join("goldens")
+}
+
+fn compare_or_bless(name: &str, actual: &str) {
+    let path = goldens_dir().join(name);
+    if std::env::var_os("GBC_BLESS").is_some() {
+        fs::create_dir_all(goldens_dir()).expect("goldens dir");
+        fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = fs::read_to_string(&path)
+        .unwrap_or_else(|_| panic!("missing golden {} — run with GBC_BLESS=1", path.display()));
+    assert_eq!(
+        actual,
+        expected,
+        "golden mismatch for {} — output must stay decoded surface syntax, \
+         byte-identical to the pre-PR7 snapshot",
+        path.display()
+    );
+}
+
+/// The journal as JSON-lines, minus worker-lane events (the only event
+/// kind carrying wall-clock, and absent from serial runs anyway).
+fn journal_lines(journal: &JournalBuffer) -> String {
+    journal
+        .to_jsonl()
+        .lines()
+        .filter(|l| !l.contains("\"type\":\"worker_chunk\""))
+        .map(|l| format!("{l}\n"))
+        .collect()
+}
+
+/// Kruskal (Example 8, generic Choice Fixpoint) on the small graph:
+/// the computed model, the explain tree for every accepted edge, and
+/// the event journal must all match their pre-PR7 decoded snapshots.
+#[test]
+fn kruskal_surface_output_is_golden() {
+    let mut sm = SourceMap::new();
+    sm.add_file("kruskal.dl", gbc_greedy::kruskal::PROGRAM);
+    let program = gbc_parser::parse_program(&sm.source()).unwrap();
+    let compiled = gbc_core::compile(program.clone()).unwrap();
+    let mut edb = kruskal_edb();
+    let arena = ProvenanceArena::shared();
+    edb.set_provenance(Arc::clone(&arena));
+    let journal = Arc::new(JournalBuffer::new());
+    let tel = Telemetry::enabled().with_trace(journal.clone());
+    let run = compiled.run_telemetry(&edb, &tel).unwrap();
+
+    compare_or_bless("kruskal_run.golden", &format!("{}\n", run.db.canonical_form()));
+
+    let query = gbc_parser::parse_rule("query <- kruskal(X, Y, C, I).").unwrap();
+    let explain = gbc_core::explain::explain_atom(&program, &sm, &run.db, &arena, &query).unwrap();
+    compare_or_bless("kruskal_explain.golden", &explain);
+
+    compare_or_bless("kruskal_journal.golden", &journal_lines(&journal));
+}
+
+/// Sorting (Example 5, greedy executor) over a small fixed-seed item
+/// list: model, explain tree for the rank-1 fact, and journal, all
+/// pinned against the pre-PR7 decoded snapshots.
+#[test]
+fn sort_surface_output_is_golden() {
+    let items = gbc_greedy::workload::random_items(8, 42);
+    let mut sm = SourceMap::new();
+    sm.add_file("sorting.dl", gbc_greedy::sorting::PROGRAM);
+    let program = gbc_parser::parse_program(&sm.source()).unwrap();
+    let compiled = gbc_core::compile(program.clone()).unwrap();
+    let mut edb = gbc_greedy::sorting::edb(&items);
+    let arena = ProvenanceArena::shared();
+    edb.set_provenance(Arc::clone(&arena));
+    let journal = Arc::new(JournalBuffer::new());
+    let tel = Telemetry::enabled().with_trace(journal.clone());
+    let run = compiled.run_greedy_telemetry(&edb, GreedyConfig::default(), &tel).unwrap();
+
+    compare_or_bless("sort_run.golden", &format!("{}\n", run.db.canonical_form()));
+
+    let query = gbc_parser::parse_rule("query <- sp(X, C, 1).").unwrap();
+    let explain = gbc_core::explain::explain_atom(&program, &sm, &run.db, &arena, &query).unwrap();
+    compare_or_bless("sort_explain.golden", &explain);
+
+    compare_or_bless("sort_journal.golden", &journal_lines(&journal));
 }
 
 /// Two identical runs produce byte-identical counter reports and
