@@ -103,6 +103,40 @@ cargo test --test diagnostics_golden)" >&2
     }
 done
 
+echo "== ci-analyze: whole-program analysis reports match goldens =="
+# `gbc analyze --analysis-json` over every shipped program group must
+# reproduce the committed report byte for byte: column types,
+# reachability facts, and the executor specializations (Int cost heap,
+# fast feed) are part of the compatibility surface. Regenerate with:
+#   ./target/release/gbc analyze <files> --analysis-json tests/goldens/analysis/<name>.json
+analyze_groups=(
+    "programs/prim.dl programs/graph_small.dl|prim"
+    "programs/spanning.dl programs/graph_small.dl|spanning"
+    "programs/kruskal.dl programs/graph_small.dl|kruskal"
+    "programs/sort.dl|sort"
+    "programs/matching.dl|matching"
+    "programs/huffman.dl|huffman"
+    "programs/scheduling.dl|scheduling"
+    "programs/tsp.dl|tsp"
+    "programs/assignment.dl|assignment"
+)
+for entry in "${analyze_groups[@]}"; do
+    files="${entry%%|*}"
+    name="${entry##*|}"
+    # shellcheck disable=SC2086
+    ./target/release/gbc analyze $files --analysis-json "$diag_json" || {
+        echo "gbc analyze failed for: $files" >&2
+        exit 1
+    }
+    diff -u "tests/goldens/analysis/$name.json" "$diag_json" || {
+        echo "analysis report drifted for $files (regenerate the golden)" >&2
+        exit 1
+    }
+done
+# The analysis-on/off equivalence sweep (results and counters must be
+# byte-identical with GBC_NO_ANALYZE semantics, threads 1 and 4).
+cargo test -q --offline -p gbc-bench --test analysis_equivalence
+
 echo "== ci-par: parallel saturation equivalence =="
 # The determinism contract (DESIGN.md §9): every thread count produces
 # byte-identical relations and semantic counters. The in-process sweep
@@ -142,6 +176,12 @@ grep -q '"label": "ci-quick"' BENCH_experiments.json || {
 # counter columns introduced with the columnar storage layer.
 grep -q '"label": "post-PR7"' BENCH_experiments.json || {
     echo "BENCH_experiments.json is missing the committed post-PR7 run" >&2
+    exit 1
+}
+# The committed post-PR8 record (whole-program analysis + Int cost
+# heap) must exist too.
+grep -q '"label": "post-PR8"' BENCH_experiments.json || {
+    echo "BENCH_experiments.json is missing the committed post-PR8 run" >&2
     exit 1
 }
 for col in dict_entries encode_hits decode_calls; do

@@ -31,11 +31,21 @@
 //! | GBC023 | warning  | extremum group variable does not appear in the rule head |
 //! | GBC024 | warning  | dead predicate: defined by plain rules, never used |
 //! | GBC025 | warning  | singleton variable (occurs once; use `_`) |
+//! | GBC026 | warning  | type conflict at an interpreted position (comparison/arithmetic) |
+//! | GBC027 | warning  | dead rule: body is provably unsatisfiable |
+//! | GBC028 | warning  | unreachable predicate: never feeds a program answer |
+//! | GBC029 | warning  | head term at a stage position has a non-`Int` type |
+//! | GBC030 | warning  | extremum cost column inferred as non-`Int` (no fast heap) |
+//! | GBC031 | warning  | constant-foldable comparison (always true or always false) |
+//! | GBC032 | note     | next rule eligible for the bindings-free feed fast path |
 //!
 //! Codes GBC011–GBC018 are warnings, not errors: a program that fails
 //! stage stratification is still evaluable by the generic choice
 //! fixpoint (Theorem 1 holds outside the greedy class); the diagnostics
-//! explain why the Section 6 executor will not be used.
+//! explain why the Section 6 executor will not be used. GBC026–GBC031
+//! come from the whole-program type/reachability analysis (`gbc
+//! analyze`); GBC032 is a note — purely informational, never counted
+//! against `--deny-warnings`.
 
 use std::fmt;
 
@@ -44,6 +54,9 @@ use crate::span::{SourceMap, Span};
 /// Diagnostic severity.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Severity {
+    /// Purely informational (e.g. a fast path the planner will take);
+    /// never counted by `--deny-warnings`.
+    Note,
     /// Advisory; execution proceeds (possibly on a fallback path).
     Warning,
     /// The program is rejected.
@@ -53,6 +66,7 @@ pub enum Severity {
 impl fmt::Display for Severity {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            Severity::Note => f.write_str("note"),
             Severity::Warning => f.write_str("warning"),
             Severity::Error => f.write_str("error"),
         }
@@ -104,6 +118,11 @@ impl Diagnostic {
     /// New warning diagnostic.
     pub fn warning(code: &'static str, message: impl Into<String>) -> Diagnostic {
         Diagnostic { severity: Severity::Warning, ..Diagnostic::error(code, message) }
+    }
+
+    /// New note diagnostic (informational only).
+    pub fn note(code: &'static str, message: impl Into<String>) -> Diagnostic {
+        Diagnostic { severity: Severity::Note, ..Diagnostic::error(code, message) }
     }
 
     /// Attach the primary label.
@@ -218,6 +237,11 @@ pub fn error_count(diags: &[Diagnostic]) -> usize {
 /// Count of warnings in a batch.
 pub fn warning_count(diags: &[Diagnostic]) -> usize {
     diags.iter().filter(|d| d.severity == Severity::Warning).count()
+}
+
+/// Count of notes in a batch.
+pub fn note_count(diags: &[Diagnostic]) -> usize {
+    diags.iter().filter(|d| d.severity == Severity::Note).count()
 }
 
 #[cfg(test)]

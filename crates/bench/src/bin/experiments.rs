@@ -258,8 +258,8 @@ fn dict_delta(f: impl FnOnce()) -> gbc_storage::DictStats {
 /// largest problem size, enforced by `--ratio-gate` (ci-quick runs it).
 /// Measured on the columnar dictionary-encoded build with headroom for
 /// CI noise; ratchet these down as the interpreter closes the gap.
-const PRIM_MAX_RATIO: f64 = 40.0;
-const SORT_MAX_RATIO: f64 = 35.0;
+const PRIM_MAX_RATIO: f64 = 35.0;
+const SORT_MAX_RATIO: f64 = 30.0;
 
 /// Checks the recorded n-max rows of E1/E2 against the committed
 /// declarative/classical ceilings. Returns the process exit code.

@@ -90,6 +90,9 @@ struct Options {
     max_models: usize,
     deny_warnings: bool,
     diag_json: Option<String>,
+    /// `gbc analyze --analysis-json PATH|-`: write the whole-program
+    /// analysis report as JSON instead of the text rendering.
+    analysis_json: Option<String>,
     /// Worker threads for flat-rule saturation (`gbc run --threads N`).
     /// `None` falls back to `GBC_THREADS`, then to
     /// `available_parallelism()` — see [`gbc_engine::pool::default_threads`].
@@ -112,6 +115,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         max_models: 1000,
         deny_warnings: false,
         diag_json: None,
+        analysis_json: None,
         threads: None,
         query: None,
     };
@@ -126,6 +130,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--diag-json" => {
                 let v = it.next().ok_or("--diag-json needs a path (or `-` for stdout)")?;
                 opts.diag_json = Some(v.clone());
+            }
+            "--analysis-json" => {
+                let v = it.next().ok_or("--analysis-json needs a path (or `-` for stdout)")?;
+                opts.analysis_json = Some(v.clone());
             }
             "--stats-json" => {
                 let v = it.next().ok_or("--stats-json needs a path")?;
@@ -396,6 +404,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let opts = parse_options(rest)?;
     match cmd.as_str() {
         "check" => cmd_check(&opts),
+        "analyze" => cmd_analyze(&opts),
         "run" => cmd_run(&opts),
         "models" => cmd_models(&opts),
         "rewrite" => cmd_rewrite(&opts),
@@ -406,10 +415,10 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: gbc <check|run|models|rewrite|verify|explain> FILE... \
+    "usage: gbc <check|analyze|run|models|rewrite|verify|explain> FILE... \
      [--generic] [--seed N] [--threads N] [--stats] [--trace] [--profile] \
      [--stats-json PATH] [--trace-json PATH] [--journal-json PATH] [--max N] \
-     [--deny-warnings] [--diag-json PATH] [-- 'atom']"
+     [--deny-warnings] [--diag-json PATH] [--analysis-json PATH] [-- 'atom']"
         .to_owned()
 }
 
@@ -495,6 +504,25 @@ fn cmd_check(opts: &Options) -> Result<(), String> {
     } else {
         Ok(())
     }
+}
+
+fn cmd_analyze(opts: &Options) -> Result<(), String> {
+    let (program, _sm) = load(&opts.files)?;
+    let compiled = compile(program).map_err(|e| e.to_string())?;
+    let report = compiled.analyze_report();
+    match &opts.analysis_json {
+        Some(path) => {
+            let mut text = report.to_json().pretty();
+            text.push('\n');
+            if path == "-" {
+                print!("{text}");
+            } else {
+                std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+            }
+        }
+        None => print!("{}", report.render()),
+    }
+    Ok(())
 }
 
 fn cmd_run(opts: &Options) -> Result<(), String> {

@@ -2,17 +2,21 @@
 //!
 //! Turns every static check — validation (`GBC002`–`GBC006`), the
 //! stratification and stage-stratification analysis of Section 4
-//! (`GBC010`–`GBC018`) and a semantic lint pass (`GBC020`–`GBC025`) —
-//! into span-carrying [`Diagnostic`]s that the CLI renders rustc-style
-//! or serialises as JSON. The full code registry lives in
-//! [`gbc_ast::diag`].
+//! (`GBC010`–`GBC018`), a semantic lint pass (`GBC020`–`GBC025`) and
+//! the whole-program type/reachability analysis (`GBC026`–`GBC032`,
+//! see [`crate::analysis::typeinfer`] and
+//! [`crate::analysis::reachability`]) — into span-carrying
+//! [`Diagnostic`]s that the CLI renders rustc-style or serialises as
+//! JSON. The full code registry lives in [`gbc_ast::diag`].
 //!
 //! Severity policy: anything that makes the program unevaluable
 //! (validation failures, unstratified negation) is an **error**; the
 //! stage-stratification violations are **warnings**, because such
 //! programs are still evaluable by the generic choice fixpoint
 //! (Theorem 1) — they merely forfeit the greedy executor's complexity
-//! guarantees (Theorem 3). Lints are warnings.
+//! guarantees (Theorem 3). Lints are warnings. GBC032 is a **note** —
+//! it reports a fast path the planner takes, not a problem — and
+//! notes never trip `--deny-warnings`.
 
 use std::collections::HashMap;
 
@@ -20,7 +24,9 @@ use gbc_ast::{Diagnostic, Literal, Program, Rule, SourceMap, Symbol, Term, VarId
 use gbc_telemetry::json::Json;
 
 use crate::analysis::classify::{Analysis, ProgramClass, StageViolation};
+use crate::analysis::reachability::{self, ReachInfo};
 use crate::analysis::stage::rule_stage_vars;
+use crate::analysis::typeinfer::{self, TypeInfo};
 use crate::classify;
 
 /// Everything `gbc check` needs: the diagnostics plus the analysis they
@@ -32,6 +38,10 @@ pub struct CheckReport {
     pub diagnostics: Vec<Diagnostic>,
     /// The classification the diagnostics were derived from.
     pub analysis: Analysis,
+    /// Whole-program column types (GBC026/029/030 anchors).
+    pub types: TypeInfo,
+    /// Reachability/emptiness results (GBC027/028/031 anchors).
+    pub reach: ReachInfo,
 }
 
 impl CheckReport {
@@ -43,6 +53,11 @@ impl CheckReport {
     /// Number of warning-severity diagnostics.
     pub fn warnings(&self) -> usize {
         gbc_ast::diag::warning_count(&self.diagnostics)
+    }
+
+    /// Number of note-severity diagnostics.
+    pub fn notes(&self) -> usize {
+        gbc_ast::diag::note_count(&self.diagnostics)
     }
 }
 
@@ -75,7 +90,17 @@ pub fn check_program(program: &Program) -> CheckReport {
     lint_dead_predicates(program, &mut diagnostics);
     lint_singleton_vars(program, &mut diagnostics);
 
-    CheckReport { diagnostics, analysis }
+    let types = typeinfer::infer(program);
+    let reach = reachability::analyze(program);
+    lint_type_conflicts(program, &types, &mut diagnostics);
+    lint_dead_rules(program, &reach, &mut diagnostics);
+    lint_unreachable(program, &reach, &mut diagnostics);
+    lint_stage_types(program, &analysis, &types, &mut diagnostics);
+    lint_extremum_cost_types(program, &types, &mut diagnostics);
+    lint_const_comparisons(program, &reach, &mut diagnostics);
+    lint_fast_feed(program, &analysis, &mut diagnostics);
+
+    CheckReport { diagnostics, analysis, types, reach }
 }
 
 /// Version of the `--diag-json` payload schema. Bump when the shape of
@@ -126,6 +151,7 @@ fn diagnostics_array(diags: &[Diagnostic], sm: &SourceMap) -> Json {
                             match d.severity {
                                 gbc_ast::Severity::Error => "error",
                                 gbc_ast::Severity::Warning => "warning",
+                                gbc_ast::Severity::Note => "note",
                             }
                             .to_owned(),
                         ),
@@ -475,6 +501,245 @@ fn lint_singleton_vars(program: &Program, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// GBC026: a type conflict at an interpreted position — arithmetic
+/// over a provably non-integer variable, or a comparison between two
+/// concretely different shapes. Only concrete-vs-concrete mismatches
+/// warn: `any` (unknown EDB data) stays silent.
+fn lint_type_conflicts(program: &Program, types: &TypeInfo, out: &mut Vec<Diagnostic>) {
+    for c in &types.conflicts {
+        let r = &program.rules[c.rule];
+        let span = match (c.var, c.lit) {
+            (Some(v), _) => r.var_span(v),
+            (None, Some(li)) => r.literal_span(li),
+            (None, None) => r.span(),
+        };
+        out.push(
+            Diagnostic::warning(
+                "GBC026",
+                format!("type conflict in rule for `{}`: {}", r.head.pred, c.message),
+            )
+            .with_label(span, "conflicting use here")
+            .with_note(
+                "column types are inferred from facts and rule heads to fixpoint; \
+                 run `gbc analyze` to see them",
+            ),
+        );
+    }
+}
+
+/// GBC027: a proper rule whose body is provably unsatisfiable — it
+/// reads a provably-empty predicate or carries a constant-false
+/// comparison. The compiler prunes such rules from execution.
+fn lint_dead_rules(program: &Program, reach: &ReachInfo, out: &mut Vec<Diagnostic>) {
+    for d in &reach.dead_rules {
+        let r = &program.rules[d.rule];
+        let span = d.lit.map(|li| r.literal_span(li)).unwrap_or_else(|| r.span());
+        out.push(
+            Diagnostic::warning(
+                "GBC027",
+                format!("rule for `{}` can never fire: {}", r.head.pred, d.reason),
+            )
+            .with_label(span, "unsatisfiable because of this")
+            .with_help("the rule is pruned from execution; remove it or fix its body"),
+        );
+    }
+}
+
+/// GBC028: a predicate that is defined *and referenced* but never
+/// (transitively) feeds a program answer — derivation work spent on it
+/// is wasted. Disjoint from GBC024, which requires *unreferenced*.
+fn lint_unreachable(program: &Program, reach: &ReachInfo, out: &mut Vec<Diagnostic>) {
+    for &p in &reach.unreachable {
+        let Some(r) = rule_defining(program, p) else { continue };
+        out.push(
+            Diagnostic::warning("GBC028", format!("predicate `{p}` never feeds a program answer"))
+                .with_label(r.head_span(), "defined here")
+                .with_note(format!(
+                    "the program's answers are {}",
+                    reach.roots.iter().map(|s| format!("`{s}`")).collect::<Vec<_>>().join(", ")
+                ))
+                .with_help("remove it, or route its facts into an answer predicate"),
+        );
+    }
+}
+
+/// GBC029: a head term at a predicate's stage position with a concrete
+/// non-integer type. Stage numbers are minted by `next`; a non-integer
+/// there fails the executor's stage scan at run time.
+fn lint_stage_types(
+    program: &Program,
+    analysis: &Analysis,
+    types: &TypeInfo,
+    out: &mut Vec<Diagnostic>,
+) {
+    for r in &program.rules {
+        let Some(&pos) = analysis.stages.stage_arg.get(&r.head.pred) else { continue };
+        let Some(term) = r.head.args.get(pos) else { continue };
+        let Some(env) = typeinfer::final_env(program, types, r) else { continue };
+        let ty = typeinfer::head_term_type(&env, term);
+        if ty.base.is_concrete() && ty.base != typeinfer::Base::Int {
+            out.push(
+                Diagnostic::warning(
+                    "GBC029",
+                    format!("head of `{}` carries `{ty}` at its stage position", r.head.pred),
+                )
+                .with_label(
+                    r.spans.as_ref().map(|s| s.head_arg(pos)).unwrap_or_else(|| r.head_span()),
+                    format!("inferred type `{ty}`"),
+                )
+                .with_note(
+                    "stage numbers are minted by `next` and must be integers; anything \
+                     else fails the executor's stage scan at run time",
+                ),
+            );
+        }
+    }
+}
+
+/// GBC030: an extremum whose cost is concretely typed but not provably
+/// pure `int`. The extremum still works through the dictionary's value
+/// order, but forfeits the decode-free `Int` cost heap.
+fn lint_extremum_cost_types(program: &Program, types: &TypeInfo, out: &mut Vec<Diagnostic>) {
+    for r in &program.rules {
+        if !r.has_extrema() {
+            continue;
+        }
+        let Some(env) = typeinfer::final_env(program, types, r) else { continue };
+        for (li, lit) in r.body.iter().enumerate() {
+            let (cost, kw) = match lit {
+                Literal::Least { cost, .. } => (cost, "least"),
+                Literal::Most { cost, .. } => (cost, "most"),
+                _ => continue,
+            };
+            let ty = typeinfer::head_term_type(&env, cost);
+            if ty.base.is_concrete() && !ty.is_int() {
+                out.push(
+                    Diagnostic::warning(
+                        "GBC030",
+                        format!(
+                            "`{kw}` in rule for `{}` ranks by a cost of type `{ty}`, \
+                             not provably `int`",
+                            r.head.pred
+                        ),
+                    )
+                    .with_label(
+                        r.spans
+                            .as_ref()
+                            .map(|s| s.literal_arg(li, 0))
+                            .unwrap_or_else(|| r.literal_span(li)),
+                        format!("cost has type `{ty}`"),
+                    )
+                    .with_note(
+                        "the extremum still works through the dictionary's value order, \
+                         but forfeits the decode-free `Int` cost heap",
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// GBC031: a comparison whose two sides are ground, so its outcome is
+/// known at compile time. Always-true checks are baked out of join
+/// plans; always-false ones kill their rule (see GBC027).
+fn lint_const_comparisons(program: &Program, reach: &ReachInfo, out: &mut Vec<Diagnostic>) {
+    for c in &reach.const_comparisons {
+        let r = &program.rules[c.rule];
+        let outcome = if c.value { "true" } else { "false" };
+        let d = Diagnostic::warning(
+            "GBC031",
+            format!("comparison in rule for `{}` is always {outcome}", r.head.pred),
+        )
+        .with_label(r.literal_span(c.lit), format!("always {outcome}"));
+        out.push(if c.value {
+            d.with_help("the check is baked out of the join plan; remove it from the source")
+        } else {
+            d.with_help("the rule can never fire; remove it")
+        });
+    }
+}
+
+/// GBC032 (note): a `next` rule eligible for the bindings-free feed
+/// fast path — one positive source atom whose arguments are all
+/// distinct variables, no negation, no comparison gating the feed
+/// ahead of the stage guard, and every extremum cost / `choice`
+/// element readable straight off a source column. The planner streams
+/// such rules into their queues by column ids alone.
+fn lint_fast_feed(program: &Program, analysis: &Analysis, out: &mut Vec<Diagnostic>) {
+    if !matches!(analysis.class, ProgramClass::StageStratified { .. }) {
+        return;
+    }
+    for r in &program.rules {
+        if !r.has_next() || r.has_negation() {
+            continue;
+        }
+        let Some(stage_var) = r.body.iter().find_map(|l| match l {
+            Literal::Next { var } => Some(*var),
+            _ => None,
+        }) else {
+            continue;
+        };
+        let atoms: Vec<_> = r.positive_atoms().collect();
+        if atoms.len() != 1 {
+            continue;
+        }
+        let mut vs: Vec<VarId> = Vec::new();
+        let distinct_vars = atoms[0].args.iter().all(|t| match t {
+            Term::Var(v) if !vs.contains(v) => {
+                vs.push(*v);
+                true
+            }
+            _ => false,
+        });
+        if !distinct_vars {
+            continue;
+        }
+        let mut eligible = true;
+        for lit in &r.body {
+            match lit {
+                Literal::Compare { .. } => {
+                    let lvars = lit.vars();
+                    // A comparison not mentioning the stage variable
+                    // would be a pre-check, gating the feed per row.
+                    if !lvars.contains(&stage_var)
+                        || lvars.iter().any(|v| *v != stage_var && !vs.contains(v))
+                    {
+                        eligible = false;
+                    }
+                }
+                Literal::Least { cost, .. } | Literal::Most { cost, .. } if !matches!(cost, Term::Var(v) if vs.contains(v)) =>
+                {
+                    eligible = false;
+                }
+                Literal::Choice { left, right } => {
+                    for t in left.iter().chain(right) {
+                        if !matches!(t, Term::Var(v) if vs.contains(v) || *v == stage_var) {
+                            eligible = false;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        if !eligible {
+            continue;
+        }
+        let si = r.body.iter().position(|l| matches!(l, Literal::Pos(_))).expect("source atom");
+        out.push(
+            Diagnostic::note(
+                "GBC032",
+                format!("rule for `{}` feeds its queue without binding frames", r.head.pred),
+            )
+            .with_label(r.literal_span(si), "rows stream into the queue by column ids alone")
+            .with_note(
+                "every source argument is a distinct variable and no comparison \
+                 gates the feed ahead of the stage guard, so the planner skips \
+                 per-row `Bindings` entirely",
+            ),
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -499,8 +764,84 @@ mod tests {
             )
             .unwrap(),
         );
-        assert!(report.diagnostics.is_empty(), "{:#?}", report.diagnostics);
+        assert_eq!(report.errors(), 0, "{:#?}", report.diagnostics);
+        assert_eq!(report.warnings(), 0, "{:#?}", report.diagnostics);
+        // The prim-style next rule earns the fast-feed note, nothing else.
+        assert!(report.diagnostics.iter().all(|d| d.code == "GBC032"), "{:#?}", report.diagnostics);
         assert_eq!(report.analysis.class, ProgramClass::StageStratified { alternating: true });
+    }
+
+    #[test]
+    fn arithmetic_over_symbols_warns_gbc026() {
+        let cs = codes("p(a).\nr(Y, I) <- next(I), p(X), Y = X + 1, least(Y, I).");
+        assert!(cs.contains(&"GBC026"), "{cs:?}");
+    }
+
+    #[test]
+    fn provably_empty_body_warns_gbc027() {
+        let cs = codes("a(X) <- b(X).\nb(X) <- a(X).\nseed(1).\nout(X) <- a(X), seed(X).");
+        assert!(cs.contains(&"GBC027"), "{cs:?}");
+    }
+
+    #[test]
+    fn predicate_off_the_answer_path_warns_gbc028() {
+        let cs = codes(
+            "src(1). src(2).
+             out(X, I) <- next(I), src(X), least(X, I).
+             helper(X) <- src(X), X > 1.
+             aux(X) <- helper(X).",
+        );
+        assert!(cs.contains(&"GBC028"), "{cs:?}");
+    }
+
+    #[test]
+    fn non_integer_stage_position_warns_gbc029() {
+        let cs = codes(
+            "seed(0). src(1).
+             h(X, I) <- next(I), src(X), least(X, I).
+             h(X, first) <- seed(X).",
+        );
+        assert!(cs.contains(&"GBC029"), "{cs:?}");
+    }
+
+    #[test]
+    fn symbolic_extremum_cost_warns_gbc030() {
+        let cs = codes(
+            "item(apple). item(banana).
+             pick(X, I) <- next(I), item(X), least(X, I).",
+        );
+        assert!(cs.contains(&"GBC030"), "{cs:?}");
+        // An integer cost is silent.
+        let clean = codes(
+            "item(a, 3). item(b, 1).
+             pick(X, C, I) <- next(I), item(X, C), least(C, I).",
+        );
+        assert!(!clean.contains(&"GBC030"), "{clean:?}");
+    }
+
+    #[test]
+    fn constant_comparison_warns_gbc031() {
+        let cs = codes(
+            "p(1). p(2).
+             q(X, I) <- next(I), p(X), 1 < 2, least(X, I).",
+        );
+        assert!(cs.contains(&"GBC031"), "{cs:?}");
+    }
+
+    #[test]
+    fn fast_feed_eligibility_notes_gbc032() {
+        let noted = codes(
+            "p(pear, 30). p(apple, 10).
+             sp(X, C, I) <- next(I), p(X, C), least(C, I).",
+        );
+        assert!(noted.contains(&"GBC032"), "{noted:?}");
+        // A comparison without the stage variable is a pre-check: the
+        // feed must bind rows, so the note stays silent.
+        let silent = codes(
+            "p(pear, 30). p(apple, 10).
+             sp(X, C, I) <- next(I), p(X, C), C > 15, least(C, I).",
+        );
+        assert!(!silent.contains(&"GBC032"), "{silent:?}");
     }
 
     #[test]

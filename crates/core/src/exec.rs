@@ -38,7 +38,7 @@ use gbc_engine::eval::{
     eval_expr, eval_term, instantiate_head, match_term, match_term_id, parent_rows,
 };
 use gbc_engine::extrema::{collect_matches_plan, filter_extrema};
-use gbc_engine::plan::PlanCache;
+use gbc_engine::plan::{PlanCache, RuleStatics};
 use gbc_engine::pool::{PoolReport, PoolStats};
 use gbc_engine::seminaive::Seminaive;
 use gbc_storage::dictionary::{self, decode_ref};
@@ -46,6 +46,7 @@ use gbc_storage::{Database, FxHashMap, FxHashSet, Row, Rql, DICT_MISS, NO_GOAL};
 use gbc_telemetry::{DiscardReason, Snapshot, Telemetry, TraceEvent};
 
 use crate::analysis::stage::StageInfo;
+use crate::analysis::{reachability, typeinfer};
 use crate::error::CoreError;
 use crate::rewrite::choice::choice_vars;
 
@@ -60,11 +61,22 @@ pub struct GreedyConfig {
     /// choice commits and `(R,Q,L)` heap maintenance stay sequential
     /// regardless (see DESIGN.md §9).
     pub threads: usize,
+    /// Run whole-program type/reachability analysis at setup and apply
+    /// its specializations: dead-rule pruning, folded constants, the
+    /// decode-free `Int` cost heap, and the bindings-free feed fast
+    /// path. On by default; `GBC_NO_ANALYZE=1` in the environment (or
+    /// setting this to `false`) reverts to the unanalyzed engine —
+    /// results and counters are byte-identical either way.
+    pub analyze: bool,
 }
 
 impl Default for GreedyConfig {
     fn default() -> Self {
-        GreedyConfig { max_steps: 100_000_000, threads: 1 }
+        GreedyConfig {
+            max_steps: 100_000_000,
+            threads: 1,
+            analyze: std::env::var_os("GBC_NO_ANALYZE").is_none(),
+        }
     }
 }
 
@@ -146,6 +158,40 @@ pub struct NextPlan {
     post_checks: Vec<Literal>,
     /// The original rule's choice goals.
     choice_goals: Vec<(Vec<Term>, Vec<Term>)>,
+    /// The feed can skip per-row `Bindings` entirely: every source
+    /// argument is a distinct bare variable (each row trivially
+    /// matches, and the cost/key columns are read straight off the
+    /// arena) and no pre-check gates the feed. Applied only when
+    /// analysis is on ([`GreedyConfig::analyze`]); surfaced to users as
+    /// the GBC032 note.
+    fast_feed: bool,
+}
+
+impl NextPlan {
+    /// Head predicate.
+    pub fn head_pred(&self) -> Symbol {
+        self.head_pred
+    }
+
+    /// Source predicate feeding `Q_r`.
+    pub fn source_pred(&self) -> Symbol {
+        self.source_pred
+    }
+
+    /// Source column of the extremum cost, if any.
+    pub fn cost_col(&self) -> Option<usize> {
+        self.cost.map(|(_, c)| c)
+    }
+
+    /// `most` rule: retrieve the maximum.
+    pub fn is_descending(&self) -> bool {
+        self.descending
+    }
+
+    /// The feed loop qualifies for the bindings-free fast path.
+    pub fn is_fast_feed(&self) -> bool {
+        self.fast_feed
+    }
 }
 
 /// Build plans for every next rule of a validated, stage-stratified
@@ -269,6 +315,17 @@ fn build_plan(
         }
     }
 
+    // Bindings-free feed eligibility (see the field docs).
+    let mut feed_vars: Vec<VarId> = Vec::new();
+    let fast_feed = pre_checks.is_empty()
+        && source.args.iter().all(|t| match t {
+            Term::Var(v) if !feed_vars.contains(v) => {
+                feed_vars.push(*v);
+                true
+            }
+            _ => false,
+        });
+
     // Head must be instantiable from source vars + stage var.
     let mut head_vars = Vec::new();
     for t in &rule.head.args {
@@ -353,6 +410,7 @@ fn build_plan(
         pre_checks,
         post_checks,
         choice_goals,
+        fast_feed,
     })
 }
 
@@ -385,6 +443,9 @@ pub struct GreedyExecutor {
     exits: Vec<(usize, Rule)>,
     /// Compiled join plans of the exit rules, one slot per rule.
     exit_plans: PlanCache,
+    /// Per exit rule: analysis facts (constant-true comparisons to fold
+    /// out of the compiled plan). Defaults when analysis is off.
+    exit_statics: Vec<RuleStatics>,
     exit_memos: Vec<Vec<FdMap>>,
     /// Per exit rule: the body-relation size total at the last fruitless
     /// attempt — unchanged inputs ⇒ still fruitless, skip the re-scan.
@@ -409,9 +470,17 @@ impl GreedyExecutor {
         config: GreedyConfig,
     ) -> GreedyExecutor {
         let mut db = edb.clone();
+        // Whole-program analysis (PR 8): dead rules are dropped before
+        // partitioning, constant-true comparisons are folded out of the
+        // exit plans, and (below, once the EDB is loaded) proved-`int`
+        // cost columns switch their `Q_r` onto the decode-free heap.
+        // `GBC_NO_ANALYZE=1` disables all of it; outputs are identical.
+        let reach = config.analyze.then(|| reachability::analyze(program));
+        let dead = reach.as_ref().map(|r| r.dead_rule_set()).unwrap_or_default();
         let mut flat_rules = Vec::new();
         let mut flat_ids = Vec::new();
         let mut exits = Vec::new();
+        let mut exit_statics = Vec::new();
         let mut exit_memos = Vec::new();
         for (ri, r) in program.rules.iter().enumerate() {
             if r.is_fact() {
@@ -424,20 +493,44 @@ impl GreedyExecutor {
                 db.insert(r.head.pred, row);
             } else if r.has_next() {
                 // handled by plans
+            } else if dead.contains(&ri) {
+                // Provably never fires: no plan, no saturation work.
             } else if r.has_choice() {
                 let goals = r.body.iter().filter(|l| matches!(l, Literal::Choice { .. })).count();
                 exit_memos.push(vec![FdMap::default(); goals]);
+                exit_statics.push(RuleStatics {
+                    dead: false,
+                    const_true_lits: reach
+                        .as_ref()
+                        .map(|info| info.const_true_lits(ri))
+                        .unwrap_or_default(),
+                });
                 exits.push((ri, r.clone()));
             } else {
                 flat_rules.push(r.clone());
                 flat_ids.push(ri);
             }
         }
+        // Column types need the loaded EDB: scan the concrete relations
+        // for seeds, then run the head/body fixpoint over the rules.
+        let types = config.analyze.then(|| {
+            let seeds = typeinfer::scan_seeds(&db);
+            typeinfer::infer_seeded(program, &seeds)
+        });
         let nexts = plans
             .into_iter()
-            .map(|plan| {
+            .map(|mut plan| {
                 let goals = plan.choice_goals.len();
-                let rql = if plan.descending { Rql::new_descending() } else { Rql::new() };
+                let mut rql = if plan.descending { Rql::new_descending() } else { Rql::new() };
+                match (&types, plan.cost) {
+                    (Some(t), Some((_, col))) if t.col_is_int(plan.source_pred, col) => {
+                        rql.set_int_costs(true);
+                    }
+                    _ => {}
+                }
+                if !config.analyze {
+                    plan.fast_feed = false;
+                }
                 NextState {
                     plan,
                     rql,
@@ -461,6 +554,7 @@ impl GreedyExecutor {
             nexts,
             exits,
             exit_plans,
+            exit_statics,
             exit_memos,
             exit_stale,
             db,
@@ -577,6 +671,7 @@ impl GreedyExecutor {
         let GreedyExecutor {
             exits,
             exit_plans,
+            exit_statics,
             exit_memos,
             exit_stale,
             db,
@@ -594,7 +689,7 @@ impl GreedyExecutor {
             let t0 = tel.profiler.start();
             let cached = exit_plans.is_cached(ei);
             let plan = exit_plans
-                .get_or_compile(ei, rule, Some(&*tel.metrics))
+                .get_or_compile_typed(ei, rule, &exit_statics[ei], Some(&*tel.metrics))
                 .map_err(CoreError::Engine)?;
             if cached {
                 tel.profiler.record_plan_hit(*ri);
@@ -718,6 +813,30 @@ impl GreedyExecutor {
 
         let Literal::Pos(source) = &plan.rule.body[plan.source_lit] else { unreachable!() };
         let nil_cost = dictionary::encode(&Value::Nil);
+
+        // Bindings-free fast path (GBC032 rules, analysis on): every
+        // source argument is a distinct bare variable, so each row
+        // matches unconditionally, the cost id IS the cost column's
+        // cell, and the congruence key is read straight off the arena.
+        // Byte-identical to the generic loop below — `match_term_id`
+        // would bind each variable to exactly the cell id we read here.
+        if plan.fast_feed {
+            if rows.arity() == source.args.len() {
+                let cost_col = plan.cost.map(|(_, col)| col);
+                for r in 0..rows.len() {
+                    let cost = match cost_col {
+                        Some(c) => rows.cell(r, c),
+                        None => nil_cost,
+                    };
+                    let key: Vec<u32> = plan.cong_cols.iter().map(|&c| rows.cell(r, c)).collect();
+                    ns.rql.insert(key, cost, rows.id_row(r));
+                    stats.queue_peak = stats.queue_peak.max(ns.rql.queue_len());
+                }
+            }
+            tel.profiler.finish(t0, ns.plan.rule_idx, 0, 0);
+            return Ok(());
+        }
+
         let mut b = Bindings::new(plan.rule.num_vars());
         let mut trail: Vec<VarId> = Vec::new();
         for r in 0..rows.len() {

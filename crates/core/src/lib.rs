@@ -47,7 +47,9 @@ pub mod explain;
 pub mod rewrite;
 pub mod verify;
 
-pub use analysis::{classify, Analysis, ProgramClass, StageViolation};
+pub use analysis::{
+    classify, Analysis, AnalyzeReport, ProgramClass, StageViolation, ANALYSIS_SCHEMA_VERSION,
+};
 pub use diag::{check_program, diagnostics_to_json, CheckReport, DIAG_SCHEMA_VERSION};
 pub use error::CoreError;
 pub use exec::{ChosenRecord, GreedyConfig, GreedyRun, GreedyStats};
@@ -117,6 +119,13 @@ impl Compiled {
     /// Why no greedy plan exists, when it doesn't.
     pub fn plan_error(&self) -> Option<&str> {
         self.plan_error.as_deref()
+    }
+
+    /// The whole-program analysis report (`gbc analyze`): column types,
+    /// reachability/dead-rule facts, and the executor specializations
+    /// each greedy plan would receive.
+    pub fn analyze_report(&self) -> AnalyzeReport {
+        analysis::analyze_program(&self.program, &self.analysis.class, &self.plans)
     }
 
     /// Run with the greedy executor (errors when no plan exists).

@@ -29,6 +29,7 @@
 //! rows — which keeps this module reusable for all of the paper's
 //! greedy programs.
 
+use std::cell::Cell;
 use std::sync::Arc;
 
 use gbc_telemetry::Metrics;
@@ -36,6 +37,23 @@ use gbc_telemetry::Metrics;
 use crate::dictionary::{self, cmp_id_rows, cmp_ids};
 use crate::fx::FxHashMap;
 use crate::heap::{Handle, IndexedHeap};
+
+thread_local! {
+    /// Comparisons served by the decode-free `Int` cost fast path.
+    /// Thread-local rather than a global atomic so concurrent runs in
+    /// one process (parallel `cargo test`) never cross-contaminate;
+    /// heap operations happen on the coordinator thread, so the owning
+    /// `Rql` reads a coherent before/after delta around each op.
+    static INT_FAST_COMPARES: Cell<u64> = const { Cell::new(0) };
+}
+
+fn int_fast_compares() -> u64 {
+    INT_FAST_COMPARES.with(Cell::get)
+}
+
+fn bump_int_fast() {
+    INT_FAST_COMPARES.with(|c| c.set(c.get() + 1));
+}
 
 /// Congruence-class key: the projection of a fact onto the arguments
 /// that are neither stage, nor cost, nor choice-determined. Encoded.
@@ -71,18 +89,24 @@ pub struct Popped {
 
 /// Heap cost wrapper: ascending for `least`, descending for `most`
 /// (the paper's dual — `retrieve least` becomes `retrieve most`). A
-/// single [`Rql`] instance never mixes the two. Ordering goes through
-/// the dictionary ([`cmp_ids`]), never by id magnitude.
+/// single [`Rql`] instance never mixes variants. The generic variants
+/// order through the dictionary ([`cmp_ids`]), never by id magnitude;
+/// the `Int` variants carry the decoded `i64` and compare it directly
+/// — sound only when type analysis proves the cost column pure `int`,
+/// where the raw integer order coincides with `cmp_ids`.
 #[derive(Clone, Debug, PartialEq, Eq)]
 enum HeapCost {
     Asc(u32),
     Desc(u32),
+    AscInt { id: u32, val: i64 },
+    DescInt { id: u32, val: i64 },
 }
 
 impl HeapCost {
     fn id(&self) -> u32 {
         match self {
             HeapCost::Asc(v) | HeapCost::Desc(v) => *v,
+            HeapCost::AscInt { id, .. } | HeapCost::DescInt { id, .. } => *id,
         }
     }
 }
@@ -92,10 +116,21 @@ impl Ord for HeapCost {
         match (self, other) {
             (HeapCost::Asc(a), HeapCost::Asc(b)) => cmp_ids(*a, *b),
             (HeapCost::Desc(a), HeapCost::Desc(b)) => cmp_ids(*b, *a),
-            // Mixed variants cannot occur within one structure; order
-            // arbitrarily but consistently.
-            (HeapCost::Asc(_), HeapCost::Desc(_)) => std::cmp::Ordering::Less,
-            (HeapCost::Desc(_), HeapCost::Asc(_)) => std::cmp::Ordering::Greater,
+            (HeapCost::AscInt { val: a, .. }, HeapCost::AscInt { val: b, .. }) => {
+                bump_int_fast();
+                a.cmp(b)
+            }
+            (HeapCost::DescInt { val: a, .. }, HeapCost::DescInt { val: b, .. }) => {
+                bump_int_fast();
+                b.cmp(a)
+            }
+            _ => {
+                debug_assert!(
+                    false,
+                    "a single Rql never mixes heap-cost variants: {self:?} vs {other:?}"
+                );
+                std::cmp::Ordering::Equal
+            }
         }
     }
 }
@@ -129,6 +164,9 @@ impl PartialOrd for OrdRow {
 pub struct Rql {
     /// Descending (max-first) retrieval for `most` rules.
     descending: bool,
+    /// Costs are proved pure `int`: wrap them in the decode-free
+    /// variants. Set by the executor when type analysis licenses it.
+    int_costs: bool,
     heap: IndexedHeap<(HeapCost, OrdRow)>,
     /// `Q_r` membership: congruence key → heap handle.
     queued: FxHashMap<CongKey, Handle>,
@@ -172,8 +210,34 @@ impl Rql {
         self.metrics = Some(metrics);
     }
 
+    /// Switch cost wrapping to the decode-free `Int` variants.
+    ///
+    /// Only sound when **every** cost subsequently inserted decodes to
+    /// `Value::Int`: within a pure-`int` column the raw `i64` order
+    /// coincides with the dictionary order, so pop order is unchanged.
+    /// The executor sets this only when whole-program type analysis
+    /// proves the extremum's cost column `int`. Must be called while
+    /// the queue is empty (variants never mix inside one heap).
+    pub fn set_int_costs(&mut self, on: bool) {
+        debug_assert!(self.heap.is_empty(), "cannot change cost representation mid-run");
+        self.int_costs = on;
+    }
+
     fn wrap(&self, cost: u32) -> HeapCost {
-        if self.descending {
+        if self.int_costs {
+            let val = match dictionary::decode_ref(cost) {
+                gbc_ast::Value::Int(v) => *v,
+                other => {
+                    debug_assert!(false, "int-cost mode but cost decodes to {other:?}");
+                    i64::MIN
+                }
+            };
+            if self.descending {
+                HeapCost::DescInt { id: cost, val }
+            } else {
+                HeapCost::AscInt { id: cost, val }
+            }
+        } else if self.descending {
             HeapCost::Desc(cost)
         } else {
             HeapCost::Asc(cost)
@@ -182,6 +246,7 @@ impl Rql {
 
     /// The paper's insertion operation, over encoded ids.
     pub fn insert(&mut self, key: CongKey, cost: u32, row: Vec<u32>) -> RqlOutcome {
+        let fast_before = int_fast_compares();
         let outcome = self.insert_inner(key, cost, row);
         if let Some(m) = &self.metrics {
             match outcome {
@@ -194,6 +259,7 @@ impl Rql {
                 RqlOutcome::CongruentUsed => m.rql_used_blocked.inc(),
             }
             m.queue_peak.observe(self.heap.len() as u64);
+            m.heap_int_fast_compares.add(int_fast_compares() - fast_before);
         }
         outcome
     }
@@ -228,9 +294,11 @@ impl Rql {
     /// but belongs to neither `L_r` nor `R_r` until the caller
     /// classifies it with [`Rql::commit`] or [`Rql::discard`].
     pub fn pop_least(&mut self) -> Option<Popped> {
+        let fast_before = int_fast_compares();
         let (h, (cost, row)) = self.heap.pop_min()?;
         if let Some(m) = &self.metrics {
             m.heap_pops.inc();
+            m.heap_int_fast_compares.add(int_fast_compares() - fast_before);
         }
         let key = self.key_of.remove(&h).expect("popped handle has a key");
         self.queued.remove(&key);
@@ -415,6 +483,56 @@ mod tests {
         assert_eq!(s.rql_used_blocked, 1);
         assert_eq!(s.heap_pops, 1);
         assert_eq!(s.queue_peak, 2);
+    }
+
+    #[test]
+    fn int_mode_pops_in_the_same_order_as_the_generic_heap() {
+        let mut generic = Rql::new();
+        let mut fast = Rql::new();
+        fast.set_int_costs(true);
+        // Interleave magnitudes and signs so id order ≠ value order.
+        for (i, c) in [(1, 50), (2, -3), (3, 0), (4, 50), (5, 7)] {
+            generic.insert(key(&[i]), cost(c), row(&[i, c]));
+            fast.insert(key(&[i]), cost(c), row(&[i, c]));
+        }
+        let pops = |d: &mut Rql| -> Vec<(u32, Vec<u32>)> {
+            std::iter::from_fn(|| d.pop_least()).map(|p| (p.cost, p.row)).collect()
+        };
+        assert_eq!(pops(&mut generic), pops(&mut fast));
+    }
+
+    #[test]
+    fn int_mode_reports_fast_compares_to_metrics() {
+        let m = Arc::new(Metrics::new());
+        let mut d = Rql::new();
+        d.set_int_costs(true);
+        d.set_metrics(Arc::clone(&m));
+        d.insert(key(&[1]), cost(5), row(&[1, 5]));
+        d.insert(key(&[2]), cost(3), row(&[2, 3]));
+        d.insert(key(&[1]), cost(2), row(&[1, 2])); // replace: compares against old
+        while d.pop_least().is_some() {}
+        let s = m.snapshot();
+        assert!(s.heap_int_fast_compares > 0, "{s:?}");
+        // The generic heap reports none.
+        let m2 = Arc::new(Metrics::new());
+        let mut g = Rql::new();
+        g.set_metrics(Arc::clone(&m2));
+        g.insert(key(&[1]), cost(5), row(&[1, 5]));
+        g.insert(key(&[2]), cost(3), row(&[2, 3]));
+        while g.pop_least().is_some() {}
+        assert_eq!(m2.snapshot().heap_int_fast_compares, 0);
+    }
+
+    #[test]
+    fn descending_int_mode_pops_maxima() {
+        let mut d = Rql::new_descending();
+        d.set_int_costs(true);
+        d.insert(key(&[1]), cost(5), row(&[1, 5]));
+        d.insert(key(&[2]), cost(9), row(&[2, 9]));
+        d.insert(key(&[3]), cost(-2), row(&[3, -2]));
+        assert_eq!(d.pop_least().unwrap().cost, cost(9));
+        assert_eq!(d.pop_least().unwrap().cost, cost(5));
+        assert_eq!(d.pop_least().unwrap().cost, cost(-2));
     }
 
     #[test]

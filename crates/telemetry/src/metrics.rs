@@ -91,6 +91,10 @@ pub struct Metrics {
     pub rql_used_blocked: Counter,
     /// Largest `|Q_r|` observed across all rules.
     pub queue_peak: MaxGauge,
+    /// Heap cost comparisons served by the decode-free `Int` fast path
+    /// (the type-analysis-licensed specialization; zero when the cost
+    /// column is not proved `int` or analysis is off).
+    pub heap_int_fast_compares: Counter,
     // -- γ --
     /// Committed γ steps (next-rule and exit-rule firings).
     pub gamma_steps: Counter,
@@ -149,6 +153,7 @@ impl Metrics {
             rql_dominated: self.rql_dominated.get(),
             rql_used_blocked: self.rql_used_blocked.get(),
             queue_peak: self.queue_peak.get(),
+            heap_int_fast_compares: self.heap_int_fast_compares.get(),
             gamma_steps: self.gamma_steps.get(),
             discarded_pops: self.discarded_pops.get(),
             diffchoice_rejections: self.diffchoice_rejections.get(),
@@ -176,6 +181,7 @@ pub struct Snapshot {
     pub rql_dominated: u64,
     pub rql_used_blocked: u64,
     pub queue_peak: u64,
+    pub heap_int_fast_compares: u64,
     pub gamma_steps: u64,
     pub discarded_pops: u64,
     pub diffchoice_rejections: u64,
@@ -198,6 +204,7 @@ impl Snapshot {
             ("rql_dominated", self.rql_dominated),
             ("rql_used_blocked", self.rql_used_blocked),
             ("queue_peak", self.queue_peak),
+            ("heap_int_fast_compares", self.heap_int_fast_compares),
             ("discarded_pops", self.discarded_pops),
             ("diffchoice_rejections", self.diffchoice_rejections),
             ("stage_reuse_rejections", self.stage_reuse_rejections),

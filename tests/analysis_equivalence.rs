@@ -1,0 +1,120 @@
+//! Analysis-specialization equivalence sweep — the PR 8 contract:
+//! whole-program analysis (dead-rule pruning, folded constants, the
+//! decode-free `Int` cost heap, the bindings-free feed) is a pure
+//! optimization. Every shipped program must produce byte-identical
+//! results with analysis on and off (`GBC_NO_ANALYZE=1` territory), at
+//! 1 and 4 worker threads — same canonical relation dump, same chosen
+//! records, same semantic counters.
+//!
+//! The one counter that *may* differ is `heap_int_fast_compares`
+//! (that's the point of the specialization); it is zeroed on both
+//! sides before the snapshot comparison and asserted positive on the
+//! programs whose cost columns are provably `int`.
+
+use gbc_core::{ChosenRecord, GreedyConfig};
+use gbc_storage::Database;
+use gbc_telemetry::{Snapshot, Telemetry};
+
+/// The ci.sh observability groupings: every shipped program with the
+/// EDB file(s) it runs against.
+const PROGRAMS: [&[&str]; 9] = [
+    &["programs/prim.dl", "programs/graph_small.dl"],
+    &["programs/spanning.dl", "programs/graph_small.dl"],
+    &["programs/kruskal.dl", "programs/graph_small.dl"],
+    &["programs/sort.dl"],
+    &["programs/matching.dl"],
+    &["programs/huffman.dl"],
+    &["programs/scheduling.dl"],
+    &["programs/tsp.dl"],
+    &["programs/assignment.dl"],
+];
+
+/// Everything that must be invariant under the analysis switch, plus
+/// the one counter that is allowed to move.
+#[derive(Debug, PartialEq)]
+struct RunFingerprint {
+    canonical: String,
+    chosen: Vec<ChosenRecord>,
+    snapshot: Snapshot,
+}
+
+fn compile_group(files: &[&str]) -> gbc_core::Compiled {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let mut source = String::new();
+    for f in files {
+        let path = format!("{root}/{f}");
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+        source.push_str(&text);
+        source.push('\n');
+    }
+    let program = gbc_parser::parse_program(&source).expect("shipped program parses");
+    gbc_core::compile(program).expect("shipped program compiles")
+}
+
+/// Run one group, mirroring `gbc run`: greedy when planned, generic
+/// otherwise. Returns the fingerprint and the raw
+/// `heap_int_fast_compares` count (zeroed inside the fingerprint).
+fn run_group(files: &[&str], threads: usize, analyze: bool) -> (RunFingerprint, u64) {
+    let compiled = compile_group(files);
+    let edb = Database::new();
+    let tel = Telemetry::enabled();
+    let (db, chosen) = if compiled.has_greedy_plan() {
+        let config = GreedyConfig { threads, analyze, ..GreedyConfig::default() };
+        let run = compiled.run_greedy_telemetry(&edb, config, &tel).expect("greedy run");
+        (run.db, run.chosen)
+    } else {
+        // The generic fixpoint has no analysis-gated specializations;
+        // it anchors the sweep so every shipped program is covered.
+        let mut fixpoint =
+            gbc_engine::ChoiceFixpoint::new(compiled.expanded(), &edb).expect("fixpoint");
+        fixpoint.set_telemetry(tel.clone());
+        fixpoint.run(&mut gbc_engine::DeterministicFirst).expect("fixpoint run");
+        let chosen = gbc_core::verify::records_from_engine(&fixpoint, compiled.expanded());
+        (fixpoint.into_database(), chosen)
+    };
+    let mut snapshot = tel.snapshot();
+    let int_fast = snapshot.heap_int_fast_compares;
+    snapshot.heap_int_fast_compares = 0;
+    (RunFingerprint { canonical: db.canonical_form(), chosen, snapshot }, int_fast)
+}
+
+#[test]
+fn analysis_specializations_change_nothing_observable() {
+    for files in PROGRAMS {
+        for threads in [1, 4] {
+            let (on, _) = run_group(files, threads, true);
+            let (off, off_fast) = run_group(files, threads, false);
+            assert!(!on.canonical.is_empty(), "{files:?} produced no facts");
+            assert_eq!(
+                on, off,
+                "{files:?} diverged between analysis on/off at {threads} thread(s)"
+            );
+            assert_eq!(
+                off_fast, 0,
+                "{files:?}: analysis off must never take the Int heap fast path"
+            );
+        }
+    }
+}
+
+#[test]
+fn int_cost_heap_engages_on_integer_cost_programs() {
+    for files in [&["programs/prim.dl", "programs/graph_small.dl"][..], &["programs/sort.dl"][..]] {
+        let (_, int_fast) = run_group(files, 1, true);
+        assert!(
+            int_fast > 0,
+            "{files:?}: cost column is provably int, the fast heap should engage"
+        );
+    }
+}
+
+#[test]
+fn no_analyze_env_var_flips_the_default() {
+    // The env var is read at `GreedyConfig::default()` time; exercise
+    // both explicit values instead of mutating the process environment
+    // (tests run concurrently).
+    let on = GreedyConfig { analyze: true, ..GreedyConfig::default() };
+    let off = GreedyConfig { analyze: false, ..GreedyConfig::default() };
+    assert!(on.analyze && !off.analyze);
+    assert_eq!(on.max_steps, off.max_steps);
+}
