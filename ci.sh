@@ -21,7 +21,13 @@ cargo fmt --all --check
 echo "== smoke: gbc run with observability =="
 stats_json="$(mktemp)"
 diag_json="$(mktemp)"
-trap 'rm -f "$stats_json" "$diag_json"' EXIT
+serve_log="$(mktemp)"
+serve_pid=""
+cleanup() {
+    rm -f "$stats_json" "$diag_json" "$serve_log"
+    [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true
+}
+trap cleanup EXIT
 ./target/release/gbc run programs/prim.dl programs/graph_small.dl \
     --stats --stats-json "$stats_json" >/dev/null
 grep -q '"gamma_steps": 5' "$stats_json" || {
@@ -191,21 +197,80 @@ for col in dict_entries encode_hits decode_calls; do
     }
 done
 
-echo "== ci-load: serve-load smoke + regression gate =="
+echo "== ci-serve: gbc serve endpoint sweep over real TCP =="
+# Boot the actual `gbc serve` binary on an ephemeral port and exercise
+# every endpoint through raw TCP streams (bash /dev/tcp): liveness,
+# load, concurrent-safe evaluation, stats, journal, programs, the
+# Prometheus scrape, and the malformed-request 400 path. The in-process
+# TcpStream coverage (byte-identity with `gbc run`, mid-run scrapes)
+# lives in tests/serve_smoke.rs, which `cargo test` above already ran.
+./target/release/gbc serve 127.0.0.1:0 programs/sort.dl --threads 2 \
+    2>"$serve_log" &
+serve_pid=$!
+for _ in $(seq 1 50); do
+    grep -q 'listening on' "$serve_log" && break
+    sleep 0.1
+done
+serve_port="$(sed -n 's#.*http://127\.0\.0\.1:\([0-9]*\).*#\1#p' "$serve_log")"
+[ -n "$serve_port" ] || { echo "gbc serve did not come up" >&2; exit 1; }
+
+http_get() { # PATH -> full response on stdout
+    exec 9<>"/dev/tcp/127.0.0.1/$serve_port"
+    printf 'GET %s HTTP/1.1\r\nHost: ci\r\nConnection: close\r\n\r\n' "$1" >&9
+    cat <&9
+    exec 9<&- 9>&-
+}
+http_post() { # PATH BODY -> full response on stdout
+    local len
+    len=$(printf '%s' "$2" | wc -c)
+    exec 9<>"/dev/tcp/127.0.0.1/$serve_port"
+    printf 'POST %s HTTP/1.1\r\nHost: ci\r\nContent-Length: %s\r\nConnection: close\r\n\r\n%s' \
+        "$1" "$len" "$2" >&9
+    cat <&9
+    exec 9<&- 9>&-
+}
+
+http_get /healthz | grep -q '"status":"ok"' || {
+    echo "/healthz is not ok" >&2; exit 1; }
+http_post /load '{"name": "prim", "files": ["programs/prim.dl", "programs/graph_small.dl"]}' \
+    | grep -q '"greedy_plan": true' || {
+    echo "POST /load failed for prim" >&2; exit 1; }
+http_post /run '{"session": "prim", "threads": 2, "journal": true}' \
+    | grep -q '"gamma_steps":5' || {
+    echo "POST /run gave unexpected gamma_steps (want the gbc-run-pinned 5)" >&2; exit 1; }
+http_get '/stats?session=prim' | grep -q '"schema_version": 2' || {
+    echo "GET /stats missing the schema-v2 report" >&2; exit 1; }
+http_get '/journal?session=prim' | grep -q '"type":"stage_commit"' || {
+    echo "GET /journal carries no choice-audit events" >&2; exit 1; }
+http_get /programs | grep -q '"name": "prim"' || {
+    echo "GET /programs does not list prim" >&2; exit 1; }
+http_get /metrics | grep -q '^gbc_runs_total 1$' || {
+    echo "GET /metrics lost the run counter" >&2; exit 1; }
+http_post /run '{not json' | head -1 | grep -q '400' || {
+    echo "malformed /run body did not answer 400" >&2; exit 1; }
+http_get /nowhere | head -1 | grep -q '404' || {
+    echo "unknown endpoint did not answer 404" >&2; exit 1; }
+kill "$serve_pid" 2>/dev/null || true
+wait "$serve_pid" 2>/dev/null || true
+serve_pid=""
+
+echo "== ci-load: end-to-end serve-load smoke + regression gate =="
 # A small multi-tenant closed-loop load run (2 sessions × 2 workers,
-# quick request count), appended to the bench trail, then gated
-# against the committed serve-baseline record: semantic counters must
-# match exactly; timing columns only warn (75% tolerance — shared CI
-# boxes cannot hard-gate wall-clock).
+# quick request count) driven through a real gbc-serve server over TCP,
+# appended to the bench trail, then gated against the committed
+# post-PR9 record: semantic counters must match exactly; timing columns
+# only warn (75% tolerance — shared CI boxes cannot hard-gate
+# wall-clock, and the TCP path adds connect + framing latency that the
+# pre-PR9 in-process serve-baseline rows never paid).
 ./target/release/experiments --serve-load 2x2 --quick \
     --json BENCH_experiments.json --label "ci-load" >/dev/null
 grep -q '"label": "ci-load"' BENCH_experiments.json || {
     echo "serve-load run did not land in BENCH_experiments.json" >&2
     exit 1
 }
-./target/release/experiments --compare serve-baseline \
+./target/release/experiments --compare post-PR9 \
     --json BENCH_experiments.json --tolerance 75 || {
-    echo "serve-load regression gate failed against serve-baseline" >&2
+    echo "serve-load regression gate failed against post-PR9" >&2
     exit 1
 }
 

@@ -30,9 +30,14 @@
 //! engine's determinism contract, DESIGN.md §9); only wall-clock moves.
 //!
 //! `--serve-load SESSIONSxTHREADS` (also accepts `×`) runs the
-//! multi-tenant closed-loop harness from `gbc_bench::serve`: concurrent
-//! sessions over shared plan-compiled programs, per-request latency in
-//! mergeable histograms, p50/p90/p99 and requests-per-second columns.
+//! multi-tenant closed-loop harness from `gbc_bench::serve` **through a
+//! real `gbc-serve` server over TCP**: tenants are installed as
+//! sessions on an ephemeral-port server and every request is a `POST
+//! /run` via the in-tree HTTP client, so the p50/p90/p99 and
+//! requests-per-second columns measure the end-to-end path a deployed
+//! client sees (connect + framing + evaluation + serialization).
+//! Semantic counter columns are reconstructed from the responses and
+//! stay byte-compatible with the pre-PR9 in-process rows.
 //!
 //! `--compare LABEL` diffs the **newest** run in the `--json` file
 //! against the most recent *earlier* run labelled `LABEL`. Semantic
@@ -58,7 +63,7 @@ use gbc_baselines::prim::prim_mst;
 use gbc_baselines::sorts::{heapsort, insertion_sort};
 use gbc_baselines::total_cost;
 use gbc_baselines::tsp::{greedy_chain, is_hamiltonian_path, nearest_neighbour};
-use gbc_bench::{fit_exponent, render_table, serve_load, standard_tenants, Harness, Sample};
+use gbc_bench::{fit_exponent, render_table, serve_load_tcp, standard_tenants, Harness, Sample};
 use gbc_greedy::{huffman, kruskal, matching, prim, sorting, spanning, student, tsp, workload};
 use gbc_telemetry::Json;
 
@@ -924,11 +929,11 @@ fn a2_seminaive(quick: bool) {
 
 fn sl_serve_load(quick: bool, sessions: usize, workers: usize, rec: &mut Recorder) {
     println!(
-        "\n== SL  Serve-load: {sessions} sessions × {workers} workers, multi-tenant closed loop =="
+        "\n== SL  Serve-load: {sessions} sessions × {workers} workers, multi-tenant over TCP =="
     );
     let requests: u64 = if quick { 4 } else { 25 };
     let tenants = standard_tenants();
-    let report = serve_load(&tenants, sessions, workers, requests);
+    let report = serve_load_tcp(&tenants, sessions, workers, requests);
     let mut rows = Vec::new();
     for t in &report.tenants {
         // With fewer sessions than tenants, the tail tenants serve none;

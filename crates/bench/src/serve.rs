@@ -28,7 +28,7 @@ use gbc_core::{Compiled, GreedyConfig};
 use gbc_engine::WorkerPool;
 use gbc_greedy::{matching, prim, sorting, workload};
 use gbc_storage::Database;
-use gbc_telemetry::{Histogram, Snapshot};
+use gbc_telemetry::{Histogram, Json, Snapshot};
 
 /// One shareable workload: a compiled program and the EDB its requests
 /// evaluate against.
@@ -154,7 +154,111 @@ pub fn serve_load(
         (latency, snapshot.expect("at least one request"))
     });
     let wall_secs = t_run.elapsed().as_secs_f64();
+    aggregate(tenants, per_session, sessions, threads, requests_per_session, wall_secs)
+}
 
+/// [`serve_load`] measured **end-to-end over TCP** against a real
+/// `gbc-serve` server: an ephemeral-port [`gbc_serve::Server`] is
+/// booted with every tenant installed as a session, and each session
+/// loop issues its requests as `POST /run` over a fresh connection via
+/// the in-tree blocking client — so the recorded latencies include
+/// connect, HTTP framing, evaluation and response serialization, which
+/// is what a deployed `gbc serve` client would see.
+///
+/// Per-request semantic counters are reconstructed from each response's
+/// `counters` object ([`Snapshot::from_json`]) and held to the same
+/// drift assertions as the in-process harness; canonical result text
+/// must also be identical across every request to a tenant. Row keys
+/// and counter values are byte-compatible with [`serve_load`] rows, so
+/// `experiments --compare` gates the same columns either way.
+///
+/// # Panics
+/// On any transport error, non-200 response, counter drift, or result
+/// drift — each would mean the shared-server contract is broken.
+pub fn serve_load_tcp(
+    tenants: &[Tenant],
+    sessions: usize,
+    threads: usize,
+    requests_per_session: u64,
+) -> LoadReport {
+    assert!(!tenants.is_empty() && sessions > 0 && requests_per_session > 0);
+    let server = gbc_serve::Server::bind("127.0.0.1:0").expect("bind ephemeral port");
+    for t in tenants {
+        server.state().install(gbc_serve::Session::new(
+            t.name,
+            "<bench>",
+            t.compiled.clone(),
+            t.edb.clone(),
+        ));
+    }
+    let addr = server.local_addr().to_string();
+    let handle = server.spawn(threads);
+
+    let pool = WorkerPool::new(threads);
+    let t_run = Instant::now();
+    let per_session: Vec<(Histogram, Snapshot)> = pool.run(sessions, |s, _worker| {
+        let tenant = &tenants[s % tenants.len()];
+        let body = format!("{{\"session\": \"{}\"}}", tenant.name);
+        let mut latency = Histogram::default();
+        let mut snapshot: Option<Snapshot> = None;
+        let mut result: Option<String> = None;
+        for _ in 0..requests_per_session {
+            let t0 = Instant::now();
+            let (status, reply) = gbc_serve::client::post_json(&addr, "/run", &body)
+                .unwrap_or_else(|e| panic!("tenant `{}` request failed: {e}", tenant.name));
+            latency.record(t0.elapsed().as_nanos() as u64);
+            assert_eq!(status, 200, "tenant `{}` answered {status}: {reply}", tenant.name);
+            let json = Json::parse(reply.trim())
+                .unwrap_or_else(|e| panic!("tenant `{}` reply unparseable: {e}", tenant.name));
+            let mut snap = json
+                .get("counters")
+                .ok_or_else(|| "reply missing `counters`".to_owned())
+                .and_then(Snapshot::from_json)
+                .unwrap_or_else(|e| panic!("tenant `{}`: {e}", tenant.name));
+            // The server runs under full telemetry, so its snapshots
+            // carry the per-round delta history; the in-process harness
+            // runs counters-only. History is a stats-plane detail, not
+            // a pinned counter — drop it so the two transports compare
+            // (and gate) on identical semantic ground.
+            snap.delta_history.clear();
+            let text = json
+                .get("result")
+                .and_then(|r| r.as_str())
+                .unwrap_or_else(|| panic!("tenant `{}` reply missing `result`", tenant.name));
+            match &snapshot {
+                None => snapshot = Some(snap),
+                Some(first) => assert_eq!(
+                    *first, snap,
+                    "tenant `{}`: request counters drifted over TCP",
+                    tenant.name
+                ),
+            }
+            match &result {
+                None => result = Some(text.to_owned()),
+                Some(first) => assert_eq!(
+                    first, text,
+                    "tenant `{}`: canonical results drifted over TCP",
+                    tenant.name
+                ),
+            }
+        }
+        (latency, snapshot.expect("at least one request"))
+    });
+    let wall_secs = t_run.elapsed().as_secs_f64();
+    handle.shutdown();
+    aggregate(tenants, per_session, sessions, threads, requests_per_session, wall_secs)
+}
+
+/// Fold per-session results into per-tenant reports, asserting counter
+/// agreement across sessions of the same tenant.
+fn aggregate(
+    tenants: &[Tenant],
+    per_session: Vec<(Histogram, Snapshot)>,
+    sessions: usize,
+    threads: usize,
+    requests_per_session: u64,
+    wall_secs: f64,
+) -> LoadReport {
     let mut reports: Vec<TenantReport> = tenants
         .iter()
         .map(|t| TenantReport {
@@ -200,6 +304,21 @@ mod tests {
         }
         assert!(report.req_per_sec() > 0.0);
         assert_eq!(report.merged_latency().count(), 6);
+    }
+
+    #[test]
+    fn tcp_transport_preserves_per_request_counters() {
+        // The whole point of the TCP harness: going through the real
+        // server must not change one semantic counter (or byte of
+        // result) relative to calling the executor directly.
+        let tenants = standard_tenants();
+        let direct = serve_load(&tenants, 3, 1, 1);
+        let over_tcp = serve_load_tcp(&tenants, 3, 2, 2);
+        assert_eq!(over_tcp.total_requests(), 6);
+        for (a, b) in direct.tenants.iter().zip(over_tcp.tenants.iter()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.per_request, b.per_request, "tenant `{}` drifted over TCP", a.name);
+        }
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! gbc rewrite FILE...            print the negative (rewritten) program
 //! gbc verify  FILE... [--stats] [--trace] [--stats-json PATH]
 //! gbc explain FILE... -- 'ATOM'  print why matching facts are in the model
+//! gbc serve   ADDR [FILE...] [--threads N]   long-running evaluation server
 //! ```
 //!
 //! `gbc check` runs the full static pipeline — parse, validation,
@@ -368,6 +369,32 @@ fn render_profile(tel: &Telemetry, program: &Program, sm: &SourceMap) -> String 
     out
 }
 
+/// `gbc serve ADDR [FILE...]`: bind the long-running evaluation server
+/// on `ADDR` (port `0` picks an ephemeral port, printed on stderr),
+/// preload each `FILE` as a session named after its file stem, and
+/// serve until the process is killed. `--threads N` sizes the HTTP
+/// worker pool — engine-level parallelism is chosen per request via the
+/// `threads` field of `POST /run` bodies. Endpoints and the metric name
+/// registry are documented in DESIGN.md §13.
+fn cmd_serve(opts: &Options) -> Result<(), String> {
+    let (addr, preload) = opts.files.split_first().expect("parse_options requires an argument");
+    let server = gbc_serve::Server::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+    for file in preload {
+        let name = std::path::Path::new(file)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| file.clone());
+        let sm = read_sources(std::slice::from_ref(file))?;
+        let compiled =
+            gbc_serve::router::compile_source(&sm).map_err(|e| format!("{file}: {e}"))?;
+        server.state().install(gbc_serve::Session::new(&name, file, compiled, Database::new()));
+        eprintln!("loaded session `{name}` from {file}");
+    }
+    let workers = opts.resolve_threads();
+    eprintln!("gbc serve listening on http://{} ({workers} workers)", server.local_addr());
+    server.serve(workers).map_err(|e| e.to_string())
+}
+
 /// Read every input file into one [`SourceMap`] (programs + facts mix
 /// freely; spans stay attributable to the file they came from).
 fn read_sources(files: &[String]) -> Result<SourceMap, String> {
@@ -410,6 +437,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "rewrite" => cmd_rewrite(&opts),
         "verify" => cmd_verify(&opts),
         "explain" => cmd_explain(&opts),
+        "serve" => cmd_serve(&opts),
         other => Err(format!("unknown command `{other}`\n{}", usage())),
     }
 }
@@ -418,7 +446,8 @@ fn usage() -> String {
     "usage: gbc <check|analyze|run|models|rewrite|verify|explain> FILE... \
      [--generic] [--seed N] [--threads N] [--stats] [--trace] [--profile] \
      [--stats-json PATH] [--trace-json PATH] [--journal-json PATH] [--max N] \
-     [--deny-warnings] [--diag-json PATH] [--analysis-json PATH] [-- 'atom']"
+     [--deny-warnings] [--diag-json PATH] [--analysis-json PATH] [-- 'atom']\n\
+     \x20      gbc serve ADDR [FILE...] [--threads N]    (see DESIGN.md §13)"
         .to_owned()
 }
 

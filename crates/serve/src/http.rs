@@ -1,0 +1,276 @@
+//! A minimal HTTP/1.1 request reader and response writer over
+//! `std::net::TcpStream` — just enough of RFC 9112 for the `gbc serve`
+//! endpoints, with hard limits on every dimension an untrusted peer
+//! controls (request-line length, header count, body size).
+//!
+//! Connections are one-shot: the server answers a single request and
+//! closes (`Connection: close` on every response), which keeps the
+//! reader loop trivial and makes worker accounting exact. The in-tree
+//! [`crate::client`] and any curl/browser peer handle that fine.
+
+use std::io::{BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Longest accepted request line (method + target + version), in bytes.
+pub const MAX_REQUEST_LINE: usize = 8 * 1024;
+/// Most headers accepted on one request.
+pub const MAX_HEADERS: usize = 64;
+/// Largest accepted request body, in bytes (programs are text; the
+/// biggest in-tree `.dl` file is under 4 KiB, so 1 MiB is generous).
+pub const MAX_BODY: usize = 1024 * 1024;
+
+/// A parsed request: method, split target, and the (possibly empty)
+/// body. Header values other than `Content-Length` are ignored — none
+/// of the endpoints are content-negotiated.
+#[derive(Debug)]
+pub struct Request {
+    /// `GET`, `POST`, … (uppercased by the peer per HTTP).
+    pub method: String,
+    /// The path component of the target, e.g. `/journal`.
+    pub path: String,
+    /// Decoded `key=value` pairs of the query string, in order.
+    pub query: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: String,
+}
+
+impl Request {
+    /// First query value for `key`, when present.
+    pub fn query(&self, key: &str) -> Option<&str> {
+        self.query.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be parsed; rendered into a 400 response.
+#[derive(Debug)]
+pub struct BadRequest(pub String);
+
+impl std::fmt::Display for BadRequest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+fn bad(msg: impl Into<String>) -> BadRequest {
+    BadRequest(msg.into())
+}
+
+/// Read one request from `stream`. `Err` means the bytes were not a
+/// parseable request (or blew a limit) and the caller should answer
+/// 400 and close; an empty `Ok(None)` means the peer closed before
+/// sending anything (a health-probe pattern) and there is nothing to
+/// answer.
+pub fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, BadRequest> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    read_line_limited(&mut reader, &mut line, MAX_REQUEST_LINE)?;
+    if line.is_empty() {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or_else(|| bad("empty request line"))?.to_owned();
+    let target = parts.next().ok_or_else(|| bad("request line missing target"))?.to_owned();
+    let version = parts.next().ok_or_else(|| bad("request line missing HTTP version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad(format!("unsupported protocol `{version}`")));
+    }
+    if parts.next().is_some() {
+        return Err(bad("malformed request line"));
+    }
+
+    let mut content_length: usize = 0;
+    for n in 0.. {
+        if n >= MAX_HEADERS {
+            return Err(bad(format!("more than {MAX_HEADERS} headers")));
+        }
+        let mut header = String::new();
+        read_line_limited(&mut reader, &mut header, MAX_REQUEST_LINE)?;
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            return Err(bad(format!("malformed header `{header}`")));
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| bad(format!("unparseable Content-Length `{}`", value.trim())))?;
+            if content_length > MAX_BODY {
+                return Err(bad(format!("body of {content_length} bytes exceeds {MAX_BODY}")));
+            }
+        }
+    }
+
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(|e| bad(format!("short body: {e}")))?;
+    let body = String::from_utf8(body).map_err(|_| bad("body is not UTF-8"))?;
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_owned(), parse_query(q)),
+        None => (target, Vec::new()),
+    };
+    Ok(Some(Request { method, path, query, body }))
+}
+
+/// Read one CRLF- (or LF-) terminated line into `buf`, stripped of the
+/// terminator, refusing lines longer than `limit`.
+fn read_line_limited(
+    reader: &mut BufReader<&mut TcpStream>,
+    buf: &mut String,
+    limit: usize,
+) -> Result<(), BadRequest> {
+    let mut raw = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match reader.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                raw.push(byte[0]);
+                if raw.len() > limit {
+                    return Err(bad(format!("line longer than {limit} bytes")));
+                }
+            }
+            Err(e) => return Err(bad(format!("read failed: {e}"))),
+        }
+    }
+    if raw.last() == Some(&b'\r') {
+        raw.pop();
+    }
+    *buf = String::from_utf8(raw).map_err(|_| bad("header bytes are not UTF-8"))?;
+    Ok(())
+}
+
+/// Split `a=1&b=2` into pairs, percent-decoding both sides (`%2F`,
+/// `+` for space — the subset curl and the in-tree client emit).
+fn parse_query(q: &str) -> Vec<(String, String)> {
+    q.split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(kv), String::new()),
+        })
+        .collect()
+}
+
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' if i + 2 < bytes.len() => match u8::from_str_radix(&s[i + 1..i + 3], 16) {
+                Ok(b) => {
+                    out.push(b);
+                    i += 3;
+                }
+                Err(_) => {
+                    out.push(b'%');
+                    i += 1;
+                }
+            },
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// A response about to be written: status, media type, body.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Response {
+        Response { status, content_type: "application/json", body }
+    }
+
+    /// A plain-text response (Prometheus exposition, JSON-lines).
+    pub fn text(status: u16, content_type: &'static str, body: String) -> Response {
+        Response { status, content_type, body }
+    }
+
+    /// A JSON error envelope: `{"error": "..."}`.
+    pub fn error(status: u16, message: &str) -> Response {
+        let body =
+            gbc_telemetry::Json::obj(vec![("error", gbc_telemetry::Json::Str(message.to_owned()))]);
+        Response::json(status, format!("{body}\n"))
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            500 => "Internal Server Error",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serialize onto `stream`. Errors are ignored beyond returning —
+    /// the peer may have gone away, which is its privilege.
+    pub fn write(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            self.reason(),
+            self.content_type,
+            self.body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(self.body.as_bytes())?;
+        stream.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_strings_split_and_decode() {
+        let q = parse_query("session=prim&x=a%2Fb&flag&name=two+words");
+        assert_eq!(
+            q,
+            vec![
+                ("session".into(), "prim".into()),
+                ("x".into(), "a/b".into()),
+                ("flag".into(), String::new()),
+                ("name".into(), "two words".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn stray_percent_passes_through() {
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("a%zzb"), "a%zzb");
+    }
+
+    #[test]
+    fn responses_carry_content_length_and_close() {
+        let r = Response::json(200, "{}".into());
+        assert_eq!(r.reason(), "OK");
+        let e = Response::error(400, "nope");
+        assert!(e.body.contains("\"error\":\"nope\""));
+        assert_eq!(e.reason(), "Bad Request");
+    }
+}

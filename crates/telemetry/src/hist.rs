@@ -114,6 +114,13 @@ impl Histogram {
         self.max
     }
 
+    /// Exact sum of the recorded values (saturating at `u128::MAX`).
+    /// Survives [`Histogram::merge`] exactly — merged sums add — which
+    /// is what lets a mean be recomputed after any bucket merge.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
     /// Mean of the recorded values (0.0 when empty).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -187,12 +194,16 @@ impl Histogram {
         self.max = self.max.max(other.max);
     }
 
-    /// Summary as a JSON object: precision, count, exact min/max, mean,
-    /// and the standard latency percentiles.
+    /// Summary as a JSON object: precision, count, exact sum and
+    /// min/max, mean, and the standard latency percentiles. `sum` is
+    /// what makes the mean recomputable after downstream bucket merges
+    /// (merged counts and sums both add exactly); it saturates to
+    /// `u64::MAX` in the unlikely event the u128 accumulator exceeds it.
     pub fn to_json(&self) -> Json {
         Json::obj(vec![
             ("bits", Json::UInt(self.bits as u64)),
             ("count", Json::UInt(self.count)),
+            ("sum", Json::UInt(u64::try_from(self.sum).unwrap_or(u64::MAX))),
             ("min", Json::UInt(self.min())),
             ("max", Json::UInt(self.max())),
             ("mean", Json::Float(self.mean())),
@@ -325,6 +336,10 @@ mod tests {
             for q in [0.5, 0.9, 0.99, 0.999] {
                 assert_eq!(merged.quantile(q), combined.quantile(q));
             }
+            // Sums add exactly under merge — the invariant that lets a
+            // mean be recomputed from any downstream aggregate.
+            assert_eq!(merged.sum(), a.sum() + b.sum());
+            assert_eq!(merged.sum(), combined.sum());
         }
     }
 
@@ -373,10 +388,22 @@ mod tests {
             h.record(v * 1000);
         }
         let s = h.to_json().to_string();
-        for key in ["bits", "count", "min", "max", "mean", "p50", "p90", "p99", "p999"] {
+        for key in ["bits", "count", "sum", "min", "max", "mean", "p50", "p90", "p99", "p999"] {
             assert!(s.contains(&format!("\"{key}\":")), "{key} missing from {s}");
         }
         assert!(s.contains("\"count\":1000"));
+        // sum = 1000·1001/2 · 1000 — exact, so the mean is recomputable
+        // from the JSON alone: sum / count.
+        assert!(s.contains("\"sum\":500500000"), "exact sum missing from {s}");
+    }
+
+    #[test]
+    fn json_sum_saturates_instead_of_wrapping() {
+        let mut h = Histogram::new(7);
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), 2 * u128::from(u64::MAX));
+        assert_eq!(h.to_json().get("sum").and_then(Json::as_u64), Some(u64::MAX));
     }
 
     #[test]

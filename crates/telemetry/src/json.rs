@@ -33,8 +33,16 @@ impl Json {
     /// Parse a JSON document. Numbers without a fraction or exponent
     /// parse as `Int`/`UInt` (so counters survive a round trip with
     /// their integer identity intact); anything else becomes `Float`.
+    ///
+    /// Containers may nest at most [`MAX_PARSE_DEPTH`] levels deep.
+    /// The parser is recursive-descent, so an adversarial document like
+    /// `[[[[…` would otherwise translate directly into unbounded native
+    /// stack growth; past the limit it returns a structured error
+    /// instead. Every document the workspace itself writes nests a
+    /// handful of levels, so the bound is unobservable in normal use —
+    /// it exists for untrusted input (`gbc serve` request bodies).
     pub fn parse(text: &str) -> Result<Json, String> {
-        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0, depth: 0 };
         p.skip_ws();
         let value = p.value()?;
         p.skip_ws();
@@ -125,10 +133,18 @@ impl Json {
     }
 }
 
+/// Deepest container nesting [`Json::parse`] accepts. Each level of an
+/// array or object costs one recursion frame, so this caps native stack
+/// use at a few tens of kilobytes — far below any thread's stack — no
+/// matter what a client sends.
+pub const MAX_PARSE_DEPTH: usize = 128;
+
 /// Recursive-descent JSON reader over a byte slice.
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// Current container nesting, checked against [`MAX_PARSE_DEPTH`].
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -173,12 +189,28 @@ impl Parser<'_> {
         }
     }
 
+    /// Enter one container level, failing once the document nests
+    /// deeper than [`MAX_PARSE_DEPTH`]. Callers pair it with a
+    /// `self.depth -= 1` on exit.
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_PARSE_DEPTH} levels at byte {}",
+                self.pos
+            ));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Json, String> {
+        self.enter()?;
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -189,6 +221,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
@@ -197,11 +230,13 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<Json, String> {
+        self.enter()?;
         self.expect(b'{')?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(fields));
         }
         loop {
@@ -216,6 +251,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(fields));
                 }
                 _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
@@ -482,6 +518,61 @@ mod tests {
         for bad in ["", "{", "[1,", "{\"a\" 1}", "tru", "1 2", "\"unterminated"] {
             assert!(Json::parse(bad).is_err(), "`{bad}` must not parse");
         }
+    }
+
+    /// `depth` levels of nested arrays: `[[…[0]…]]`.
+    fn nested_arrays(depth: usize) -> String {
+        format!("{}0{}", "[".repeat(depth), "]".repeat(depth))
+    }
+
+    #[test]
+    fn parse_accepts_nesting_up_to_the_depth_limit() {
+        let doc = nested_arrays(MAX_PARSE_DEPTH);
+        let mut v = Json::parse(&doc).expect("exactly MAX_PARSE_DEPTH levels must parse");
+        for _ in 0..MAX_PARSE_DEPTH {
+            let Json::Arr(items) = v else { panic!("expected an array") };
+            v = items.into_iter().next().expect("one item per level");
+        }
+        assert_eq!(v, Json::UInt(0));
+        // Mixed containers count object and array levels alike.
+        let mixed = format!(
+            "{}{}1{}{}",
+            "{\"k\":".repeat(60),
+            "[".repeat(60),
+            "]".repeat(60),
+            "}".repeat(60)
+        );
+        assert!(Json::parse(&mixed).is_ok(), "120 mixed levels are within the limit");
+    }
+
+    #[test]
+    fn parse_rejects_nesting_past_the_depth_limit_with_a_structured_error() {
+        // One level past the limit: a structured error, not a stack
+        // overflow — this is the `gbc serve` adversarial-body guard.
+        let err = Json::parse(&nested_arrays(MAX_PARSE_DEPTH + 1))
+            .expect_err("past-limit nesting must fail");
+        assert!(err.contains("nesting deeper than"), "unexpected error: {err}");
+        assert!(err.contains(&MAX_PARSE_DEPTH.to_string()), "limit missing from: {err}");
+        // Depth is what fails, not length: a very LONG but FLAT document
+        // of the same size parses fine.
+        let flat = format!("[{}0]", "0,".repeat(2 * MAX_PARSE_DEPTH));
+        assert!(Json::parse(&flat).is_ok(), "flat documents are unaffected by the depth limit");
+        // An adversarial body far past the limit still fails cleanly.
+        assert!(Json::parse(&nested_arrays(100_000)).is_err());
+        assert!(Json::parse(&"{\"a\":".repeat(100_000)).is_err());
+    }
+
+    #[test]
+    fn depth_resets_between_sibling_containers() {
+        // Siblings at the same level must not accumulate depth: the
+        // counter is nesting depth, not container count.
+        let doc = format!(
+            "[{},{},{}]",
+            nested_arrays(MAX_PARSE_DEPTH - 1),
+            nested_arrays(MAX_PARSE_DEPTH - 1),
+            nested_arrays(MAX_PARSE_DEPTH - 1)
+        );
+        assert!(Json::parse(&doc).is_ok(), "siblings each get the full depth budget");
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod journal;
 pub mod json;
 pub mod metrics;
 pub mod profiler;
+pub mod registry;
 pub mod rng;
 pub mod span;
 pub mod trace;
@@ -46,6 +47,7 @@ pub use journal::{ChromeTrace, JournalBuffer, TeeTrace};
 pub use json::Json;
 pub use metrics::{Counter, MaxGauge, Metrics, Snapshot};
 pub use profiler::{RuleProf, RuleProfiler};
+pub use registry::{Gauge, MetricsRegistry, SharedHist};
 pub use rng::{Rng, SplitMix64};
 pub use span::Phases;
 pub use trace::{BufferTrace, DiscardReason, StderrTrace, TraceEvent, TraceSink};

@@ -234,6 +234,51 @@ impl Snapshot {
         Json::Obj(fields)
     }
 
+    /// Rebuild a snapshot from the JSON [`Snapshot::to_json`] wrote —
+    /// the wire format of `gbc serve`'s `/run` response. Every scalar
+    /// counter must be present and integral; `delta_history` is
+    /// optional (runs recorded without history simply have none).
+    /// The exact round trip is what lets a TCP client assert the same
+    /// counter equalities an in-process caller would.
+    pub fn from_json(json: &Json) -> Result<Snapshot, String> {
+        let field = |name: &str| {
+            json.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("counters JSON: missing or non-integral `{name}`"))
+        };
+        let delta_history = match json.get("delta_history") {
+            None => Vec::new(),
+            Some(arr) => arr
+                .as_arr()
+                .ok_or("counters JSON: `delta_history` is not an array")?
+                .iter()
+                .map(|d| d.as_u64().ok_or("counters JSON: non-integral delta"))
+                .collect::<Result<Vec<u64>, _>>()?,
+        };
+        Ok(Snapshot {
+            tuples_derived: field("tuples_derived")?,
+            flat_rounds: field("flat_rounds")?,
+            index_builds: field("index_builds")?,
+            index_probes: field("index_probes")?,
+            rows_cloned: field("rows_cloned")?,
+            plan_cache_hits: field("plan_cache_hits")?,
+            heap_inserts: field("heap_inserts")?,
+            heap_replaces: field("heap_replaces")?,
+            heap_pops: field("heap_pops")?,
+            congruence_replacements: field("congruence_replacements")?,
+            rql_dominated: field("rql_dominated")?,
+            rql_used_blocked: field("rql_used_blocked")?,
+            queue_peak: field("queue_peak")?,
+            heap_int_fast_compares: field("heap_int_fast_compares")?,
+            gamma_steps: field("gamma_steps")?,
+            discarded_pops: field("discarded_pops")?,
+            diffchoice_rejections: field("diffchoice_rejections")?,
+            stage_reuse_rejections: field("stage_reuse_rejections")?,
+            choice_candidates_considered: field("choice_candidates_considered")?,
+            delta_history,
+        })
+    }
+
     /// A human-readable multi-line rendering, one `name: value` per
     /// line, aligned.
     pub fn render(&self) -> String {
@@ -297,6 +342,27 @@ mod tests {
             assert!(json.contains(&format!("\"{name}\"")), "{name} missing from {json}");
         }
         assert!(json.contains("\"delta_history\":[3]"));
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let m = Metrics::with_history();
+        m.gamma_steps.add(7);
+        m.heap_pops.add(3);
+        m.queue_peak.observe(11);
+        m.record_delta(5);
+        m.record_delta(0);
+        let snap = m.snapshot();
+        let parsed = Json::parse(&snap.to_json().to_string()).expect("valid JSON");
+        assert_eq!(Snapshot::from_json(&parsed).expect("round trip"), snap);
+        // A history-free snapshot round-trips too (delta_history: []).
+        let bare = Metrics::new().snapshot();
+        let parsed = Json::parse(&bare.to_json().to_string()).expect("valid JSON");
+        assert_eq!(Snapshot::from_json(&parsed).expect("round trip"), bare);
+        // Missing counters are a structured error, not a default.
+        assert!(Snapshot::from_json(&Json::obj(vec![("gamma_steps", Json::UInt(1))]))
+            .unwrap_err()
+            .contains("missing"));
     }
 
     #[test]
