@@ -144,11 +144,14 @@ done
 cargo test -q --offline -p gbc-bench --test analysis_equivalence
 
 echo "== ci-par: parallel saturation equivalence =="
-# The determinism contract (DESIGN.md §9): every thread count produces
-# byte-identical relations and semantic counters. The in-process sweep
-# covers threads {1,2,4,8}; the CLI pass re-runs every shipped program
+# The determinism contract (DESIGN.md §9, §14): every thread count and
+# both settings of the batched γ feed kernel produce byte-identical
+# relations and semantic counters. The in-process sweep covers threads
+# {1,2,4,8} × batch on/off; the CLI pass re-runs every shipped program
 # profiled at 4 workers, which must succeed and keep its attribution
-# line just like the serial profile above.
+# line just like the serial profile above, and the batch-off sweep
+# re-runs each program under GBC_NO_GAMMA_BATCH=1 asserting the derived
+# facts match the default run byte for byte.
 cargo test -q --offline -p gbc-bench --test parallel_equivalence
 for entry in "${obs_groups[@]}"; do
     files="${entry%%|*}"
@@ -159,6 +162,20 @@ for entry in "${obs_groups[@]}"; do
     }
     grep -q 'attributed' "$diag_json" || {
         echo "parallel profile missing attribution line for: $files" >&2
+        exit 1
+    }
+    # shellcheck disable=SC2086
+    ./target/release/gbc run $files >"$stats_json" || {
+        echo "gbc run failed for: $files" >&2
+        exit 1
+    }
+    # shellcheck disable=SC2086
+    GBC_NO_GAMMA_BATCH=1 ./target/release/gbc run $files >"$diag_json" || {
+        echo "gbc run with GBC_NO_GAMMA_BATCH=1 failed for: $files" >&2
+        exit 1
+    }
+    diff "$stats_json" "$diag_json" || {
+        echo "batch-off run diverged from the default for: $files" >&2
         exit 1
     }
 done
@@ -190,9 +207,15 @@ grep -q '"label": "post-PR8"' BENCH_experiments.json || {
     echo "BENCH_experiments.json is missing the committed post-PR8 run" >&2
     exit 1
 }
-for col in dict_entries encode_hits decode_calls; do
+# And the post-PR10 record (batched γ feed + clique scheduling), which
+# introduced the heap_batch_pushes / feed_cliques columns.
+grep -q '"label": "post-PR10"' BENCH_experiments.json || {
+    echo "BENCH_experiments.json is missing the committed post-PR10 run" >&2
+    exit 1
+}
+for col in dict_entries encode_hits decode_calls heap_batch_pushes feed_cliques; do
     grep -q "\"$col\"" BENCH_experiments.json || {
-        echo "BENCH_experiments.json rows lack dictionary column: $col" >&2
+        echo "BENCH_experiments.json rows lack column: $col" >&2
         exit 1
     }
 done
@@ -258,7 +281,7 @@ echo "== ci-load: end-to-end serve-load smoke + regression gate =="
 # A small multi-tenant closed-loop load run (2 sessions × 2 workers,
 # quick request count) driven through a real gbc-serve server over TCP,
 # appended to the bench trail, then gated against the committed
-# post-PR9 record: semantic counters must match exactly; timing columns
+# post-PR10 record: semantic counters must match exactly; timing columns
 # only warn (75% tolerance — shared CI boxes cannot hard-gate
 # wall-clock, and the TCP path adds connect + framing latency that the
 # pre-PR9 in-process serve-baseline rows never paid).
@@ -268,9 +291,9 @@ grep -q '"label": "ci-load"' BENCH_experiments.json || {
     echo "serve-load run did not land in BENCH_experiments.json" >&2
     exit 1
 }
-./target/release/experiments --compare post-PR9 \
+./target/release/experiments --compare post-PR10 \
     --json BENCH_experiments.json --tolerance 75 || {
-    echo "serve-load regression gate failed against post-PR9" >&2
+    echo "serve-load regression gate failed against post-PR10" >&2
     exit 1
 }
 

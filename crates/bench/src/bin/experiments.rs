@@ -263,7 +263,13 @@ fn dict_delta(f: impl FnOnce()) -> gbc_storage::DictStats {
 /// largest problem size, enforced by `--ratio-gate` (ci-quick runs it).
 /// Measured on the columnar dictionary-encoded build with headroom for
 /// CI noise; ratchet these down as the interpreter closes the gap.
-const PRIM_MAX_RATIO: f64 = 35.0;
+/// Post-PR10 (batched γ feed: prim's `Y != 0` pre-check now compiles
+/// to a columnar check, so its feed skips per-row `Bindings`): quick
+/// prim median 29.8, observed max 32.4 over ten runs — ratcheted 35→33.
+/// Sort stays at 30: its quick-mode baseline is microseconds and the
+/// ratio spikes past 35 under scheduler noise even though the batch
+/// kernel trims ~5% off the full-size declarative wall clock.
+const PRIM_MAX_RATIO: f64 = 33.0;
 const SORT_MAX_RATIO: f64 = 30.0;
 
 /// Checks the recorded n-max rows of E1/E2 against the committed
@@ -413,6 +419,8 @@ fn e1_prim(quick: bool, threads: &[usize], rec: &mut Recorder) {
                     ("tuples_derived", Json::UInt(run.snapshot.tuples_derived)),
                     ("rows_cloned", Json::UInt(run.snapshot.rows_cloned)),
                     ("plan_cache_hits", Json::UInt(run.snapshot.plan_cache_hits)),
+                    ("heap_batch_pushes", Json::UInt(run.snapshot.heap_batch_pushes)),
+                    ("feed_cliques", Json::UInt(run.stats.feed_cliques as u64)),
                     ("dict_entries", Json::UInt(dict.dict_entries)),
                     ("encode_hits", Json::UInt(dict.encode_hits)),
                     ("decode_calls", Json::UInt(dict.decode_calls)),
@@ -515,6 +523,8 @@ fn e2_sort(quick: bool, threads: &[usize], rec: &mut Recorder) {
                     ("diffchoice_rejections", Json::UInt(run.snapshot.diffchoice_rejections)),
                     ("rows_cloned", Json::UInt(run.snapshot.rows_cloned)),
                     ("plan_cache_hits", Json::UInt(run.snapshot.plan_cache_hits)),
+                    ("heap_batch_pushes", Json::UInt(run.snapshot.heap_batch_pushes)),
+                    ("feed_cliques", Json::UInt(run.stats.feed_cliques as u64)),
                     ("dict_entries", Json::UInt(dict.dict_entries)),
                     ("encode_hits", Json::UInt(dict.encode_hits)),
                     ("decode_calls", Json::UInt(dict.decode_calls)),

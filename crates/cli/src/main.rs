@@ -274,13 +274,31 @@ impl Options {
         if let Some(path) = &self.stats_json {
             let mut json = tel.to_json();
             if let (Some(hist), Json::Obj(fields)) = (tel.round_latency(), &mut json) {
-                fields.push((
-                    "latency".to_owned(),
-                    Json::obj(vec![
-                        ("threads", Json::UInt(self.resolve_threads() as u64)),
-                        ("rounds", hist.to_json()),
-                    ]),
-                ));
+                // The γ-step bucket split (feed / choose / commit) rides
+                // along so load reports can tell queue maintenance from
+                // choice resolution without re-parsing the phases array.
+                let gamma: Vec<(&str, Json)> = tel
+                    .phases
+                    .entries()
+                    .iter()
+                    .filter_map(|(name, secs, _count)| {
+                        let key = match name.strip_prefix("run/gamma/")? {
+                            "feed" => "feed_secs",
+                            "choose" => "choose_secs",
+                            "commit" => "commit_secs",
+                            _ => return None,
+                        };
+                        Some((key, Json::Float(*secs)))
+                    })
+                    .collect();
+                let mut latency = vec![
+                    ("threads", Json::UInt(self.resolve_threads() as u64)),
+                    ("rounds", hist.to_json()),
+                ];
+                if !gamma.is_empty() {
+                    latency.push(("gamma", Json::obj(gamma)));
+                }
+                fields.push(("latency".to_owned(), Json::obj(latency)));
             }
             if let Json::Obj(fields) = &mut json {
                 let d = dict_stats().since(dict_base);
@@ -353,6 +371,20 @@ fn render_profile(tel: &Telemetry, program: &Program, sm: &SourceMap) -> String 
             out.push_str(&format!("  worker {w}: {busy:.6}s busy\n"));
         }
         out.push_str(&format!("  parallel merge: {:.6}s\n", tel.profiler.merge_secs()));
+    }
+    let gamma: Vec<(String, f64, u64)> = tel
+        .phases
+        .entries()
+        .iter()
+        .filter(|(name, _, _)| name.starts_with("run/gamma/"))
+        .map(|(name, secs, count)| (name.clone(), *secs, *count))
+        .collect();
+    if !gamma.is_empty() {
+        out.push_str("  gamma buckets:\n");
+        for (name, secs, count) in gamma {
+            let bucket = name.strip_prefix("run/gamma/").unwrap_or(&name);
+            out.push_str(&format!("    {bucket:<7} {secs:>10.6}s x{count}\n"));
+        }
     }
     let attributed = tel.profiler.total_secs();
     let run_secs =

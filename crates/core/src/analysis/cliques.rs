@@ -1,0 +1,174 @@
+//! FD-independent stage-clique grouping for the parallel γ scheduler.
+//!
+//! Two next rules can have their feed phases collected concurrently
+//! when no data can flow between their stage computations: no predicate
+//! is reachable from both through any rule of the program. This module
+//! certifies that independence with a union–find over predicates —
+//! every rule unions its head with every body atom — so two next rules
+//! land in the same group exactly when their head predicates share a
+//! weakly-connected component of the dependency graph. Weak (not
+//! strong) connectivity is deliberate: reading a shared EDB relation is
+//! harmless for a read-only feed scan, but it also means the programs
+//! share inputs, and the conservative merge keeps the scheduler's
+//! determinism argument trivial (a group sees exactly the relations no
+//! other group's γ commits can touch).
+//!
+//! All nine shipped programs form a single group — their stage, source
+//! and cost predicates are one connected component — so the grouping
+//! only fans out when a session loads genuinely independent programs
+//! together (e.g. `gbc run prim.dl sort.dl …` or a multi-program serve
+//! session). With one group the pool runs the single task inline and
+//! the serial path is taken byte for byte.
+
+use std::collections::HashMap;
+
+use gbc_ast::{Literal, Program, Symbol};
+
+/// Disjoint-set over interned predicate ids (path halving + union by
+/// size — the program's predicate count is tiny, this is for clarity
+/// not asymptotics).
+struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> UnionFind {
+        UnionFind { parent: (0..n).collect(), size: vec![1; n] }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        self.size[ra] += self.size[rb];
+    }
+}
+
+/// The weakly-connected predicate components of a program.
+#[derive(Clone, Debug)]
+pub struct FeedGroups {
+    comp_of_pred: HashMap<Symbol, usize>,
+}
+
+impl FeedGroups {
+    /// The component id of `pred`, or `None` for a predicate the
+    /// program never mentions.
+    pub fn component_of(&self, pred: Symbol) -> Option<usize> {
+        self.comp_of_pred.get(&pred).copied()
+    }
+
+    /// Partition the indices of `heads` (next-rule head predicates, in
+    /// executor order) into FD-independent groups. Indices within a
+    /// group stay ascending and groups are ordered by their smallest
+    /// member, so iterating groups-then-members visits indices in the
+    /// exact order a serial loop would — the property the coordinator
+    /// merge relies on.
+    pub fn partition(&self, heads: &[Symbol]) -> Vec<Vec<usize>> {
+        let mut by_comp: Vec<(usize, Vec<usize>)> = Vec::new();
+        for (i, &h) in heads.iter().enumerate() {
+            // Unknown predicates (can't happen for a validated program)
+            // conservatively collapse into one group.
+            let comp = self.component_of(h).unwrap_or(usize::MAX);
+            match by_comp.iter_mut().find(|(c, _)| *c == comp) {
+                Some((_, members)) => members.push(i),
+                None => by_comp.push((comp, vec![i])),
+            }
+        }
+        by_comp.into_iter().map(|(_, members)| members).collect()
+    }
+}
+
+/// Build the predicate components of `program`: every rule unions its
+/// head predicate with every positive and negative body atom.
+pub fn feed_groups(program: &Program) -> FeedGroups {
+    let mut ids: HashMap<Symbol, usize> = HashMap::new();
+    let mut order: Vec<Symbol> = Vec::new();
+    let intern = |s: Symbol, order: &mut Vec<Symbol>, ids: &mut HashMap<Symbol, usize>| {
+        *ids.entry(s).or_insert_with(|| {
+            order.push(s);
+            order.len() - 1
+        })
+    };
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for r in &program.rules {
+        let h = intern(r.head.pred, &mut order, &mut ids);
+        for l in &r.body {
+            if let Literal::Pos(a) | Literal::Neg(a) = l {
+                let b = intern(a.pred, &mut order, &mut ids);
+                edges.push((h, b));
+            }
+        }
+    }
+    let mut uf = UnionFind::new(order.len());
+    for (a, b) in edges {
+        uf.union(a, b);
+    }
+    // Stable component numbering: first predicate (in interning order)
+    // of each set names it.
+    let mut comp_ids: HashMap<usize, usize> = HashMap::new();
+    let mut comp_of_pred = HashMap::new();
+    for (i, &p) in order.iter().enumerate() {
+        let root = uf.find(i);
+        let next = comp_ids.len();
+        let comp = *comp_ids.entry(root).or_insert(next);
+        comp_of_pred.insert(p, comp);
+    }
+    FeedGroups { comp_of_pred }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbc_parser::parse_program;
+
+    fn groups_of(src: &str) -> FeedGroups {
+        feed_groups(&parse_program(src).expect("parse"))
+    }
+
+    #[test]
+    fn connected_program_is_one_component() {
+        let g = groups_of(
+            "prm(X, Y, C, I) <- next(I), new_g(X, Y, C, J), J < I, least(C, I), choice(Y, X).\n\
+             new_g(X, Y, C, I) <- prm(_, X, _, I), g(X, Y, C).\n\
+             prm(0, 1, 0, 0).\n",
+        );
+        let heads: Vec<Symbol> = vec!["prm".into()];
+        assert_eq!(g.partition(&heads), vec![vec![0]]);
+        assert_eq!(g.component_of("prm".into()), g.component_of("g".into()));
+    }
+
+    #[test]
+    fn disjoint_programs_split_and_shared_edb_merges() {
+        let src = "a(X, I) <- next(I), fa(X), least(X, I).\n\
+                   b(X, I) <- next(I), fb(X), least(X, I).\n\
+                   c(X, I) <- next(I), fa(X), most(X, I).\n\
+                   fa(1). fb(2).\n";
+        let g = groups_of(src);
+        let heads: Vec<Symbol> = vec!["a".into(), "b".into(), "c".into()];
+        // a and c share the EDB predicate fa → one group; b is alone.
+        assert_eq!(g.partition(&heads), vec![vec![0, 2], vec![1]]);
+    }
+
+    #[test]
+    fn partition_orders_groups_by_smallest_member() {
+        let src = "a(X, I) <- next(I), fa(X), least(X, I).\n\
+                   b(X, I) <- next(I), fb(X), least(X, I).\n";
+        let g = groups_of(src);
+        let heads: Vec<Symbol> = vec!["b".into(), "a".into()];
+        assert_eq!(g.partition(&heads), vec![vec![0], vec![1]]);
+    }
+}

@@ -21,6 +21,7 @@
 use std::collections::HashMap;
 
 use gbc_ast::{Diagnostic, Literal, Program, Rule, SourceMap, Symbol, Term, VarId};
+use gbc_engine::plan::columnar_feed_spec;
 use gbc_telemetry::json::Json;
 
 use crate::analysis::classify::{Analysis, ProgramClass, StageViolation};
@@ -683,28 +684,20 @@ fn lint_fast_feed(program: &Program, analysis: &Analysis, out: &mut Vec<Diagnost
         if atoms.len() != 1 {
             continue;
         }
-        let mut vs: Vec<VarId> = Vec::new();
-        let distinct_vars = atoms[0].args.iter().all(|t| match t {
-            Term::Var(v) if !vs.contains(v) => {
-                vs.push(*v);
-                true
-            }
-            _ => false,
-        });
-        if !distinct_vars {
-            continue;
-        }
+        let vs: Vec<VarId> = atoms[0].vars();
         let mut eligible = true;
+        let mut pre_checks: Vec<Literal> = Vec::new();
         for lit in &r.body {
             match lit {
                 Literal::Compare { .. } => {
                     let lvars = lit.vars();
-                    // A comparison not mentioning the stage variable
-                    // would be a pre-check, gating the feed per row.
-                    if !lvars.contains(&stage_var)
-                        || lvars.iter().any(|v| *v != stage_var && !vs.contains(v))
-                    {
+                    if lvars.iter().any(|v| *v != stage_var && !vs.contains(v)) {
                         eligible = false;
+                    } else if !lvars.contains(&stage_var) {
+                        // Stage-free comparisons gate the feed per row;
+                        // they qualify iff they compile to columnar
+                        // checks (below).
+                        pre_checks.push(lit.clone());
                     }
                 }
                 Literal::Least { cost, .. } | Literal::Most { cost, .. } if !matches!(cost, Term::Var(v) if vs.contains(v)) =>
@@ -721,7 +714,10 @@ fn lint_fast_feed(program: &Program, analysis: &Analysis, out: &mut Vec<Diagnost
                 _ => {}
             }
         }
-        if !eligible {
+        // Mirror of the executor's eligibility test: the source args
+        // and the stage-free comparisons must compile to the columnar
+        // check sequence the feed kernel evaluates per row.
+        if !eligible || columnar_feed_spec(&atoms[0].args, &pre_checks).is_none() {
             continue;
         }
         let si = r.body.iter().position(|l| matches!(l, Literal::Pos(_))).expect("source atom");
@@ -732,9 +728,9 @@ fn lint_fast_feed(program: &Program, analysis: &Analysis, out: &mut Vec<Diagnost
             )
             .with_label(r.literal_span(si), "rows stream into the queue by column ids alone")
             .with_note(
-                "every source argument is a distinct variable and no comparison \
-                 gates the feed ahead of the stage guard, so the planner skips \
-                 per-row `Bindings` entirely",
+                "every source argument and feed-gating comparison reduces to \
+                 column reads and baked constants, so the planner skips \
+                 per-row `Bindings` entirely and streams rows by id",
             ),
         );
     }
@@ -835,11 +831,18 @@ mod tests {
              sp(X, C, I) <- next(I), p(X, C), least(C, I).",
         );
         assert!(noted.contains(&"GBC032"), "{noted:?}");
-        // A comparison without the stage variable is a pre-check: the
-        // feed must bind rows, so the note stays silent.
-        let silent = codes(
+        // Stage-free comparisons over source columns and constants
+        // compile to columnar checks — still bindings-free.
+        let precheck = codes(
             "p(pear, 30). p(apple, 10).
              sp(X, C, I) <- next(I), p(X, C), C > 15, least(C, I).",
+        );
+        assert!(precheck.contains(&"GBC032"), "{precheck:?}");
+        // Arithmetic over a source variable needs a binding frame: the
+        // note stays silent.
+        let silent = codes(
+            "p(pear, 30). p(apple, 10).
+             sp(X, C, I) <- next(I), p(X, C), C + 1 > 15, least(C, I).",
         );
         assert!(!silent.contains(&"GBC032"), "{silent:?}");
     }

@@ -37,9 +37,11 @@ use gbc_engine::bindings::Bindings;
 use gbc_engine::eval::{
     eval_expr, eval_term, instantiate_head, match_term, match_term_id, parent_rows,
 };
-use gbc_engine::extrema::{collect_matches_plan, filter_extrema};
-use gbc_engine::plan::{PlanCache, RuleStatics};
-use gbc_engine::pool::{PoolReport, PoolStats};
+use gbc_engine::extrema::{
+    collect_matches_plan, collect_matches_plan_pooled, filter_extrema, filter_extrema_sharded,
+};
+use gbc_engine::plan::{columnar_feed_spec, FeedCheck, PlanCache, RuleStatics};
+use gbc_engine::pool::{FanoutObs, PoolReport, PoolStats, WorkerPool};
 use gbc_engine::seminaive::Seminaive;
 use gbc_storage::dictionary::{self, decode_ref};
 use gbc_storage::{Database, FxHashMap, FxHashSet, Row, Rql, DICT_MISS, NO_GOAL};
@@ -68,6 +70,14 @@ pub struct GreedyConfig {
     /// setting this to `false`) reverts to the unanalyzed engine —
     /// results and counters are byte-identical either way.
     pub analyze: bool,
+    /// Feed new `Q_r` rows through the fused feed→heap batch kernel
+    /// ([`gbc_storage::Rql::extend_batch`]) and allow FD-independent
+    /// stage cliques to collect their feeds concurrently. On by
+    /// default; `GBC_NO_GAMMA_BATCH=1` in the environment (or setting
+    /// this to `false`) reverts to per-row inserts on the coordinator.
+    /// Results and counters are byte-identical either way — only the
+    /// which-path counter `heap_batch_pushes` moves.
+    pub gamma_batch: bool,
 }
 
 impl Default for GreedyConfig {
@@ -76,6 +86,7 @@ impl Default for GreedyConfig {
             max_steps: 100_000_000,
             threads: 1,
             analyze: std::env::var_os("GBC_NO_ANALYZE").is_none(),
+            gamma_batch: std::env::var_os("GBC_NO_GAMMA_BATCH").is_none(),
         }
     }
 }
@@ -111,6 +122,11 @@ pub struct GreedyStats {
     pub flat_new_facts: u64,
     /// Largest `Q_r` size observed.
     pub queue_peak: usize,
+    /// FD-independent stage cliques the feed scheduler identified —
+    /// the fan-out width of the parallel γ feed phase (1 for every
+    /// single-program session: its predicates are one connected
+    /// component).
+    pub feed_cliques: usize,
 }
 
 /// The result of a run.
@@ -159,12 +175,17 @@ pub struct NextPlan {
     /// The original rule's choice goals.
     choice_goals: Vec<(Vec<Term>, Vec<Term>)>,
     /// The feed can skip per-row `Bindings` entirely: every source
-    /// argument is a distinct bare variable (each row trivially
-    /// matches, and the cost/key columns are read straight off the
-    /// arena) and no pre-check gates the feed. Applied only when
-    /// analysis is on ([`GreedyConfig::analyze`]); surfaced to users as
-    /// the GBC032 note.
+    /// argument is a bare variable, a repeat of one, or ground, and
+    /// every pre-check compares source columns and constants — so each
+    /// row's admission reduces to the columnar [`FeedCheck`] sequence
+    /// below, and the cost/key columns are read straight off the
+    /// arena. Applied only when analysis is on
+    /// ([`GreedyConfig::analyze`]); surfaced to users as the GBC032
+    /// note.
     fast_feed: bool,
+    /// The compiled per-row checks of the fast path (empty for the
+    /// original all-distinct-variables shape, where every row feeds).
+    feed_checks: Vec<FeedCheck>,
 }
 
 impl NextPlan {
@@ -315,16 +336,14 @@ fn build_plan(
         }
     }
 
-    // Bindings-free feed eligibility (see the field docs).
-    let mut feed_vars: Vec<VarId> = Vec::new();
-    let fast_feed = pre_checks.is_empty()
-        && source.args.iter().all(|t| match t {
-            Term::Var(v) if !feed_vars.contains(v) => {
-                feed_vars.push(*v);
-                true
-            }
-            _ => false,
-        });
+    // Bindings-free feed eligibility (see the field docs): the source
+    // args and pre-checks compile to a columnar check sequence, or the
+    // feed keeps its binding frames. Built unconditionally — constant
+    // operands intern here, at plan-build time, so dictionary counters
+    // cannot differ between the fast and frame-based paths.
+    let feed_spec = columnar_feed_spec(&source.args, &pre_checks);
+    let fast_feed = feed_spec.is_some();
+    let feed_checks = feed_spec.unwrap_or_default();
 
     // Head must be instantiable from source vars + stage var.
     let mut head_vars = Vec::new();
@@ -411,6 +430,7 @@ fn build_plan(
         post_checks,
         choice_goals,
         fast_feed,
+        feed_checks,
     })
 }
 
@@ -435,6 +455,68 @@ struct NextState {
     w_used: FxHashSet<Vec<u32>>,
 }
 
+/// The read-only harvest of one fast-feed rule's feed phase:
+/// everything `GreedyExecutor::feed` observes, none of what it
+/// mutates. Collected on a clique worker (or inline on the
+/// coordinator) and applied in rule order.
+struct FeedBatch {
+    /// New head-relation high-water mark.
+    head_len: usize,
+    /// New source-relation high-water mark.
+    src_len: usize,
+    /// Max stage among the new head rows (`i64::MIN` when none).
+    stage_max: i64,
+    /// W-projections of the new head rows.
+    new_w: Vec<Vec<u32>>,
+    /// `(congruence key, cost id, row)` triples for `Rql::extend_batch`.
+    triples: Vec<(Vec<u32>, u32, Vec<u32>)>,
+}
+
+/// Collect next rule `ns`'s feed batch without mutating anything: scan
+/// the new head rows for the stage high-water mark and W-projections,
+/// then admit new source rows through the compiled columnar checks.
+/// Pure arena reads — callable from a pool worker under the no-intern
+/// guard.
+fn collect_feed(ns: &NextState, db: &Database, nil_cost: u32) -> Result<FeedBatch, CoreError> {
+    let plan = &ns.plan;
+    let head_rel = db.relation(plan.head_pred);
+    let head_rows = head_rel.since(ns.head_mark);
+    let mut stage_max = i64::MIN;
+    let mut new_w: Vec<Vec<u32>> = Vec::new();
+    for r in 0..head_rows.len() {
+        match head_rows.try_cell(r, plan.stage_pos).map(decode_ref) {
+            Some(Value::Int(s)) => stage_max = stage_max.max(*s),
+            Some(other) => return Err(CoreError::NonIntegerStage { found: other.to_string() }),
+            None => {}
+        }
+        new_w.push(
+            (0..head_rows.arity())
+                .filter(|&c| c != plan.stage_pos)
+                .map(|c| head_rows.cell(r, c))
+                .collect(),
+        );
+    }
+    let src_rel = db.relation(plan.source_pred);
+    let rows = src_rel.since(ns.src_mark);
+    let Literal::Pos(source) = &plan.rule.body[plan.source_lit] else { unreachable!() };
+    let mut triples: Vec<(Vec<u32>, u32, Vec<u32>)> = Vec::new();
+    if rows.arity() == source.args.len() {
+        let cost_col = plan.cost.map(|(_, col)| col);
+        for r in 0..rows.len() {
+            if !plan.feed_checks.iter().all(|c| c.eval(&|col| rows.cell(r, col))) {
+                continue;
+            }
+            let cost = match cost_col {
+                Some(c) => rows.cell(r, c),
+                None => nil_cost,
+            };
+            let key: Vec<u32> = plan.cong_cols.iter().map(|&c| rows.cell(r, c)).collect();
+            triples.push((key, cost, rows.id_row(r)));
+        }
+    }
+    Ok(FeedBatch { head_len: head_rel.len(), src_len: src_rel.len(), stage_max, new_w, triples })
+}
+
 /// The executor. Create with [`GreedyExecutor::new`], then [`GreedyExecutor::run`].
 pub struct GreedyExecutor {
     flat: Seminaive,
@@ -455,6 +537,16 @@ pub struct GreedyExecutor {
     chosen: Vec<ChosenRecord>,
     stats: GreedyStats,
     tel: Telemetry,
+    /// Worker pool for the executor's own fan-outs (exit-rule match
+    /// collection, extrema sharding, clique-level feed collection).
+    /// Serial at `threads: 1` — every fan-out then runs inline on the
+    /// coordinator, byte for byte the sequential engine.
+    pool: WorkerPool,
+    /// FD-independent stage-clique groups: indices into `nexts`, each
+    /// group's feed collectable concurrently with the others (see
+    /// `analysis::cliques`). Always computed; one group for every
+    /// single-clique program.
+    feed_groups: Vec<Vec<usize>>,
     /// Pool occupancy accumulator, allocated only for parallel runs.
     pool_stats: Option<Arc<PoolStats>>,
 }
@@ -517,7 +609,7 @@ impl GreedyExecutor {
             let seeds = typeinfer::scan_seeds(&db);
             typeinfer::infer_seeded(program, &seeds)
         });
-        let nexts = plans
+        let nexts: Vec<NextState> = plans
             .into_iter()
             .map(|mut plan| {
                 let goals = plan.choice_goals.len();
@@ -544,6 +636,9 @@ impl GreedyExecutor {
             .collect();
         let exit_stale = vec![None; exits.len()];
         let exit_plans = PlanCache::new(exits.len());
+        let next_heads: Vec<Symbol> =
+            nexts.iter().map(|ns: &NextState| ns.plan.head_pred).collect();
+        let feed_groups = crate::analysis::cliques::feed_groups(program).partition(&next_heads);
         let mut flat = Seminaive::new(flat_rules);
         flat.set_rule_ids(flat_ids);
         flat.set_threads(config.threads);
@@ -560,8 +655,10 @@ impl GreedyExecutor {
             db,
             config,
             chosen: Vec::new(),
-            stats: GreedyStats::default(),
+            stats: GreedyStats { feed_cliques: feed_groups.len(), ..GreedyStats::default() },
             tel: Telemetry::default(),
+            pool: WorkerPool::new(config.threads),
+            feed_groups,
             pool_stats,
         };
         ex.attach_telemetry();
@@ -633,12 +730,15 @@ impl GreedyExecutor {
                 }
                 continue;
             }
-            for i in 0..self.nexts.len() {
-                self.feed(i)?;
-            }
+            self.feed_all()?;
             if let Some(t0) = t_prev {
+                // The γ phase splits into feed/choose/commit buckets;
+                // the parent accumulates the same boundary intervals so
+                // it is first-used before any child and owns the loop
+                // overhead the children don't see.
                 let t = std::time::Instant::now();
-                tel.phases.add("run/feed", t - t0);
+                tel.phases.add("run/gamma", t - t0);
+                tel.phases.add("run/gamma/feed", t - t0);
                 t_prev = Some(t);
             }
             let mut fired = false;
@@ -678,6 +778,8 @@ impl GreedyExecutor {
             tel,
             chosen,
             stats,
+            pool,
+            pool_stats,
             ..
         } = self;
         let prov = db.provenance().cloned();
@@ -694,7 +796,20 @@ impl GreedyExecutor {
             if cached {
                 tel.profiler.record_plan_hit(*ri);
             }
-            let frames = collect_matches_plan(db, rule, &plan, None)?;
+            // Parallel runs fan the match collection's first scan out
+            // over the pool (chunk-order merge — the enumeration is
+            // identical to the serial one); serial runs keep the exact
+            // sequential path.
+            let frames = if pool.is_parallel() {
+                let obs = FanoutObs {
+                    profiler: tel.profiler.is_enabled().then_some(&*tel.profiler),
+                    stats: pool_stats.as_deref(),
+                    trace: None,
+                };
+                collect_matches_plan_pooled(db, rule, &plan, pool, obs)?
+            } else {
+                collect_matches_plan(db, rule, &plan, None)?
+            };
             let considered = frames.len() as u64;
             tel.metrics.choice_candidates_considered.add(considered);
             let mut consistent = Vec::new();
@@ -729,7 +844,11 @@ impl GreedyExecutor {
                     rejected,
                 });
             }
-            let minimal = filter_extrema(rule, consistent)?;
+            let minimal = if pool.is_parallel() {
+                filter_extrema_sharded(rule, consistent, pool)?
+            } else {
+                filter_extrema(rule, consistent)?
+            };
             // Deterministic pick: smallest (head, chosen-args).
             let mut best: Option<(Row, Vec<Value>, Bindings)> = None;
             for b in minimal {
@@ -772,9 +891,102 @@ impl GreedyExecutor {
         Ok(false)
     }
 
+    /// Feed every next rule in index order. Serial runs (and
+    /// single-clique programs — all nine shipped ones) walk the rules
+    /// on the coordinator. With several FD-independent stage cliques, a
+    /// parallel pool, and the batch kernel enabled, the read-only
+    /// *collection* of each clique's fast-feed batches fans out over
+    /// the pool — one clique-level task per group — and the coordinator
+    /// applies the collected batches in rule order. Collection touches
+    /// no shared state (workers read arenas and plan data only; the
+    /// debug no-intern guard is armed), so the applied queue state and
+    /// every counter are byte-identical to the serial walk.
+    fn feed_all(&mut self) -> Result<(), CoreError> {
+        // Interned once per feed phase, before any fan-out: the
+        // coordinator owns all interning, and hoisting it keeps the
+        // encode-hit count identical at every thread count.
+        let nil_cost = dictionary::encode(&Value::Nil);
+        let parallel = self.pool.is_parallel()
+            && self.config.gamma_batch
+            && self.feed_groups.len() > 1
+            && self.nexts.iter().any(|ns| ns.plan.fast_feed);
+        if !parallel {
+            for i in 0..self.nexts.len() {
+                self.feed(i, nil_cost)?;
+            }
+            return Ok(());
+        }
+        let mut slots: Vec<Option<Result<FeedBatch, CoreError>>> =
+            (0..self.nexts.len()).map(|_| None).collect();
+        {
+            let nexts = &self.nexts;
+            let db = &self.db;
+            let groups = &self.feed_groups;
+            let profiler = self.tel.profiler.is_enabled().then_some(&*self.tel.profiler);
+            let collected =
+                self.pool.run_stats(groups.len(), self.pool_stats.as_deref(), |gi, worker| {
+                    dictionary::forbid_intern_on_this_thread(true);
+                    let t0 = profiler.and_then(|p| p.lane_start());
+                    let out: Vec<(usize, Result<FeedBatch, CoreError>)> = groups[gi]
+                        .iter()
+                        .filter(|&&i| nexts[i].plan.fast_feed)
+                        .map(|&i| (i, collect_feed(&nexts[i], db, nil_cost)))
+                        .collect();
+                    if let (Some(p), Some(t0)) = (profiler, t0) {
+                        p.record_lane(worker, t0.elapsed());
+                    }
+                    out
+                });
+            for (i, batch) in collected.into_iter().flatten() {
+                slots[i] = Some(batch);
+            }
+        }
+        // Apply in rule order — mutation happens here only, so the
+        // merge order (and any error surfaced) matches the serial walk.
+        for (i, slot) in slots.iter_mut().enumerate() {
+            match slot.take() {
+                Some(batch) => self.apply_feed(i, batch?),
+                None => self.feed(i, nil_cost)?,
+            }
+        }
+        Ok(())
+    }
+
+    /// Apply one collected [`FeedBatch`] to next rule `i` (coordinator
+    /// side of the clique fan-out).
+    fn apply_feed(&mut self, i: usize, batch: FeedBatch) {
+        let GreedyExecutor { nexts, stats, tel, .. } = self;
+        let ns = &mut nexts[i];
+        let t0 = tel.profiler.start();
+        ns.stage = ns.stage.max(batch.stage_max);
+        ns.head_mark = batch.head_len;
+        ns.w_used.extend(batch.new_w);
+        ns.src_mark = batch.src_len;
+        ns.rql.extend_batch(batch.triples);
+        stats.queue_peak = stats.queue_peak.max(ns.rql.queue_len());
+        tel.profiler.finish(t0, ns.plan.rule_idx, 0, 0);
+    }
+
     /// Push newly derived source facts of next rule `i` into its `Q_r`,
     /// and refresh the rule's stage high-water mark.
-    fn feed(&mut self, i: usize) -> Result<(), CoreError> {
+    fn feed(&mut self, i: usize, nil_cost: u32) -> Result<(), CoreError> {
+        // Fused batch path: harvest the batch read-only (exactly what a
+        // clique worker would collect), then apply it — one decode-free
+        // sift pass through `Rql::extend_batch`.
+        if self.nexts[i].plan.fast_feed && self.config.gamma_batch {
+            let t0 = self.tel.profiler.start();
+            let batch = collect_feed(&self.nexts[i], &self.db, nil_cost)?;
+            let GreedyExecutor { nexts, stats, .. } = self;
+            let ns = &mut nexts[i];
+            ns.stage = ns.stage.max(batch.stage_max);
+            ns.head_mark = batch.head_len;
+            ns.w_used.extend(batch.new_w);
+            ns.src_mark = batch.src_len;
+            ns.rql.extend_batch(batch.triples);
+            stats.queue_peak = stats.queue_peak.max(ns.rql.queue_len());
+            self.tel.profiler.finish(t0, self.nexts[i].plan.rule_idx, 0, 0);
+            return Ok(());
+        }
         let GreedyExecutor { nexts, db, stats, tel, .. } = self;
         let ns = &mut nexts[i];
         let t0 = tel.profiler.start();
@@ -812,18 +1024,23 @@ impl GreedyExecutor {
         ns.src_mark = src_rel.len();
 
         let Literal::Pos(source) = &plan.rule.body[plan.source_lit] else { unreachable!() };
-        let nil_cost = dictionary::encode(&Value::Nil);
 
-        // Bindings-free fast path (GBC032 rules, analysis on): every
-        // source argument is a distinct bare variable, so each row
-        // matches unconditionally, the cost id IS the cost column's
-        // cell, and the congruence key is read straight off the arena.
-        // Byte-identical to the generic loop below — `match_term_id`
-        // would bind each variable to exactly the cell id we read here.
+        // Bindings-free fast path (GBC032 rules, analysis on), per-row
+        // variant — taken when the batch kernel is opted out
+        // (`GBC_NO_GAMMA_BATCH=1`). Each row's admission is decided by
+        // the compiled columnar checks; the cost id IS the cost
+        // column's cell and the congruence key is read straight off the
+        // arena. Byte-identical to the generic loop below —
+        // `match_term_id` would bind each variable to exactly the cell
+        // id we read here, and `FeedCheck` reproduces the pre-check
+        // comparisons in id space.
         if plan.fast_feed {
             if rows.arity() == source.args.len() {
                 let cost_col = plan.cost.map(|(_, col)| col);
                 for r in 0..rows.len() {
+                    if !plan.feed_checks.iter().all(|c| c.eval(&|col| rows.cell(r, col))) {
+                        continue;
+                    }
                     let cost = match cost_col {
                         Some(c) => rows.cell(r, c),
                         None => nil_cost,
@@ -895,6 +1112,11 @@ impl GreedyExecutor {
         }
         let next_stage = ns.stage.checked_add(1).ok_or(CoreError::StepLimit { steps: u64::MAX })?;
         let t0 = tel.profiler.start();
+        // γ bucket accounting: everything up to a commit decision is
+        // "choose" (pops, re-checks, FD tests, discards); the committed
+        // candidate's bookkeeping is "commit". Both nest under the
+        // `run/gamma` parent charged by the run loop.
+        let t_phase = tel.phases.is_enabled().then(std::time::Instant::now);
 
         // One scratch frame for the whole retrieve-least loop: the trail
         // rewinds it between pops instead of reallocating per candidate.
@@ -1012,6 +1234,11 @@ impl GreedyExecutor {
             }
 
             // Commit.
+            let t_commit = t_phase.map(|t| {
+                let now = std::time::Instant::now();
+                tel.phases.add("run/gamma/choose", now - t);
+                now
+            });
             ns.w_used.insert(w);
             let pairs = eval_goal_pairs(&plan.expanded, &b)?;
             let chosen_args = eval_choice_vars(&plan.expanded, &b)?;
@@ -1052,7 +1279,13 @@ impl GreedyExecutor {
             self.stats.gamma_steps += 1;
             tel.metrics.gamma_steps.inc();
             tel.profiler.finish(t0, rule_idx, 1, 1);
+            if let Some(t) = t_commit {
+                tel.phases.add("run/gamma/commit", t.elapsed());
+            }
             return Ok(true);
+        }
+        if let Some(t) = t_phase {
+            tel.phases.add("run/gamma/choose", t.elapsed());
         }
         if pops > 0 {
             tel.trace_with(|| TraceEvent::ChoiceAudit {

@@ -723,6 +723,96 @@ where
     Ok(Some(out))
 }
 
+/// One operand of a columnar feed comparison: either a cell of the
+/// current source row or a dictionary id baked at plan-compile time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FeedOperand {
+    /// Read `args[col]`'s id straight from the arena row.
+    Col(usize),
+    /// A ground expression, evaluated and interned once when the spec
+    /// is built (the feed-kernel analogue of [`KeyPart::Const`]).
+    Const(u32),
+}
+
+/// One per-row check of the bindings-free feed kernel, compiled against
+/// the source atom's column layout. A row of the source relation feeds
+/// the queue iff every check holds; no `Bindings` frame, no decoding,
+/// no per-row interning — ids compare directly because interning makes
+/// id equality ⇔ value equality, and [`dictionary::cmp_ids`] reproduces
+/// the decoded `Value` order that the frame-based path's
+/// `op.eval(a.cmp(&b))` would see.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FeedCheck {
+    /// `args[col]` repeats a variable first bound at `args[prev]`.
+    ColEqCol { col: usize, prev: usize },
+    /// `args[col]` is a ground term with this dictionary id.
+    ColEqConst { col: usize, id: u32 },
+    /// A pre-check comparison `lhs op rhs` over resolved operands.
+    Cmp { op: CmpOp, lhs: FeedOperand, rhs: FeedOperand },
+}
+
+impl FeedCheck {
+    /// Evaluate against one source row; `cell(col)` reads the row's id
+    /// at `col`.
+    #[inline]
+    pub fn eval(&self, cell: &impl Fn(usize) -> u32) -> bool {
+        let id_of = |o: &FeedOperand| match *o {
+            FeedOperand::Col(c) => cell(c),
+            FeedOperand::Const(id) => id,
+        };
+        match self {
+            FeedCheck::ColEqCol { col, prev } => cell(*col) == cell(*prev),
+            FeedCheck::ColEqConst { col, id } => cell(*col) == *id,
+            FeedCheck::Cmp { op, lhs, rhs } => op.eval(dictionary::cmp_ids(id_of(lhs), id_of(rhs))),
+        }
+    }
+}
+
+/// Compile the source atom `args` and the rule's stage-free pre-check
+/// comparisons into a columnar [`FeedCheck`] sequence, or `None` when
+/// some argument or comparison needs a real binding frame (non-ground
+/// compound terms, arithmetic over source variables). Ground sides are
+/// evaluated and interned here, once — callers run this at plan-build
+/// time on the coordinator regardless of whether the fast path is
+/// enabled, so dictionary counters cannot differ between modes.
+///
+/// The returned checks are ordered args-first then pre-checks in body
+/// order, matching the frame-based path's match-then-filter order.
+pub fn columnar_feed_spec(args: &[Term], pre_checks: &[Literal]) -> Option<Vec<FeedCheck>> {
+    let empty = Bindings::new(0);
+    // First-occurrence column of each source variable.
+    let mut first_col: Vec<(VarId, usize)> = Vec::new();
+    let mut checks = Vec::new();
+    for (col, t) in args.iter().enumerate() {
+        match t {
+            Term::Var(v) => match first_col.iter().find(|(w, _)| w == v) {
+                None => first_col.push((*v, col)),
+                Some(&(_, prev)) => checks.push(FeedCheck::ColEqCol { col, prev }),
+            },
+            t => {
+                let id = dictionary::encode(&eval_term(t, &empty)?);
+                checks.push(FeedCheck::ColEqConst { col, id });
+            }
+        }
+    }
+    let operand = |e: &Expr| -> Option<FeedOperand> {
+        if let Some(Term::Var(v)) = e.as_bare_term() {
+            let &(_, col) = first_col.iter().find(|(w, _)| w == v)?;
+            return Some(FeedOperand::Col(col));
+        }
+        if e.vars().is_empty() {
+            let v = eval_expr(e, &empty).ok()??;
+            return Some(FeedOperand::Const(dictionary::encode(&v)));
+        }
+        None
+    };
+    for lit in pre_checks {
+        let Literal::Compare { op, lhs, rhs } = lit else { return None };
+        checks.push(FeedCheck::Cmp { op: *op, lhs: operand(lhs)?, rhs: operand(rhs)? });
+    }
+    Some(checks)
+}
+
 /// A lazily compiled, slot-per-rule plan store. Owners size it to
 /// their rule list once and index it with the rule's position; the
 /// first use of a slot compiles, later uses are counted as
@@ -806,6 +896,58 @@ mod tests {
             ],
             vec!["X".into(), "Y".into(), "Z".into(), "_".into(), "_2".into()],
         )
+    }
+
+    #[test]
+    fn feed_spec_compiles_repeats_constants_and_prechecks() {
+        // g(X, Y, X, 7) with pre-checks Y != 0, X < 9.
+        let args = vec![Term::var(0), Term::var(1), Term::var(0), Term::int(7)];
+        let pre = vec![
+            Literal::cmp(CmpOp::Ne, Expr::Term(Term::var(1)), Expr::Term(Term::int(0))),
+            Literal::cmp(CmpOp::Lt, Expr::Term(Term::var(0)), Expr::Term(Term::int(9))),
+        ];
+        let checks = columnar_feed_spec(&args, &pre).unwrap();
+        assert_eq!(checks.len(), 4);
+        assert_eq!(checks[0], FeedCheck::ColEqCol { col: 2, prev: 0 });
+        assert_eq!(
+            checks[1],
+            FeedCheck::ColEqConst { col: 3, id: dictionary::encode(&Value::int(7)) }
+        );
+        // Row [3, 5, 3, 7] passes; flipping any constraint fails.
+        let enc = |vals: &[i64]| -> Vec<u32> {
+            vals.iter().map(|&v| dictionary::encode(&Value::int(v))).collect()
+        };
+        let pass = enc(&[3, 5, 3, 7]);
+        assert!(checks.iter().all(|c| c.eval(&|col| pass[col])));
+        let repeat_broken = enc(&[3, 5, 4, 7]);
+        assert!(!checks.iter().all(|c| c.eval(&|col| repeat_broken[col])));
+        let zero_y = enc(&[3, 0, 3, 7]);
+        assert!(!checks.iter().all(|c| c.eval(&|col| zero_y[col])));
+        let big_x = enc(&[12, 5, 12, 7]);
+        assert!(!checks.iter().all(|c| c.eval(&|col| big_x[col])));
+    }
+
+    #[test]
+    fn feed_spec_rejects_frames_only_shapes() {
+        // Arithmetic over a source variable needs a frame.
+        let args = vec![Term::var(0), Term::var(1)];
+        let pre = vec![Literal::cmp(
+            CmpOp::Lt,
+            Expr::Binary(
+                ArithOp::Add,
+                Box::new(Expr::Term(Term::var(0))),
+                Box::new(Expr::Term(Term::int(1))),
+            ),
+            Expr::Term(Term::int(9)),
+        )];
+        assert!(columnar_feed_spec(&args, &pre).is_none());
+        // A comparison over a variable the source does not bind.
+        let stray =
+            vec![Literal::cmp(CmpOp::Eq, Expr::Term(Term::var(5)), Expr::Term(Term::int(0)))];
+        assert!(columnar_feed_spec(&args, &stray).is_none());
+        // Non-ground compound argument.
+        let func_args = vec![Term::Func("f".into(), vec![Term::var(0)])];
+        assert!(columnar_feed_spec(&func_args, &[]).is_none());
     }
 
     #[test]

@@ -294,6 +294,7 @@ impl WorkerPool {
         let workers = self.threads.min(n_tasks);
         // Fair contiguous share per worker, for steal attribution.
         let share = n_tasks.div_ceil(workers);
+        let t_fanout = stats.map(|_| Instant::now());
         std::thread::scope(|s| {
             let (next, slots, task) = (&next, &slots, &task);
             for w in 0..workers {
@@ -326,6 +327,17 @@ impl WorkerPool {
                 });
             }
         });
+        // Coarse fan-outs (fewer tasks than threads — e.g. one task per
+        // stage clique) spawn only `workers` lanes; the remaining lanes
+        // sat out the whole fan-out. Charge them the fan-out's wall
+        // time as idle so the utilization table reports occupancy over
+        // the pool's configured width, not just the lanes that ran.
+        if let (Some(st), Some(t0)) = (stats, t_fanout) {
+            let wall = t0.elapsed().as_nanos() as u64;
+            for lane in st.lanes.iter().skip(workers) {
+                lane.idle_nanos.fetch_add(wall, Ordering::Relaxed);
+            }
+        }
         slots
             .into_iter()
             .map(|m| m.into_inner().expect("pool slot lock").expect("every task index is claimed"))
@@ -411,6 +423,28 @@ mod tests {
         assert_eq!(report.workers.iter().map(|w| w.tasks).sum::<u64>(), 40);
         assert!(report.workers.iter().map(|w| w.busy_nanos).sum::<u64>() > 0);
         assert!(report.utilization() > 0.0 && report.utilization() <= 1.0);
+    }
+
+    #[test]
+    fn coarse_fanouts_charge_idle_to_unspawned_lanes() {
+        // 2 tasks on a 4-thread pool: only 2 lanes spawn; the other 2
+        // must still accumulate idle time so utilization reflects the
+        // configured pool width instead of reading 100% busy.
+        let pool = WorkerPool::new(4);
+        let stats = PoolStats::new(pool.threads());
+        pool.run_stats(2, Some(&stats), |i, _| {
+            (0..200_000u64).fold(i as u64, |a, b| a.wrapping_mul(31).wrapping_add(b))
+        });
+        let report = stats.report();
+        assert_eq!(report.workers.iter().map(|w| w.tasks).sum::<u64>(), 2);
+        for lane in &report.workers[2..] {
+            assert_eq!(lane.tasks, 0);
+            assert_eq!(lane.busy_nanos, 0);
+            assert!(lane.idle_nanos > 0, "unspawned lane must report the fan-out as idle");
+        }
+        // With half the lanes fully idle, utilization cannot exceed the
+        // spawned fraction (busy lanes also carry some startup idle).
+        assert!(report.utilization() <= 0.5 + f64::EPSILON, "{}", report.utilization());
     }
 
     #[test]

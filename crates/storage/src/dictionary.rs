@@ -30,7 +30,9 @@
 //!   ceiling no realistic workload reaches before exhausting memory.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+#[cfg(debug_assertions)]
+use std::sync::atomic::AtomicBool;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock, RwLock};
 
 use gbc_ast::{Symbol, Value};

@@ -264,6 +264,48 @@ impl Rql {
         outcome
     }
 
+    /// The fused batch form of [`Rql::insert`]: push every `(key,
+    /// cost, row)` triple of one feed scan in a single pass. The queue
+    /// contents after the call are **identical** to `items.len()`
+    /// sequential [`Rql::insert`] calls — each triple still runs the
+    /// paper's full case analysis against the live queue state, so
+    /// intra-batch congruence (two congruent rows in one batch) resolves
+    /// exactly as it would row by row.
+    ///
+    /// What the batch saves is the per-row bookkeeping around the sift:
+    /// outcome counters accumulate in locals and flush once, the
+    /// `Int`-fast-compare delta is read once, and the queue high-water
+    /// mark is observed once at the end — sound because insertion never
+    /// shrinks `Q_r`, so the post-batch length *is* the running maximum.
+    /// The only new observable is `heap_batch_pushes`, which counts the
+    /// rows that arrived through this kernel (the batch analogue of
+    /// `heap_int_fast_compares`: a which-path counter, not a
+    /// what-result counter).
+    pub fn extend_batch(&mut self, items: impl IntoIterator<Item = (CongKey, u32, Vec<u32>)>) {
+        let fast_before = int_fast_compares();
+        let (mut queued, mut replaced, mut dominated, mut used_blocked) = (0u64, 0u64, 0u64, 0u64);
+        let mut pushed = 0u64;
+        for (key, cost, row) in items {
+            pushed += 1;
+            match self.insert_inner(key, cost, row) {
+                RqlOutcome::Queued => queued += 1,
+                RqlOutcome::ReplacedQueued => replaced += 1,
+                RqlOutcome::DominatedInQueue => dominated += 1,
+                RqlOutcome::CongruentUsed => used_blocked += 1,
+            }
+        }
+        if let Some(m) = &self.metrics {
+            m.heap_inserts.add(queued);
+            m.heap_replaces.add(replaced);
+            m.congruence_replacements.add(replaced);
+            m.rql_dominated.add(dominated);
+            m.rql_used_blocked.add(used_blocked);
+            m.queue_peak.observe(self.heap.len() as u64);
+            m.heap_int_fast_compares.add(int_fast_compares() - fast_before);
+            m.heap_batch_pushes.add(pushed);
+        }
+    }
+
     fn insert_inner(&mut self, key: CongKey, cost: u32, row: Vec<u32>) -> RqlOutcome {
         if self.used.contains_key(&key) {
             self.mark_redundant(row);
@@ -483,6 +525,49 @@ mod tests {
         assert_eq!(s.rql_used_blocked, 1);
         assert_eq!(s.heap_pops, 1);
         assert_eq!(s.queue_peak, 2);
+    }
+
+    #[test]
+    fn extend_batch_is_counter_identical_to_sequential_inserts() {
+        // Same triples — covering all four outcomes plus a used class —
+        // through insert() one at a time and through one extend_batch().
+        let triples = || {
+            vec![
+                (key(&[1]), cost(5), row(&[1, 5])), // queued
+                (key(&[1]), cost(3), row(&[1, 3])), // replaces within the batch
+                (key(&[1]), cost(4), row(&[1, 4])), // dominated within the batch
+                (key(&[2]), cost(8), row(&[2, 8])), // queued
+                (key(&[9]), cost(0), row(&[9, 0])), // used-blocked (committed below)
+            ]
+        };
+        let prime = |d: &mut Rql| {
+            d.insert(key(&[9]), cost(1), row(&[9, 1]));
+            let p = d.pop_least().unwrap();
+            d.commit(p);
+        };
+        let m_seq = Arc::new(Metrics::new());
+        let mut seq = Rql::new();
+        seq.set_metrics(Arc::clone(&m_seq));
+        prime(&mut seq);
+        for (k, c, r) in triples() {
+            seq.insert(k, c, r);
+        }
+        let m_bat = Arc::new(Metrics::new());
+        let mut bat = Rql::new();
+        bat.set_metrics(Arc::clone(&m_bat));
+        prime(&mut bat);
+        bat.extend_batch(triples());
+        let pops = |d: &mut Rql| -> Vec<(u32, Vec<u32>)> {
+            std::iter::from_fn(|| d.pop_least()).map(|p| (p.cost, p.row)).collect()
+        };
+        assert_eq!(pops(&mut seq), pops(&mut bat));
+        let (mut a, mut b) = (m_seq.snapshot(), m_bat.snapshot());
+        assert_eq!(b.heap_batch_pushes, 5);
+        assert_eq!(a.heap_batch_pushes, 0);
+        // Everything except the which-path counter matches exactly.
+        a.heap_batch_pushes = 0;
+        b.heap_batch_pushes = 0;
+        assert_eq!(a, b);
     }
 
     #[test]

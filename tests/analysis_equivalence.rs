@@ -1,15 +1,18 @@
-//! Analysis-specialization equivalence sweep — the PR 8 contract:
-//! whole-program analysis (dead-rule pruning, folded constants, the
-//! decode-free `Int` cost heap, the bindings-free feed) is a pure
-//! optimization. Every shipped program must produce byte-identical
-//! results with analysis on and off (`GBC_NO_ANALYZE=1` territory), at
-//! 1 and 4 worker threads — same canonical relation dump, same chosen
-//! records, same semantic counters.
+//! Analysis-specialization equivalence sweep — the PR 8 contract,
+//! extended by PR 10: whole-program analysis (dead-rule pruning, folded
+//! constants, the decode-free `Int` cost heap, the bindings-free feed)
+//! and the batched γ feed kernel are pure optimizations. Every shipped
+//! program must produce byte-identical results with analysis on and off
+//! (`GBC_NO_ANALYZE=1` territory) and with the batch kernel on and off
+//! (`GBC_NO_GAMMA_BATCH=1` territory), across worker thread counts —
+//! same canonical relation dump, same chosen records, same semantic
+//! counters.
 //!
-//! The one counter that *may* differ is `heap_int_fast_compares`
-//! (that's the point of the specialization); it is zeroed on both
-//! sides before the snapshot comparison and asserted positive on the
-//! programs whose cost columns are provably `int`.
+//! Two counters *may* differ, one per switch: `heap_int_fast_compares`
+//! (the point of the Int-heap specialization) and `heap_batch_pushes`
+//! (the point of the batch kernel). Both are zeroed on both sides
+//! before the snapshot comparison and asserted positive/zero where the
+//! switch pins them.
 
 use gbc_core::{ChosenRecord, GreedyConfig};
 use gbc_storage::Database;
@@ -29,13 +32,20 @@ const PROGRAMS: [&[&str]; 9] = [
     &["programs/assignment.dl"],
 ];
 
-/// Everything that must be invariant under the analysis switch, plus
-/// the one counter that is allowed to move.
+/// Everything that must be invariant under the analysis and batch
+/// switches, plus the two counters that are allowed to move.
 #[derive(Debug, PartialEq)]
 struct RunFingerprint {
     canonical: String,
     chosen: Vec<ChosenRecord>,
     snapshot: Snapshot,
+}
+
+/// The raw values of the two which-path counters, zeroed inside the
+/// fingerprint so the equality assertion pins everything else.
+struct PathCounters {
+    int_fast: u64,
+    batch_pushes: u64,
 }
 
 fn compile_group(files: &[&str]) -> gbc_core::Compiled {
@@ -52,14 +62,18 @@ fn compile_group(files: &[&str]) -> gbc_core::Compiled {
 }
 
 /// Run one group, mirroring `gbc run`: greedy when planned, generic
-/// otherwise. Returns the fingerprint and the raw
-/// `heap_int_fast_compares` count (zeroed inside the fingerprint).
-fn run_group(files: &[&str], threads: usize, analyze: bool) -> (RunFingerprint, u64) {
+/// otherwise.
+fn run_group(
+    files: &[&str],
+    threads: usize,
+    analyze: bool,
+    gamma_batch: bool,
+) -> (RunFingerprint, PathCounters) {
     let compiled = compile_group(files);
     let edb = Database::new();
     let tel = Telemetry::enabled();
     let (db, chosen) = if compiled.has_greedy_plan() {
-        let config = GreedyConfig { threads, analyze, ..GreedyConfig::default() };
+        let config = GreedyConfig { threads, analyze, gamma_batch, ..GreedyConfig::default() };
         let run = compiled.run_greedy_telemetry(&edb, config, &tel).expect("greedy run");
         (run.db, run.chosen)
     } else {
@@ -73,36 +87,70 @@ fn run_group(files: &[&str], threads: usize, analyze: bool) -> (RunFingerprint, 
         (fixpoint.into_database(), chosen)
     };
     let mut snapshot = tel.snapshot();
-    let int_fast = snapshot.heap_int_fast_compares;
+    let raw = PathCounters {
+        int_fast: snapshot.heap_int_fast_compares,
+        batch_pushes: snapshot.heap_batch_pushes,
+    };
     snapshot.heap_int_fast_compares = 0;
-    (RunFingerprint { canonical: db.canonical_form(), chosen, snapshot }, int_fast)
+    snapshot.heap_batch_pushes = 0;
+    (RunFingerprint { canonical: db.canonical_form(), chosen, snapshot }, raw)
 }
 
 #[test]
 fn analysis_specializations_change_nothing_observable() {
     for files in PROGRAMS {
         for threads in [1, 4] {
-            let (on, _) = run_group(files, threads, true);
-            let (off, off_fast) = run_group(files, threads, false);
+            let (on, _) = run_group(files, threads, true, true);
+            let (off, off_raw) = run_group(files, threads, false, true);
             assert!(!on.canonical.is_empty(), "{files:?} produced no facts");
             assert_eq!(
                 on, off,
                 "{files:?} diverged between analysis on/off at {threads} thread(s)"
             );
             assert_eq!(
-                off_fast, 0,
+                off_raw.int_fast, 0,
                 "{files:?}: analysis off must never take the Int heap fast path"
+            );
+            // The batch kernel rides on the analysis-gated fast feed,
+            // so analysis off also forces the sequential insert path.
+            assert_eq!(
+                off_raw.batch_pushes, 0,
+                "{files:?}: analysis off must never take the batch feed path"
             );
         }
     }
 }
 
 #[test]
+fn gamma_batch_kernel_changes_nothing_observable() {
+    for files in PROGRAMS {
+        for threads in [1, 2, 4, 8] {
+            let (on, _) = run_group(files, threads, true, true);
+            let (off, off_raw) = run_group(files, threads, true, false);
+            assert!(!on.canonical.is_empty(), "{files:?} produced no facts");
+            assert_eq!(on, off, "{files:?} diverged between batch on/off at {threads} thread(s)");
+            assert_eq!(
+                off_raw.batch_pushes, 0,
+                "{files:?}: batch off must never take the batch feed path"
+            );
+        }
+    }
+}
+
+#[test]
+fn batch_kernel_engages_on_fast_feed_programs() {
+    // prim's feed (source scan + `Y != 0` pre-check) compiles to
+    // columnar checks, so the batch kernel must actually run.
+    let (_, raw) = run_group(&["programs/prim.dl", "programs/graph_small.dl"], 1, true, true);
+    assert!(raw.batch_pushes > 0, "prim: fast feed is columnar, the batch kernel should engage");
+}
+
+#[test]
 fn int_cost_heap_engages_on_integer_cost_programs() {
     for files in [&["programs/prim.dl", "programs/graph_small.dl"][..], &["programs/sort.dl"][..]] {
-        let (_, int_fast) = run_group(files, 1, true);
+        let (_, raw) = run_group(files, 1, true, true);
         assert!(
-            int_fast > 0,
+            raw.int_fast > 0,
             "{files:?}: cost column is provably int, the fast heap should engage"
         );
     }
@@ -116,5 +164,15 @@ fn no_analyze_env_var_flips_the_default() {
     let on = GreedyConfig { analyze: true, ..GreedyConfig::default() };
     let off = GreedyConfig { analyze: false, ..GreedyConfig::default() };
     assert!(on.analyze && !off.analyze);
+    assert_eq!(on.max_steps, off.max_steps);
+}
+
+#[test]
+fn no_gamma_batch_env_var_flips_the_default() {
+    // Same pattern as `no_analyze_env_var_flips_the_default`: explicit
+    // construction, never mutate the process environment.
+    let on = GreedyConfig { gamma_batch: true, ..GreedyConfig::default() };
+    let off = GreedyConfig { gamma_batch: false, ..GreedyConfig::default() };
+    assert!(on.gamma_batch && !off.gamma_batch);
     assert_eq!(on.max_steps, off.max_steps);
 }
